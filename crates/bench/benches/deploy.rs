@@ -1,0 +1,121 @@
+//! Criterion benchmark: deployment-engine throughput (host wall-clock of
+//! driving drivers against the simulated data center — the simulated
+//! *install* durations are reported by `exp_jasper_timing`, not here) and
+//! the §5.2 worst-case upgrade ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engage::Engage;
+use engage_model::{PartialInstallSpec, PartialInstance};
+
+fn engage_sys() -> Engage {
+    Engage::new(engage_library::full_universe())
+        .with_packages(engage_library::package_universe())
+        .with_registry(engage_library::driver_registry())
+}
+
+fn deploy_stacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deploy");
+    group.sample_size(15);
+    group.bench_function("openmrs", |b| {
+        let partial = engage_library::openmrs_partial();
+        b.iter(|| {
+            let e = engage_sys();
+            let (_, dep) = e.deploy(&partial).unwrap();
+            dep
+        });
+    });
+    group.bench_function("webapp_production", |b| {
+        let partial = engage_library::webapp_production_partial();
+        b.iter(|| {
+            let e = engage_sys();
+            let (_, dep) = e.deploy(&partial).unwrap();
+            dep
+        });
+    });
+    group.finish();
+}
+
+fn upgrade_ablation(c: &mut Criterion) {
+    // §5.2: "all upgrades using this approach experience the worst case
+    // upgrade time, even if there are only minor differences" — compare a
+    // no-op upgrade against a real version change.
+    let fa = |version: u32| -> PartialInstallSpec {
+        [
+            PartialInstance::new("server", "Ubuntu 10.10"),
+            PartialInstance::new("web", "Gunicorn 0.13").inside("server"),
+            PartialInstance::new("db", "MySQL 5.1").inside("server"),
+            PartialInstance::new("app", format!("FA {version}").as_str()).inside("server"),
+        ]
+        .into_iter()
+        .collect()
+    };
+    let mut group = c.benchmark_group("upgrade");
+    group.sample_size(15);
+    for (name, strategy) in [
+        ("worst_case", engage::UpgradeStrategy::WorstCase),
+        ("incremental", engage::UpgradeStrategy::Incremental),
+    ] {
+        group.bench_function(format!("noop/{name}"), |b| {
+            b.iter(|| {
+                let e = engage_sys();
+                let (_, mut dep) = e.deploy(&fa(1)).unwrap();
+                e.upgrade_with(&mut dep, &fa(1), strategy).unwrap()
+            });
+        });
+        group.bench_function(format!("version_change/{name}"), |b| {
+            b.iter(|| {
+                let e = engage_sys();
+                let (_, mut dep) = e.deploy(&fa(1)).unwrap();
+                e.upgrade_with(&mut dep, &fa(2), strategy).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn parallel_vs_sequential(c: &mut Criterion) {
+    // Host wall-clock of the engine itself (not simulated install time):
+    // parallel slaves pay thread overhead on tiny stacks but demonstrate
+    // the §5.2 architecture.
+    let mut group = c.benchmark_group("deploy/multihost");
+    group.sample_size(15);
+    let partial = engage_library::openmrs_production_partial();
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let e = engage_sys();
+            let (_, dep) = e.deploy(&partial).unwrap();
+            dep
+        });
+    });
+    group.bench_function("parallel_slaves", |b| {
+        b.iter(|| {
+            let e = engage_sys();
+            let (_, outcome) = e.deploy_parallel(&partial).unwrap();
+            outcome
+        });
+    });
+    group.finish();
+}
+
+fn shutdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shutdown");
+    group.sample_size(15);
+    group.bench_function("openmrs_stop_start", |b| {
+        let e = engage_sys();
+        let (_, mut dep) = e.deploy(&engage_library::openmrs_partial()).unwrap();
+        b.iter(|| {
+            e.stop(&mut dep).unwrap();
+            e.start(&mut dep).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    deploy_stacks,
+    upgrade_ablation,
+    parallel_vs_sequential,
+    shutdown
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmark: exactly-one encoding ablation (pairwise O(n²)
+//! clauses vs Sinz sequential O(n) with auxiliary variables) — the design
+//! choice DESIGN.md calls out for the §4 constraint generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engage_sat::{Cnf, ExactlyOneEncoding, Lit, Solver};
+
+fn build(width: usize, enc: ExactlyOneEncoding) -> Cnf {
+    let mut cnf = Cnf::new();
+    let lits: Vec<Lit> = (0..width).map(|_| cnf.fresh_var().positive()).collect();
+    cnf.add_exactly_one(&lits, enc);
+    // Force a specific pick so solving does a little propagation.
+    cnf.add_unit(lits[width / 2]);
+    cnf
+}
+
+fn encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encodings/build");
+    group.sample_size(20);
+    for width in [8usize, 32, 128, 512] {
+        for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+            group.bench_with_input(BenchmarkId::new(enc.to_string(), width), &width, |b, &w| {
+                b.iter(|| build(w, enc))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encodings/solve");
+    group.sample_size(20);
+    for width in [8usize, 32, 128, 512] {
+        for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+            let cnf = build(width, enc);
+            group.bench_with_input(BenchmarkId::new(enc.to_string(), width), &cnf, |b, cnf| {
+                b.iter(|| Solver::from_cnf(cnf).solve())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn configure_with_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encodings/configure_webapp");
+    group.sample_size(30);
+    let u = engage_library::django_universe();
+    let partial = engage_library::webapp_production_partial();
+    for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+        let engine = engage_config::ConfigEngine::new(&u)
+            .with_encoding(enc)
+            .without_verification();
+        group.bench_function(enc.to_string(), |b| {
+            b.iter(|| engine.configure(&partial).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode, solve, configure_with_encodings);
+criterion_main!(benches);

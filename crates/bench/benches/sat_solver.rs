@@ -1,0 +1,58 @@
+//! Criterion benchmark: the CDCL solver vs the DPLL baseline
+//! (the solver-ablation the paper delegates to MiniSat).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engage_bench::{pigeonhole, random_3cnf};
+use engage_sat::{dpll_solve, Solver};
+
+fn random_sat(c: &mut Criterion) {
+    // Under the phase-transition ratio (~4.26) so most instances are SAT.
+    let mut group = c.benchmark_group("sat/random3_ratio4");
+    group.sample_size(20);
+    for vars in [30u32, 60, 90] {
+        let cnf = random_3cnf(vars, (vars as usize) * 4, 42);
+        group.bench_with_input(BenchmarkId::new("cdcl", vars), &cnf, |b, cnf| {
+            b.iter(|| Solver::from_cnf(cnf).solve());
+        });
+        group.bench_with_input(BenchmarkId::new("dpll", vars), &cnf, |b, cnf| {
+            b.iter(|| dpll_solve(cnf));
+        });
+    }
+    group.finish();
+}
+
+fn pigeonhole_unsat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/pigeonhole");
+    group.sample_size(15);
+    for holes in [4u32, 5, 6] {
+        let cnf = pigeonhole(holes);
+        group.bench_with_input(BenchmarkId::new("cdcl", holes), &cnf, |b, cnf| {
+            b.iter(|| Solver::from_cnf(cnf).solve());
+        });
+        if holes <= 5 {
+            group.bench_with_input(BenchmarkId::new("dpll", holes), &cnf, |b, cnf| {
+                b.iter(|| dpll_solve(cnf));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn engage_constraints(c: &mut Criterion) {
+    // The constraint instances the configuration engine actually produces
+    // (tiny by SAT standards — the paper's point that a stock SAT solver
+    // more than suffices).
+    let mut group = c.benchmark_group("sat/engage_instances");
+    group.sample_size(30);
+    let u = engage_library::django_universe();
+    let partial = engage_library::webapp_production_partial();
+    let graph = engage_config::graph_gen(&u, &partial).unwrap();
+    let constraints = engage_config::generate(&graph, engage_sat::ExactlyOneEncoding::Pairwise);
+    group.bench_function("webapp_cnf_solve", |b| {
+        b.iter(|| Solver::from_cnf(constraints.cnf()).solve());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, random_sat, pigeonhole_unsat, engage_constraints);
+criterion_main!(benches);

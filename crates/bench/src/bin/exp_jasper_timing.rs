@@ -1,0 +1,65 @@
+//! Experiment: JasperReports automated install timing (§6.1).
+//!
+//! "Running the automated install of Jasper Reports Server takes 17
+//! minutes if the required software packages are downloaded from the
+//! internet and 5 minutes if they are obtained from a local file cache."
+//!
+//! The simulated package sizes and bandwidth model regenerate the shape:
+//! downloads dominate the internet case and vanish with the cache.
+//!
+//! Run with: `cargo run -p engage-bench --bin exp_jasper_timing`
+
+use engage::Engage;
+use engage_sim::DownloadSource;
+
+fn run(source: DownloadSource) -> (f64, f64) {
+    let engage = Engage::new(engage_library::base_universe())
+        .with_packages(engage_library::package_universe())
+        .with_download_source(source)
+        .with_registry(engage_library::driver_registry());
+    let t0 = engage.sim().now();
+    let (_, deployment) = engage
+        .deploy(&engage_library::jasper_partial())
+        .expect("jasper deploys");
+    assert!(deployment.is_deployed());
+    let seq = (engage.sim().now() - t0).as_secs_f64() / 60.0;
+    let par = deployment.parallel_makespan().as_secs_f64() / 60.0;
+    (seq, par)
+}
+
+fn main() {
+    println!("== §6.1: automated JasperReports install ==");
+    println!(
+        "{:<14} {:>12} {:>12} {:>14}",
+        "source", "ours (min)", "paper (min)", "parallel est."
+    );
+    let (net, net_par) = run(DownloadSource::typical_internet());
+    println!(
+        "{:<14} {:>12.1} {:>12} {:>11.1} min",
+        "internet", net, 17, net_par
+    );
+    let (cache, cache_par) = run(DownloadSource::local_cache());
+    println!(
+        "{:<14} {:>12.1} {:>12} {:>11.1} min",
+        "local cache", cache, 5, cache_par
+    );
+    println!();
+    let ratio = net / cache;
+    println!(
+        "internet/cache ratio: ours {ratio:.1}x, paper {:.1}x — the crossover shape holds:",
+        17.0 / 5.0
+    );
+    println!("downloads dominate over the network and disappear with a local cache.");
+    println!();
+    println!("== What the automated install did (paper §6.1 checklist) ==");
+    println!("  - environment checks (required TCP ports available)");
+    println!("  - downloaded required application packages");
+    println!("  - installed components in dependency order");
+    println!("  - started the database, web server, and reports server");
+    println!();
+    println!("== Development-effort numbers reported by the paper (not reproducible) ==");
+    println!("  manual install: 5 h first try, 2 h 15 m second, ~1 h steady state");
+    println!("  Engage support: 3 h 56 m total (47 m types, 81 m driver, 108 m debug/test)");
+    println!("  JDBC connector resource: 40 lines of types, 0 lines of driver code");
+    println!("  Jasper resource: 69 lines of types + 201 lines of driver code");
+}

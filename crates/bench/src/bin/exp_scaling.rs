@@ -1,0 +1,77 @@
+//! Experiment: configuration-engine scaling (beyond the paper).
+//!
+//! The paper's evaluation is case-study based; this harness characterizes
+//! how the pipeline (GraphGen → constraints → CDCL SAT → propagation)
+//! scales as the dependency structure grows: layered libraries of depth
+//! `d` with `w` alternatives per layer yield `w^d` candidate deployments.
+//!
+//! Run with: `cargo run -p engage-bench --release --bin exp_scaling`
+
+use std::time::Instant;
+
+use engage_bench::{synthetic_partial, synthetic_universe};
+use engage_config::ConfigEngine;
+
+fn main() {
+    println!("== Configuration-engine scaling on synthetic layered libraries ==");
+    println!(
+        "{:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>12} {:>12}",
+        "depth", "width", "types", "nodes", "vars", "clauses", "configure", "per-instance"
+    );
+    for (depth, width) in [
+        (2usize, 2usize),
+        (4, 2),
+        (8, 2),
+        (16, 2),
+        (32, 2),
+        (64, 2),
+        (4, 4),
+        (4, 8),
+        (4, 16),
+        (8, 8),
+        (16, 8),
+    ] {
+        let u = synthetic_universe(depth, width);
+        let partial = synthetic_partial();
+        let engine = ConfigEngine::new(&u).without_verification();
+        // Warm up once, then measure the best of 5 runs.
+        let mut best = f64::MAX;
+        let mut outcome = engine.configure(&partial).expect("configures");
+        for _ in 0..5 {
+            let t = Instant::now();
+            outcome = engine.configure(&partial).expect("configures");
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        let nodes = outcome.graph.nodes().len();
+        let (vars, clauses) = outcome.cnf_size;
+        println!(
+            "{depth:>6} {width:>6} {:>7} {nodes:>7} {vars:>9} {clauses:>9} {:>9.2} ms {:>9.1} µs",
+            u.len(),
+            best * 1e3,
+            best * 1e6 / nodes as f64,
+        );
+    }
+    println!();
+    println!("== Choice-space size vs. solve effort ==");
+    println!(
+        "{:>6} {:>6} {:>14} {:>11} {:>10}",
+        "depth", "width", "deployments", "decisions", "conflicts"
+    );
+    for (depth, width) in [(3usize, 2usize), (6, 2), (3, 4), (10, 3)] {
+        let u = synthetic_universe(depth, width);
+        let engine = ConfigEngine::new(&u).without_verification();
+        let outcome = engine.configure(&synthetic_partial()).expect("configures");
+        let deployments = (width as u64).pow(depth as u32);
+        println!(
+            "{depth:>6} {width:>6} {deployments:>14} {:>11} {:>10}",
+            outcome.solver_stats.decisions, outcome.solver_stats.conflicts
+        );
+    }
+    println!();
+    println!(
+        "Takeaway: the CNFs Engage generates stay trivially easy for CDCL even when\n\
+         the deployment space is astronomically large (the constraints are nearly\n\
+         Horn — one exactly-one group per dependency), matching the paper's decision\n\
+         to simply call a stock SAT solver."
+    );
+}

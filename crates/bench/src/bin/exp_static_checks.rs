@@ -1,0 +1,166 @@
+//! Experiment: static detection of configuration problems (§2).
+//!
+//! "In contrast to ad hoc custom scripts, the declarative language enables
+//! static detection of configuration problems, e.g., cyclic dependencies
+//! between components, or unsolvable constraints in installation."
+//!
+//! A catalogue of broken inputs, each caught statically with a specific
+//! error — before anything is installed.
+//!
+//! Run with: `cargo run -p engage-bench --bin exp_static_checks`
+
+use engage_config::{diagnose, ConfigEngine};
+use engage_model::{PartialInstallSpec, PartialInstance};
+use engage_sat::ExactlyOneEncoding;
+
+fn show(title: &str, result: Result<(), String>) {
+    println!("== {title} ==");
+    match result {
+        Ok(()) => println!("  (unexpectedly passed!)"),
+        Err(msg) => {
+            for line in msg.lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // 1. Cyclic dependencies between resource types.
+    show("cyclic dependencies between components", {
+        let src = r#"
+        abstract resource "Server" { output port host: int = 0; }
+        resource "OS 1" extends "Server" {}
+        resource "A 1" { inside "Server"; peer "B 1"; output port a: int = 1; }
+        resource "B 1" { inside "Server"; peer "A 1"; output port b: int = 1; }"#;
+        let u = engage_dsl::parse_universe(src).unwrap();
+        u.check().map_err(|errs| {
+            errs.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+    });
+
+    // 2. An input port never wired (forgotten port mapping).
+    show("unmapped input port (forgotten port mapping)", {
+        let src = r#"
+        abstract resource "Server" { output port host: int = 0; }
+        resource "OS 1" extends "Server" {}
+        resource "Db 1" { inside "Server"; output port db: { port: int } = { port: 5432 }; }
+        resource "App 1" {
+          inside "Server";
+          peer "Db 1";                 // mapping forgotten here
+          input port db: { port: int };
+          output port ok: bool = true;
+        }"#;
+        let u = engage_dsl::parse_universe(src).unwrap();
+        u.check().map_err(|errs| {
+            errs.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+    });
+
+    // 3. A port mapping whose types do not line up.
+    show("ill-typed port mapping", {
+        let src = r#"
+        abstract resource "Server" { output port host: int = 0; }
+        resource "OS 1" extends "Server" {}
+        resource "Db 1" { inside "Server"; output port db: { port: int } = { port: 5432 }; }
+        resource "App 1" {
+          inside "Server";
+          peer "Db 1" { input db <- db; }
+          input port db: { port: string };   // expects a string port!
+          output port ok: bool = true;
+        }"#;
+        let u = engage_dsl::parse_universe(src).unwrap();
+        u.check().map_err(|errs| {
+            errs.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+    });
+
+    // 4. Unsolvable installation constraints, with a minimal explanation.
+    show(
+        "unsolvable installation constraints (with MUS diagnosis)",
+        {
+            let u = engage_library::django_universe();
+            let partial: PartialInstallSpec = [
+                PartialInstance::new("server", "Ubuntu 10.10"),
+                PartialInstance::new("db1", "SQLite 3.7").inside("server"),
+                PartialInstance::new("db2", "MySQL 5.1").inside("server"),
+                PartialInstance::new("app", "Areneae 1.0").inside("server"),
+            ]
+            .into_iter()
+            .collect();
+            match diagnose(&u, &partial, ExactlyOneEncoding::Pairwise).unwrap() {
+                None => Ok(()),
+                Some((d, g)) => Err(d.render(&g)),
+            }
+        },
+    );
+
+    // 5. A container that violates a version-range dependency.
+    show("version-range violation (OpenMRS needs Tomcat < 6.0.29)", {
+        let u = engage_library::base_universe();
+        let partial: PartialInstallSpec = [
+            PartialInstance::new("server", "Mac-OSX 10.6"),
+            PartialInstance::new("tomcat", "Tomcat 6.0.29").inside("server"),
+            PartialInstance::new("openmrs", "OpenMRS 1.8").inside("tomcat"),
+        ]
+        .into_iter()
+        .collect();
+        ConfigEngine::new(&u)
+            .configure(&partial)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
+
+    // 6. Instantiating an abstract resource.
+    show("abstract resource instantiated", {
+        let u = engage_library::base_universe();
+        let partial: PartialInstallSpec = [PartialInstance::new("j", "Java")].into_iter().collect();
+        ConfigEngine::new(&u)
+            .configure(&partial)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
+
+    // 7. A component with no machine to live on.
+    show("missing machine (Engage does not invent machines)", {
+        let u = engage_library::base_universe();
+        let partial: PartialInstallSpec = [PartialInstance::new("db", "MySQL 5.1")]
+            .into_iter()
+            .collect();
+        ConfigEngine::new(&u)
+            .configure(&partial)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
+
+    // 8. A declared subtype that breaks the Figure 4 rules.
+    show("bogus subtype declaration (Figure 4 violation)", {
+        let src = r#"
+        abstract resource "Java" { output port java: { home: string }; }
+        resource "FakeJava 1" extends "Java" {
+          output port java: string = "not-a-struct";
+        }"#;
+        let u = engage_dsl::parse_universe(src).unwrap();
+        engage_model::check_declared_subtyping(&u).map_err(|errs| {
+            errs.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+    });
+
+    println!(
+        "every problem above was reported before any installation action ran —\n\
+         the paper's static-checking claim, reproduced."
+    );
+}

@@ -1,0 +1,114 @@
+//! Experiment: application upgrades with schema migration and rollback
+//! (§5.2 Upgrades, §6.2 Evaluating upgrades).
+//!
+//! Reproduces the FA-application experiment: upgrade between two
+//! production snapshots whose "user interface, application logic, and
+//! database schema all changed", with South migrations preserving the
+//! database content; then "if we introduce an error in the second
+//! application version that causes the upgrade to fail, Engage
+//! automatically rolls back to the prior application version."
+//!
+//! Run with: `cargo run -p engage-bench --bin exp_upgrade`
+
+use engage::Engage;
+use engage_model::{PartialInstallSpec, PartialInstance};
+
+fn fa_partial(version: u32) -> PartialInstallSpec {
+    [
+        PartialInstance::new("server", "Ubuntu 10.10").config("hostname", "fa.example.com"),
+        PartialInstance::new("web", "Gunicorn 0.13").inside("server"),
+        PartialInstance::new("db", "MySQL 5.1").inside("server"),
+        PartialInstance::new("app", format!("FA {version}").as_str()).inside("server"),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn main() {
+    let engage = Engage::new(engage_library::django_universe())
+        .with_packages(engage_library::package_universe())
+        .with_registry(engage_library::driver_registry());
+
+    println!("== Initial deployment: FA 1 ==");
+    let t0 = engage.sim().now();
+    let (_, mut dep) = engage.deploy(&fa_partial(1)).expect("deploys");
+    let initial = engage.sim().now() - t0;
+    let host = dep.host_of(&"app".into()).expect("host");
+    let db_before = engage.sim().read_file(host, "/var/db/fa/records").unwrap();
+    println!(
+        "initial deploy: {:.1} min; database: {db_before:?}",
+        initial.as_secs_f64() / 60.0
+    );
+
+    println!("\n== Upgrade FA 1 -> FA 2 (schema migration via South) ==");
+    let report = engage.upgrade(&mut dep, &fa_partial(2)).expect("upgrades");
+    let db_after = engage.sim().read_file(host, "/var/db/fa/records").unwrap();
+    println!(
+        "upgrade: {:.1} min (worst-case strategy per §5.2: {})",
+        report.took.as_secs_f64() / 60.0,
+        report.worst_case
+    );
+    println!("plan: {:?}", report.plan);
+    println!("database after migration: {db_after:?}");
+    assert!(db_after.contains("applicants=42"), "content preserved");
+    assert!(db_after.contains("migrated schema=2"), "schema migrated");
+
+    println!("\n== Upgrade-strategy ablation (the paper's §5.2 future work) ==");
+    println!(
+        "{:<34} {:>14} {:>10}",
+        "strategy / change", "sim time (min)", "touched"
+    );
+    for (label, new_version, strategy) in [
+        (
+            "worst-case / no-op",
+            2u32,
+            engage::UpgradeStrategy::WorstCase,
+        ),
+        (
+            "incremental / no-op",
+            2,
+            engage::UpgradeStrategy::Incremental,
+        ),
+        (
+            "worst-case / version change",
+            1,
+            engage::UpgradeStrategy::WorstCase,
+        ),
+        (
+            "incremental / version change",
+            1,
+            engage::UpgradeStrategy::Incremental,
+        ),
+    ] {
+        let engage2 = Engage::new(engage_library::django_universe())
+            .with_packages(engage_library::package_universe())
+            .with_registry(engage_library::driver_registry());
+        let (_, mut d) = engage2.deploy(&fa_partial(2)).expect("deploys");
+        let r = engage2
+            .upgrade_with(&mut d, &fa_partial(new_version), strategy)
+            .expect("upgrades");
+        println!(
+            "{label:<34} {:>14.2} {:>10}",
+            r.took.as_secs_f64() / 60.0,
+            r.touched
+        );
+    }
+    println!(
+        "paper: \"all upgrades using this approach experience the worst case upgrade\n\
+         time, even if there are only minor differences\" — visible in the worst-case\n\
+         rows; the incremental strategy (the paper's future work) removes that cost."
+    );
+
+    println!("\n== Failure injection: broken FA 2 install rolls back ==");
+    engage.upgrade(&mut dep, &fa_partial(1)).expect("downgrade");
+    engage.sim().inject_install_failure("fa-2", 1);
+    let err = engage.upgrade(&mut dep, &fa_partial(2)).unwrap_err();
+    println!("upgrade error: {err}");
+    let version = dep.spec().get(&"app".into()).unwrap().key().to_string();
+    let db_rolled = engage.sim().read_file(host, "/var/db/fa/records").unwrap();
+    println!("running version after rollback: {version}");
+    println!("database after rollback: {db_rolled:?}");
+    assert_eq!(version, "FA 1");
+    assert!(dep.is_deployed());
+    println!("\npaper: automatic rollback to the prior version — reproduced: yes");
+}

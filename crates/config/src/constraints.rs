@@ -1,0 +1,228 @@
+//! Boolean constraint generation from the resource-instance hypergraph (§4).
+//!
+//! Atomic propositions are `rsrc(id)` — "the resource instance with
+//! identifier id is installed". Two constraint families (Theorem 1):
+//!
+//! 1. a unit clause per instance in the partial install specification;
+//! 2. per hyperedge with source v and targets {v₁..vₙ}:
+//!    `rsrc(v) → ⊕{rsrc(v₁), ..., rsrc(vₙ)}`.
+
+use std::collections::BTreeMap;
+
+use engage_model::InstanceId;
+use engage_sat::{Cnf, ExactlyOneEncoding, Lit, Var};
+
+use crate::graph::HyperGraph;
+
+/// The generated constraints plus the node↔variable correspondence.
+#[derive(Debug, Clone)]
+pub struct Constraints {
+    cnf: Cnf,
+    vars: BTreeMap<InstanceId, Var>,
+}
+
+impl Constraints {
+    /// The CNF formula.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// The proposition variable for a node.
+    pub fn var(&self, id: &InstanceId) -> Option<Var> {
+        self.vars.get(id).copied()
+    }
+
+    /// All (node, variable) pairs in node order.
+    pub fn vars(&self) -> impl Iterator<Item = (&InstanceId, Var)> {
+        self.vars.iter().map(|(id, v)| (id, *v))
+    }
+
+    /// The node variables as a vector (for model projection/enumeration).
+    pub fn node_vars(&self) -> Vec<Var> {
+        self.vars.values().copied().collect()
+    }
+
+    /// Renders the constraints in the paper's notation (§4), e.g.
+    /// `tomcat -> X{jdk-1.6, jre-1.6}`.
+    pub fn render(&self, g: &HyperGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for n in g.nodes() {
+            if n.from_spec() {
+                let _ = writeln!(out, "{}    (from install spec)", n.id());
+            }
+        }
+        for e in g.edges() {
+            let targets: Vec<String> = e.targets().iter().map(|t| t.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{} -> X{{{}}}    ({} dep)",
+                e.source(),
+                targets.join(", "),
+                e.kind()
+            );
+        }
+        out
+    }
+}
+
+/// Generates the Boolean constraints (`Generate(R, I)` of Theorem 1).
+pub fn generate(g: &HyperGraph, encoding: ExactlyOneEncoding) -> Constraints {
+    let mut cnf = Cnf::new();
+    let mut vars = BTreeMap::new();
+    // Allocate the node variables first so enumeration projections are
+    // stable regardless of auxiliary encoding variables.
+    for n in g.nodes() {
+        vars.insert(n.id().clone(), cnf.fresh_var());
+    }
+    for n in g.nodes() {
+        if n.from_spec() {
+            cnf.add_unit(vars[n.id()].positive());
+        }
+    }
+    for e in g.edges() {
+        let guard = vars[e.source()].negative();
+        let targets: Vec<Lit> = e.targets().iter().map(|t| vars[t].positive()).collect();
+        add_implied_exactly_one(&mut cnf, guard, &targets, encoding);
+    }
+    Constraints { cnf, vars }
+}
+
+/// Adds `¬guard → ⊕ lits`, i.e. every clause of the exactly-one encoding is
+/// weakened with the `guard` literal. (`guard` is the *negation* of the
+/// source proposition.)
+fn add_implied_exactly_one(cnf: &mut Cnf, guard: Lit, lits: &[Lit], encoding: ExactlyOneEncoding) {
+    if lits.is_empty() {
+        // Source deployable only if its dependency has a satisfier; none
+        // exist, so the source must be off.
+        cnf.add_clause(vec![guard]);
+        return;
+    }
+    // At least one.
+    let mut alo = vec![guard];
+    alo.extend_from_slice(lits);
+    cnf.add_clause(alo);
+    // At most one.
+    match encoding {
+        ExactlyOneEncoding::Pairwise => {
+            for i in 0..lits.len() {
+                for j in i + 1..lits.len() {
+                    cnf.add_clause(vec![guard, !lits[i], !lits[j]]);
+                }
+            }
+        }
+        ExactlyOneEncoding::Sequential => {
+            if lits.len() <= 2 {
+                if lits.len() == 2 {
+                    cnf.add_clause(vec![guard, !lits[0], !lits[1]]);
+                }
+                return;
+            }
+            let n = lits.len();
+            let regs: Vec<Lit> = (0..n - 1).map(|_| cnf.fresh_var().positive()).collect();
+            cnf.add_clause(vec![guard, !lits[0], regs[0]]);
+            for i in 1..n - 1 {
+                cnf.add_clause(vec![guard, !lits[i], regs[i]]);
+                cnf.add_clause(vec![guard, !regs[i - 1], regs[i]]);
+                cnf.add_clause(vec![guard, !lits[i], !regs[i - 1]]);
+            }
+            cnf.add_clause(vec![guard, !lits[n - 1], !regs[n - 2]]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_gen;
+    use crate::graph::tests::{figure_2, openmrs_universe};
+    use engage_sat::{SatResult, Solver};
+
+    fn solve(c: &Constraints) -> SatResult {
+        Solver::from_cnf(c.cnf()).solve()
+    }
+
+    #[test]
+    fn openmrs_constraints_are_satisfiable() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+            let c = generate(&g, enc);
+            let r = solve(&c);
+            let m = r.model().expect("satisfiable");
+            // Spec instances deployed.
+            for id in ["server", "tomcat", "openmrs"] {
+                assert!(
+                    m.value(c.var(&id.into()).unwrap()),
+                    "{id} not deployed ({enc})"
+                );
+            }
+            // Exactly one of JDK/JRE.
+            let jdk = m.value(c.var(&"jdk-1.6".into()).unwrap());
+            let jre = m.value(c.var(&"jre-1.6".into()).unwrap());
+            assert!(jdk ^ jre, "exactly one Java implementation expected");
+            // MySQL deployed (peer of OpenMRS).
+            assert!(m.value(c.var(&"mysql-5.1".into()).unwrap()));
+        }
+    }
+
+    #[test]
+    fn encodings_agree_on_projected_model_count() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        let counts: Vec<usize> = [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential]
+            .into_iter()
+            .map(|enc| {
+                let c = generate(&g, enc);
+                engage_sat::count_models(c.cnf(), &c.node_vars(), 1000)
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1]);
+        // Exactly 2 deployments: JDK-based and JRE-based.
+        assert_eq!(counts[0], 2);
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        let c = generate(&g, ExactlyOneEncoding::Pairwise);
+        let text = c.render(&g);
+        assert!(text.contains("openmrs    (from install spec)"));
+        assert!(
+            text.contains("tomcat -> X{jdk-1.6, jre-1.6}    (env dep)"),
+            "{text}"
+        );
+        assert!(text.contains("openmrs -> X{mysql-5.1}    (peer dep)"));
+    }
+
+    #[test]
+    fn empty_target_edge_forces_source_off() {
+        // Build a tiny fake graph via the public surface: a node from the
+        // spec with an empty-target edge is unsatisfiable.
+        let mut cnf = Cnf::new();
+        let v = cnf.fresh_var();
+        cnf.add_unit(v.positive());
+        add_implied_exactly_one(&mut cnf, v.negative(), &[], ExactlyOneEncoding::Pairwise);
+        assert_eq!(Solver::from_cnf(&cnf).solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn guard_off_permits_anything() {
+        let mut cnf = Cnf::new();
+        let v = cnf.fresh_var();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        add_implied_exactly_one(
+            &mut cnf,
+            v.negative(),
+            &[a.positive(), b.positive()],
+            ExactlyOneEncoding::Pairwise,
+        );
+        // v off: both a and b may be true simultaneously.
+        cnf.add_unit(v.negative());
+        cnf.add_unit(a.positive());
+        cnf.add_unit(b.positive());
+        assert!(Solver::from_cnf(&cnf).solve().is_sat());
+    }
+}

@@ -1,0 +1,312 @@
+//! Diagnosis of unsatisfiable configurations.
+//!
+//! The paper argues that "in contrast to ad hoc custom scripts, the
+//! declarative language enables static detection of configuration
+//! problems, e.g., cyclic dependencies between components, or unsolvable
+//! constraints in installation" (§2). Cycles and shape errors are caught
+//! by the model checks; this module handles the *unsolvable constraints*
+//! case: when `Generate(R, I)` is UNSAT, it extracts a **minimal
+//! unsatisfiable subset** of the constraint groups (deletion-based MUS
+//! over the unit clauses and dependency groups) and renders a
+//! human-readable explanation.
+
+use std::fmt;
+
+use engage_model::{DepKind, InstanceId, ModelError, PartialInstallSpec, Universe};
+use engage_sat::{Clause, Cnf, ExactlyOneEncoding, Lit, SatResult, Solver, Var};
+
+use crate::graph::{graph_gen, HyperGraph};
+
+/// One named group of clauses in the generated constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintGroup {
+    /// `rsrc(id)` — the instance is listed in the partial install spec.
+    SpecInstance(InstanceId),
+    /// `rsrc(source) → ⊕ targets` for one dependency of `source`.
+    Dependency {
+        /// The dependent instance.
+        source: InstanceId,
+        /// Inside, environment, or peer.
+        kind: DepKind,
+        /// The disjunction of candidate satisfiers.
+        targets: Vec<InstanceId>,
+    },
+}
+
+impl fmt::Display for ConstraintGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintGroup::SpecInstance(id) => {
+                write!(f, "`{id}` must be deployed (listed in the partial spec)")
+            }
+            ConstraintGroup::Dependency {
+                source,
+                kind,
+                targets,
+            } => {
+                let ts: Vec<String> = targets.iter().map(|t| format!("`{t}`")).collect();
+                write!(
+                    f,
+                    "`{source}` needs exactly one of {{{}}} ({kind} dependency)",
+                    ts.join(", ")
+                )
+            }
+        }
+    }
+}
+
+/// A minimal explanation of an unsatisfiable configuration.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    groups: Vec<ConstraintGroup>,
+}
+
+impl Diagnosis {
+    /// The minimal unsatisfiable subset of constraint groups.
+    pub fn groups(&self) -> &[ConstraintGroup] {
+        &self.groups
+    }
+
+    /// Renders the conflict as a bulleted explanation.
+    pub fn render(&self, g: &HyperGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("these requirements cannot be satisfied together:\n");
+        for grp in &self.groups {
+            let _ = write!(out, "  - {grp}");
+            if let ConstraintGroup::SpecInstance(id) = grp {
+                if let Some(node) = g.node(id) {
+                    let _ = write!(out, " [{}]", node.key());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Checks satisfiability and, if UNSAT, extracts a minimal unsatisfiable
+/// subset of the constraint groups.
+///
+/// Returns `Ok(None)` when a full installation specification exists.
+///
+/// # Errors
+///
+/// Model-level errors from GraphGen (unknown keys, missing inside
+/// resolutions, ...).
+pub fn diagnose(
+    universe: &Universe,
+    partial: &PartialInstallSpec,
+    encoding: ExactlyOneEncoding,
+) -> Result<Option<(Diagnosis, HyperGraph)>, ModelError> {
+    let graph = graph_gen(universe, partial)?;
+    let (groups, vars) = grouped_clauses(&graph, encoding);
+
+    let solve_subset = |active: &[bool]| -> bool {
+        let mut cnf = Cnf::new();
+        cnf.ensure_vars(vars);
+        for (i, (_, clauses)) in groups.iter().enumerate() {
+            if active[i] {
+                for c in clauses {
+                    cnf.add_clause(c.clone());
+                }
+            }
+        }
+        Solver::from_cnf(&cnf).solve() == SatResult::Unsat
+    };
+
+    let mut active = vec![true; groups.len()];
+    if !solve_subset(&active) {
+        return Ok(None);
+    }
+    // Deletion-based MUS: drop every group that is not needed for
+    // unsatisfiability.
+    for i in 0..groups.len() {
+        active[i] = false;
+        if !solve_subset(&active) {
+            active[i] = true; // needed
+        }
+    }
+    let mus: Vec<ConstraintGroup> = groups
+        .iter()
+        .zip(&active)
+        .filter(|(_, &a)| a)
+        .map(|((g, _), _)| g.clone())
+        .collect();
+    Ok(Some((Diagnosis { groups: mus }, graph)))
+}
+
+/// Builds the constraints with clause-level group attribution. Returns the
+/// groups and the total variable count (node vars + encoding auxiliaries).
+fn grouped_clauses(
+    g: &HyperGraph,
+    encoding: ExactlyOneEncoding,
+) -> (Vec<(ConstraintGroup, Vec<Clause>)>, u32) {
+    let mut var_count: u32 = g.nodes().len() as u32;
+    let var_of = |g: &HyperGraph, id: &InstanceId| -> Var {
+        Var(g
+            .nodes()
+            .iter()
+            .position(|n| n.id() == id)
+            .expect("node exists") as u32)
+    };
+    let mut groups = Vec::new();
+    for n in g.nodes() {
+        if n.from_spec() {
+            groups.push((
+                ConstraintGroup::SpecInstance(n.id().clone()),
+                vec![vec![var_of(g, n.id()).positive()]],
+            ));
+        }
+    }
+    for e in g.edges() {
+        let guard = var_of(g, e.source()).negative();
+        let targets: Vec<Lit> = e
+            .targets()
+            .iter()
+            .map(|t| var_of(g, t).positive())
+            .collect();
+        let mut clauses: Vec<Clause> = Vec::new();
+        let mut alo = vec![guard];
+        alo.extend_from_slice(&targets);
+        clauses.push(alo);
+        match encoding {
+            ExactlyOneEncoding::Pairwise => {
+                for i in 0..targets.len() {
+                    for j in i + 1..targets.len() {
+                        clauses.push(vec![guard, !targets[i], !targets[j]]);
+                    }
+                }
+            }
+            ExactlyOneEncoding::Sequential => {
+                if targets.len() == 2 {
+                    clauses.push(vec![guard, !targets[0], !targets[1]]);
+                } else if targets.len() > 2 {
+                    let n = targets.len();
+                    let regs: Vec<Lit> = (0..n - 1)
+                        .map(|_| {
+                            let v = Var(var_count);
+                            var_count += 1;
+                            v.positive()
+                        })
+                        .collect();
+                    clauses.push(vec![guard, !targets[0], regs[0]]);
+                    for i in 1..n - 1 {
+                        clauses.push(vec![guard, !targets[i], regs[i]]);
+                        clauses.push(vec![guard, !regs[i - 1], regs[i]]);
+                        clauses.push(vec![guard, !targets[i], !regs[i - 1]]);
+                    }
+                    clauses.push(vec![guard, !targets[n - 1], !regs[n - 2]]);
+                }
+            }
+        }
+        groups.push((
+            ConstraintGroup::Dependency {
+                source: e.source().clone(),
+                kind: e.kind(),
+                targets: e.targets().to_vec(),
+            },
+            clauses,
+        ));
+    }
+    (groups, var_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engage_model::PartialInstance;
+
+    fn django_like_universe() -> Universe {
+        engage_dsl::parse_universe(
+            r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Ubuntu 10.10" extends "Server" {}
+        abstract resource "Database" {
+          output port db: { engine: string };
+        }
+        resource "SQLite 3.7" extends "Database" {
+          inside "Server";
+          output port db: { engine: string } = { engine: "sqlite" };
+        }
+        resource "MySQL 5.1" extends "Database" {
+          inside "Server";
+          output port db: { engine: string } = { engine: "mysql" };
+        }
+        resource "App 1.0" {
+          inside "Server";
+          peer "Database" { input db <- db; }
+          input port db: { engine: string };
+          output port app: { ok: bool } = { ok: true };
+        }"#,
+        )
+        .unwrap()
+    }
+
+    /// Pinning *two* databases while the app needs exactly one is the
+    /// canonical unsolvable configuration.
+    fn conflicting_partial() -> PartialInstallSpec {
+        [
+            PartialInstance::new("server", "Ubuntu 10.10"),
+            PartialInstance::new("db1", "SQLite 3.7").inside("server"),
+            PartialInstance::new("db2", "MySQL 5.1").inside("server"),
+            PartialInstance::new("app", "App 1.0").inside("server"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn satisfiable_spec_diagnoses_to_none() {
+        let u = django_like_universe();
+        let partial: PartialInstallSpec = [
+            PartialInstance::new("server", "Ubuntu 10.10"),
+            PartialInstance::new("app", "App 1.0").inside("server"),
+        ]
+        .into_iter()
+        .collect();
+        assert!(diagnose(&u, &partial, ExactlyOneEncoding::Pairwise)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn conflicting_databases_yield_a_minimal_core() {
+        let u = django_like_universe();
+        let (diag, graph) = diagnose(&u, &conflicting_partial(), ExactlyOneEncoding::Pairwise)
+            .unwrap()
+            .expect("unsatisfiable");
+        // The core mentions both pinned databases, the app, and the app's
+        // exactly-one dependency — and nothing else (e.g. not the server).
+        let rendered = diag.render(&graph);
+        assert!(rendered.contains("db1"), "{rendered}");
+        assert!(rendered.contains("db2"), "{rendered}");
+        assert!(rendered.contains("exactly one"), "{rendered}");
+        assert!(
+            !rendered.contains("`server` must be deployed"),
+            "{rendered}"
+        );
+        // Minimality: every group is necessary -> exactly 4 groups.
+        assert_eq!(diag.groups().len(), 4, "{rendered}");
+    }
+
+    #[test]
+    fn both_encodings_find_a_core() {
+        let u = django_like_universe();
+        for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+            let got = diagnose(&u, &conflicting_partial(), enc).unwrap();
+            assert!(got.is_some(), "{enc}");
+        }
+    }
+
+    #[test]
+    fn configure_error_matches_diagnosis() {
+        let u = django_like_universe();
+        let err = crate::ConfigEngine::new(&u)
+            .configure(&conflicting_partial())
+            .unwrap_err();
+        assert!(matches!(err, crate::ConfigError::Unsatisfiable { .. }));
+    }
+}

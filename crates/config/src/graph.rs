@@ -1,0 +1,657 @@
+//! GraphGen: the worklist hypergraph-construction algorithm (§4).
+//!
+//! "The hypergraph generation phase takes a partial install specification
+//! and constructs a directed resource instance graph whose nodes are
+//! resource instances, and whose hyperedges represent dependencies between
+//! resource instances."
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use engage_model::{
+    DepKind, InstanceId, ModelError, PartialInstallSpec, ResourceKey, Universe, Value,
+};
+
+/// A node of the resource-instance hypergraph: a (potential) resource
+/// instance. Nodes marked [`Node::from_spec`] came from the partial install
+/// specification (the ✓-marked nodes of Figure 5); the rest were
+/// instantiated by GraphGen while chasing dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    id: InstanceId,
+    key: ResourceKey,
+    from_spec: bool,
+    inside: Option<InstanceId>,
+    config_overrides: BTreeMap<String, Value>,
+}
+
+impl Node {
+    /// The instance id.
+    pub fn id(&self) -> &InstanceId {
+        &self.id
+    }
+
+    /// The resource type key.
+    pub fn key(&self) -> &ResourceKey {
+        &self.key
+    }
+
+    /// Whether the node came from the partial install spec.
+    pub fn from_spec(&self) -> bool {
+        self.from_spec
+    }
+
+    /// The container node, if any.
+    pub fn inside(&self) -> Option<&InstanceId> {
+        self.inside.as_ref()
+    }
+
+    /// Config overrides carried over from the partial spec.
+    pub fn config_overrides(&self) -> &BTreeMap<String, Value> {
+        &self.config_overrides
+    }
+}
+
+/// A dependency hyperedge: `source` requires exactly one of `targets`.
+///
+/// For inside dependencies the target list is a single node; for env/peer
+/// dependencies it has one node per disjunct of the (frontier-expanded)
+/// dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperEdge {
+    source: InstanceId,
+    kind: DepKind,
+    /// Index of the dependency within the source's effective type
+    /// (`dependencies()` order) — used later to apply port mappings.
+    dep_index: usize,
+    targets: Vec<InstanceId>,
+}
+
+impl HyperEdge {
+    /// The dependent node.
+    pub fn source(&self) -> &InstanceId {
+        &self.source
+    }
+
+    /// Inside, environment, or peer.
+    pub fn kind(&self) -> DepKind {
+        self.kind
+    }
+
+    /// Position of the dependency in the source type's `dependencies()`.
+    pub fn dep_index(&self) -> usize {
+        self.dep_index
+    }
+
+    /// The disjunction of satisfying nodes.
+    pub fn targets(&self) -> &[InstanceId] {
+        &self.targets
+    }
+}
+
+/// The directed resource-instance hypergraph of §4 (Figure 5).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HyperGraph {
+    nodes: Vec<Node>,
+    edges: Vec<HyperEdge>,
+}
+
+impl HyperGraph {
+    /// All nodes, in creation order (spec nodes first).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All hyperedges.
+    pub fn edges(&self) -> &[HyperEdge] {
+        &self.edges
+    }
+
+    /// Node lookup by id.
+    pub fn node(&self, id: &InstanceId) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.id() == id)
+    }
+
+    /// The machine a node lives on, by walking inside links. A node with no
+    /// container is its own machine.
+    pub fn machine_of(&self, id: &InstanceId) -> Option<InstanceId> {
+        let mut cur = self.node(id)?;
+        let mut hops = 0;
+        while let Some(parent) = cur.inside() {
+            cur = self.node(parent)?;
+            hops += 1;
+            if hops > self.nodes.len() {
+                return None;
+            }
+        }
+        Some(cur.id().clone())
+    }
+
+    /// Edges whose source is `id`.
+    pub fn edges_from<'a>(&'a self, id: &'a InstanceId) -> impl Iterator<Item = &'a HyperEdge> {
+        self.edges.iter().filter(move |e| e.source() == id)
+    }
+
+    /// Renders the graph in a compact text form (the Figure 5 view):
+    /// one line per node (✓ marks spec nodes) and one per hyperedge.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for n in &self.nodes {
+            let mark = if n.from_spec() { " ✓" } else { "" };
+            let inside = n
+                .inside()
+                .map(|i| format!(" (inside {i})"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "node {} : {}{}{}", n.id(), n.key(), inside, mark);
+        }
+        for e in &self.edges {
+            let targets: Vec<String> = e.targets().iter().map(|t| t.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "edge {} --{}--> {{{}}}",
+                e.source(),
+                e.kind(),
+                targets.join(", ")
+            );
+        }
+        out
+    }
+}
+
+/// Runs GraphGen over a partial install specification (§4, Lemma 1).
+///
+/// For every partial instance a node is created; the worklist then chases
+/// dependencies: each disjunct of an environment dependency is matched to
+/// an existing same-machine node (declared-subtype match) or a fresh node
+/// on the same machine; peer dependencies match any machine but new nodes
+/// are conservatively assumed to live on the same machine (§4). The system
+/// "does not generate new machines automatically".
+///
+/// # Errors
+///
+/// Unknown keys, abstract instantiation, empty frontiers/ranges, a spec
+/// instance missing its inside resolution, or inside links that do not
+/// satisfy the type's inside dependency.
+pub fn graph_gen(
+    universe: &Universe,
+    partial: &PartialInstallSpec,
+) -> Result<HyperGraph, ModelError> {
+    let mut g = HyperGraph::default();
+    let mut worklist: Vec<InstanceId> = Vec::new();
+    let mut fresh_counter: BTreeMap<String, usize> = BTreeMap::new();
+
+    // Seed with the partial spec ("for every resource instance in the
+    // partial install specification, we create a node").
+    for inst in partial.iter() {
+        let ty = universe.effective(inst.key())?;
+        if ty.is_abstract() {
+            return Err(ModelError::AbstractInstantiation {
+                key: inst.key().clone(),
+                instance: inst.id().to_string(),
+            });
+        }
+        g.nodes.push(Node {
+            id: inst.id().clone(),
+            key: inst.key().clone(),
+            from_spec: true,
+            inside: inst.inside_link().cloned(),
+            config_overrides: inst.config_overrides().clone(),
+        });
+        worklist.push(inst.id().clone());
+    }
+
+    // Validate spec-level inside links early ("we assume that the partial
+    // installation specification resolves inside dependencies").
+    for inst in partial.iter() {
+        let ty = universe.effective(inst.key())?;
+        match (ty.inside(), inst.inside_link()) {
+            (None, None) => {}
+            (None, Some(link)) => {
+                return Err(ModelError::SpecError {
+                    detail: format!(
+                        "machine instance `{}` declares an inside link to `{link}`",
+                        inst.id()
+                    ),
+                })
+            }
+            (Some(_), None) => {
+                return Err(ModelError::SpecError {
+                    detail: format!(
+                        "instance `{}` must resolve its inside dependency in the partial spec \
+                         (Engage does not generate new machines automatically)",
+                        inst.id()
+                    ),
+                })
+            }
+            (Some(dep), Some(link)) => {
+                let node = g.node(link).ok_or_else(|| ModelError::SpecError {
+                    detail: format!(
+                        "inside link of `{}` points at `{link}`, which is not in the partial spec",
+                        inst.id()
+                    ),
+                })?;
+                let referrer = format!("instance `{}`", inst.id());
+                let targets = universe.expand_targets(dep, &referrer)?;
+                let ok = targets
+                    .iter()
+                    .any(|t| node.key() == t || universe.is_declared_subtype(node.key(), t));
+                if !ok {
+                    return Err(ModelError::SpecError {
+                        detail: format!(
+                            "inside link of `{}` points at `{link}` (`{}`), which satisfies \
+                             none of {dep}",
+                            inst.id(),
+                            node.key()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Worklist processing.
+    while let Some(id) = worklist.pop() {
+        let node = g.node(&id).expect("worklist ids are in the graph").clone();
+        let ty = universe.effective(node.key())?;
+        let referrer = format!("instance `{id}`");
+        let my_machine = g.machine_of(&id).ok_or_else(|| ModelError::SpecError {
+            detail: format!("cannot determine the machine of `{id}`"),
+        })?;
+
+        for (dep_index, dep) in ty.dependencies().enumerate() {
+            match dep.kind() {
+                DepKind::Inside => {
+                    let target = node
+                        .inside()
+                        .cloned()
+                        .ok_or_else(|| ModelError::SpecError {
+                            detail: format!("instance `{id}` has an inside dependency but no link"),
+                        })?;
+                    g.edges.push(HyperEdge {
+                        source: id.clone(),
+                        kind: DepKind::Inside,
+                        dep_index,
+                        targets: vec![target],
+                    });
+                }
+                DepKind::Environment | DepKind::Peer => {
+                    let keys = universe.expand_targets(dep, &referrer)?;
+                    let mut targets = Vec::new();
+                    for key in &keys {
+                        let found = g.nodes.iter().find(|n| {
+                            let key_ok =
+                                n.key() == key || universe.is_declared_subtype(n.key(), key);
+                            if !key_ok {
+                                return false;
+                            }
+                            match dep.kind() {
+                                DepKind::Environment => {
+                                    g.machine_of(n.id()) == Some(my_machine.clone())
+                                }
+                                _ => true,
+                            }
+                        });
+                        let target_id = match found {
+                            Some(n) => n.id().clone(),
+                            None => {
+                                let new_id = fresh_id(&g, &mut fresh_counter, key, &my_machine);
+                                let new_ty = universe.effective(key)?;
+                                let inside = if new_ty.is_machine() {
+                                    None
+                                } else {
+                                    // New instances live on the dependent's
+                                    // machine (conservative, §4).
+                                    Some(my_machine.clone())
+                                };
+                                g.nodes.push(Node {
+                                    id: new_id.clone(),
+                                    key: key.clone(),
+                                    from_spec: false,
+                                    inside,
+                                    config_overrides: BTreeMap::new(),
+                                });
+                                worklist.push(new_id.clone());
+                                new_id
+                            }
+                        };
+                        targets.push(target_id);
+                    }
+                    g.edges.push(HyperEdge {
+                        source: id.clone(),
+                        kind: dep.kind(),
+                        dep_index,
+                        targets,
+                    });
+                }
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Generates a readable fresh instance id like `jdk-1.6` or `mysql-5.1-2`.
+fn fresh_id(
+    g: &HyperGraph,
+    counter: &mut BTreeMap<String, usize>,
+    key: &ResourceKey,
+    _machine: &InstanceId,
+) -> InstanceId {
+    let base: String = key
+        .to_string()
+        .to_lowercase()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let n = counter.entry(base.clone()).or_insert(0);
+    loop {
+        let candidate = if *n == 0 {
+            base.clone()
+        } else {
+            format!("{base}-{n}")
+        };
+        *n += 1;
+        let id = InstanceId::new(candidate);
+        if g.node(&id).is_none() {
+            return id;
+        }
+    }
+}
+
+/// Returns, for a fixed dependency of a node, which hyperedge covers it.
+pub fn edge_for<'a>(
+    g: &'a HyperGraph,
+    source: &InstanceId,
+    dep_index: usize,
+) -> Option<&'a HyperEdge> {
+    g.edges
+        .iter()
+        .find(|e| e.source() == source && e.dep_index() == dep_index)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use engage_model::{
+        DepKind, Dependency as Dep, Expr, Namespace, PartialInstance, PortDef, PortMapping,
+        ResourceType, ValueType,
+    };
+
+    /// The paper's running example: Figure 1 resource types.
+    pub fn openmrs_universe() -> Universe {
+        let mut u = Universe::new();
+        u.insert(
+            ResourceType::builder("Server")
+                .abstract_type()
+                .port(PortDef::config(
+                    "hostname",
+                    ValueType::Str,
+                    Expr::lit("localhost"),
+                ))
+                .port(PortDef::config(
+                    "os_user_name",
+                    ValueType::Str,
+                    Expr::lit("root"),
+                ))
+                .port(PortDef::output(
+                    "host",
+                    ValueType::record([("hostname", ValueType::Str)]),
+                    Expr::Struct(vec![(
+                        "hostname".into(),
+                        Expr::reference(Namespace::Config, ["hostname"]),
+                    )]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("Mac-OSX 10.6")
+                .extends("Server")
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("Java")
+                .abstract_type()
+                .port(PortDef::output(
+                    "java",
+                    ValueType::record([("home", ValueType::Str)]),
+                    Expr::Struct(vec![("home".into(), Expr::lit("/usr/java"))]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        for k in ["JDK 1.6", "JRE 1.6"] {
+            u.insert(
+                ResourceType::builder(k)
+                    .extends("Java")
+                    .inside(Dep::on(DepKind::Inside, "Server", vec![]))
+                    .build(),
+            )
+            .unwrap();
+        }
+        u.insert(
+            ResourceType::builder("MySQL 5.1")
+                .inside(Dep::on(DepKind::Inside, "Server", vec![]))
+                .port(PortDef::config("port", ValueType::Int, Expr::lit(3306i64)))
+                .port(PortDef::output(
+                    "mysql",
+                    ValueType::record([("port", ValueType::Int)]),
+                    Expr::Struct(vec![(
+                        "port".into(),
+                        Expr::reference(Namespace::Config, ["port"]),
+                    )]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("Tomcat 6.0.18")
+                .inside(Dep::on(
+                    DepKind::Inside,
+                    "Server",
+                    vec![PortMapping::forward("host", "host")],
+                ))
+                .dependency(Dep::on(
+                    DepKind::Environment,
+                    "Java",
+                    vec![PortMapping::forward("java", "java")],
+                ))
+                .port(PortDef::input(
+                    "host",
+                    ValueType::record([("hostname", ValueType::Str)]),
+                ))
+                .port(PortDef::input(
+                    "java",
+                    ValueType::record([("home", ValueType::Str)]),
+                ))
+                .port(PortDef::config(
+                    "manager_port",
+                    ValueType::Int,
+                    Expr::lit(8080i64),
+                ))
+                .port(PortDef::output(
+                    "tomcat",
+                    ValueType::record([
+                        ("hostname", ValueType::Str),
+                        ("manager_port", ValueType::Int),
+                    ]),
+                    Expr::Struct(vec![
+                        (
+                            "hostname".into(),
+                            Expr::reference(Namespace::Input, ["host", "hostname"]),
+                        ),
+                        (
+                            "manager_port".into(),
+                            Expr::reference(Namespace::Config, ["manager_port"]),
+                        ),
+                    ]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("OpenMRS 1.8")
+                .inside(Dep::on(
+                    DepKind::Inside,
+                    "Tomcat 6.0.18",
+                    vec![PortMapping::forward("tomcat", "tomcat")],
+                ))
+                .dependency(Dep::on(
+                    DepKind::Environment,
+                    "Java",
+                    vec![PortMapping::forward("java", "java")],
+                ))
+                .dependency(Dep::on(
+                    DepKind::Peer,
+                    "MySQL 5.1",
+                    vec![PortMapping::forward("mysql", "mysql")],
+                ))
+                .port(PortDef::input(
+                    "tomcat",
+                    ValueType::record([("hostname", ValueType::Str)]),
+                ))
+                .port(PortDef::input(
+                    "java",
+                    ValueType::record([("home", ValueType::Str)]),
+                ))
+                .port(PortDef::input(
+                    "mysql",
+                    ValueType::record([("port", ValueType::Int)]),
+                ))
+                .port(PortDef::output(
+                    "openmrs_url",
+                    ValueType::Str,
+                    Expr::concat(vec![
+                        Expr::lit("http://"),
+                        Expr::reference(Namespace::Input, ["tomcat", "hostname"]),
+                        Expr::lit("/openmrs"),
+                    ]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        u
+    }
+
+    /// The Figure 2 partial spec.
+    pub fn figure_2() -> PartialInstallSpec {
+        [
+            PartialInstance::new("server", "Mac-OSX 10.6")
+                .config("hostname", "localhost")
+                .config("os_user_name", "root"),
+            PartialInstance::new("tomcat", "Tomcat 6.0.18").inside("server"),
+            PartialInstance::new("openmrs", "OpenMRS 1.8").inside("tomcat"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn figure_5_shape() {
+        let u = openmrs_universe();
+        assert_eq!(u.check(), Ok(()));
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        // Nodes: server, tomcat, openmrs (spec) + jdk, jre, mysql (generated).
+        assert_eq!(g.nodes().len(), 6);
+        assert_eq!(g.nodes().iter().filter(|n| n.from_spec()).count(), 3);
+        let keys: Vec<String> = g.nodes().iter().map(|n| n.key().to_string()).collect();
+        assert!(keys.contains(&"JDK 1.6".to_owned()));
+        assert!(keys.contains(&"JRE 1.6".to_owned()));
+        assert!(keys.contains(&"MySQL 5.1".to_owned()));
+
+        // Edges: tomcat inside, tomcat env{jdk,jre}, openmrs inside,
+        // openmrs env{jdk,jre}, openmrs peer{mysql}, mysql inside,
+        // jdk inside, jre inside.
+        assert_eq!(g.edges().len(), 8);
+        let tomcat_env = g
+            .edges()
+            .iter()
+            .find(|e| e.source().as_str() == "tomcat" && e.kind() == DepKind::Environment)
+            .unwrap();
+        assert_eq!(tomcat_env.targets().len(), 2);
+        // JDK/JRE nodes share the dependent's machine.
+        for n in g.nodes() {
+            if !n.from_spec() {
+                assert_eq!(g.machine_of(n.id()).unwrap().as_str(), "server");
+            }
+        }
+    }
+
+    #[test]
+    fn env_dep_reuses_existing_same_machine_node() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        // Both tomcat and openmrs depend on Java; the JDK/JRE nodes must be
+        // shared, not duplicated.
+        let jdk_nodes = g
+            .nodes()
+            .iter()
+            .filter(|n| n.key().to_string() == "JDK 1.6")
+            .count();
+        assert_eq!(jdk_nodes, 1);
+    }
+
+    #[test]
+    fn missing_inside_resolution_is_error() {
+        let u = openmrs_universe();
+        let partial: PartialInstallSpec = [PartialInstance::new("tomcat", "Tomcat 6.0.18")]
+            .into_iter()
+            .collect();
+        let err = graph_gen(&u, &partial).unwrap_err();
+        assert!(err.to_string().contains("inside"), "{err}");
+    }
+
+    #[test]
+    fn wrong_inside_target_is_error() {
+        let u = openmrs_universe();
+        let partial: PartialInstallSpec = [
+            PartialInstance::new("server", "Mac-OSX 10.6"),
+            // OpenMRS must be inside Tomcat, not directly inside the server.
+            PartialInstance::new("openmrs", "OpenMRS 1.8").inside("server"),
+        ]
+        .into_iter()
+        .collect();
+        let err = graph_gen(&u, &partial).unwrap_err();
+        assert!(err.to_string().contains("satisfies none"), "{err}");
+    }
+
+    #[test]
+    fn abstract_key_in_spec_is_error() {
+        let u = openmrs_universe();
+        let partial: PartialInstallSpec =
+            [PartialInstance::new("s", "Server")].into_iter().collect();
+        assert!(matches!(
+            graph_gen(&u, &partial),
+            Err(ModelError::AbstractInstantiation { .. })
+        ));
+    }
+
+    #[test]
+    fn render_matches_figure_5_content() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        let text = g.render();
+        assert!(text.contains("node server : Mac-OSX 10.6 ✓"));
+        assert!(text.contains("--env-->"));
+        assert!(text.contains("--peer-->"));
+    }
+
+    #[test]
+    fn fresh_ids_are_unique_and_readable() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        let ids: Vec<&str> = g.nodes().iter().map(|n| n.id().as_str()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert!(ids.contains(&"jdk-1.6"));
+        assert!(ids.contains(&"mysql-5.1"));
+    }
+}

@@ -1,0 +1,497 @@
+//! Port-value propagation: from a satisfying assignment to a full
+//! installation specification (§4).
+//!
+//! "We can compute the values of all input, configuration, and output ports
+//! of all resource instances by a linear pass in topological order of
+//! dependencies, filling in the input ports of each resource instance based
+//! on the already-computed values of output ports."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use engage_model::{
+    topological_order, Binding, EvalEnv, InstallSpec, InstanceId, ModelError, PortKind,
+    ResourceInstance, Universe, Value,
+};
+
+use crate::graph::{edge_for, HyperGraph};
+
+/// Builds the full installation specification from the hypergraph and the
+/// set of deployed instances chosen by the SAT solver.
+///
+/// The returned spec is in topological (upstream-first) order — also the
+/// installation order the deployment engine uses.
+///
+/// # Errors
+///
+/// Internal inconsistencies (a dependency of a chosen node with no chosen
+/// satisfier — impossible for models of the generated constraints), or
+/// port-expression evaluation failures.
+pub fn build_full_spec(
+    universe: &Universe,
+    g: &HyperGraph,
+    chosen: &BTreeSet<InstanceId>,
+) -> Result<InstallSpec, ModelError> {
+    // 1. Create instances with links resolved to the chosen targets.
+    let mut spec = InstallSpec::new();
+    for node in g.nodes() {
+        if !chosen.contains(node.id()) {
+            continue;
+        }
+        let ty = universe.effective(node.key())?;
+        let mut inst = ResourceInstance::new(node.id().clone(), node.key().clone());
+        for (dep_index, dep) in ty.dependencies().enumerate() {
+            let edge = edge_for(g, node.id(), dep_index).ok_or_else(|| ModelError::SpecError {
+                detail: format!(
+                    "internal: node `{}` dependency #{dep_index} has no hyperedge",
+                    node.id()
+                ),
+            })?;
+            let chosen_targets: Vec<&InstanceId> = edge
+                .targets()
+                .iter()
+                .filter(|t| chosen.contains(*t))
+                .collect();
+            let target = match chosen_targets.as_slice() {
+                [t] => (*t).clone(),
+                _ => {
+                    return Err(ModelError::SpecError {
+                        detail: format!(
+                            "internal: dependency `{dep}` of `{}` has {} chosen satisfiers \
+                             (expected exactly 1)",
+                            node.id(),
+                            chosen_targets.len()
+                        ),
+                    })
+                }
+            };
+            match dep.kind() {
+                engage_model::DepKind::Inside => {
+                    inst.set_inside_link(target);
+                }
+                engage_model::DepKind::Environment => {
+                    inst.add_env_link(target);
+                }
+                engage_model::DepKind::Peer => {
+                    inst.add_peer_link(target);
+                }
+            }
+        }
+        spec.push(inst).map_err(|i| ModelError::SpecError {
+            detail: format!("internal: duplicate instance `{}`", i.id()),
+        })?;
+    }
+
+    // 2. Topological order (upstream first).
+    let order = topological_order(&spec).ok_or_else(|| ModelError::SpecError {
+        detail: "instance dependency graph has a cycle".into(),
+    })?;
+
+    // 3. Static pass: static config ports (constants) and static output
+    //    ports (functions of static configs) are known at instantiation
+    //    time (§3.4).
+    for id in &order {
+        let node = g.node(id).expect("chosen nodes are graph nodes");
+        let ty = universe.effective(node.key())?;
+        let inst = spec.get_mut(id).expect("in spec");
+        let mut static_env = EvalEnv::new();
+        for p in ty.ports_of(PortKind::Config) {
+            if p.binding() != Binding::Static {
+                continue;
+            }
+            let value = match node.config_overrides().get(p.name()) {
+                Some(v) => v.clone(),
+                None => match p.default() {
+                    Some(e) => e
+                        .eval(&static_env)
+                        .map_err(|err| bad_expr(&ty, p.name(), err))?,
+                    None => continue,
+                },
+            };
+            static_env.bind_config(p.name(), value.clone());
+            inst.set_config(p.name(), value);
+        }
+        for p in ty.ports_of(PortKind::Output) {
+            if p.binding() != Binding::Static {
+                continue;
+            }
+            if let Some(e) = p.default() {
+                let v = e
+                    .eval(&static_env)
+                    .map_err(|err| bad_expr(&ty, p.name(), err))?;
+                inst.set_output(p.name(), v);
+            }
+        }
+    }
+
+    // 4. Reverse feeds: a dependent's *static* outputs flow into its
+    //    dependees' inputs, against the dependency direction (§3.4).
+    let mut reverse_feeds: Vec<(InstanceId, String, Value)> = Vec::new();
+    for id in &order {
+        let node = g.node(id).expect("graph node");
+        let ty = universe.effective(node.key())?;
+        let inst = spec.get(id).expect("in spec");
+        for (dep_index, dep) in ty.dependencies().enumerate() {
+            let mut rev = dep.reverse_mappings().peekable();
+            if rev.peek().is_none() {
+                continue;
+            }
+            let edge = edge_for(g, id, dep_index).expect("edge exists");
+            let target = edge
+                .targets()
+                .iter()
+                .find(|t| chosen.contains(*t))
+                .expect("chosen satisfier")
+                .clone();
+            for m in rev {
+                let v = inst.outputs().get(m.from_output()).ok_or_else(|| {
+                    ModelError::StaticPortViolation {
+                        key: ty.key().clone(),
+                        detail: format!(
+                            "reverse mapping reads `{}`, which has no static value",
+                            m.from_output()
+                        ),
+                    }
+                })?;
+                reverse_feeds.push((target.clone(), m.to_input().to_owned(), v.clone()));
+            }
+        }
+    }
+    for (target, port, v) in reverse_feeds {
+        spec.get_mut(&target)
+            .expect("chosen target in spec")
+            .set_input(port, v);
+    }
+
+    // 5. Main pass in topological order.
+    for id in &order {
+        let node = g.node(id).expect("graph node");
+        let ty = universe.effective(node.key())?;
+
+        // Inputs from upstream outputs via forward mappings.
+        let mut input_values: Vec<(String, Value)> = Vec::new();
+        {
+            let inst = spec.get(id).expect("in spec");
+            for (dep_index, dep) in ty.dependencies().enumerate() {
+                let edge = edge_for(g, id, dep_index).expect("edge exists");
+                let target = edge
+                    .targets()
+                    .iter()
+                    .find(|t| chosen.contains(*t))
+                    .expect("chosen satisfier");
+                let upstream = spec.get(target).expect("upstream in spec");
+                for m in dep.forward_mappings() {
+                    let v = upstream.outputs().get(m.from_output()).ok_or_else(|| {
+                        ModelError::SpecError {
+                            detail: format!(
+                                "`{}` provides no output `{}` needed by `{}` (is the universe \
+                                 well-formed?)",
+                                target,
+                                m.from_output(),
+                                id
+                            ),
+                        }
+                    })?;
+                    input_values.push((m.to_input().to_owned(), v.clone()));
+                }
+            }
+            let _ = inst;
+        }
+        {
+            let inst = spec.get_mut(id).expect("in spec");
+            for (k, v) in input_values {
+                inst.set_input(k, v);
+            }
+        }
+
+        // Config: explicit override > default expression (reads inputs).
+        let mut env = EvalEnv::new();
+        {
+            let inst = spec.get(id).expect("in spec");
+            for (k, v) in inst.inputs() {
+                env.bind_input(k.clone(), v.clone());
+            }
+            for (k, v) in inst.config() {
+                env.bind_config(k.clone(), v.clone()); // statics from pass 3
+            }
+        }
+        let mut config_values: Vec<(String, Value)> = Vec::new();
+        for p in ty.ports_of(PortKind::Config) {
+            if spec.get(id).unwrap().config().contains_key(p.name()) {
+                continue; // static already set
+            }
+            let value = match node.config_overrides().get(p.name()) {
+                Some(v) => v.clone(),
+                None => match p.default() {
+                    Some(e) => e.eval(&env).map_err(|err| bad_expr(&ty, p.name(), err))?,
+                    None => {
+                        return Err(ModelError::SpecError {
+                            detail: format!(
+                                "config port `{}` of `{id}` has no override and no default",
+                                p.name()
+                            ),
+                        })
+                    }
+                },
+            };
+            env.bind_config(p.name(), value.clone());
+            config_values.push((p.name().to_owned(), value));
+        }
+        {
+            let inst = spec.get_mut(id).expect("in spec");
+            for (k, v) in config_values {
+                inst.set_config(k, v);
+            }
+        }
+
+        // Outputs (reads inputs and configs).
+        let mut output_values: Vec<(String, Value)> = Vec::new();
+        for p in ty.ports_of(PortKind::Output) {
+            if spec.get(id).unwrap().outputs().contains_key(p.name()) {
+                continue; // static already set
+            }
+            let e = p.default().ok_or_else(|| ModelError::SpecError {
+                detail: format!("output port `{}` of `{id}` has no definition", p.name()),
+            })?;
+            let v = e.eval(&env).map_err(|err| bad_expr(&ty, p.name(), err))?;
+            output_values.push((p.name().to_owned(), v));
+        }
+        {
+            let inst = spec.get_mut(id).expect("in spec");
+            for (k, v) in output_values {
+                inst.set_output(k, v);
+            }
+        }
+    }
+
+    // 6. Re-emit in topological order for stable, paper-style output.
+    let mut ordered = InstallSpec::new();
+    let by_id: BTreeMap<InstanceId, ResourceInstance> =
+        spec.into_iter().map(|i| (i.id().clone(), i)).collect();
+    for id in &order {
+        ordered
+            .push(by_id[id].clone())
+            .expect("ids unique by construction");
+    }
+    Ok(ordered)
+}
+
+fn bad_expr(
+    ty: &engage_model::ResourceType,
+    port: &str,
+    err: engage_model::EvalError,
+) -> ModelError {
+    ModelError::BadPortExpression {
+        key: ty.key().clone(),
+        port: port.to_owned(),
+        detail: err.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::generate;
+    use crate::graph::graph_gen;
+    use crate::graph::tests::{figure_2, openmrs_universe};
+    use engage_sat::{ExactlyOneEncoding, Solver};
+
+    fn run_pipeline() -> (engage_model::Universe, InstallSpec) {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        let c = generate(&g, ExactlyOneEncoding::Pairwise);
+        let r = Solver::from_cnf(c.cnf()).solve();
+        let m = r.model().expect("satisfiable");
+        let chosen: BTreeSet<InstanceId> = c
+            .vars()
+            .filter(|(_, v)| m.value(*v))
+            .map(|(id, _)| id.clone())
+            .collect();
+        let spec = build_full_spec(&u, &g, &chosen).unwrap();
+        (u, spec)
+    }
+
+    #[test]
+    fn full_spec_is_statically_valid() {
+        let (u, spec) = run_pipeline();
+        engage_model::check_install_spec(&u, &spec).unwrap();
+    }
+
+    #[test]
+    fn full_spec_has_expected_instances() {
+        let (_, spec) = run_pipeline();
+        // server, tomcat, openmrs, one of jdk/jre, mysql.
+        assert_eq!(spec.len(), 5);
+        assert!(spec.get(&"server".into()).is_some());
+        assert!(spec.get(&"mysql-5.1".into()).is_some());
+        let javas = spec
+            .iter()
+            .filter(|i| i.key().name() == "JDK" || i.key().name() == "JRE")
+            .count();
+        assert_eq!(javas, 1);
+    }
+
+    #[test]
+    fn ports_propagate_along_the_stack() {
+        let (_, spec) = run_pipeline();
+        let tomcat = spec.get(&"tomcat".into()).unwrap();
+        // Tomcat's input `host` came from the server's output.
+        assert_eq!(
+            tomcat.inputs().get("host"),
+            Some(&Value::structure([("hostname", Value::from("localhost"))]))
+        );
+        let openmrs = spec.get(&"openmrs".into()).unwrap();
+        // OpenMRS' input `mysql` came from the MySQL instance's output.
+        assert_eq!(
+            openmrs.inputs().get("mysql"),
+            Some(&Value::structure([("port", Value::from(3306i64))]))
+        );
+        // OpenMRS' own output is a function of its inputs.
+        assert_eq!(
+            openmrs.outputs().get("openmrs_url"),
+            Some(&Value::from("http://localhost/openmrs"))
+        );
+    }
+
+    #[test]
+    fn spec_order_is_topological() {
+        let (_, spec) = run_pipeline();
+        let ids: Vec<&str> = spec.iter().map(|i| i.id().as_str()).collect();
+        let pos = |id: &str| ids.iter().position(|x| *x == id).unwrap();
+        assert!(pos("server") < pos("tomcat"));
+        assert!(pos("tomcat") < pos("openmrs"));
+        assert!(pos("mysql-5.1") < pos("openmrs"));
+    }
+
+    #[test]
+    fn static_ports_flow_against_the_dependency_direction() {
+        // §3.4: "when installing OpenMRS, we need to pass a server
+        // configuration file back to Tomcat. In our implementation, we use
+        // static ports to achieve this."
+        let src = r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Mac-OSX 10.6" extends "Server" {}
+        resource "Container 1.0" {
+          inside "Server" { input host <- host; }
+          input port host: { hostname: string };
+          input port webapp_config: string;
+          output port container: { hostname: string }
+              = { hostname: input.host.hostname };
+        }
+        resource "Webapp 1.0" {
+          inside "Container 1.0" {
+            input container <- container;
+            output server_xml -> webapp_config;
+          }
+          input port container: { hostname: string };
+          static config port config_path: string = "conf/webapp.xml";
+          static output port server_xml: string = config.config_path;
+          output port url: string = "http://" + input.container.hostname;
+        }"#;
+        let u = engage_dsl::parse_universe(src).unwrap();
+        assert_eq!(u.check(), Ok(()));
+
+        let partial: engage_model::PartialInstallSpec = [
+            engage_model::PartialInstance::new("server", "Mac-OSX 10.6"),
+            engage_model::PartialInstance::new("container", "Container 1.0").inside("server"),
+            engage_model::PartialInstance::new("webapp", "Webapp 1.0").inside("container"),
+        ]
+        .into_iter()
+        .collect();
+        let g = graph_gen(&u, &partial).unwrap();
+        let c = generate(&g, ExactlyOneEncoding::Pairwise);
+        let m = Solver::from_cnf(c.cnf()).solve();
+        let chosen: BTreeSet<InstanceId> = c
+            .vars()
+            .filter(|(_, v)| m.model().unwrap().value(*v))
+            .map(|(id, _)| id.clone())
+            .collect();
+        let spec = build_full_spec(&u, &g, &chosen).unwrap();
+
+        // The container received the webapp's static output even though the
+        // webapp is *downstream* of it.
+        let container = spec.get(&"container".into()).unwrap();
+        assert_eq!(
+            container.inputs().get("webapp_config"),
+            Some(&Value::from("conf/webapp.xml"))
+        );
+        // And the forward direction still works.
+        let webapp = spec.get(&"webapp".into()).unwrap();
+        assert_eq!(
+            webapp.outputs().get("url"),
+            Some(&Value::from("http://localhost"))
+        );
+        // The whole spec re-checks statically.
+        engage_model::check_install_spec(&u, &spec).unwrap();
+    }
+
+    #[test]
+    fn container_deploys_without_its_reverse_feeding_dependent() {
+        // A reverse-fed input is optional when the dependent that feeds it
+        // is not part of the deployment (the container must remain usable
+        // stand-alone).
+        let src = r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Mac-OSX 10.6" extends "Server" {}
+        resource "Container 1.0" {
+          inside "Server" { input host <- host; }
+          input port host: { hostname: string };
+          input port webapp_config: string;
+          output port container: { hostname: string }
+              = { hostname: input.host.hostname };
+        }
+        resource "Webapp 1.0" {
+          inside "Container 1.0" {
+            input container <- container;
+            output server_xml -> webapp_config;
+          }
+          input port container: { hostname: string };
+          static config port config_path: string = "conf/webapp.xml";
+          static output port server_xml: string = config.config_path;
+          output port url: string = "http://x";
+        }"#;
+        let u = engage_dsl::parse_universe(src).unwrap();
+        let partial: engage_model::PartialInstallSpec = [
+            engage_model::PartialInstance::new("server", "Mac-OSX 10.6"),
+            engage_model::PartialInstance::new("container", "Container 1.0").inside("server"),
+        ]
+        .into_iter()
+        .collect();
+        let outcome = crate::ConfigEngine::new(&u).configure(&partial).unwrap();
+        assert_eq!(outcome.spec.len(), 2);
+        let container = outcome.spec.get(&"container".into()).unwrap();
+        assert!(!container.inputs().contains_key("webapp_config"));
+    }
+
+    #[test]
+    fn config_overrides_flow_through() {
+        let u = openmrs_universe();
+        let partial: engage_model::PartialInstallSpec = [
+            engage_model::PartialInstance::new("server", "Mac-OSX 10.6")
+                .config("hostname", "prod.example.com"),
+            engage_model::PartialInstance::new("tomcat", "Tomcat 6.0.18").inside("server"),
+        ]
+        .into_iter()
+        .collect();
+        let g = graph_gen(&u, &partial).unwrap();
+        let c = generate(&g, ExactlyOneEncoding::Pairwise);
+        let m = Solver::from_cnf(c.cnf()).solve();
+        let model = m.model().unwrap();
+        let chosen: BTreeSet<InstanceId> = c
+            .vars()
+            .filter(|(_, v)| model.value(*v))
+            .map(|(id, _)| id.clone())
+            .collect();
+        let spec = build_full_spec(&u, &g, &chosen).unwrap();
+        let tomcat = spec.get(&"tomcat".into()).unwrap();
+        assert_eq!(
+            tomcat.outputs().get("tomcat").unwrap().field("hostname"),
+            Some(&Value::from("prod.example.com"))
+        );
+    }
+}

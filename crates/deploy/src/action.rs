@@ -1,0 +1,355 @@
+//! Driver action implementations and the driver registry.
+//!
+//! A driver's transitions name *actions* (`install`, `start`, ...); "an
+//! action ... is implemented in an underlying programming language and
+//! performs some modification of the system state" (§2 — Python in the
+//! paper's implementation, Rust closures against the simulated substrate
+//! here). The registry binds resource keys to action implementations, with
+//! a generic fallback good enough for most packages ("we were able to
+//! reuse existing generic driver code for downloading and extracting
+//! archives", §6.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use engage_model::{ResourceInstance, ResourceKey, Value};
+use engage_sim::{HostId, Sim};
+
+use crate::error::DeployError;
+
+/// Everything an action implementation can see and touch.
+pub struct ActionCtx<'a> {
+    /// The simulated data center.
+    pub sim: &'a Sim,
+    /// The machine the instance lives on.
+    pub host: HostId,
+    /// The fully configured instance (port values available).
+    pub instance: &'a ResourceInstance,
+}
+
+impl ActionCtx<'_> {
+    /// The conventional OSLPM package name for the instance's resource key:
+    /// lowercase, punctuation collapsed to `-` (e.g. `tomcat-6.0.18`).
+    pub fn package_name(&self) -> String {
+        package_name(self.instance.key())
+    }
+
+    /// The conventional service name: the key's package name, lowercased
+    /// (e.g. `tomcat`).
+    pub fn service_name(&self) -> String {
+        service_name(self.instance.key())
+    }
+
+    /// The TCP port the instance's service listens on, if its configuration
+    /// declares one (a config port named `port`).
+    pub fn listen_port(&self) -> Option<u16> {
+        self.instance
+            .config()
+            .get("port")
+            .and_then(Value::as_int)
+            .and_then(|n| u16::try_from(n).ok())
+    }
+}
+
+/// The conventional package name for a resource key.
+pub fn package_name(key: &ResourceKey) -> String {
+    key.to_string()
+        .to_lowercase()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// The conventional service name for a resource key.
+pub fn service_name(key: &ResourceKey) -> String {
+    key.name()
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// An action implementation.
+pub type ActionFn = Arc<dyn Fn(&ActionCtx<'_>) -> Result<(), DeployError> + Send + Sync>;
+
+/// The actions of one driver binding, by action name.
+#[derive(Clone, Default)]
+pub struct DriverBinding {
+    actions: BTreeMap<String, ActionFn>,
+}
+
+impl DriverBinding {
+    /// Empty binding (every action falls back to the generic behavior).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an action implementation (builder-style).
+    pub fn action(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&ActionCtx<'_>) -> Result<(), DeployError> + Send + Sync + 'static,
+    ) -> Self {
+        self.actions.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Looks up an action.
+    pub fn get(&self, name: &str) -> Option<&ActionFn> {
+        self.actions.get(name)
+    }
+}
+
+impl fmt::Debug for DriverBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DriverBinding")
+            .field("actions", &self.actions.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Maps resource keys to driver bindings, with generic fallbacks.
+#[derive(Clone, Default)]
+pub struct DriverRegistry {
+    bindings: BTreeMap<ResourceKey, DriverBinding>,
+    /// Whether unmatched actions fall back to the generic implementation.
+    strict: bool,
+}
+
+impl DriverRegistry {
+    /// Registry where every resource uses the generic driver actions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry with no generic fallback: unknown actions error (useful in
+    /// tests to ensure every custom action is wired).
+    pub fn strict() -> Self {
+        DriverRegistry {
+            bindings: BTreeMap::new(),
+            strict: true,
+        }
+    }
+
+    /// Registers a binding for a resource key (builder-style).
+    pub fn bind(mut self, key: impl Into<ResourceKey>, binding: DriverBinding) -> Self {
+        self.bindings.insert(key.into(), binding);
+        self
+    }
+
+    /// Registers a binding in place.
+    pub fn insert(&mut self, key: impl Into<ResourceKey>, binding: DriverBinding) {
+        self.bindings.insert(key.into(), binding);
+    }
+
+    /// Executes `action` for `ctx.instance`, using the key-specific binding
+    /// when present, else the generic implementation.
+    ///
+    /// # Errors
+    ///
+    /// The action's own failure, or [`DeployError::ActionFailed`] for an
+    /// unknown action in strict mode.
+    pub fn run(&self, action: &str, ctx: &ActionCtx<'_>) -> Result<(), DeployError> {
+        if let Some(f) = self
+            .bindings
+            .get(ctx.instance.key())
+            .and_then(|b| b.get(action))
+        {
+            return f(ctx);
+        }
+        if self.strict {
+            return Err(DeployError::ActionFailed {
+                instance: ctx.instance.id().clone(),
+                action: action.to_owned(),
+                detail: "no binding registered (strict registry)".into(),
+            });
+        }
+        generic_action(action, ctx)
+    }
+}
+
+impl fmt::Debug for DriverRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DriverRegistry")
+            .field(
+                "bindings",
+                &self
+                    .bindings
+                    .keys()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .field("strict", &self.strict)
+            .finish()
+    }
+}
+
+/// The generic driver actions (§6.1's reusable driver code):
+///
+/// * `install` — install the conventional package via the host's OSLPM;
+/// * `uninstall` — remove it;
+/// * `start` — start the conventional service, binding the configured port;
+///   a no-op for machines (already "running") and pure packages;
+/// * `stop` — stop the service if running;
+/// * `restart` — stop (if running) then start.
+///
+/// # Errors
+///
+/// Simulated operation failures; unknown action names.
+pub fn generic_action(action: &str, ctx: &ActionCtx<'_>) -> Result<(), DeployError> {
+    let is_machine = ctx.instance.inside_link().is_none();
+    match action {
+        "install" => {
+            if !is_machine {
+                ctx.sim.install_package(ctx.host, &ctx.package_name())?;
+            }
+            Ok(())
+        }
+        "uninstall" => {
+            if !is_machine {
+                ctx.sim.remove_package(ctx.host, &ctx.package_name())?;
+            }
+            Ok(())
+        }
+        "start" => {
+            if is_machine {
+                return Ok(());
+            }
+            let name = ctx.service_name();
+            if !ctx.sim.service_running(ctx.host, &name) {
+                ctx.sim.start_service(ctx.host, &name, ctx.listen_port())?;
+            }
+            Ok(())
+        }
+        "stop" => {
+            if is_machine {
+                return Ok(());
+            }
+            let name = ctx.service_name();
+            if ctx.sim.service_running(ctx.host, &name) {
+                ctx.sim.stop_service(ctx.host, &name)?;
+            }
+            Ok(())
+        }
+        "restart" => {
+            generic_action("stop", ctx)?;
+            generic_action("start", ctx)
+        }
+        other => Err(DeployError::ActionFailed {
+            instance: ctx.instance.id().clone(),
+            action: other.to_owned(),
+            detail: "no generic implementation for this action".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engage_sim::{DownloadSource, Os};
+
+    fn ctx_fixture() -> (Sim, HostId, ResourceInstance) {
+        let sim = Sim::new(DownloadSource::local_cache());
+        let host = sim.provision_local("h", Os::Ubuntu1010);
+        let mut inst = ResourceInstance::new("db", "MySQL 5.1");
+        inst.set_inside_link("server");
+        inst.set_config("port", Value::from(3306i64));
+        (sim, host, inst)
+    }
+
+    #[test]
+    fn naming_conventions() {
+        assert_eq!(package_name(&"Tomcat 6.0.18".into()), "tomcat-6.0.18");
+        assert_eq!(package_name(&"Mac-OSX 10.6".into()), "mac-osx-10.6");
+        assert_eq!(service_name(&"Apache HTTP 2.2".into()), "apache-http");
+    }
+
+    #[test]
+    fn generic_install_start_stop() {
+        let (sim, host, inst) = ctx_fixture();
+        let ctx = ActionCtx {
+            sim: &sim,
+            host,
+            instance: &inst,
+        };
+        generic_action("install", &ctx).unwrap();
+        assert!(sim.has_package(host, "mysql-5.1"));
+        generic_action("start", &ctx).unwrap();
+        assert!(sim.service_running(host, "mysql"));
+        assert!(!sim.port_free(host, 3306));
+        generic_action("stop", &ctx).unwrap();
+        assert!(!sim.service_running(host, "mysql"));
+        generic_action("uninstall", &ctx).unwrap();
+        assert!(!sim.has_package(host, "mysql-5.1"));
+    }
+
+    #[test]
+    fn machine_actions_are_noops() {
+        let (sim, host, _) = ctx_fixture();
+        let machine = ResourceInstance::new("server", "Ubuntu 10.10");
+        let ctx = ActionCtx {
+            sim: &sim,
+            host,
+            instance: &machine,
+        };
+        generic_action("install", &ctx).unwrap();
+        generic_action("start", &ctx).unwrap();
+        assert_eq!(sim.services_on(host).len(), 0);
+    }
+
+    #[test]
+    fn registry_prefers_custom_binding() {
+        let (sim, host, inst) = ctx_fixture();
+        let reg = DriverRegistry::new().bind(
+            "MySQL 5.1",
+            DriverBinding::new().action("install", |ctx| {
+                ctx.sim.install_package(ctx.host, "custom-mysql")?;
+                Ok(())
+            }),
+        );
+        let ctx = ActionCtx {
+            sim: &sim,
+            host,
+            instance: &inst,
+        };
+        reg.run("install", &ctx).unwrap();
+        assert!(sim.has_package(host, "custom-mysql"));
+        assert!(!sim.has_package(host, "mysql-5.1"));
+        // Unregistered action falls back to generic.
+        reg.run("start", &ctx).unwrap();
+        assert!(sim.service_running(host, "mysql"));
+    }
+
+    #[test]
+    fn strict_registry_rejects_unknown() {
+        let (sim, host, inst) = ctx_fixture();
+        let reg = DriverRegistry::strict();
+        let ctx = ActionCtx {
+            sim: &sim,
+            host,
+            instance: &inst,
+        };
+        assert!(matches!(
+            reg.run("install", &ctx),
+            Err(DeployError::ActionFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_generic_action_errors() {
+        let (sim, host, inst) = ctx_fixture();
+        let ctx = ActionCtx {
+            sim: &sim,
+            host,
+            instance: &inst,
+        };
+        assert!(generic_action("frobnicate", &ctx).is_err());
+    }
+}

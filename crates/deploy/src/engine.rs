@@ -1,0 +1,722 @@
+//! The deployment engine (§5): provisions machines, drives every resource
+//! driver to `active` in dependency order, manages shutdown in reverse
+//! order, and integrates the process monitor.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use engage_model::{
+    topological_order, BasicState, DriverState, Guard, InstallSpec, InstanceId, StatePred, Universe,
+};
+use engage_sim::{HostId, Monitor, Os, Sim};
+
+use crate::action::{service_name, ActionCtx, DriverRegistry};
+use crate::error::DeployError;
+
+/// Where machine instances come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProvisionMode {
+    /// Use (declare) existing on-premises machines.
+    #[default]
+    Local,
+    /// Provision new virtual servers from the cloud provider
+    /// (Rackspace/AWS substitute; §5.2).
+    Cloud,
+}
+
+/// One executed driver action, with simulated timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// The instance acted on.
+    pub instance: InstanceId,
+    /// The action name.
+    pub action: String,
+    /// Simulated start time.
+    pub start: Duration,
+    /// Simulated end time.
+    pub end: Duration,
+}
+
+impl TimelineEntry {
+    /// The action's duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// A deployed (or partially deployed) application stack.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    pub(crate) spec: InstallSpec,
+    pub(crate) states: BTreeMap<InstanceId, DriverState>,
+    pub(crate) machines: BTreeMap<InstanceId, HostId>,
+    pub(crate) timeline: Vec<TimelineEntry>,
+    pub(crate) monitor: Monitor,
+}
+
+impl Deployment {
+    /// The full installation specification being managed.
+    pub fn spec(&self) -> &InstallSpec {
+        &self.spec
+    }
+
+    /// The driver state of an instance.
+    pub fn state(&self, id: &InstanceId) -> Option<&DriverState> {
+        self.states.get(id)
+    }
+
+    /// Whether every driver is in its `active` state ("the system is
+    /// defined to be deployed", §5.2).
+    pub fn is_deployed(&self) -> bool {
+        self.states
+            .values()
+            .all(|s| s == &DriverState::Basic(BasicState::Active))
+    }
+
+    /// The machine (simulated host) of an instance.
+    pub fn host_of(&self, id: &InstanceId) -> Option<HostId> {
+        let machine = self.spec.machine_of(id)?;
+        self.machines.get(&machine).copied()
+    }
+
+    /// The machine-instance → host mapping.
+    pub fn machines(&self) -> &BTreeMap<InstanceId, HostId> {
+        &self.machines
+    }
+
+    /// Every executed driver action with simulated timing.
+    pub fn timeline(&self) -> &[TimelineEntry] {
+        &self.timeline
+    }
+
+    /// Total simulated time spent executing actions sequentially.
+    pub fn sequential_duration(&self) -> Duration {
+        self.timeline.iter().map(TimelineEntry::duration).sum()
+    }
+
+    /// The process monitor attached to this deployment.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Mutable access to the monitor (to run ticks).
+    pub fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// Per-host instance lists (the per-node specifications of the
+    /// master/slave multi-host install, §5.2).
+    pub fn per_node_specs(&self) -> BTreeMap<HostId, Vec<InstanceId>> {
+        let mut out: BTreeMap<HostId, Vec<InstanceId>> = BTreeMap::new();
+        for inst in self.spec.iter() {
+            if let Some(h) = self.host_of(inst.id()) {
+                out.entry(h).or_default().push(inst.id().clone());
+            }
+        }
+        out
+    }
+
+    /// The §5.2 machine partial order: hosts sorted so that "for every two
+    /// machines m1 and m2, m1 is before m2 if there is some resource
+    /// instance to be installed in m2 that depends on some resource
+    /// instance in m1". Returns `None` when no such order exists (the
+    /// paper's simplifying assumption is violated: two hosts depend on
+    /// each other).
+    pub fn host_order(&self) -> Option<Vec<HostId>> {
+        let hosts: Vec<HostId> = self.per_node_specs().keys().copied().collect();
+        let index: BTreeMap<HostId, usize> =
+            hosts.iter().enumerate().map(|(i, h)| (*h, i)).collect();
+        let n = hosts.len();
+        let mut edges = vec![std::collections::BTreeSet::new(); n];
+        for inst in self.spec.iter() {
+            let Some(h_to) = self.host_of(inst.id()) else {
+                continue;
+            };
+            for link in inst.links() {
+                let Some(h_from) = self.host_of(link) else {
+                    continue;
+                };
+                if h_from != h_to {
+                    edges[index[&h_from]].insert(index[&h_to]);
+                }
+            }
+        }
+        // Kahn's algorithm over hosts.
+        let mut indegree = vec![0usize; n];
+        for outs in &edges {
+            for &t in outs {
+                indegree[t] += 1;
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(hosts[i]);
+            for &t in &edges[i] {
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Estimated wall-clock duration if slaves run in parallel (§5.2:
+    /// "slave deployments can run in parallel when the slaves have no
+    /// inter-dependencies"): instances are scheduled greedily in dependency
+    /// order, actions of one host serialize, cross-host actions overlap.
+    pub fn parallel_makespan(&self) -> Duration {
+        let Some(order) = topological_order(&self.spec) else {
+            return self.sequential_duration();
+        };
+        // Total action time per instance.
+        let mut work: BTreeMap<&InstanceId, Duration> = BTreeMap::new();
+        for t in &self.timeline {
+            *work
+                .entry(
+                    self.spec
+                        .get(&t.instance)
+                        .map(|i| i.id())
+                        .unwrap_or(&t.instance),
+                )
+                .or_default() += t.duration();
+        }
+        let mut finish: BTreeMap<&InstanceId, Duration> = BTreeMap::new();
+        let mut host_free: BTreeMap<HostId, Duration> = BTreeMap::new();
+        let mut makespan = Duration::ZERO;
+        for id in &order {
+            let inst = self.spec.get(id).expect("in spec");
+            let deps_done = inst
+                .links()
+                .filter_map(|l| finish.get(l).copied())
+                .max()
+                .unwrap_or_default();
+            let host = self.host_of(id);
+            let host_ready = host
+                .and_then(|h| host_free.get(&h).copied())
+                .unwrap_or_default();
+            let start = deps_done.max(host_ready);
+            let end = start + work.get(inst.id()).copied().unwrap_or_default();
+            if let Some(h) = host {
+                host_free.insert(h, end);
+            }
+            finish.insert(inst.id(), end);
+            makespan = makespan.max(end);
+        }
+        makespan
+    }
+}
+
+/// The deployment engine: executes driver state machines against the
+/// simulated data center.
+///
+/// # Examples
+///
+/// See the crate-level docs for an end-to-end deploy.
+#[derive(Debug, Clone)]
+pub struct DeploymentEngine<'a> {
+    sim: Sim,
+    universe: &'a Universe,
+    registry: DriverRegistry,
+    mode: ProvisionMode,
+}
+
+impl<'a> DeploymentEngine<'a> {
+    /// Creates an engine over a simulated data center and a universe.
+    pub fn new(sim: Sim, universe: &'a Universe) -> Self {
+        DeploymentEngine {
+            sim,
+            universe,
+            registry: DriverRegistry::new(),
+            mode: ProvisionMode::Local,
+        }
+    }
+
+    /// Uses a custom driver registry (builder-style).
+    pub fn with_registry(mut self, registry: DriverRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Selects cloud provisioning (builder-style).
+    pub fn with_mode(mut self, mode: ProvisionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The simulated data center.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The universe.
+    pub fn universe(&self) -> &Universe {
+        self.universe
+    }
+
+    pub(crate) fn registry(&self) -> &DriverRegistry {
+        &self.registry
+    }
+
+    /// Deploys a full installation specification: provisions machines,
+    /// then drives every instance's driver to `active` in dependency order
+    /// and registers running services with the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Provisioning, pathing, guard, or action failures. On failure the
+    /// partial deployment state is lost; use [`DeploymentEngine::upgrade`]
+    /// (in `crate::upgrade`) for rollback-capable changes.
+    pub fn deploy(&self, spec: &InstallSpec) -> Result<Deployment, DeployError> {
+        let machines = self.provision_machines(spec)?;
+        let mut dep = Deployment {
+            spec: spec.clone(),
+            states: spec
+                .iter()
+                .map(|i| (i.id().clone(), DriverState::Basic(BasicState::Uninstalled)))
+                .collect(),
+            machines,
+            timeline: Vec::new(),
+            monitor: Monitor::new(),
+        };
+        self.activate_all(&mut dep)?;
+        // Register every running service with the monitor (the monit
+        // plugin's post-deploy configuration generation, §5.2).
+        for inst in dep.spec.iter() {
+            let Some(host) = dep.host_of(inst.id()) else {
+                continue;
+            };
+            let name = service_name(inst.key());
+            if self.sim.service_running(host, &name) {
+                let port = self.sim.service_state(host, &name).and_then(|s| s.port);
+                dep.monitor.watch(host, name, port);
+            }
+        }
+        Ok(dep)
+    }
+
+    /// Drives every instance to `active` in dependency order (also used to
+    /// restart a stopped deployment).
+    ///
+    /// # Errors
+    ///
+    /// Pathing, guard, or action failures.
+    pub fn activate_all(&self, dep: &mut Deployment) -> Result<(), DeployError> {
+        let order = topological_order(&dep.spec).ok_or(DeployError::Model(
+            engage_model::ModelError::SpecError {
+                detail: "instance dependency graph has a cycle".into(),
+            },
+        ))?;
+        for id in &order {
+            self.drive_to(dep, id, BasicState::Active)?;
+        }
+        Ok(())
+    }
+
+    /// Stops the whole stack: drives every instance to `inactive` in
+    /// *reverse* dependency order ("shutting down an application goes in
+    /// the reverse dependency order", §5.2).
+    ///
+    /// # Errors
+    ///
+    /// Pathing, guard, or action failures.
+    pub fn stop_all(&self, dep: &mut Deployment) -> Result<(), DeployError> {
+        let order = topological_order(&dep.spec).ok_or(DeployError::Model(
+            engage_model::ModelError::SpecError {
+                detail: "instance dependency graph has a cycle".into(),
+            },
+        ))?;
+        for id in order.iter().rev() {
+            self.drive_to(dep, id, BasicState::Inactive)?;
+        }
+        Ok(())
+    }
+
+    /// Uninstalls the whole stack (reverse dependency order).
+    ///
+    /// # Errors
+    ///
+    /// Pathing, guard, or action failures.
+    pub fn uninstall_all(&self, dep: &mut Deployment) -> Result<(), DeployError> {
+        self.stop_all(dep)?;
+        let order = topological_order(&dep.spec).expect("checked in stop_all");
+        for id in order.iter().rev() {
+            self.drive_to(dep, id, BasicState::Uninstalled)?;
+        }
+        Ok(())
+    }
+
+    /// Drives one instance's driver to a basic state, firing guarded
+    /// transitions along the shortest path.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::NoPath`] if the driver cannot reach the state,
+    /// [`DeployError::GuardFailed`] if a guard does not hold when needed,
+    /// or the action's own failure.
+    pub fn drive_to(
+        &self,
+        dep: &mut Deployment,
+        id: &InstanceId,
+        target: BasicState,
+    ) -> Result<(), DeployError> {
+        let inst = dep
+            .spec
+            .get(id)
+            .ok_or_else(|| DeployError::UnknownInstance {
+                instance: id.clone(),
+            })?
+            .clone();
+        let driver = self.universe.effective_driver(inst.key())?;
+        let current = dep.states[id].clone();
+        let target_state = DriverState::Basic(target);
+        if current == target_state {
+            return Ok(());
+        }
+        // BFS for the shortest action path.
+        let path =
+            find_path(&driver, &current, &target_state).ok_or_else(|| DeployError::NoPath {
+                instance: id.clone(),
+                from: current.to_string(),
+                to: target_state.to_string(),
+            })?;
+        let host = dep.host_of(id).ok_or_else(|| DeployError::NoMachine {
+            instance: id.clone(),
+        })?;
+        for (action, to) in path {
+            let guard = driver
+                .transition(&dep.states[id], &action)
+                .expect("path transitions exist")
+                .guard()
+                .clone();
+            if !self.guard_holds(dep, id, &guard) {
+                return Err(DeployError::GuardFailed {
+                    instance: id.clone(),
+                    action,
+                    guard: guard.to_string(),
+                });
+            }
+            let start = self.sim.now();
+            let ctx = ActionCtx {
+                sim: &self.sim,
+                host,
+                instance: &inst,
+            };
+            self.registry.run(&action, &ctx)?;
+            let end = self.sim.now();
+            dep.timeline.push(TimelineEntry {
+                instance: id.clone(),
+                action,
+                start,
+                end,
+            });
+            dep.states.insert(id.clone(), to);
+        }
+        Ok(())
+    }
+
+    /// Evaluates a transition guard: `↑s` over the instances `id` links to,
+    /// `↓s` over the instances linking to `id`.
+    fn guard_holds(&self, dep: &Deployment, id: &InstanceId, guard: &Guard) -> bool {
+        let inst = dep.spec.get(id).expect("caller checked");
+        guard.preds().iter().all(|p| match p {
+            StatePred::Upstream(s) => inst
+                .links()
+                .all(|l| dep.states.get(l) == Some(&DriverState::Basic(*s))),
+            StatePred::Downstream(s) => dep
+                .spec
+                .dependents_of(id)
+                .all(|d| dep.states.get(d.id()) == Some(&DriverState::Basic(*s))),
+        })
+    }
+
+    /// One monitoring cycle over the deployment's monitor.
+    ///
+    /// # Errors
+    ///
+    /// Simulated restart failures.
+    pub fn monitor_tick(
+        &self,
+        dep: &mut Deployment,
+    ) -> Result<Vec<engage_sim::RestartRecord>, DeployError> {
+        Ok(dep.monitor.tick(&self.sim)?)
+    }
+
+    pub(crate) fn provision_machines(
+        &self,
+        spec: &InstallSpec,
+    ) -> Result<BTreeMap<InstanceId, HostId>, DeployError> {
+        let mut machines = BTreeMap::new();
+        for inst in spec.iter() {
+            if inst.inside_link().is_some() {
+                continue;
+            }
+            let os = os_for_key(inst.key()).unwrap_or(Os::Ubuntu1010);
+            let hostname = inst
+                .config()
+                .get("hostname")
+                .and_then(engage_model::Value::as_str)
+                .unwrap_or(inst.id().as_str())
+                .to_owned();
+            let host = match self.mode {
+                ProvisionMode::Local => self.sim.provision_local(&hostname, os),
+                ProvisionMode::Cloud => self.sim.provision_cloud(&hostname, os),
+            };
+            machines.insert(inst.id().clone(), host);
+        }
+        Ok(machines)
+    }
+}
+
+/// Maps a machine resource key to a simulated OS.
+pub fn os_for_key(key: &engage_model::ResourceKey) -> Option<Os> {
+    Os::all()
+        .into_iter()
+        .find(|os| os.resource_key() == key.to_string())
+}
+
+/// BFS over a driver spec: returns the `(action, next state)` steps of the
+/// shortest path from `from` to `to`.
+pub(crate) fn find_path(
+    driver: &engage_model::DriverSpec,
+    from: &DriverState,
+    to: &DriverState,
+) -> Option<Vec<(String, DriverState)>> {
+    use std::collections::{HashMap, VecDeque};
+    let mut prev: HashMap<DriverState, (DriverState, String)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from.clone());
+    let mut seen: std::collections::HashSet<DriverState> = [from.clone()].into();
+    while let Some(state) = queue.pop_front() {
+        if &state == to {
+            // Reconstruct.
+            let mut path = Vec::new();
+            let mut cur = state;
+            while &cur != from {
+                let (p, action) = prev[&cur].clone();
+                path.push((action, cur));
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for t in driver.transitions_from(&state) {
+            if seen.insert(t.to().clone()) {
+                prev.insert(t.to().clone(), (state.clone(), t.action().to_owned()));
+                queue.push_back(t.to().clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engage_model::{DriverSpec, ResourceInstance, Value};
+    use engage_sim::DownloadSource;
+
+    /// A small universe with service drivers, plus its full spec:
+    /// server <- mysql (service), server <- app (service, peer mysql).
+    fn fixture() -> (Universe, InstallSpec) {
+        let src = r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Ubuntu 10.10" extends "Server" {}
+        resource "MySQL 5.1" {
+          inside "Server";
+          config port port: int = 3306;
+          output port mysql: { port: int } = { port: config.port };
+          driver service;
+        }
+        resource "App 1.0" {
+          inside "Server";
+          peer "MySQL 5.1" { input mysql <- mysql; }
+          input port mysql: { port: int };
+          config port port: int = 8000;
+          output port url: string = "http://app";
+          driver service;
+        }"#;
+        let u = engage_dsl::parse_universe(src).unwrap();
+
+        let mut spec = InstallSpec::new();
+        let mut server = ResourceInstance::new("server", "Ubuntu 10.10");
+        server.set_config("hostname", Value::from("localhost"));
+        server.set_output(
+            "host",
+            Value::structure([("hostname", Value::from("localhost"))]),
+        );
+        spec.push(server).unwrap();
+        let mut db = ResourceInstance::new("db", "MySQL 5.1");
+        db.set_inside_link("server");
+        db.set_config("port", Value::from(3306i64));
+        db.set_output("mysql", Value::structure([("port", Value::from(3306i64))]));
+        spec.push(db).unwrap();
+        let mut app = ResourceInstance::new("app", "App 1.0");
+        app.set_inside_link("server");
+        app.add_peer_link("db");
+        app.set_input("mysql", Value::structure([("port", Value::from(3306i64))]));
+        app.set_config("port", Value::from(8000i64));
+        app.set_output("url", Value::from("http://app"));
+        spec.push(app).unwrap();
+        (u, spec)
+    }
+
+    fn engine(u: &Universe) -> DeploymentEngine<'_> {
+        DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), u)
+    }
+
+    #[test]
+    fn deploy_brings_everything_active() {
+        let (u, spec) = fixture();
+        let e = engine(&u);
+        let dep = e.deploy(&spec).unwrap();
+        assert!(dep.is_deployed());
+        let host = dep.host_of(&"db".into()).unwrap();
+        assert!(e.sim().has_package(host, "mysql-5.1"));
+        assert!(e.sim().service_running(host, "mysql"));
+        assert!(e.sim().service_running(host, "app"));
+    }
+
+    #[test]
+    fn deploy_order_respects_dependencies() {
+        let (u, spec) = fixture();
+        let e = engine(&u);
+        let dep = e.deploy(&spec).unwrap();
+        let starts: Vec<&str> = dep
+            .timeline()
+            .iter()
+            .filter(|t| t.action == "start")
+            .map(|t| t.instance.as_str())
+            .collect();
+        let pos = |id: &str| starts.iter().position(|x| *x == id).unwrap();
+        // MySQL must be started before the app (its downstream dependent).
+        assert!(pos("db") < pos("app"));
+    }
+
+    #[test]
+    fn stop_goes_in_reverse_order() {
+        let (u, spec) = fixture();
+        let e = engine(&u);
+        let mut dep = e.deploy(&spec).unwrap();
+        let n_before = dep.timeline().len();
+        e.stop_all(&mut dep).unwrap();
+        let stops: Vec<&str> = dep.timeline()[n_before..]
+            .iter()
+            .filter(|t| t.action == "stop")
+            .map(|t| t.instance.as_str())
+            .collect();
+        let pos = |id: &str| stops.iter().position(|x| *x == id).unwrap();
+        assert!(pos("app") < pos("db"), "dependent stops first: {stops:?}");
+        let host = dep.host_of(&"db".into()).unwrap();
+        assert!(!e.sim().service_running(host, "mysql"));
+        // Restartable.
+        e.activate_all(&mut dep).unwrap();
+        assert!(dep.is_deployed());
+    }
+
+    #[test]
+    fn uninstall_removes_packages() {
+        let (u, spec) = fixture();
+        let e = engine(&u);
+        let mut dep = e.deploy(&spec).unwrap();
+        let host = dep.host_of(&"db".into()).unwrap();
+        e.uninstall_all(&mut dep).unwrap();
+        assert!(!e.sim().has_package(host, "mysql-5.1"));
+        assert_eq!(
+            dep.state(&"db".into()),
+            Some(&DriverState::Basic(BasicState::Uninstalled))
+        );
+    }
+
+    #[test]
+    fn monitor_restarts_crashed_service() {
+        let (u, spec) = fixture();
+        let e = engine(&u);
+        let mut dep = e.deploy(&spec).unwrap();
+        let host = dep.host_of(&"db".into()).unwrap();
+        e.sim().crash_service(host, "mysql").unwrap();
+        let restarted = e.monitor_tick(&mut dep).unwrap();
+        assert_eq!(restarted.len(), 1);
+        assert!(e.sim().service_running(host, "mysql"));
+    }
+
+    #[test]
+    fn guards_block_out_of_order_start() {
+        let (u, spec) = fixture();
+        let e = engine(&u);
+        // Manually drive the app before its dependencies are active.
+        let machines = e.provision_machines(&spec).unwrap();
+        let mut dep = Deployment {
+            spec: spec.clone(),
+            states: spec
+                .iter()
+                .map(|i| (i.id().clone(), DriverState::Basic(BasicState::Uninstalled)))
+                .collect(),
+            machines,
+            timeline: Vec::new(),
+            monitor: Monitor::new(),
+        };
+        let err = e
+            .drive_to(&mut dep, &"app".into(), BasicState::Active)
+            .unwrap_err();
+        assert!(matches!(err, DeployError::GuardFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn timeline_and_makespan() {
+        let (u, spec) = fixture();
+        let e = engine(&u);
+        let dep = e.deploy(&spec).unwrap();
+        assert!(!dep.timeline().is_empty());
+        let seq = dep.sequential_duration();
+        let par = dep.parallel_makespan();
+        assert!(par <= seq);
+        assert!(par > Duration::ZERO);
+    }
+
+    #[test]
+    fn per_node_specs_split_by_host() {
+        let (u, spec) = fixture();
+        let e = engine(&u);
+        let dep = e.deploy(&spec).unwrap();
+        let nodes = dep.per_node_specs();
+        assert_eq!(nodes.len(), 1); // single machine
+        assert_eq!(nodes.values().next().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn cloud_mode_provisions_cloud_hosts() {
+        let (u, spec) = fixture();
+        let sim = Sim::new(DownloadSource::local_cache());
+        let e = DeploymentEngine::new(sim.clone(), &u).with_mode(ProvisionMode::Cloud);
+        let _dep = e.deploy(&spec).unwrap();
+        assert_eq!(
+            sim.count_events(|ev| matches!(ev, engage_sim::Event::Provisioned { cloud: true, .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn driver_path_finding() {
+        let d = DriverSpec::standard_service();
+        let p = find_path(
+            &d,
+            &DriverState::Basic(BasicState::Uninstalled),
+            &DriverState::Basic(BasicState::Active),
+        )
+        .unwrap();
+        let actions: Vec<&str> = p.iter().map(|(a, _)| a.as_str()).collect();
+        assert_eq!(actions, vec!["install", "start"]);
+        assert!(find_path(
+            &DriverSpec::new(),
+            &DriverState::Basic(BasicState::Uninstalled),
+            &DriverState::Basic(BasicState::Active)
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Deployment-engine errors.
+
+use std::fmt;
+
+use engage_model::{InstanceId, ModelError};
+use engage_sim::SimError;
+
+/// Error from deploying, managing, or upgrading an application stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// An underlying simulated operation failed.
+    Sim(SimError),
+    /// A model-level problem (unknown key, ill-formed spec).
+    Model(ModelError),
+    /// No machine could be mapped for an instance.
+    NoMachine {
+        /// The instance whose machine is missing.
+        instance: InstanceId,
+    },
+    /// A driver has no transition path from its current state to the
+    /// requested state.
+    NoPath {
+        /// The stuck instance.
+        instance: InstanceId,
+        /// Current state (rendered).
+        from: String,
+        /// Requested state (rendered).
+        to: String,
+    },
+    /// A transition guard did not hold when the engine needed to fire the
+    /// transition (dependency order violated or upstream failure).
+    GuardFailed {
+        /// The blocked instance.
+        instance: InstanceId,
+        /// The action whose guard failed.
+        action: String,
+        /// The guard, rendered.
+        guard: String,
+    },
+    /// A driver action failed.
+    ActionFailed {
+        /// The instance whose action failed.
+        instance: InstanceId,
+        /// The action name.
+        action: String,
+        /// Why.
+        detail: String,
+    },
+    /// The full spec references an instance that does not exist.
+    UnknownInstance {
+        /// The missing id.
+        instance: InstanceId,
+    },
+    /// An upgrade failed and was rolled back.
+    UpgradeRolledBack {
+        /// The underlying failure that triggered the rollback.
+        cause: String,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Sim(e) => write!(f, "{e}"),
+            DeployError::Model(e) => write!(f, "{e}"),
+            DeployError::NoMachine { instance } => {
+                write!(f, "no machine mapped for instance `{instance}`")
+            }
+            DeployError::NoPath { instance, from, to } => write!(
+                f,
+                "driver of `{instance}` has no transition path from `{from}` to `{to}`"
+            ),
+            DeployError::GuardFailed {
+                instance,
+                action,
+                guard,
+            } => write!(
+                f,
+                "guard `{guard}` of action `{action}` on `{instance}` does not hold"
+            ),
+            DeployError::ActionFailed {
+                instance,
+                action,
+                detail,
+            } => write!(f, "action `{action}` on `{instance}` failed: {detail}"),
+            DeployError::UnknownInstance { instance } => {
+                write!(f, "unknown instance `{instance}`")
+            }
+            DeployError::UpgradeRolledBack { cause } => {
+                write!(f, "upgrade failed and was rolled back: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<SimError> for DeployError {
+    fn from(e: SimError) -> Self {
+        DeployError::Sim(e)
+    }
+}
+
+impl From<ModelError> for DeployError {
+    fn from(e: ModelError) -> Self {
+        DeployError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeployError::GuardFailed {
+            instance: "openmrs".into(),
+            action: "start".into(),
+            guard: "upstream active".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("openmrs") && s.contains("start") && s.contains("upstream active"));
+    }
+}

@@ -1,0 +1,395 @@
+//! Parallel multi-host deployment — the §5.2 master/slave architecture.
+//!
+//! "We can break the overall install specification into per-node
+//! specifications and run a slave instance of Engage on each target host.
+//! The entire deployment is then coordinated from a master host ... Slave
+//! deployments can run in parallel when the slaves have no
+//! inter-dependencies."
+//!
+//! One OS thread plays each slave; cross-host ordering is enforced the
+//! same way the sequential engine does it — by the driver guards — with
+//! slaves blocking on a shared state table until their guards hold.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use engage_model::{
+    topological_order, BasicState, DriverState, Guard, InstallSpec, InstanceId, StatePred,
+};
+use engage_sim::Monitor;
+use parking_lot::{Condvar, Mutex};
+
+use crate::action::{service_name, ActionCtx};
+use crate::engine::{Deployment, DeploymentEngine, TimelineEntry};
+use crate::error::DeployError;
+
+/// How long a slave waits for a cross-host guard before declaring the
+/// deployment stuck. Generous: guards only wait on other slaves' progress.
+const GUARD_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Outcome of a parallel deployment: the deployment plus the *host*
+/// wall-clock the slaves took (the simulated install durations live in the
+/// deployment's timeline, as usual).
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    /// The resulting deployment (all drivers `active`).
+    pub deployment: Deployment,
+    /// Real (host) wall-clock spent in the slave threads.
+    pub wall: Duration,
+    /// Number of slave threads (machines) used.
+    pub slaves: usize,
+}
+
+struct SharedState {
+    states: Mutex<BTreeMap<InstanceId, DriverState>>,
+    cond: Condvar,
+    failed: AtomicBool,
+}
+
+impl SharedState {
+    fn set(&self, id: &InstanceId, state: DriverState) {
+        self.states.lock().insert(id.clone(), state);
+        self.cond.notify_all();
+    }
+
+    fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+        self.cond.notify_all();
+    }
+}
+
+impl DeploymentEngine<'_> {
+    /// Deploys `spec` with one slave thread per machine (§5.2). Equivalent
+    /// to [`DeploymentEngine::deploy`] in effect; slaves on different
+    /// machines make progress concurrently, synchronizing only through
+    /// driver guards.
+    ///
+    /// # Errors
+    ///
+    /// The same failures as sequential deployment, plus
+    /// [`DeployError::GuardFailed`] if the deployment deadlocks (a guard
+    /// stays false for 30 s of host time — impossible for well-formed
+    /// specs).
+    pub fn deploy_parallel(&self, spec: &InstallSpec) -> Result<ParallelOutcome, DeployError> {
+        let machines = self.provision_machines(spec)?;
+        let order = topological_order(spec).ok_or(DeployError::Model(
+            engage_model::ModelError::SpecError {
+                detail: "instance dependency graph has a cycle".into(),
+            },
+        ))?;
+
+        // Per-node specifications, preserving global topological order.
+        let dep_for_hosts = Deployment {
+            spec: spec.clone(),
+            states: BTreeMap::new(),
+            machines: machines.clone(),
+            timeline: Vec::new(),
+            monitor: Monitor::new(),
+        };
+        let mut per_host: BTreeMap<engage_sim::HostId, Vec<InstanceId>> = BTreeMap::new();
+        for id in &order {
+            let host = dep_for_hosts
+                .host_of(id)
+                .ok_or_else(|| DeployError::NoMachine {
+                    instance: id.clone(),
+                })?;
+            per_host.entry(host).or_default().push(id.clone());
+        }
+
+        let shared = SharedState {
+            states: Mutex::new(
+                spec.iter()
+                    .map(|i| (i.id().clone(), DriverState::Basic(BasicState::Uninstalled)))
+                    .collect(),
+            ),
+            cond: Condvar::new(),
+            failed: AtomicBool::new(false),
+        };
+        let (timeline_tx, timeline_rx) = channel::unbounded::<TimelineEntry>();
+        let (err_tx, err_rx) = channel::unbounded::<DeployError>();
+
+        let started = Instant::now();
+        let slaves = per_host.len();
+        std::thread::scope(|scope| {
+            for (host, ids) in &per_host {
+                let shared = &shared;
+                let timeline_tx = timeline_tx.clone();
+                let err_tx = err_tx.clone();
+                let spec = &*spec;
+                scope.spawn(move || {
+                    for id in ids {
+                        if shared.failed.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        if let Err(e) = self.slave_activate(spec, *host, id, shared, &timeline_tx) {
+                            let _ = err_tx.send(e);
+                            shared.fail();
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        drop(timeline_tx);
+        drop(err_tx);
+        let wall = started.elapsed();
+
+        if let Ok(e) = err_rx.try_recv() {
+            return Err(e);
+        }
+
+        let mut timeline: Vec<TimelineEntry> = timeline_rx.try_iter().collect();
+        timeline.sort_by_key(|t| (t.start, t.instance.clone()));
+        let mut deployment = Deployment {
+            spec: spec.clone(),
+            states: shared.states.into_inner(),
+            machines,
+            timeline,
+            monitor: Monitor::new(),
+        };
+        // Register services with the monitor, as the sequential path does.
+        for inst in deployment.spec.iter() {
+            let Some(host) = deployment.host_of(inst.id()) else {
+                continue;
+            };
+            let name = service_name(inst.key());
+            if self.sim().service_running(host, &name) {
+                let port = self.sim().service_state(host, &name).and_then(|s| s.port);
+                deployment.monitor.watch(host, name, port);
+            }
+        }
+        Ok(ParallelOutcome {
+            deployment,
+            wall,
+            slaves,
+        })
+    }
+
+    /// Runs one instance's driver to `active` inside a slave thread.
+    fn slave_activate(
+        &self,
+        spec: &InstallSpec,
+        host: engage_sim::HostId,
+        id: &InstanceId,
+        shared: &SharedState,
+        timeline_tx: &channel::Sender<TimelineEntry>,
+    ) -> Result<(), DeployError> {
+        let inst = spec.get(id).ok_or_else(|| DeployError::UnknownInstance {
+            instance: id.clone(),
+        })?;
+        let driver = self.universe().effective_driver(inst.key())?;
+        loop {
+            let current = shared.states.lock()[id].clone();
+            if current == DriverState::Basic(BasicState::Active) {
+                return Ok(());
+            }
+            let path = crate::engine::find_path(
+                &driver,
+                &current,
+                &DriverState::Basic(BasicState::Active),
+            )
+            .ok_or_else(|| DeployError::NoPath {
+                instance: id.clone(),
+                from: current.to_string(),
+                to: "active".to_string(),
+            })?;
+            let (action, to) = path.into_iter().next().expect("non-empty path");
+            let guard = driver
+                .transition(&current, &action)
+                .expect("path transition exists")
+                .guard()
+                .clone();
+            self.wait_for_guard(spec, id, &guard, shared)?;
+            let start = self.sim().now();
+            let ctx = ActionCtx {
+                sim: self.sim(),
+                host,
+                instance: inst,
+            };
+            self.registry().run(&action, &ctx)?;
+            let end = self.sim().now();
+            let _ = timeline_tx.send(TimelineEntry {
+                instance: id.clone(),
+                action,
+                start,
+                end,
+            });
+            shared.set(id, to);
+        }
+    }
+
+    /// Blocks until `guard` holds over the shared state table.
+    fn wait_for_guard(
+        &self,
+        spec: &InstallSpec,
+        id: &InstanceId,
+        guard: &Guard,
+        shared: &SharedState,
+    ) -> Result<(), DeployError> {
+        if guard.is_trivial() {
+            return Ok(());
+        }
+        let inst = spec.get(id).expect("caller checked");
+        let holds = |states: &BTreeMap<InstanceId, DriverState>| {
+            guard.preds().iter().all(|p| match p {
+                StatePred::Upstream(s) => inst
+                    .links()
+                    .all(|l| states.get(l) == Some(&DriverState::Basic(*s))),
+                StatePred::Downstream(s) => spec
+                    .dependents_of(id)
+                    .all(|d| states.get(d.id()) == Some(&DriverState::Basic(*s))),
+            })
+        };
+        let deadline = Instant::now() + GUARD_TIMEOUT;
+        let mut states = shared.states.lock();
+        while !holds(&states) {
+            if shared.failed.load(Ordering::SeqCst) {
+                return Err(DeployError::ActionFailed {
+                    instance: id.clone(),
+                    action: "wait".into(),
+                    detail: "another slave failed".into(),
+                });
+            }
+            if shared.cond.wait_until(&mut states, deadline).timed_out() {
+                return Err(DeployError::GuardFailed {
+                    instance: id.clone(),
+                    action: "wait".into(),
+                    guard: guard.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engage_model::{ResourceInstance, Universe, Value};
+    use engage_sim::{DownloadSource, Sim};
+
+    fn universe() -> Universe {
+        engage_dsl::parse_universe(
+            r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Ubuntu 10.10" extends "Server" {}
+        resource "MySQL 5.1" {
+          inside "Server";
+          config port port: int = 3306;
+          output port mysql: { port: int } = { port: config.port };
+          driver service;
+        }
+        resource "App 1.0" {
+          inside "Server";
+          peer "MySQL 5.1" { input mysql <- mysql; }
+          input port mysql: { port: int };
+          output port url: string = "http://app";
+          driver service;
+        }"#,
+        )
+        .unwrap()
+    }
+
+    /// Two machines: db on one, app (peer-depending on db) on the other.
+    fn two_host_spec() -> InstallSpec {
+        let mut spec = InstallSpec::new();
+        for (id, host) in [
+            ("app-server", "app.example.com"),
+            ("db-server", "db.example.com"),
+        ] {
+            let mut s = ResourceInstance::new(id, "Ubuntu 10.10");
+            s.set_config("hostname", Value::from(host));
+            s.set_output("host", Value::structure([("hostname", Value::from(host))]));
+            spec.push(s).unwrap();
+        }
+        let mut db = ResourceInstance::new("db", "MySQL 5.1");
+        db.set_inside_link("db-server");
+        db.set_config("port", Value::from(3306i64));
+        db.set_output("mysql", Value::structure([("port", Value::from(3306i64))]));
+        spec.push(db).unwrap();
+        let mut app = ResourceInstance::new("app", "App 1.0");
+        app.set_inside_link("app-server");
+        app.add_peer_link("db");
+        app.set_input("mysql", Value::structure([("port", Value::from(3306i64))]));
+        app.set_output("url", Value::from("http://app"));
+        spec.push(app).unwrap();
+        spec
+    }
+
+    #[test]
+    fn parallel_deploy_reaches_active_across_hosts() {
+        let u = universe();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u);
+        let outcome = e.deploy_parallel(&two_host_spec()).unwrap();
+        assert_eq!(outcome.slaves, 2);
+        assert!(outcome.deployment.is_deployed());
+        let app_host = outcome.deployment.host_of(&"app".into()).unwrap();
+        let db_host = outcome.deployment.host_of(&"db".into()).unwrap();
+        assert_ne!(app_host, db_host);
+        assert!(e.sim().service_running(db_host, "mysql"));
+        assert!(e.sim().service_running(app_host, "app"));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_effects() {
+        let u = universe();
+        let spec = two_host_spec();
+        let seq_engine = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u);
+        let seq = seq_engine.deploy(&spec).unwrap();
+        let par_engine = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u);
+        let par = par_engine.deploy_parallel(&spec).unwrap().deployment;
+        // Same driver states, same services.
+        for inst in spec.iter() {
+            assert_eq!(seq.state(inst.id()), par.state(inst.id()));
+        }
+        // The app's start must come after the db's start in both timelines.
+        for dep in [&seq, &par] {
+            let starts: Vec<&str> = dep
+                .timeline()
+                .iter()
+                .filter(|t| t.action == "start")
+                .map(|t| t.instance.as_str())
+                .collect();
+            let pos = |x: &str| starts.iter().position(|s| *s == x).unwrap();
+            assert!(pos("db") < pos("app"), "{starts:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_deploy_propagates_failures() {
+        let u = universe();
+        let sim = Sim::new(DownloadSource::local_cache());
+        sim.inject_install_failure("mysql-5.1", 1);
+        let e = DeploymentEngine::new(sim, &u);
+        let err = e.deploy_parallel(&two_host_spec()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("injected failure") || msg.contains("another slave failed"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn single_host_parallel_degenerates_to_sequential() {
+        let u = universe();
+        let mut spec = InstallSpec::new();
+        let mut s = ResourceInstance::new("server", "Ubuntu 10.10");
+        s.set_config("hostname", Value::from("h"));
+        s.set_output("host", Value::structure([("hostname", Value::from("h"))]));
+        spec.push(s).unwrap();
+        let mut db = ResourceInstance::new("db", "MySQL 5.1");
+        db.set_inside_link("server");
+        db.set_config("port", Value::from(3306i64));
+        db.set_output("mysql", Value::structure([("port", Value::from(3306i64))]));
+        spec.push(db).unwrap();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u);
+        let outcome = e.deploy_parallel(&spec).unwrap();
+        assert_eq!(outcome.slaves, 1);
+        assert!(outcome.deployment.is_deployed());
+    }
+}

@@ -1,0 +1,539 @@
+//! The upgrade engine (§5.2 *Upgrades*).
+//!
+//! "The current system is then backed up, and any components that will be
+//! removed or that cannot be upgraded in-place are uninstalled. The new
+//! system is now deployed, per the install specification, upgrading and
+//! adding components as needed. If the upgrade fails, the partially
+//! installed components are uninstalled and the old version restored from
+//! the backup."
+
+use std::collections::BTreeMap;
+
+use engage_model::{topological_order, BasicState, InstallSpec, InstanceId};
+use engage_sim::Snapshot;
+
+use crate::engine::{Deployment, DeploymentEngine};
+use crate::error::DeployError;
+
+/// What the diff between the old and new specifications decided for each
+/// instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpgradePlanEntry {
+    /// Present only in the old spec: uninstall.
+    Remove(InstanceId),
+    /// Present in both with the same key and values: keep untouched
+    /// (still redeployed by the worst-case strategy; see
+    /// [`UpgradeReport::worst_case`]).
+    Keep(InstanceId),
+    /// Present in both but the key or configuration changed: uninstall the
+    /// old, install the new.
+    Replace(InstanceId),
+    /// Present only in the new spec: install.
+    Add(InstanceId),
+}
+
+/// How an upgrade is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpgradeStrategy {
+    /// The paper's simple strategy (§5.2): stop the whole old stack,
+    /// uninstall what changed, redeploy the whole new stack. "All upgrades
+    /// using this approach experience the worst case upgrade time, even if
+    /// there are only minor differences."
+    #[default]
+    WorstCase,
+    /// The optimization the paper leaves as future work: stop and restart
+    /// only the changed instances and their transitive dependents;
+    /// untouched services keep running through the upgrade.
+    Incremental,
+}
+
+/// Outcome of a successful upgrade.
+#[derive(Debug, Clone)]
+pub struct UpgradeReport {
+    /// The per-instance plan that was executed.
+    pub plan: Vec<UpgradePlanEntry>,
+    /// Simulated time the upgrade took.
+    pub took: std::time::Duration,
+    /// True iff the worst-case (full-redeploy) strategy ran.
+    pub worst_case: bool,
+    /// How many instances were stopped/started by the upgrade (everything,
+    /// for the worst-case strategy).
+    pub touched: usize,
+}
+
+/// Computes the instance-level diff between two specs.
+pub fn plan_upgrade(old: &InstallSpec, new: &InstallSpec) -> Vec<UpgradePlanEntry> {
+    let mut plan = Vec::new();
+    for inst in old.iter() {
+        match new.get(inst.id()) {
+            None => plan.push(UpgradePlanEntry::Remove(inst.id().clone())),
+            Some(n) if n == inst => plan.push(UpgradePlanEntry::Keep(inst.id().clone())),
+            Some(_) => plan.push(UpgradePlanEntry::Replace(inst.id().clone())),
+        }
+    }
+    for inst in new.iter() {
+        if old.get(inst.id()).is_none() {
+            plan.push(UpgradePlanEntry::Add(inst.id().clone()));
+        }
+    }
+    plan
+}
+
+impl DeploymentEngine<'_> {
+    /// Upgrades a running deployment to a new full installation
+    /// specification, with backup and automatic rollback on failure.
+    ///
+    /// The strategy is the paper's: snapshot every machine, stop the old
+    /// stack, uninstall removed/replaced components, deploy the new spec,
+    /// and on *any* failure restore the snapshots and reactivate the old
+    /// stack.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::UpgradeRolledBack`] when the upgrade failed and the
+    /// old system was restored; other variants only for failures before
+    /// any mutation (planning) or — worst case — when the rollback itself
+    /// fails (`ActionFailed` with detail).
+    pub fn upgrade(
+        &self,
+        dep: &mut Deployment,
+        new_spec: &InstallSpec,
+    ) -> Result<UpgradeReport, DeployError> {
+        self.upgrade_with(dep, new_spec, UpgradeStrategy::WorstCase)
+    }
+
+    /// Upgrades with an explicit strategy (see [`UpgradeStrategy`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DeploymentEngine::upgrade`].
+    pub fn upgrade_with(
+        &self,
+        dep: &mut Deployment,
+        new_spec: &InstallSpec,
+        strategy: UpgradeStrategy,
+    ) -> Result<UpgradeReport, DeployError> {
+        let t0 = self.sim().now();
+        let plan = plan_upgrade(dep.spec(), new_spec);
+
+        // Backup: snapshot every machine of the old deployment.
+        let mut snapshots: BTreeMap<InstanceId, Snapshot> = BTreeMap::new();
+        for (machine, host) in dep.machines() {
+            snapshots.insert(machine.clone(), self.sim().snapshot(*host)?);
+        }
+        let old_dep = dep.clone();
+
+        let attempt = match strategy {
+            UpgradeStrategy::WorstCase => {
+                self.try_upgrade(dep, new_spec).map(|()| dep.spec().len())
+            }
+            UpgradeStrategy::Incremental => self.try_upgrade_incremental(dep, new_spec),
+        };
+        match attempt {
+            Ok(touched) => Ok(UpgradeReport {
+                plan,
+                took: self.sim().now() - t0,
+                worst_case: strategy == UpgradeStrategy::WorstCase,
+                touched,
+            }),
+            Err(cause) => {
+                // Rollback: restore machine state, then reactivate the old
+                // stack from its (restored) installed state.
+                *dep = old_dep;
+                for snap in snapshots.values() {
+                    self.sim()
+                        .restore(snap)
+                        .map_err(|e| DeployError::ActionFailed {
+                            instance: "rollback".into(),
+                            action: "restore".into(),
+                            detail: e.to_string(),
+                        })?;
+                }
+                // The snapshot was taken while the old stack was running,
+                // so service state is back; driver states in `dep` still
+                // say active, which now matches the restored hosts.
+                Err(DeployError::UpgradeRolledBack {
+                    cause: cause.to_string(),
+                })
+            }
+        }
+    }
+
+    /// The incremental strategy: compute the changed set and its
+    /// transitive dependents (in both the old and the new spec), stop only
+    /// those (reverse order), uninstall removed/replaced instances, and
+    /// reactivate only what was touched. Returns the touched-instance
+    /// count.
+    fn try_upgrade_incremental(
+        &self,
+        dep: &mut Deployment,
+        new_spec: &InstallSpec,
+    ) -> Result<usize, DeployError> {
+        let plan = plan_upgrade(dep.spec(), new_spec);
+        let changed: std::collections::BTreeSet<InstanceId> = plan
+            .iter()
+            .filter_map(|p| match p {
+                UpgradePlanEntry::Keep(_) => None,
+                UpgradePlanEntry::Remove(id)
+                | UpgradePlanEntry::Replace(id)
+                | UpgradePlanEntry::Add(id) => Some(id.clone()),
+            })
+            .collect();
+        // Transitive dependents in either spec must bounce so stop/start
+        // guards hold and they reconnect to the new versions.
+        let mut affected = changed.clone();
+        for spec in [dep.spec(), new_spec] {
+            let Some(order) = topological_order(spec) else {
+                return Err(DeployError::Model(engage_model::ModelError::SpecError {
+                    detail: "spec has a dependency cycle".into(),
+                }));
+            };
+            // Walk downstream: process in topological order; an instance
+            // linking to an affected instance becomes affected.
+            for id in &order {
+                if let Some(inst) = spec.get(id) {
+                    if inst.links().any(|l| affected.contains(l)) {
+                        affected.insert(id.clone());
+                    }
+                }
+            }
+        }
+
+        // Stop affected old instances in reverse dependency order.
+        let old_order = topological_order(dep.spec()).expect("checked above");
+        for id in old_order.iter().rev() {
+            if affected.contains(id) {
+                self.drive_to(dep, id, BasicState::Inactive)?;
+            }
+        }
+        // Uninstall removed/replaced.
+        let to_remove: std::collections::BTreeSet<&InstanceId> = plan
+            .iter()
+            .filter_map(|p| match p {
+                UpgradePlanEntry::Remove(id) | UpgradePlanEntry::Replace(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        for id in old_order.iter().rev() {
+            if to_remove.contains(id) {
+                self.drive_to(dep, id, BasicState::Uninstalled)?;
+            }
+        }
+
+        // Swap in the new spec, keeping untouched instances' states.
+        let mut new_dep = Deployment {
+            spec: new_spec.clone(),
+            states: new_spec
+                .iter()
+                .map(|i| {
+                    let state = dep
+                        .state(i.id())
+                        .filter(|_| !to_remove.contains(i.id()))
+                        .cloned()
+                        .unwrap_or(engage_model::DriverState::Basic(BasicState::Uninstalled));
+                    (i.id().clone(), state)
+                })
+                .collect(),
+            machines: dep.machines().clone(),
+            timeline: dep.timeline().to_vec(),
+            monitor: dep.monitor().clone(),
+        };
+        for inst in new_spec.iter() {
+            if inst.inside_link().is_none() && !new_dep.machines().contains_key(inst.id()) {
+                return Err(DeployError::NoMachine {
+                    instance: inst.id().clone(),
+                });
+            }
+        }
+        // Reactivate only the affected instances, dependency order.
+        let new_order = topological_order(new_spec).ok_or(DeployError::Model(
+            engage_model::ModelError::SpecError {
+                detail: "new spec has a dependency cycle".into(),
+            },
+        ))?;
+        for id in &new_order {
+            if affected.contains(id) {
+                self.drive_to(&mut new_dep, id, BasicState::Active)?;
+            }
+        }
+        if !new_dep.is_deployed() {
+            return Err(DeployError::ActionFailed {
+                instance: "upgrade".into(),
+                action: "incremental".into(),
+                detail: "an untouched instance was not active after the upgrade".into(),
+            });
+        }
+        *dep = new_dep;
+        Ok(affected.len())
+    }
+
+    fn try_upgrade(&self, dep: &mut Deployment, new_spec: &InstallSpec) -> Result<(), DeployError> {
+        // Stop the old stack in reverse dependency order.
+        self.stop_all(dep)?;
+        // Uninstall removed and replaced components (reverse order).
+        let plan = plan_upgrade(dep.spec(), new_spec);
+        let order = topological_order(dep.spec()).ok_or(DeployError::Model(
+            engage_model::ModelError::SpecError {
+                detail: "old spec has a dependency cycle".into(),
+            },
+        ))?;
+        let to_remove: std::collections::BTreeSet<&InstanceId> = plan
+            .iter()
+            .filter_map(|p| match p {
+                UpgradePlanEntry::Remove(id) | UpgradePlanEntry::Replace(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        for id in order.iter().rev() {
+            if to_remove.contains(id) {
+                self.drive_to(dep, id, BasicState::Uninstalled)?;
+            }
+        }
+
+        // Swap in the new spec; carry over driver states for kept
+        // instances, fresh `uninstalled` for added/replaced ones.
+        let mut new_dep = Deployment {
+            spec: new_spec.clone(),
+            states: new_spec
+                .iter()
+                .map(|i| {
+                    let state = dep
+                        .state(i.id())
+                        .filter(|_| !to_remove.contains(i.id()))
+                        .cloned()
+                        .unwrap_or(engage_model::DriverState::Basic(BasicState::Uninstalled));
+                    (i.id().clone(), state)
+                })
+                .collect(),
+            machines: dep.machines().clone(),
+            timeline: dep.timeline().to_vec(),
+            monitor: dep.monitor().clone(),
+        };
+        // Machines for new machine-instances not present before.
+        for inst in new_spec.iter() {
+            if inst.inside_link().is_none() && !new_dep.machines().contains_key(inst.id()) {
+                return Err(DeployError::NoMachine {
+                    instance: inst.id().clone(),
+                });
+            }
+        }
+        self.activate_all(&mut new_dep)?;
+        *dep = new_dep;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engage_model::{InstallSpec, ResourceInstance, Universe, Value};
+    use engage_sim::{DownloadSource, Sim};
+
+    fn universe() -> Universe {
+        engage_dsl::parse_universe(
+            r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Ubuntu 10.10" extends "Server" {}
+        resource "FA 1" {
+          inside "Server";
+          output port url: string = "http://fa/v1";
+          driver service;
+        }
+        resource "FA 2" {
+          inside "Server";
+          output port url: string = "http://fa/v2";
+          driver service;
+        }
+        resource "Redis 2.4" {
+          inside "Server";
+          config port port: int = 6379;
+          output port redis: { port: int } = { port: config.port };
+          driver service;
+        }"#,
+        )
+        .unwrap()
+    }
+
+    fn spec_v1() -> InstallSpec {
+        let mut spec = InstallSpec::new();
+        let mut server = ResourceInstance::new("server", "Ubuntu 10.10");
+        server.set_config("hostname", Value::from("localhost"));
+        server.set_output(
+            "host",
+            Value::structure([("hostname", Value::from("localhost"))]),
+        );
+        spec.push(server).unwrap();
+        let mut app = ResourceInstance::new("fa", "FA 1");
+        app.set_inside_link("server");
+        app.set_output("url", Value::from("http://fa/v1"));
+        spec.push(app).unwrap();
+        spec
+    }
+
+    fn spec_v2(with_redis: bool) -> InstallSpec {
+        let mut spec = InstallSpec::new();
+        let mut server = ResourceInstance::new("server", "Ubuntu 10.10");
+        server.set_config("hostname", Value::from("localhost"));
+        server.set_output(
+            "host",
+            Value::structure([("hostname", Value::from("localhost"))]),
+        );
+        spec.push(server).unwrap();
+        let mut app = ResourceInstance::new("fa", "FA 2");
+        app.set_inside_link("server");
+        app.set_output("url", Value::from("http://fa/v2"));
+        spec.push(app).unwrap();
+        if with_redis {
+            let mut redis = ResourceInstance::new("redis", "Redis 2.4");
+            redis.set_inside_link("server");
+            redis.set_config("port", Value::from(6379i64));
+            redis.set_output("redis", Value::structure([("port", Value::from(6379i64))]));
+            spec.push(redis).unwrap();
+        }
+        spec
+    }
+
+    #[test]
+    fn plan_classifies_changes() {
+        let plan = plan_upgrade(&spec_v1(), &spec_v2(true));
+        assert!(plan.contains(&UpgradePlanEntry::Keep("server".into())));
+        assert!(plan.contains(&UpgradePlanEntry::Replace("fa".into())));
+        assert!(plan.contains(&UpgradePlanEntry::Add("redis".into())));
+        let back = plan_upgrade(&spec_v2(true), &spec_v1());
+        assert!(back.contains(&UpgradePlanEntry::Remove("redis".into())));
+    }
+
+    #[test]
+    fn successful_upgrade_swaps_versions() {
+        let u = universe();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u);
+        let mut dep = e.deploy(&spec_v1()).unwrap();
+        let host = dep.host_of(&"fa".into()).unwrap();
+        assert!(e.sim().has_package(host, "fa-1"));
+
+        let report = e.upgrade(&mut dep, &spec_v2(true)).unwrap();
+        assert!(report.worst_case);
+        assert!(dep.is_deployed());
+        assert!(!e.sim().has_package(host, "fa-1"));
+        assert!(e.sim().has_package(host, "fa-2"));
+        assert!(e.sim().service_running(host, "redis"));
+        assert_eq!(
+            dep.spec().get(&"fa".into()).unwrap().key().to_string(),
+            "FA 2"
+        );
+    }
+
+    #[test]
+    fn failed_upgrade_rolls_back() {
+        let u = universe();
+        let sim = Sim::new(DownloadSource::local_cache());
+        let e = DeploymentEngine::new(sim.clone(), &u);
+        let mut dep = e.deploy(&spec_v1()).unwrap();
+        let host = dep.host_of(&"fa".into()).unwrap();
+
+        // Make the new version's install fail.
+        sim.inject_install_failure("fa-2", 1);
+        let err = e.upgrade(&mut dep, &spec_v2(false)).unwrap_err();
+        assert!(
+            matches!(err, DeployError::UpgradeRolledBack { .. }),
+            "{err}"
+        );
+
+        // Old version restored and running.
+        assert!(sim.has_package(host, "fa-1"));
+        assert!(!sim.has_package(host, "fa-2"));
+        assert!(sim.service_running(host, "fa"));
+        assert_eq!(
+            dep.spec().get(&"fa".into()).unwrap().key().to_string(),
+            "FA 1"
+        );
+        assert!(dep.is_deployed());
+
+        // A later retry (failure cleared) succeeds.
+        let report = e.upgrade(&mut dep, &spec_v2(false)).unwrap();
+        assert!(!report.plan.is_empty());
+        assert!(sim.has_package(host, "fa-2"));
+    }
+
+    #[test]
+    fn incremental_upgrade_leaves_untouched_services_running() {
+        let u = universe();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u);
+        let mut dep = e.deploy(&spec_v2(true)).unwrap();
+        let host = dep.host_of(&"fa".into()).unwrap();
+        // Redis has been started exactly once so far.
+        assert_eq!(e.sim().service_state(host, "redis").unwrap().starts, 1);
+
+        // Downgrade FA 2 -> FA 1 incrementally; redis is unrelated.
+        let mut v1_plus_redis = spec_v1();
+        let mut redis = engage_model::ResourceInstance::new("redis", "Redis 2.4");
+        redis.set_inside_link("server");
+        redis.set_config("port", Value::from(6379i64));
+        redis.set_output("redis", Value::structure([("port", Value::from(6379i64))]));
+        v1_plus_redis.push(redis).unwrap();
+
+        let report = e
+            .upgrade_with(&mut dep, &v1_plus_redis, UpgradeStrategy::Incremental)
+            .unwrap();
+        assert!(!report.worst_case);
+        assert!(dep.is_deployed());
+        assert!(e.sim().has_package(host, "fa-1"));
+        // Redis was never bounced: still 1 start.
+        assert_eq!(e.sim().service_state(host, "redis").unwrap().starts, 1);
+        // Only the app was touched.
+        assert_eq!(report.touched, 1, "{:?}", report.plan);
+
+        // Contrast: the worst-case strategy bounces redis too.
+        let mut dep2 = e.deploy(&spec_v2(true)).unwrap();
+        let host2 = dep2.host_of(&"fa".into()).unwrap();
+        e.upgrade_with(&mut dep2, &v1_plus_redis, UpgradeStrategy::WorstCase)
+            .unwrap();
+        assert!(e.sim().service_state(host2, "redis").unwrap().starts >= 2);
+    }
+
+    #[test]
+    fn incremental_noop_upgrade_touches_nothing() {
+        let u = universe();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u);
+        let mut dep = e.deploy(&spec_v1()).unwrap();
+        let report = e
+            .upgrade_with(&mut dep, &spec_v1(), UpgradeStrategy::Incremental)
+            .unwrap();
+        assert_eq!(report.touched, 0);
+        assert!(dep.is_deployed());
+    }
+
+    #[test]
+    fn incremental_upgrade_rolls_back_on_failure() {
+        let u = universe();
+        let sim = Sim::new(DownloadSource::local_cache());
+        let e = DeploymentEngine::new(sim.clone(), &u);
+        let mut dep = e.deploy(&spec_v1()).unwrap();
+        let host = dep.host_of(&"fa".into()).unwrap();
+        sim.inject_install_failure("fa-2", 1);
+        let err = e
+            .upgrade_with(&mut dep, &spec_v2(false), UpgradeStrategy::Incremental)
+            .unwrap_err();
+        assert!(
+            matches!(err, DeployError::UpgradeRolledBack { .. }),
+            "{err}"
+        );
+        assert!(sim.has_package(host, "fa-1"));
+        assert!(dep.is_deployed());
+    }
+
+    #[test]
+    fn downgrade_removes_added_components() {
+        let u = universe();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u);
+        let mut dep = e.deploy(&spec_v2(true)).unwrap();
+        let host = dep.host_of(&"fa".into()).unwrap();
+        e.upgrade(&mut dep, &spec_v1()).unwrap();
+        assert!(!e.sim().has_package(host, "redis-2.4"));
+        assert!(e.sim().has_package(host, "fa-1"));
+        assert!(!e.sim().service_running(host, "redis"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # engage-dsl
+//!
+//! Concrete syntax for the Engage deployment management system (PLDI 2012):
+//! a hand-written lexer and recursive-descent parser for the `.ers`
+//! resource-definition language, a self-contained JSON parser/printer for
+//! installation specifications (the paper's Figure 2 format), span-tracked
+//! diagnostics, and pretty-printers that round-trip with the parsers.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! abstract resource "Server" {
+//!   config port hostname: string = "localhost";
+//! }
+//! resource "Mac-OSX 10.6" extends "Server" {}
+//! "#;
+//! let universe = engage_dsl::parse_universe(src).unwrap();
+//! assert_eq!(universe.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod json;
+mod lexer;
+mod parser;
+mod printer;
+mod span;
+mod spec;
+
+pub use json::{parse_json, Json};
+pub use lexer::{lex, Spanned, Token};
+pub use parser::{parse_dep_target, parse_resources, parse_universe};
+pub use printer::{print_resource_type, print_universe};
+pub use span::{line_col, Diagnostic, LineCol, Span};
+pub use spec::{
+    install_spec_from_json, install_spec_to_json, json_to_value, parse_install_spec,
+    parse_partial_spec, partial_spec_from_json, partial_spec_to_json, render_install_spec,
+    render_partial_spec, value_to_json,
+};

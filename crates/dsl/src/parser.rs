@@ -1,0 +1,762 @@
+//! Recursive-descent parser for the Engage resource-definition language.
+//!
+//! The paper "omit[s] describing a concrete syntax for resources" (§2); this
+//! is the concrete syntax this implementation defines (documented in
+//! `DESIGN.md` §3). A file is a sequence of resource declarations:
+//!
+//! ```text
+//! abstract resource "Server" {
+//!   config port hostname: string = "localhost";
+//!   output port host: { hostname: string }
+//!       = { hostname: config.hostname };
+//! }
+//!
+//! resource "Tomcat 6.0.18" {
+//!   inside "Server" { input host <- host; }
+//!   env "Java" { input java <- java; }
+//!   input port host: { hostname: string };
+//!   input port java: { home: string };
+//!   config port manager_port: int = 8080;
+//!   output port tomcat: { hostname: string, manager_port: int }
+//!       = { hostname: input.host.hostname, manager_port: config.manager_port };
+//!   driver service;
+//! }
+//! ```
+
+use engage_model::{
+    BasicState, Binding, DepKind, DepTarget, Dependency, DriverSpec, DriverState, Expr, Guard,
+    Namespace, PortDef, PortKind, PortMapping, ResourceKey, ResourceType, StatePred, Transition,
+    Universe, ValueType, Version, VersionRange,
+};
+
+use crate::lexer::{lex, Spanned, Token};
+use crate::span::{Diagnostic, Span};
+
+/// Parses a `.ers` source file into a list of resource types.
+///
+/// # Errors
+///
+/// Returns the first [`Diagnostic`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"resource "MySQL 5.1" {
+///   inside "Server";
+///   config port port: int = 3306;
+///   output port mysql: { port: int } = { port: config.port };
+/// }"#;
+/// let types = engage_dsl::parse_resources(src).unwrap();
+/// assert_eq!(types.len(), 1);
+/// assert_eq!(types[0].key().to_string(), "MySQL 5.1");
+/// ```
+pub fn parse_resources(src: &str) -> Result<Vec<ResourceType>, Diagnostic> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        out.push(p.resource()?);
+    }
+    Ok(out)
+}
+
+/// Parses a `.ers` file directly into a [`Universe`].
+///
+/// # Errors
+///
+/// Lex/parse diagnostics, or a duplicate-key diagnostic.
+pub fn parse_universe(src: &str) -> Result<Universe, Diagnostic> {
+    let mut u = Universe::new();
+    for ty in parse_resources(src)? {
+        let key = ty.key().clone();
+        u.insert(ty)
+            .map_err(|e| Diagnostic::new(format!("{e} (`{key}`)"), Span::point(0)))?;
+    }
+    Ok(u)
+}
+
+/// Parses a dependency-target string such as `"Tomcat"`, `"Tomcat 6.0.18"`,
+/// or `"Tomcat [5.5, 6.0.29)"` (version-range sugar, §3.4).
+///
+/// # Errors
+///
+/// Returns a message when the range part is malformed.
+pub fn parse_dep_target(text: &str) -> Result<DepTarget, String> {
+    let text = text.trim();
+    // A range starts at the last ` [` or ` (` whose contents contain a comma.
+    for (i, c) in text.char_indices().rev() {
+        if (c == '[' || c == '(') && i > 0 && text.as_bytes()[i - 1] == b' ' {
+            let name = text[..i - 1].trim();
+            let rest = &text[i..];
+            let close = rest
+                .chars()
+                .last()
+                .ok_or_else(|| "empty version range".to_owned())?;
+            if close != ']' && close != ')' {
+                return Err(format!("version range `{rest}` must end with `]` or `)`"));
+            }
+            let inner = &rest[1..rest.len() - 1];
+            let (lo_txt, hi_txt) = inner
+                .split_once(',')
+                .ok_or_else(|| format!("version range `{rest}` must contain `,`"))?;
+            let lo = parse_bound(lo_txt, c == '[')?;
+            let hi = parse_bound(hi_txt, close == ']')?;
+            if name.is_empty() {
+                return Err("version range with empty package name".into());
+            }
+            return Ok(DepTarget::Range {
+                name: name.to_owned(),
+                range: VersionRange::new(lo, hi),
+            });
+        }
+    }
+    let key: ResourceKey = text
+        .parse()
+        .map_err(|e| format!("bad resource key `{text}`: {e}"))?;
+    Ok(DepTarget::Exact(key))
+}
+
+fn parse_bound(txt: &str, inclusive: bool) -> Result<engage_model::Bound, String> {
+    let txt = txt.trim();
+    if txt.is_empty() {
+        return Ok(engage_model::Bound::Unbounded);
+    }
+    let v: Version = txt
+        .parse()
+        .map_err(|_| format!("bad version `{txt}` in range"))?;
+    Ok(if inclusive {
+        engage_model::Bound::Inclusive(v)
+    } else {
+        engage_model::Bound::Exclusive(v)
+    })
+}
+
+/// Maximum nesting depth for types and expressions — a guard against
+/// stack exhaustion on adversarial inputs.
+const MAX_PARSE_DEPTH: usize = 256;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Diagnostic> {
+        Err(Diagnostic::new(msg, self.peek_span()))
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<Span, Diagnostic> {
+        if self.peek() == tok {
+            Ok(self.bump().span)
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    /// Consumes an identifier with the exact text `kw`.
+    fn expect_kw(&mut self, kw: &str) -> Result<Span, Diagnostic> {
+        match self.peek() {
+            Token::Ident(s) if s == kw => Ok(self.bump().span),
+            other => self.err(format!("expected `{kw}`, found {other}")),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Diagnostic> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Diagnostic> {
+        match self.peek().clone() {
+            Token::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected string literal, found {other}")),
+        }
+    }
+
+    fn resource(&mut self) -> Result<ResourceType, Diagnostic> {
+        let is_abstract = self.eat_kw("abstract");
+        self.expect_kw("resource")?;
+        let key_text = self.string()?;
+        let key: ResourceKey = key_text
+            .parse()
+            .map_err(|e| Diagnostic::new(format!("{e}"), self.peek_span()))?;
+        let mut b = ResourceType::builder(key);
+        if is_abstract {
+            b = b.abstract_type();
+        }
+        if self.eat_kw("extends") {
+            let sup = self.string()?;
+            let sup_key: ResourceKey = sup
+                .parse()
+                .map_err(|e| Diagnostic::new(format!("{e}"), self.peek_span()))?;
+            b = b.extends(sup_key);
+        }
+        self.expect(&Token::LBrace)?;
+        while self.peek() != &Token::RBrace {
+            b = self.member(b)?;
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(b.build())
+    }
+
+    fn member(
+        &mut self,
+        b: engage_model::ResourceTypeBuilder,
+    ) -> Result<engage_model::ResourceTypeBuilder, Diagnostic> {
+        if self.at_kw("inside") || self.at_kw("env") || self.at_kw("peer") {
+            let dep = self.dependency()?;
+            Ok(match dep.kind() {
+                DepKind::Inside => b.inside(dep),
+                _ => b.dependency(dep),
+            })
+        } else if self.at_kw("driver") {
+            let d = self.driver()?;
+            Ok(b.driver(d))
+        } else {
+            let p = self.port()?;
+            Ok(b.port(p))
+        }
+    }
+
+    fn dependency(&mut self) -> Result<Dependency, Diagnostic> {
+        let kind = match self.ident()?.as_str() {
+            "inside" => DepKind::Inside,
+            "env" => DepKind::Environment,
+            "peer" => DepKind::Peer,
+            other => return self.err(format!("unknown dependency kind `{other}`")),
+        };
+        let mut targets = Vec::new();
+        loop {
+            let span = self.peek_span();
+            let text = self.string()?;
+            let target = parse_dep_target(&text).map_err(|m| Diagnostic::new(m, span))?;
+            targets.push(target);
+            if !matches!(self.peek(), Token::Pipe) {
+                break;
+            }
+            self.bump();
+        }
+        let mut mappings = Vec::new();
+        if self.peek() == &Token::LBrace {
+            self.bump();
+            while self.peek() != &Token::RBrace {
+                mappings.push(self.mapping()?);
+            }
+            self.expect(&Token::RBrace)?;
+            // After a mapping block the semicolon is optional, like after a
+            // Rust block.
+            if self.peek() == &Token::Semi {
+                self.bump();
+            }
+        } else {
+            self.expect(&Token::Semi)?;
+        }
+        Ok(Dependency::new(kind, targets, mappings))
+    }
+
+    fn mapping(&mut self) -> Result<PortMapping, Diagnostic> {
+        if self.eat_kw("input") {
+            // input <to_input> <- <from_output>;
+            let to_input = self.ident()?;
+            self.expect(&Token::LArrow)?;
+            let from_output = self.ident()?;
+            self.expect(&Token::Semi)?;
+            Ok(PortMapping::forward(from_output, to_input))
+        } else if self.eat_kw("output") {
+            // output <from_output> -> <to_input>;  (reverse/static, §3.4)
+            let from_output = self.ident()?;
+            self.expect(&Token::RArrow)?;
+            let to_input = self.ident()?;
+            self.expect(&Token::Semi)?;
+            Ok(PortMapping::reverse(from_output, to_input))
+        } else {
+            self.err(format!(
+                "expected `input` or `output` mapping, found {}",
+                self.peek()
+            ))
+        }
+    }
+
+    fn port(&mut self) -> Result<PortDef, Diagnostic> {
+        let is_static = self.eat_kw("static");
+        let kind = match self.ident()?.as_str() {
+            "input" => PortKind::Input,
+            "config" => PortKind::Config,
+            "output" => PortKind::Output,
+            other => return self.err(format!("expected a port declaration, found `{other}`")),
+        };
+        self.expect_kw("port")?;
+        let name = self.ident()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.value_type()?;
+        let default = if self.peek() == &Token::Eq {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Token::Semi)?;
+        let mut p = PortDef::new(name, kind, ty, default);
+        if is_static {
+            p = p.with_binding(Binding::Static);
+        }
+        Ok(p)
+    }
+
+    fn value_type(&mut self) -> Result<ValueType, Diagnostic> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return self.err(format!("nesting deeper than {MAX_PARSE_DEPTH} levels"));
+        }
+        let result = self.value_type_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn value_type_inner(&mut self) -> Result<ValueType, Diagnostic> {
+        match self.peek().clone() {
+            Token::Ident(s) => match s.as_str() {
+                "string" => {
+                    self.bump();
+                    Ok(ValueType::Str)
+                }
+                "int" => {
+                    self.bump();
+                    Ok(ValueType::Int)
+                }
+                "bool" => {
+                    self.bump();
+                    Ok(ValueType::Bool)
+                }
+                "list" => {
+                    self.bump();
+                    self.expect(&Token::Lt)?;
+                    let elem = self.value_type()?;
+                    self.expect(&Token::Gt)?;
+                    Ok(ValueType::List(Box::new(elem)))
+                }
+                other => self.err(format!("unknown type `{other}`")),
+            },
+            Token::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                while self.peek() != &Token::RBrace {
+                    let name = self.ident()?;
+                    self.expect(&Token::Colon)?;
+                    let t = self.value_type()?;
+                    fields.push((name, t));
+                    if self.peek() == &Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(ValueType::record(fields))
+            }
+            other => self.err(format!("expected a type, found {other}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        let first = self.primary()?;
+        if self.peek() != &Token::Plus {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.peek() == &Token::Plus {
+            self.bump();
+            parts.push(self.primary()?);
+        }
+        Ok(Expr::Add(parts))
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diagnostic> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return self.err(format!("nesting deeper than {MAX_PARSE_DEPTH} levels"));
+        }
+        let result = self.primary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn primary_inner(&mut self) -> Result<Expr, Diagnostic> {
+        match self.peek().clone() {
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::lit(s.as_str()))
+            }
+            Token::Int(n) => {
+                self.bump();
+                Ok(Expr::lit(n))
+            }
+            Token::Ident(id) => match id.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::lit(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::lit(false))
+                }
+                "input" | "config" => {
+                    self.bump();
+                    let ns = if id == "input" {
+                        Namespace::Input
+                    } else {
+                        Namespace::Config
+                    };
+                    let mut path = Vec::new();
+                    self.expect(&Token::Dot)?;
+                    path.push(self.ident()?);
+                    while self.peek() == &Token::Dot {
+                        self.bump();
+                        path.push(self.ident()?);
+                    }
+                    Ok(Expr::Ref(ns, path))
+                }
+                other => self.err(format!("unexpected identifier `{other}` in expression")),
+            },
+            Token::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                while self.peek() != &Token::RBrace {
+                    let name = self.ident()?;
+                    self.expect(&Token::Colon)?;
+                    let e = self.expr()?;
+                    fields.push((name, e));
+                    if self.peek() == &Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(Expr::Struct(fields))
+            }
+            Token::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                while self.peek() != &Token::RBracket {
+                    items.push(self.expr()?);
+                    if self.peek() == &Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+
+    fn driver(&mut self) -> Result<DriverSpec, Diagnostic> {
+        self.expect_kw("driver")?;
+        if self.at_kw("service") {
+            self.bump();
+            self.expect(&Token::Semi)?;
+            return Ok(DriverSpec::standard_service());
+        }
+        if self.at_kw("package") {
+            self.bump();
+            self.expect(&Token::Semi)?;
+            return Ok(DriverSpec::standard_package());
+        }
+        self.expect(&Token::LBrace)?;
+        let mut d = DriverSpec::new();
+        while self.peek() != &Token::RBrace {
+            if self.eat_kw("state") {
+                let name = self.ident()?;
+                self.expect(&Token::Semi)?;
+                d.add_state(name);
+            } else if self.eat_kw("transition") {
+                let action = self.ident()?;
+                self.expect_kw("from")?;
+                let from = self.driver_state()?;
+                self.expect_kw("to")?;
+                let to = self.driver_state()?;
+                let guard = if self.eat_kw("when") {
+                    let mut g = Guard::always();
+                    loop {
+                        let pred = self.state_pred()?;
+                        g = g.and(pred);
+                        if !self.eat_kw("and") {
+                            break;
+                        }
+                    }
+                    g
+                } else {
+                    Guard::always()
+                };
+                self.expect(&Token::Semi)?;
+                d.add_transition(Transition::new(from, action, guard, to));
+            } else {
+                return self.err(format!(
+                    "expected `state` or `transition`, found {}",
+                    self.peek()
+                ));
+            }
+        }
+        self.expect(&Token::RBrace)?;
+        d.validate()
+            .map_err(|m| Diagnostic::new(m, self.peek_span()))?;
+        Ok(d)
+    }
+
+    fn driver_state(&mut self) -> Result<DriverState, Diagnostic> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "uninstalled" => BasicState::Uninstalled.into(),
+            "inactive" => BasicState::Inactive.into(),
+            "active" => BasicState::Active.into(),
+            custom => DriverState::Custom(custom.to_owned()),
+        })
+    }
+
+    fn state_pred(&mut self) -> Result<StatePred, Diagnostic> {
+        let dir = self.ident()?;
+        let state = match self.ident()?.as_str() {
+            "uninstalled" => BasicState::Uninstalled,
+            "inactive" => BasicState::Inactive,
+            "active" => BasicState::Active,
+            other => return self.err(format!("guards only mention basic states, not `{other}`")),
+        };
+        match dir.as_str() {
+            "upstream" => Ok(StatePred::Upstream(state)),
+            "downstream" => Ok(StatePred::Downstream(state)),
+            other => self.err(format!(
+                "expected `upstream` or `downstream`, found `{other}`"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_resource() {
+        let src = r#"abstract resource "Server" {}"#;
+        let types = parse_resources(src).unwrap();
+        assert_eq!(types.len(), 1);
+        assert!(types[0].is_abstract());
+        assert!(types[0].is_machine());
+    }
+
+    #[test]
+    fn parses_full_tomcat() {
+        let src = r#"
+        resource "Tomcat 6.0.18" {
+          inside "Server" { input host <- host; }
+          env "Java" { input java <- java; }
+          input port host: { hostname: string };
+          input port java: { home: string };
+          config port manager_port: int = 8080;
+          output port tomcat: { hostname: string, manager_port: int }
+              = { hostname: input.host.hostname, manager_port: config.manager_port };
+          driver service;
+        }"#;
+        let t = &parse_resources(src).unwrap()[0];
+        assert_eq!(t.key().to_string(), "Tomcat 6.0.18");
+        assert!(t.inside().is_some());
+        assert_eq!(t.env().len(), 1);
+        assert_eq!(t.ports_of(PortKind::Input).count(), 2);
+        assert_eq!(t.driver_spec().unwrap(), &DriverSpec::standard_service());
+    }
+
+    #[test]
+    fn parses_disjunction_and_range() {
+        let src = r#"
+        resource "OpenMRS 1.8" {
+          inside "Tomcat [5.5, 6.0.29)";
+          env "JDK 1.6" | "JRE 1.6";
+          peer "MySQL 5.1";
+        }"#;
+        let t = &parse_resources(src).unwrap()[0];
+        match &t.inside().unwrap().targets()[0] {
+            DepTarget::Range { name, range } => {
+                assert_eq!(name, "Tomcat");
+                assert_eq!(range.to_string(), "[5.5, 6.0.29)");
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+        assert_eq!(t.env()[0].targets().len(), 2);
+        assert_eq!(t.peer().len(), 1);
+    }
+
+    #[test]
+    fn parses_static_ports_and_reverse_maps() {
+        let src = r#"
+        resource "OpenMRS 1.8" {
+          inside "Tomcat 6.0.18" { output runtime_config -> webapp_config; }
+          static output port runtime_config: string = "conf/openmrs.xml";
+        }"#;
+        let t = &parse_resources(src).unwrap()[0];
+        let p = t.port(PortKind::Output, "runtime_config").unwrap();
+        assert_eq!(p.binding(), Binding::Static);
+        let m = t.inside().unwrap().reverse_mappings().next().unwrap();
+        assert_eq!(m.from_output(), "runtime_config");
+        assert_eq!(m.to_input(), "webapp_config");
+    }
+
+    #[test]
+    fn parses_custom_driver() {
+        let src = r#"
+        resource "FA 2" {
+          inside "Server";
+          driver {
+            state migrating;
+            transition install from uninstalled to inactive;
+            transition migrate from inactive to migrating when upstream active;
+            transition finish from migrating to active;
+            transition stop from active to inactive when downstream inactive;
+          }
+        }"#;
+        let t = &parse_resources(src).unwrap()[0];
+        let d = t.driver_spec().unwrap();
+        assert_eq!(d.custom_states(), &["migrating".to_owned()]);
+        assert_eq!(d.transitions().len(), 4);
+    }
+
+    #[test]
+    fn parses_guard_conjunction() {
+        let src = r#"
+        resource "X 1" {
+          driver {
+            transition start from inactive to active
+              when upstream active and downstream uninstalled;
+          }
+        }"#;
+        let t = &parse_resources(src).unwrap()[0];
+        let tr = &t.driver_spec().unwrap().transitions()[0];
+        assert_eq!(tr.guard().preds().len(), 2);
+    }
+
+    #[test]
+    fn parses_expressions() {
+        let src = r#"
+        resource "E 1" {
+          config port base: string = "/opt";
+          config port n: int = 1 + 2;
+          output port out: string = config.base + "/" + "x";
+          output port l: list<int> = [1, 2, 3];
+          output port b: bool = true;
+        }"#;
+        let t = &parse_resources(src).unwrap()[0];
+        assert_eq!(t.ports().len(), 5);
+        let l = t.port(PortKind::Output, "l").unwrap();
+        assert_eq!(l.ty(), &ValueType::List(Box::new(ValueType::Int)));
+    }
+
+    #[test]
+    fn error_on_unknown_type() {
+        let src = r#"resource "X 1" { config port p: flurble = 1; }"#;
+        let err = parse_resources(src).unwrap_err();
+        assert!(err.message().contains("unknown type"));
+    }
+
+    #[test]
+    fn error_has_position() {
+        let src = "resource 42 {}";
+        let err = parse_resources(src).unwrap_err();
+        assert!(err.render(src).contains("1:10"), "{}", err.render(src));
+    }
+
+    #[test]
+    fn dep_target_parser_cases() {
+        assert_eq!(
+            parse_dep_target("MySQL 5.1").unwrap(),
+            DepTarget::Exact("MySQL 5.1".into())
+        );
+        assert_eq!(
+            parse_dep_target("Java").unwrap(),
+            DepTarget::Exact("Java".into())
+        );
+        match parse_dep_target("Tomcat [5.5,)").unwrap() {
+            DepTarget::Range { name, range } => {
+                assert_eq!(name, "Tomcat");
+                assert!(range.contains(&"9".parse().unwrap()));
+                assert!(!range.contains(&"5.4".parse().unwrap()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_dep_target("Tomcat [x, y)").is_err());
+        assert!(parse_dep_target("Tomcat [5.5 6)").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep_ty = format!(
+            "resource \"X 1\" {{ config port p: {}int{} = 1; }}",
+            "list<".repeat(100_000),
+            ">".repeat(100_000)
+        );
+        let err = parse_resources(&deep_ty).unwrap_err();
+        assert!(err.message().contains("nesting"), "{}", err.message());
+        let deep_expr = format!(
+            "resource \"X 1\" {{ config port p: int = {}1{}; }}",
+            "[".repeat(100_000),
+            "]".repeat(100_000)
+        );
+        let err = parse_resources(&deep_expr).unwrap_err();
+        assert!(err.message().contains("nesting"), "{}", err.message());
+    }
+
+    #[test]
+    fn parse_universe_detects_duplicates() {
+        let src = r#"resource "A 1" {} resource "A 1" {}"#;
+        assert!(parse_universe(src).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Source spans and diagnostics for the Engage resource language.
+
+use std::fmt;
+
+/// A byte range within a source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: usize) -> Self {
+        Span::new(pos, pos)
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+/// 1-based line/column position, computed from a span and the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in bytes).
+    pub col: usize,
+}
+
+/// Computes the 1-based line and column of a byte offset.
+pub fn line_col(src: &str, offset: usize) -> LineCol {
+    let offset = offset.min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in src.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// A parse or lex error with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    message: String,
+    span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders the diagnostic with the offending source line and a caret.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use engage_dsl::{Diagnostic, Span};
+    /// let src = "resource Bad {";
+    /// let d = Diagnostic::new("expected a string literal", Span::new(9, 12));
+    /// let r = d.render(src);
+    /// assert!(r.contains("1:10"));
+    /// assert!(r.contains("^^^"));
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let lc = line_col(src, self.span.start);
+        let line_text = src.lines().nth(lc.line - 1).unwrap_or("");
+        let width = (self.span.end.saturating_sub(self.span.start)).max(1);
+        let caret = " ".repeat(lc.col - 1)
+            + &"^".repeat(width.min(line_text.len() + 1 - (lc.col - 1)).max(1));
+        format!(
+            "error: {} at {}:{}\n  |\n  | {}\n  | {}",
+            self.message, lc.line, lc.col, line_text, caret
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at bytes {}..{}",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 5), LineCol { line: 2, col: 3 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 1 });
+        // Past the end clamps.
+        assert_eq!(line_col(src, 100), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn render_points_at_source() {
+        let src = "resource 42 {}";
+        let d = Diagnostic::new("expected string", Span::new(9, 11));
+        let r = d.render(src);
+        assert!(r.contains("resource 42 {}"));
+        assert!(r.contains("^^"));
+        assert!(r.contains("1:10"));
+    }
+}

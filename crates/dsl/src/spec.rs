@@ -1,0 +1,394 @@
+//! JSON (de)serialization of installation specifications.
+//!
+//! Partial installation specifications use the paper's Figure 2 format; full
+//! installation specifications extend it with the computed port values and
+//! dependency links. The pretty-printed renderings of these documents are
+//! what the paper's spec-size numbers count (22 → 204 lines for OpenMRS,
+//! 26 → 434 for JasperReports, 61 → 1,444 for the WebApp production site).
+
+use engage_model::{InstallSpec, PartialInstallSpec, PartialInstance, ResourceInstance, Value};
+
+use crate::json::{parse_json, Json};
+use crate::span::{Diagnostic, Span};
+
+/// Converts a model [`Value`] to JSON.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Str(s) => Json::Str(s.clone()),
+        Value::Int(n) => Json::Int(*n),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Struct(m) => Json::Object(
+            m.iter()
+                .map(|(k, v)| (k.clone(), value_to_json(v)))
+                .collect(),
+        ),
+        Value::List(items) => Json::Array(items.iter().map(value_to_json).collect()),
+    }
+}
+
+/// Converts JSON to a model [`Value`].
+///
+/// # Errors
+///
+/// `null` and non-integral numbers have no model counterpart.
+pub fn json_to_value(j: &Json) -> Result<Value, String> {
+    match j {
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        Json::Int(n) => Ok(Value::Int(*n)),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Object(members) => {
+            let mut m = std::collections::BTreeMap::new();
+            for (k, v) in members {
+                m.insert(k.clone(), json_to_value(v)?);
+            }
+            Ok(Value::Struct(m))
+        }
+        Json::Array(items) => Ok(Value::List(
+            items.iter().map(json_to_value).collect::<Result<_, _>>()?,
+        )),
+        Json::Null => Err("`null` is not a port value".into()),
+        Json::Float(x) => Err(format!("non-integral number `{x}` is not a port value")),
+    }
+}
+
+/// Parses a partial installation specification from JSON text
+/// (Figure 2 format).
+///
+/// # Errors
+///
+/// JSON syntax errors or shape violations, as a [`Diagnostic`].
+pub fn parse_partial_spec(src: &str) -> Result<PartialInstallSpec, Diagnostic> {
+    let json = parse_json(src)?;
+    partial_spec_from_json(&json).map_err(|m| Diagnostic::new(m, Span::point(0)))
+}
+
+/// Builds a partial spec from parsed JSON.
+///
+/// # Errors
+///
+/// Returns a message describing the first shape violation.
+pub fn partial_spec_from_json(json: &Json) -> Result<PartialInstallSpec, String> {
+    let arr = json
+        .as_array()
+        .ok_or("partial install spec must be a JSON array")?;
+    let mut spec = PartialInstallSpec::new();
+    for item in arr {
+        let id = item
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("every instance needs a string `id`")?;
+        let key = item
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("instance `{id}` needs a string `key`"))?;
+        let mut inst = PartialInstance::new(id, key);
+        if let Some(inside) = item.get("inside") {
+            let target = inside
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("`inside` of `{id}` needs an `id`"))?;
+            inst = inst.inside(target);
+        }
+        if let Some(cfg) = item.get("config_port") {
+            let members = cfg
+                .as_object()
+                .ok_or_else(|| format!("`config_port` of `{id}` must be an object"))?;
+            for (k, v) in members {
+                inst = inst.config(k.clone(), json_to_value(v)?);
+            }
+        }
+        spec.push(inst)
+            .map_err(|i| format!("duplicate instance id `{}`", i.id()))?;
+    }
+    Ok(spec)
+}
+
+/// Renders a partial spec to the Figure 2 JSON format.
+pub fn partial_spec_to_json(spec: &PartialInstallSpec) -> Json {
+    Json::Array(
+        spec.iter()
+            .map(|inst| {
+                let mut members = vec![
+                    ("id".to_owned(), Json::from(inst.id().as_str())),
+                    ("key".to_owned(), Json::Str(inst.key().to_string())),
+                ];
+                if !inst.config_overrides().is_empty() {
+                    members.push((
+                        "config_port".to_owned(),
+                        Json::Object(
+                            inst.config_overrides()
+                                .iter()
+                                .map(|(k, v)| (k.clone(), value_to_json(v)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                if let Some(link) = inst.inside_link() {
+                    members.push((
+                        "inside".to_owned(),
+                        Json::Object(vec![("id".to_owned(), Json::from(link.as_str()))]),
+                    ));
+                }
+                Json::Object(members)
+            })
+            .collect(),
+    )
+}
+
+/// Pretty-prints a partial spec; the line count of this string is the
+/// paper's "partial installation specification" size metric.
+pub fn render_partial_spec(spec: &PartialInstallSpec) -> String {
+    partial_spec_to_json(spec).pretty()
+}
+
+/// Renders a full installation specification to JSON.
+pub fn install_spec_to_json(spec: &InstallSpec) -> Json {
+    Json::Array(
+        spec.iter()
+            .map(|inst| {
+                let mut members = vec![
+                    ("id".to_owned(), Json::from(inst.id().as_str())),
+                    ("key".to_owned(), Json::Str(inst.key().to_string())),
+                ];
+                for (field, values) in [
+                    ("config_port", inst.config()),
+                    ("input_port", inst.inputs()),
+                    ("output_port", inst.outputs()),
+                ] {
+                    if !values.is_empty() {
+                        members.push((
+                            field.to_owned(),
+                            Json::Object(
+                                values
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), value_to_json(v)))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                }
+                if let Some(link) = inst.inside_link() {
+                    members.push((
+                        "inside".to_owned(),
+                        Json::Object(vec![("id".to_owned(), Json::from(link.as_str()))]),
+                    ));
+                }
+                if !inst.env_links().is_empty() {
+                    members.push((
+                        "environment".to_owned(),
+                        Json::Array(
+                            inst.env_links()
+                                .iter()
+                                .map(|l| {
+                                    Json::Object(vec![("id".to_owned(), Json::from(l.as_str()))])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                if !inst.peer_links().is_empty() {
+                    members.push((
+                        "peers".to_owned(),
+                        Json::Array(
+                            inst.peer_links()
+                                .iter()
+                                .map(|l| {
+                                    Json::Object(vec![("id".to_owned(), Json::from(l.as_str()))])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                Json::Object(members)
+            })
+            .collect(),
+    )
+}
+
+/// Pretty-prints a full install spec; the line count of this string is the
+/// paper's "full installation specification" size metric.
+pub fn render_install_spec(spec: &InstallSpec) -> String {
+    install_spec_to_json(spec).pretty()
+}
+
+/// Parses a full installation specification from JSON text.
+///
+/// # Errors
+///
+/// JSON syntax errors or shape violations, as a [`Diagnostic`].
+pub fn parse_install_spec(src: &str) -> Result<InstallSpec, Diagnostic> {
+    let json = parse_json(src)?;
+    install_spec_from_json(&json).map_err(|m| Diagnostic::new(m, Span::point(0)))
+}
+
+/// Builds a full spec from parsed JSON.
+///
+/// # Errors
+///
+/// Returns a message describing the first shape violation.
+pub fn install_spec_from_json(json: &Json) -> Result<InstallSpec, String> {
+    let arr = json.as_array().ok_or("install spec must be a JSON array")?;
+    let mut spec = InstallSpec::new();
+    for item in arr {
+        let id = item
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("every instance needs a string `id`")?;
+        let key = item
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("instance `{id}` needs a string `key`"))?;
+        let mut inst = ResourceInstance::new(id, key);
+        type Setter = fn(&mut ResourceInstance, String, Value);
+        let setters: [(&str, Setter); 3] = [
+            ("config_port", |i, k, v| {
+                i.set_config(k, v);
+            }),
+            ("input_port", |i, k, v| {
+                i.set_input(k, v);
+            }),
+            ("output_port", |i, k, v| {
+                i.set_output(k, v);
+            }),
+        ];
+        for (field, set) in setters {
+            if let Some(obj) = item.get(field) {
+                let members = obj
+                    .as_object()
+                    .ok_or_else(|| format!("`{field}` of `{id}` must be an object"))?;
+                for (k, v) in members {
+                    set(&mut inst, k.clone(), json_to_value(v)?);
+                }
+            }
+        }
+        if let Some(inside) = item.get("inside") {
+            let target = inside
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("`inside` of `{id}` needs an `id`"))?;
+            inst.set_inside_link(target);
+        }
+        type Linker = fn(&mut ResourceInstance, &str);
+        let linkers: [(&str, Linker); 2] = [
+            ("environment", |i, l| {
+                i.add_env_link(l);
+            }),
+            ("peers", |i, l| {
+                i.add_peer_link(l);
+            }),
+        ];
+        for (field, add) in linkers {
+            if let Some(arr) = item.get(field) {
+                let items = arr
+                    .as_array()
+                    .ok_or_else(|| format!("`{field}` of `{id}` must be an array"))?;
+                for entry in items {
+                    let l = entry
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("`{field}` entries of `{id}` need an `id`"))?;
+                    add(&mut inst, l);
+                }
+            }
+        }
+        spec.push(inst)
+            .map_err(|i| format!("duplicate instance id `{}`", i.id()))?;
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE_2: &str = r#"[
+      { "id": "server", "key": "Mac-OSX 10.6",
+        "config_port": { "hostname": "localhost", "os_user_name": "root" } },
+      { "id": "tomcat", "key": "Tomcat 6.0.18", "inside": { "id": "server" } },
+      { "id": "openmrs", "key": "OpenMRS 1.8", "inside": { "id": "tomcat" } }
+    ]"#;
+
+    #[test]
+    fn figure_2_parses() {
+        let spec = parse_partial_spec(FIGURE_2).unwrap();
+        assert_eq!(spec.len(), 3);
+        let server = spec.get(&"server".into()).unwrap();
+        assert_eq!(
+            server.config_overrides().get("hostname"),
+            Some(&Value::from("localhost"))
+        );
+        let openmrs = spec.get(&"openmrs".into()).unwrap();
+        assert_eq!(openmrs.inside_link().unwrap().as_str(), "tomcat");
+    }
+
+    #[test]
+    fn partial_spec_roundtrips() {
+        let spec = parse_partial_spec(FIGURE_2).unwrap();
+        let rendered = render_partial_spec(&spec);
+        let spec2 = parse_partial_spec(&rendered).unwrap();
+        assert_eq!(spec, spec2);
+    }
+
+    #[test]
+    fn full_spec_roundtrips() {
+        let mut spec = InstallSpec::new();
+        let mut server = ResourceInstance::new("server", "Mac-OSX 10.6");
+        server.set_config("hostname", Value::from("localhost"));
+        server.set_output(
+            "host",
+            Value::structure([("hostname", Value::from("localhost"))]),
+        );
+        spec.push(server).unwrap();
+        let mut db = ResourceInstance::new("db", "MySQL 5.1");
+        db.set_inside_link("server");
+        db.set_config("port", Value::from(3306i64));
+        db.set_output("mysql", Value::structure([("port", Value::from(3306i64))]));
+        spec.push(db).unwrap();
+        let mut app = ResourceInstance::new("app", "App 1.0");
+        app.set_inside_link("server");
+        app.add_env_link("db");
+        app.add_peer_link("db");
+        app.set_input("mysql", Value::structure([("port", Value::from(3306i64))]));
+        spec.push(app).unwrap();
+
+        let rendered = render_install_spec(&spec);
+        let spec2 = parse_install_spec(&rendered).unwrap();
+        assert_eq!(spec, spec2);
+    }
+
+    #[test]
+    fn value_json_roundtrip() {
+        let v = Value::structure([
+            ("s", Value::from("x")),
+            ("n", Value::from(7i64)),
+            ("b", Value::from(true)),
+            ("l", Value::List(vec![Value::from(1i64), Value::from(2i64)])),
+        ]);
+        assert_eq!(json_to_value(&value_to_json(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn json_null_rejected_as_value() {
+        assert!(json_to_value(&Json::Null).is_err());
+        assert!(json_to_value(&Json::Float(1.5)).is_err());
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(parse_partial_spec("{}").is_err());
+        assert!(parse_partial_spec(r#"[{"key": "X 1"}]"#).is_err());
+        assert!(parse_partial_spec(r#"[{"id": "a"}]"#).is_err());
+        assert!(parse_partial_spec(r#"[{"id":"a","key":"X 1"},{"id":"a","key":"X 1"}]"#).is_err());
+    }
+
+    #[test]
+    fn rendered_line_counts_are_stable() {
+        let spec = parse_partial_spec(FIGURE_2).unwrap();
+        let rendered = render_partial_spec(&spec);
+        assert_eq!(
+            rendered.lines().count(),
+            render_partial_spec(&spec).lines().count()
+        );
+        assert!(rendered.lines().count() >= 15);
+    }
+}

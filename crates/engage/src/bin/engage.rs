@@ -1,0 +1,290 @@
+//! `engage` — command-line front end to the Engage deployment management
+//! system reproduction.
+//!
+//! ```text
+//! engage check    [--library L] [FILE.ers ...]          static checks
+//! engage print    [--library L] [FILE.ers ...]          pretty-print the universe
+//! engage plan     --spec SPEC.json [opts]               partial -> full install spec
+//! engage graph    --spec SPEC.json [opts]               Figure-5 hypergraph + constraints
+//! engage dimacs   --spec SPEC.json [opts]               export the CNF in DIMACS
+//! engage diagnose --spec SPEC.json [opts]               explain an unsolvable spec
+//! engage deploy   --spec SPEC.json [--parallel] [--cloud] [opts]
+//!                                                       simulate the deployment
+//! ```
+//!
+//! Options: `--library base|django|full` selects the built-in resource
+//! library (default `full`); additional `.ers` files extend it;
+//! `-o FILE` writes the output instead of printing.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use engage::Engage;
+use engage_config::{diagnose, generate, graph_gen, ConfigEngine};
+use engage_model::{PartialInstallSpec, Universe};
+use engage_sat::ExactlyOneEncoding;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    library: String,
+    extra_files: Vec<String>,
+    spec: Option<String>,
+    out: Option<String>,
+    parallel: bool,
+    cloud: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        library: "full".into(),
+        extra_files: Vec::new(),
+        spec: None,
+        out: None,
+        parallel: false,
+        cloud: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--library" => {
+                opts.library = args
+                    .get(i + 1)
+                    .ok_or("--library needs a value (base|django|full|none)")?
+                    .clone();
+                i += 2;
+            }
+            "--spec" => {
+                opts.spec = Some(
+                    args.get(i + 1)
+                        .ok_or("--spec needs a JSON file path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "-o" | "--out" => {
+                opts.out = Some(args.get(i + 1).ok_or("-o needs a file path")?.clone());
+                i += 2;
+            }
+            "--parallel" => {
+                opts.parallel = true;
+                i += 1;
+            }
+            "--cloud" => {
+                opts.cloud = true;
+                i += 1;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            file => {
+                opts.extra_files.push(file.to_owned());
+                i += 1;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn load_universe(opts: &Options) -> Result<Universe, String> {
+    let mut u = match opts.library.as_str() {
+        "base" => engage_library::base_universe(),
+        "django" => engage_library::django_universe(),
+        "full" => engage_library::full_universe(),
+        "none" => Universe::new(),
+        other => return Err(format!("unknown library `{other}` (base|django|full|none)")),
+    };
+    for file in &opts.extra_files {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let types = engage_dsl::parse_resources(&src)
+            .map_err(|d| format!("{file}:\n{}", d.render(&src)))?;
+        for ty in types {
+            let key = ty.key().clone();
+            u.insert(ty)
+                .map_err(|_| format!("{file}: duplicate resource key `{key}`"))?;
+        }
+    }
+    Ok(u)
+}
+
+fn load_spec(opts: &Options) -> Result<PartialInstallSpec, String> {
+    let path = opts
+        .spec
+        .as_ref()
+        .ok_or("this command needs `--spec <partial-spec.json>`")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    engage_dsl::parse_partial_spec(&src).map_err(|d| format!("{path}:\n{}", d.render(&src)))
+}
+
+fn emit(opts: &Options, content: String) -> Result<String, String> {
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &content).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!("wrote {path}\n"))
+        }
+        None => Ok(content),
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(
+            "usage: engage <check|checkspec|print|plan|graph|dimacs|diagnose|deploy> [options]\n\
+             run with a command for details"
+                .into(),
+        );
+    };
+    let opts = parse_options(rest)?;
+    match command.as_str() {
+        "check" => {
+            let u = load_universe(&opts)?;
+            let mut problems = Vec::new();
+            if let Err(errs) = u.check() {
+                problems.extend(errs);
+            }
+            if let Err(errs) = engage_model::check_declared_subtyping(&u) {
+                problems.extend(errs);
+            }
+            if problems.is_empty() {
+                Ok(format!("ok: {} resource types are well-formed\n", u.len()))
+            } else {
+                let mut out = String::new();
+                for p in &problems {
+                    let _ = writeln!(out, "error: {p}");
+                }
+                let _ = writeln!(out, "{} problem(s) found", problems.len());
+                Err(out)
+            }
+        }
+        "print" => {
+            let u = load_universe(&opts)?;
+            emit(&opts, engage_dsl::print_universe(&u))
+        }
+        "checkspec" => {
+            // Statically check a *full* installation specification (§2:
+            // "Engage's type system can check the installation
+            // specification").
+            let u = load_universe(&opts)?;
+            let path = opts
+                .spec
+                .as_ref()
+                .ok_or("this command needs `--spec <full-spec.json>`")?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let spec = engage_dsl::parse_install_spec(&src)
+                .map_err(|d| format!("{path}:\n{}", d.render(&src)))?;
+            match engage_model::check_install_spec(&u, &spec) {
+                Ok(()) => Ok(format!(
+                    "ok: {} resource instances are correctly configured\n",
+                    spec.len()
+                )),
+                Err(errs) => {
+                    let mut out = String::new();
+                    for e in &errs {
+                        let _ = writeln!(out, "error: {e}");
+                    }
+                    Err(out)
+                }
+            }
+        }
+        "plan" => {
+            let u = load_universe(&opts)?;
+            let partial = load_spec(&opts)?;
+            let outcome = ConfigEngine::new(&u)
+                .configure(&partial)
+                .map_err(|e| e.to_string())?;
+            emit(&opts, engage_dsl::render_install_spec(&outcome.spec))
+        }
+        "graph" => {
+            let u = load_universe(&opts)?;
+            let partial = load_spec(&opts)?;
+            let g = graph_gen(&u, &partial).map_err(|e| e.to_string())?;
+            let c = generate(&g, ExactlyOneEncoding::Pairwise);
+            let mut out = g.render();
+            out.push('\n');
+            out.push_str(&c.render(&g));
+            emit(&opts, out)
+        }
+        "dimacs" => {
+            let u = load_universe(&opts)?;
+            let partial = load_spec(&opts)?;
+            let g = graph_gen(&u, &partial).map_err(|e| e.to_string())?;
+            let c = generate(&g, ExactlyOneEncoding::Pairwise);
+            let mut out = String::new();
+            for (id, var) in c.vars() {
+                let _ = writeln!(out, "c var {} = rsrc({id})", var.index() + 1);
+            }
+            out.push_str(&c.cnf().to_dimacs());
+            emit(&opts, out)
+        }
+        "diagnose" => {
+            let u = load_universe(&opts)?;
+            let partial = load_spec(&opts)?;
+            match diagnose(&u, &partial, ExactlyOneEncoding::Pairwise).map_err(|e| e.to_string())? {
+                None => Ok("satisfiable: a full installation specification exists\n".into()),
+                Some((diag, g)) => Ok(format!("unsatisfiable; {}", diag.render(&g))),
+            }
+        }
+        "deploy" => {
+            let u = load_universe(&opts)?;
+            let partial = load_spec(&opts)?;
+            let mut system = Engage::new(u)
+                .with_packages(engage_library::package_universe())
+                .with_registry(engage_library::driver_registry());
+            if opts.cloud {
+                system = system.with_cloud_provisioning();
+            }
+            let mut out = String::new();
+            if opts.parallel {
+                let (outcome, parallel) = system
+                    .deploy_parallel(&partial)
+                    .map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "deployed {} instances on {} machine(s) with {} parallel slave(s)",
+                    outcome.spec.len(),
+                    parallel.deployment.machines().len(),
+                    parallel.slaves
+                );
+                write_timeline(&mut out, &parallel.deployment);
+                let _ = writeln!(
+                    out,
+                    "simulated install time: {:.1} min (sequential {:.1} min)",
+                    parallel.deployment.parallel_makespan().as_secs_f64() / 60.0,
+                    parallel.deployment.sequential_duration().as_secs_f64() / 60.0
+                );
+            } else {
+                let (outcome, deployment) = system.deploy(&partial).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "deployed {} instances on {} machine(s)",
+                    outcome.spec.len(),
+                    deployment.machines().len()
+                );
+                write_timeline(&mut out, &deployment);
+                for (id, state) in system.status(&deployment) {
+                    let _ = writeln!(out, "status {id}: {state}");
+                }
+            }
+            emit(&opts, out)
+        }
+        other => Err(format!(
+            "unknown command `{other}` (check|checkspec|print|plan|graph|dimacs|diagnose|deploy)"
+        )),
+    }
+}
+
+fn write_timeline(out: &mut String, dep: &engage_deploy::Deployment) {
+    for t in dep.timeline() {
+        let _ = writeln!(out, "t={:>6.0?} {:<10} {}", t.start, t.action, t.instance);
+    }
+}

@@ -1,0 +1,439 @@
+//! # engage
+//!
+//! A Rust reproduction of **Engage** (Fischer, Majumdar, Esmaeilsabzali —
+//! *Engage: A Deployment Management System*, PLDI 2012): a deployment
+//! management system with a declarative resource model, a constraint-based
+//! configuration engine, and a runtime that installs, monitors, and
+//! upgrades distributed application stacks.
+//!
+//! This crate is the high-level façade over the workspace:
+//!
+//! * [`engage_model`] — resource types, ports, dependencies, subtyping,
+//!   installation specifications, static checks;
+//! * [`engage_dsl`] — the `.ers` resource language and JSON install specs;
+//! * [`engage_sat`] — the CDCL SAT solver behind the configuration engine;
+//! * [`engage_config`] — GraphGen, constraint generation, port propagation;
+//! * [`engage_sim`] — the simulated data center (hosts, cloud, packages,
+//!   services, monit);
+//! * [`engage_deploy`] — drivers, the deployment engine, upgrades;
+//! * [`engage_library`] — the resource library (OpenMRS, JasperReports,
+//!   the Django platform and its Table-1 applications).
+//!
+//! # Examples
+//!
+//! Deploying the paper's Figure 2 OpenMRS stack end to end:
+//!
+//! ```
+//! use engage::Engage;
+//!
+//! let engage = Engage::new(engage_library::base_universe())
+//!     .with_packages(engage_library::package_universe())
+//!     .with_registry(engage_library::driver_registry());
+//!
+//! // Static checks over the whole resource library.
+//! engage.check().unwrap();
+//!
+//! // Partial spec (3 instances) -> full spec -> running deployment.
+//! let (outcome, deployment) = engage.deploy(&engage_library::openmrs_partial()).unwrap();
+//! assert!(outcome.spec.len() > 3);
+//! assert!(deployment.is_deployed());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use engage_config::{ConfigEngine, ConfigError, ConfigOutcome};
+use engage_deploy::{DeployError, Deployment, DeploymentEngine, DriverRegistry, ProvisionMode};
+use engage_model::{BasicState, InstallSpec, InstanceId, ModelError, PartialInstallSpec, Universe};
+use engage_sat::ExactlyOneEncoding;
+use engage_sim::{DownloadSource, PackageUniverse, RestartRecord, Sim};
+
+pub use engage_config::ConfigEngine as RawConfigEngine;
+pub use engage_deploy::{UpgradeReport, UpgradeStrategy};
+
+/// Top-level error: configuration or deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngageError {
+    /// Configuration-engine failure (ill-formed input or unsatisfiable
+    /// constraints).
+    Config(ConfigError),
+    /// Runtime/deployment failure.
+    Deploy(DeployError),
+}
+
+impl fmt::Display for EngageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngageError::Config(e) => write!(f, "{e}"),
+            EngageError::Deploy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngageError::Config(e) => Some(e),
+            EngageError::Deploy(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for EngageError {
+    fn from(e: ConfigError) -> Self {
+        EngageError::Config(e)
+    }
+}
+
+impl From<DeployError> for EngageError {
+    fn from(e: DeployError) -> Self {
+        EngageError::Deploy(e)
+    }
+}
+
+/// The Engage system: a universe of resource types, a driver registry, and
+/// a (simulated) data center to deploy into.
+#[derive(Debug, Clone)]
+pub struct Engage {
+    universe: Universe,
+    registry: DriverRegistry,
+    sim: Sim,
+    encoding: ExactlyOneEncoding,
+    mode: ProvisionMode,
+}
+
+impl Engage {
+    /// Creates an Engage system over a universe, with a local-cache
+    /// simulated data center and generic drivers.
+    pub fn new(universe: Universe) -> Self {
+        Engage {
+            universe,
+            registry: DriverRegistry::new(),
+            sim: Sim::new(DownloadSource::local_cache()),
+            encoding: ExactlyOneEncoding::Pairwise,
+            mode: ProvisionMode::Local,
+        }
+    }
+
+    /// Replaces the simulated data center (builder-style).
+    pub fn with_sim(mut self, sim: Sim) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Installs package metadata, keeping the current download source
+    /// (builder-style).
+    pub fn with_packages(mut self, packages: PackageUniverse) -> Self {
+        self.sim = Sim::with_packages(packages, self.sim.download_source());
+        self
+    }
+
+    /// Selects the download source (builder-style). Resets the simulated
+    /// data center.
+    pub fn with_download_source(mut self, source: DownloadSource) -> Self {
+        self.sim = Sim::with_packages(self.sim.packages().clone(), source);
+        self
+    }
+
+    /// Uses custom driver bindings (builder-style).
+    pub fn with_registry(mut self, registry: DriverRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Selects the exactly-one encoding for the configuration engine
+    /// (builder-style).
+    pub fn with_encoding(mut self, encoding: ExactlyOneEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Provisions machines from the simulated cloud instead of declaring
+    /// local ones (builder-style).
+    pub fn with_cloud_provisioning(mut self) -> Self {
+        self.mode = ProvisionMode::Cloud;
+        self
+    }
+
+    /// The resource universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The simulated data center.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Statically checks the universe: §3.1 well-formedness plus the
+    /// Figure 4 subtyping rules on every declared `extends`.
+    ///
+    /// # Errors
+    ///
+    /// All violations found.
+    pub fn check(&self) -> Result<(), Vec<ModelError>> {
+        self.universe.check()?;
+        engage_model::check_declared_subtyping(&self.universe)
+    }
+
+    /// Runs the configuration engine: partial installation specification →
+    /// full installation specification (§4).
+    ///
+    /// # Errors
+    ///
+    /// Ill-formed input or unsatisfiable constraints.
+    pub fn plan(&self, partial: &PartialInstallSpec) -> Result<ConfigOutcome, EngageError> {
+        Ok(ConfigEngine::new(&self.universe)
+            .with_encoding(self.encoding)
+            .configure(partial)?)
+    }
+
+    /// Deploys an already-computed full installation specification.
+    ///
+    /// # Errors
+    ///
+    /// Deployment failures.
+    pub fn deploy_spec(&self, spec: &InstallSpec) -> Result<Deployment, EngageError> {
+        Ok(self.engine().deploy(spec)?)
+    }
+
+    /// Plans and deploys in one step.
+    ///
+    /// # Errors
+    ///
+    /// Configuration or deployment failures.
+    pub fn deploy(
+        &self,
+        partial: &PartialInstallSpec,
+    ) -> Result<(ConfigOutcome, Deployment), EngageError> {
+        let outcome = self.plan(partial)?;
+        let deployment = self.deploy_spec(&outcome.spec)?;
+        Ok((outcome, deployment))
+    }
+
+    /// Plans and deploys with one slave per machine running in parallel
+    /// (§5.2 master/slave); cross-host ordering is enforced by the driver
+    /// guards.
+    ///
+    /// # Errors
+    ///
+    /// Configuration or deployment failures.
+    pub fn deploy_parallel(
+        &self,
+        partial: &PartialInstallSpec,
+    ) -> Result<(ConfigOutcome, engage_deploy::ParallelOutcome), EngageError> {
+        let outcome = self.plan(partial)?;
+        let parallel = self.engine().deploy_parallel(&outcome.spec)?;
+        Ok((outcome, parallel))
+    }
+
+    /// When `partial` has no full installation specification, explains why:
+    /// returns a rendered minimal-conflict diagnosis (deletion-based MUS
+    /// over the constraint groups). Returns `Ok(None)` when the spec is
+    /// satisfiable.
+    ///
+    /// # Errors
+    ///
+    /// Model-level failures from GraphGen.
+    pub fn diagnose(&self, partial: &PartialInstallSpec) -> Result<Option<String>, EngageError> {
+        match engage_config::diagnose(&self.universe, partial, self.encoding)
+            .map_err(ConfigError::Model)?
+        {
+            None => Ok(None),
+            Some((d, g)) => Ok(Some(d.render(&g))),
+        }
+    }
+
+    /// Stops a running deployment (reverse dependency order).
+    ///
+    /// # Errors
+    ///
+    /// Driver failures.
+    pub fn stop(&self, deployment: &mut Deployment) -> Result<(), EngageError> {
+        Ok(self.engine().stop_all(deployment)?)
+    }
+
+    /// Restarts a stopped deployment (dependency order).
+    ///
+    /// # Errors
+    ///
+    /// Driver failures.
+    pub fn start(&self, deployment: &mut Deployment) -> Result<(), EngageError> {
+        Ok(self.engine().activate_all(deployment)?)
+    }
+
+    /// Uninstalls the whole stack.
+    ///
+    /// # Errors
+    ///
+    /// Driver failures.
+    pub fn uninstall(&self, deployment: &mut Deployment) -> Result<(), EngageError> {
+        Ok(self.engine().uninstall_all(deployment)?)
+    }
+
+    /// Upgrades a running deployment to the stack described by a new
+    /// partial specification, with backup and automatic rollback (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// Configuration failures, or
+    /// [`DeployError::UpgradeRolledBack`] when the upgrade failed and the
+    /// old system was restored.
+    pub fn upgrade(
+        &self,
+        deployment: &mut Deployment,
+        new_partial: &PartialInstallSpec,
+    ) -> Result<UpgradeReport, EngageError> {
+        self.upgrade_with(deployment, new_partial, UpgradeStrategy::WorstCase)
+    }
+
+    /// Upgrades with an explicit strategy: the paper's worst-case
+    /// full-redeploy, or the incremental optimization it leaves as future
+    /// work (only changed instances and their dependents are bounced).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engage::upgrade`].
+    pub fn upgrade_with(
+        &self,
+        deployment: &mut Deployment,
+        new_partial: &PartialInstallSpec,
+        strategy: UpgradeStrategy,
+    ) -> Result<UpgradeReport, EngageError> {
+        let outcome = self.plan(new_partial)?;
+        Ok(self
+            .engine()
+            .upgrade_with(deployment, &outcome.spec, strategy)?)
+    }
+
+    /// Driver states of every instance ("users can view the status ... of
+    /// each installed service", §5.2).
+    pub fn status(&self, deployment: &Deployment) -> Vec<(InstanceId, String)> {
+        deployment
+            .spec()
+            .iter()
+            .map(|i| {
+                let st = deployment
+                    .state(i.id())
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "unknown".into());
+                (i.id().clone(), st)
+            })
+            .collect()
+    }
+
+    /// One monitoring cycle: restart every watched service that died.
+    ///
+    /// # Errors
+    ///
+    /// Restart failures.
+    pub fn monitor_tick(
+        &self,
+        deployment: &mut Deployment,
+    ) -> Result<Vec<RestartRecord>, EngageError> {
+        Ok(self.engine().monitor_tick(deployment)?)
+    }
+
+    /// Drives a single instance to a basic state (expert API).
+    ///
+    /// # Errors
+    ///
+    /// Pathing, guard, or action failures.
+    pub fn drive_to(
+        &self,
+        deployment: &mut Deployment,
+        id: &InstanceId,
+        state: BasicState,
+    ) -> Result<(), EngageError> {
+        Ok(self.engine().drive_to(deployment, id, state)?)
+    }
+
+    fn engine(&self) -> DeploymentEngine<'_> {
+        DeploymentEngine::new(self.sim.clone(), &self.universe)
+            .with_registry(self.registry.clone())
+            .with_mode(self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engage() -> Engage {
+        Engage::new(engage_library::full_universe())
+            .with_packages(engage_library::package_universe())
+            .with_registry(engage_library::driver_registry())
+    }
+
+    #[test]
+    fn library_universe_checks() {
+        engage().check().unwrap();
+    }
+
+    #[test]
+    fn openmrs_deploys_end_to_end() {
+        let e = engage();
+        let (outcome, dep) = e.deploy(&engage_library::openmrs_partial()).unwrap();
+        assert!(dep.is_deployed());
+        // Figure 2's 3 instances expand to the full stack.
+        assert!(outcome.spec.len() >= 5, "{}", outcome.spec.len());
+        let host = dep.host_of(&"openmrs".into()).unwrap();
+        assert!(e.sim().service_running(host, "openmrs"));
+        assert!(e.sim().service_running(host, "mysql"));
+    }
+
+    #[test]
+    fn multi_machine_production_deploys() {
+        let e = engage();
+        let (outcome, dep) = e
+            .deploy(&engage_library::openmrs_production_partial())
+            .unwrap();
+        // MySQL on the db server, OpenMRS on the app server.
+        let app_host = dep.host_of(&"openmrs".into()).unwrap();
+        let db_host = dep.host_of(&"mysql".into()).unwrap();
+        assert_ne!(app_host, db_host);
+        assert!(e.sim().service_running(db_host, "mysql"));
+        assert!(e.sim().service_running(app_host, "openmrs"));
+        // Java installed on the app server (env dep), not necessarily db.
+        let java_on_app = outcome
+            .spec
+            .iter()
+            .filter(|i| i.key().name() == "JDK" || i.key().name() == "JRE")
+            .count();
+        assert_eq!(java_on_app, 1);
+        assert_eq!(dep.per_node_specs().len(), 2);
+    }
+
+    #[test]
+    fn stop_start_roundtrip() {
+        let e = engage();
+        let (_, mut dep) = e.deploy(&engage_library::openmrs_partial()).unwrap();
+        e.stop(&mut dep).unwrap();
+        let host = dep.host_of(&"openmrs".into()).unwrap();
+        assert!(!e.sim().service_running(host, "openmrs"));
+        e.start(&mut dep).unwrap();
+        assert!(dep.is_deployed());
+    }
+
+    #[test]
+    fn status_reports_every_instance() {
+        let e = engage();
+        let (_, dep) = e.deploy(&engage_library::openmrs_partial()).unwrap();
+        let status = e.status(&dep);
+        assert_eq!(status.len(), dep.spec().len());
+        assert!(status.iter().all(|(_, s)| s == "active"));
+    }
+
+    #[test]
+    fn django_app_deploys_with_settings_file() {
+        let e = engage();
+        let (_, dep) = e
+            .deploy(&engage_library::django_app_partial("Areneae 1.0"))
+            .unwrap();
+        let host = dep.host_of(&"app".into()).unwrap();
+        let settings = e.sim().read_file(host, "/srv/areneae/settings.py").unwrap();
+        assert!(settings.contains("sqlite"), "{settings}");
+    }
+}

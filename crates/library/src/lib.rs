@@ -1,0 +1,640 @@
+//! # engage-library
+//!
+//! The Engage resource library — the reproduction of the paper's ~5K lines
+//! of resource metadata (§6): machine archetypes, the Java/Tomcat/MySQL
+//! stack, OpenMRS (§2), JasperReports (§6.1), and the full Django platform
+//! with the eight Table-1 applications (§6.2). Resource types are written
+//! in the `.ers` DSL (embedded in the crate); this module assembles them
+//! into universes, provides the custom driver bindings, the simulated
+//! package metadata, and partial-installation-spec builders for every
+//! experiment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod packager;
+
+pub use packager::{package_app, AppManifest, PackagerError};
+
+use engage_deploy::{generic_action, DriverBinding, DriverRegistry};
+use engage_dsl::parse_resources;
+use engage_model::{PartialInstallSpec, PartialInstance, Universe, Value};
+use engage_sim::{PackageMeta, PackageUniverse};
+
+/// Machine resource types (`Server` and its five OS subtypes).
+pub const SERVERS_ERS: &str = include_str!("../resources/servers.ers");
+/// Java archetype with JDK/JRE frontier.
+pub const JAVA_ERS: &str = include_str!("../resources/java.ers");
+/// Tomcat versions 5.5, 6.0.18, 6.0.29.
+pub const TOMCAT_ERS: &str = include_str!("../resources/tomcat.ers");
+/// Database archetype, MySQL 5.1/5.5, SQLite.
+pub const DATABASE_ERS: &str = include_str!("../resources/database.ers");
+/// OpenMRS 1.8 (the §2 running example).
+pub const OPENMRS_ERS: &str = include_str!("../resources/openmrs.ers");
+/// JasperReports Server + MySQL JDBC connector (§6.1).
+pub const JASPER_ERS: &str = include_str!("../resources/jasper.ers");
+/// Python toolchain (python, setuptools, pip, virtualenv).
+pub const PYTHON_ERS: &str = include_str!("../resources/python.ers");
+/// Web servers (Apache + mod_wsgi, Gunicorn).
+pub const WEBSERVER_ERS: &str = include_str!("../resources/webserver.ers");
+/// Backing services (RabbitMQ, Celery, Redis, memcached, monit).
+pub const SERVICES_ERS: &str = include_str!("../resources/services.ers");
+/// Django framework, ecosystem bindings, DjangoApp archetype.
+pub const DJANGO_ERS: &str = include_str!("../resources/django.ers");
+/// PyPI packages (the §6.2 pip sugar).
+pub const PIP_ERS: &str = include_str!("../resources/pip.ers");
+/// The eight Table-1 applications.
+pub const APPS_ERS: &str = include_str!("../resources/apps.ers");
+/// Pure Python (non-Django) applications.
+pub const PYTHON_APPS_ERS: &str = include_str!("../resources/python_apps.ers");
+
+fn build_universe(sources: &[&str]) -> Universe {
+    let mut u = Universe::new();
+    for src in sources {
+        for ty in parse_resources(src).expect("library sources parse") {
+            u.insert(ty).expect("library keys are unique");
+        }
+    }
+    u
+}
+
+/// The Java-stack universe: servers, Java, Tomcat, databases, OpenMRS,
+/// JasperReports. Enough for the §2 running example and the §6.1 case
+/// study.
+pub fn base_universe() -> Universe {
+    build_universe(&[
+        SERVERS_ERS,
+        JAVA_ERS,
+        TOMCAT_ERS,
+        DATABASE_ERS,
+        OPENMRS_ERS,
+        JASPER_ERS,
+    ])
+}
+
+/// The Django platform universe of §6.2: servers, Python, web servers,
+/// backing services, databases, Django, PyPI packages, and the eight
+/// Table-1 applications.
+pub fn django_universe() -> Universe {
+    build_universe(&[
+        SERVERS_ERS,
+        PYTHON_ERS,
+        WEBSERVER_ERS,
+        SERVICES_ERS,
+        DATABASE_ERS,
+        DJANGO_ERS,
+        PIP_ERS,
+        APPS_ERS,
+        PYTHON_APPS_ERS,
+    ])
+}
+
+/// Everything: the union of [`base_universe`] and [`django_universe`].
+pub fn full_universe() -> Universe {
+    build_universe(&[
+        SERVERS_ERS,
+        JAVA_ERS,
+        TOMCAT_ERS,
+        DATABASE_ERS,
+        OPENMRS_ERS,
+        JASPER_ERS,
+        PYTHON_ERS,
+        WEBSERVER_ERS,
+        SERVICES_ERS,
+        DJANGO_ERS,
+        PIP_ERS,
+        APPS_ERS,
+        PYTHON_APPS_ERS,
+    ])
+}
+
+/// Simulated package metadata (sizes and CPU install times). Sizes are
+/// calibrated so the automated Jasper install takes ≈17 minutes from the
+/// internet and ≈5 minutes from a local cache — the §6.1 measurement.
+pub fn package_universe() -> PackageUniverse {
+    let mut u = PackageUniverse::new();
+    let entries: &[(&str, u64, u64)] = &[
+        // (package, size MB, install seconds)
+        ("jdk-1.6", 90, 40),
+        ("jre-1.6", 60, 30),
+        ("tomcat-5.5", 10, 15),
+        ("tomcat-6.0.18", 10, 15),
+        ("tomcat-6.0.29", 10, 15),
+        ("mysql-5.1", 170, 60),
+        ("mysql-5.5", 180, 60),
+        ("sqlite-3.7", 2, 3),
+        ("mysql-jdbc-connector-5.1", 5, 5),
+        ("jasper-reports-server-4.2", 1100, 160),
+        ("openmrs-1.8", 80, 30),
+        ("python-2.6", 15, 10),
+        ("python-2.7", 15, 10),
+        ("setuptools-0.6", 1, 2),
+        ("pip-1.0", 1, 2),
+        ("virtualenv-1.6", 1, 2),
+        ("mod-wsgi-3.3", 2, 5),
+        ("apache-http-2.2", 8, 12),
+        ("gunicorn-0.13", 1, 3),
+        ("rabbitmq-2.4", 30, 20),
+        ("celery-2.3", 2, 4),
+        ("redis-2.4", 1, 4),
+        ("memcached-1.4", 1, 3),
+        ("monit-5.2", 1, 2),
+        ("django-1.3", 7, 8),
+        ("south-0.7", 1, 2),
+        ("django-celery-2.3", 1, 2),
+        ("mysql-python-1.2", 1, 3),
+        ("python-memcached-1.4", 1, 2),
+        ("redis-py-2.4", 1, 2),
+    ];
+    for (name, mb, secs) in entries {
+        u.insert(*name, PackageMeta::new(*mb, *secs));
+    }
+    // Table-1 application archives.
+    for (key, _) in table1_apps() {
+        u.insert(
+            engage_deploy::package_name(&key.into()),
+            PackageMeta::new(3, 6),
+        );
+    }
+    u
+}
+
+/// The eight Table-1 applications: resource key and the table's
+/// description.
+pub fn table1_apps() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Areneae 1.0", "Simple test app"),
+        ("Buzzfire 1.0", "Twitter bookmark and ranking app"),
+        ("Codespeed 0.8", "Web application performance monitor"),
+        ("Django-Blog 1.0", "Blogging platform"),
+        ("Django-CMS 2.1", "Content Management System"),
+        ("FA 1", "Manage faculty, student, and postdoc applications"),
+        ("Feature-Collector 1.0", "Gather software feature requests"),
+        (
+            "WebApp 1.0",
+            "Run production web site for Django hosting company",
+        ),
+    ]
+}
+
+/// The driver registry with the library's custom actions: Django apps
+/// write their settings file on install (showing config flow into the
+/// deployed artifacts), MySQL writes its server configuration, and `FA 2`
+/// runs a South schema migration between install and start.
+pub fn driver_registry() -> DriverRegistry {
+    let mut reg = DriverRegistry::new();
+
+    // MySQL: install package + write my.cnf from the configured port.
+    for key in ["MySQL 5.1", "MySQL 5.5"] {
+        reg.insert(
+            key,
+            DriverBinding::new().action("install", |ctx| {
+                generic_action("install", ctx)?;
+                let port = ctx
+                    .instance
+                    .config()
+                    .get("port")
+                    .and_then(Value::as_int)
+                    .unwrap_or(3306);
+                ctx.sim.write_file(
+                    ctx.host,
+                    "/etc/mysql/my.cnf",
+                    &format!("[mysqld]\nport={port}\n"),
+                )?;
+                Ok(())
+            }),
+        );
+    }
+
+    // Django applications: install + render settings.py from the
+    // propagated database input port.
+    for (key, _) in table1_apps() {
+        reg.insert(key, django_app_binding());
+    }
+    reg.insert(
+        "FA 2",
+        django_app_binding().action("migrate", |ctx| {
+            // South forward migration: transform the schema while
+            // "preserving the content in the database" (§6.2).
+            let data_path = "/var/db/fa/records";
+            let old = ctx.sim.read_file(ctx.host, data_path).unwrap_or_default();
+            let content = if old.is_empty() {
+                "schema=2".to_owned()
+            } else {
+                format!("{old} [migrated schema=2]")
+            };
+            ctx.sim.write_file(ctx.host, data_path, &content)?;
+            ctx.sim
+                .write_file(ctx.host, "/srv/fa/migration.log", "south: 0001 -> 0002 OK")?;
+            ctx.sim.advance(std::time::Duration::from_secs(20));
+            Ok(())
+        }),
+    );
+
+    reg
+}
+
+fn django_app_binding() -> DriverBinding {
+    DriverBinding::new().action("install", |ctx| {
+        generic_action("install", ctx)?;
+        let app_name = ctx
+            .instance
+            .config()
+            .get("app_name")
+            .and_then(Value::as_str)
+            .unwrap_or("app")
+            .to_owned();
+        let db = ctx.instance.inputs().get("db");
+        let field = |name: &str| {
+            db.and_then(|v| v.field(name))
+                .map(|v| v.to_string())
+                .unwrap_or_default()
+        };
+        let settings = format!(
+            "# generated by Engage\nDATABASES = {{ 'ENGINE': '{}', 'HOST': '{}', \
+             'PORT': '{}', 'NAME': '{}' }}\n",
+            field("engine"),
+            field("host"),
+            field("port"),
+            field("name"),
+        );
+        ctx.sim
+            .write_file(ctx.host, &format!("/srv/{app_name}/settings.py"), &settings)?;
+        // The FA production app's database content (created once).
+        if app_name == "fa" && ctx.sim.read_file(ctx.host, "/var/db/fa/records").is_none() {
+            ctx.sim
+                .write_file(ctx.host, "/var/db/fa/records", "applicants=42 schema=1")?;
+        }
+        Ok(())
+    })
+}
+
+/// The Figure 2 partial installation specification for OpenMRS.
+pub fn openmrs_partial() -> PartialInstallSpec {
+    [
+        PartialInstance::new("server", "Mac-OSX 10.6")
+            .config("hostname", "localhost")
+            .config("os_user_name", "root"),
+        PartialInstance::new("tomcat", "Tomcat 6.0.18").inside("server"),
+        PartialInstance::new("openmrs", "OpenMRS 1.8").inside("tomcat"),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// A two-machine OpenMRS production spec: "in a production setting, the
+/// database will run on a separate machine from the application server"
+/// (§2). The peer dependency of OpenMRS on MySQL resolves across machines.
+pub fn openmrs_production_partial() -> PartialInstallSpec {
+    [
+        PartialInstance::new("app-server", "Ubuntu 10.10").config("hostname", "app.example.com"),
+        PartialInstance::new("db-server", "Ubuntu 10.10").config("hostname", "db.example.com"),
+        PartialInstance::new("tomcat", "Tomcat 6.0.18").inside("app-server"),
+        PartialInstance::new("openmrs", "OpenMRS 1.8").inside("tomcat"),
+        PartialInstance::new("mysql", "MySQL 5.1").inside("db-server"),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The §6.1 JasperReports partial installation specification.
+pub fn jasper_partial() -> PartialInstallSpec {
+    [
+        PartialInstance::new("server", "Ubuntu 10.10").config("hostname", "reports.example.com"),
+        PartialInstance::new("tomcat", "Tomcat 6.0.18").inside("server"),
+        PartialInstance::new("jasper", "Jasper Reports Server 4.2").inside("tomcat"),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The web-server choice of a Django deployment configuration (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WebChoice {
+    /// Apache HTTP server (with mod_wsgi).
+    Apache,
+    /// Gunicorn.
+    Gunicorn,
+}
+
+/// The database choice of a Django deployment configuration (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbChoice {
+    /// SQLite.
+    Sqlite,
+    /// MySQL.
+    Mysql,
+}
+
+/// One of the §6.2 "256 distinct deployment configurations on a single
+/// node": OS (2 MacOSX + 2 Ubuntu) × web server (2) × database (2) ×
+/// optional RabbitMQ/Celery × optional Redis × optional memcached ×
+/// optional monit = 4·2·2·2·2·2·2 = 256.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DjangoConfig {
+    /// Machine resource key (one of the four supported OS versions).
+    pub os: &'static str,
+    /// Web server choice.
+    pub web: WebChoice,
+    /// Database choice.
+    pub db: DbChoice,
+    /// Include RabbitMQ + Celery message queuing.
+    pub celery: bool,
+    /// Include the Redis key-value store.
+    pub redis: bool,
+    /// Include memcached.
+    pub memcached: bool,
+    /// Include monit monitoring.
+    pub monitoring: bool,
+}
+
+impl DjangoConfig {
+    /// The four supported operating systems (§6.2).
+    pub const OSES: [&'static str; 4] = [
+        "Mac-OSX 10.6",
+        "Mac-OSX 10.7",
+        "Ubuntu 10.04",
+        "Ubuntu 10.10",
+    ];
+
+    /// Enumerates all 256 configurations.
+    pub fn all() -> Vec<DjangoConfig> {
+        let mut out = Vec::with_capacity(256);
+        for os in Self::OSES {
+            for web in [WebChoice::Apache, WebChoice::Gunicorn] {
+                for db in [DbChoice::Sqlite, DbChoice::Mysql] {
+                    for celery in [false, true] {
+                        for redis in [false, true] {
+                            for memcached in [false, true] {
+                                for monitoring in [false, true] {
+                                    out.push(DjangoConfig {
+                                        os,
+                                        web,
+                                        db,
+                                        celery,
+                                        redis,
+                                        memcached,
+                                        monitoring,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the single-node partial installation specification deploying
+    /// `app_key` under this configuration. Explicit instances pin each
+    /// choice; the configuration engine fills in the rest.
+    pub fn partial_spec(&self, app_key: &str) -> PartialInstallSpec {
+        let mut spec = PartialInstallSpec::new();
+        spec.push(PartialInstance::new("server", self.os).config("hostname", "django-node"))
+            .expect("fresh spec");
+        let web_key = match self.web {
+            WebChoice::Apache => "Apache HTTP 2.2",
+            WebChoice::Gunicorn => "Gunicorn 0.13",
+        };
+        spec.push(PartialInstance::new("web", web_key).inside("server"))
+            .expect("unique id");
+        let db_key = match self.db {
+            DbChoice::Sqlite => "SQLite 3.7",
+            DbChoice::Mysql => "MySQL 5.1",
+        };
+        spec.push(PartialInstance::new("db", db_key).inside("server"))
+            .expect("unique id");
+        spec.push(PartialInstance::new("app", app_key).inside("server"))
+            .expect("unique id");
+        if self.celery {
+            spec.push(PartialInstance::new("celery", "Celery 2.3").inside("server"))
+                .expect("unique id");
+        }
+        if self.redis {
+            spec.push(PartialInstance::new("redis", "Redis 2.4").inside("server"))
+                .expect("unique id");
+        }
+        if self.memcached {
+            spec.push(PartialInstance::new("memcached", "Memcached 1.4").inside("server"))
+                .expect("unique id");
+        }
+        if self.monitoring {
+            spec.push(PartialInstance::new("monit", "Monit 5.2").inside("server"))
+                .expect("unique id");
+        }
+        spec
+    }
+}
+
+/// The §6.2 WebApp production partial spec: "61 lines long and has seven
+/// resources" — server, web server, database, the app, message queue,
+/// worker, and cache.
+pub fn webapp_production_partial() -> PartialInstallSpec {
+    [
+        PartialInstance::new("prod-server", "Ubuntu 10.10")
+            .config("hostname", "www.example.com")
+            .config("os_user_name", "deploy"),
+        PartialInstance::new("web", "Gunicorn 0.13")
+            .inside("prod-server")
+            .config("port", Value::from(8000i64))
+            .config("workers", Value::from(8i64)),
+        PartialInstance::new("db", "MySQL 5.1")
+            .inside("prod-server")
+            .config("database_name", "webapp_prod"),
+        PartialInstance::new("queue", "RabbitMQ 2.4").inside("prod-server"),
+        PartialInstance::new("worker", "Celery 2.3")
+            .inside("prod-server")
+            .config("concurrency", Value::from(4i64)),
+        PartialInstance::new("cache", "Memcached 1.4")
+            .inside("prod-server")
+            .config("memory_mb", Value::from(256i64)),
+        PartialInstance::new("app", "WebApp 1.0")
+            .inside("prod-server")
+            .config("app_name", "webapp"),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// A stage of the §6.2 development lifecycle: "pre-defined partial
+/// installation specifications for the same application to be deployed in
+/// different configurations (e.g. debug or production, local or cloud),
+/// supporting the migration of changes through the full development
+/// lifecycle: from development to QA to staging to production."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleStage {
+    /// Developer laptop: Mac, SQLite, Gunicorn, debug on.
+    Development,
+    /// QA: Ubuntu, SQLite, Gunicorn, debug off, monitoring on.
+    Qa,
+    /// Staging: Ubuntu, MySQL, Gunicorn, monitoring on.
+    Staging,
+    /// Production: Ubuntu, MySQL, Apache, Celery + memcached + monit.
+    Production,
+}
+
+impl LifecycleStage {
+    /// The four stages, in promotion order.
+    pub fn all() -> [LifecycleStage; 4] {
+        [
+            LifecycleStage::Development,
+            LifecycleStage::Qa,
+            LifecycleStage::Staging,
+            LifecycleStage::Production,
+        ]
+    }
+
+    /// The pre-defined partial installation specification deploying
+    /// `app_key` at this stage. All stages share instance ids, so
+    /// promotion from one stage to the next is an ordinary Engage upgrade.
+    pub fn partial_spec(&self, app_key: &str) -> PartialInstallSpec {
+        let debug = matches!(self, LifecycleStage::Development);
+        let config = match self {
+            LifecycleStage::Development => DjangoConfig {
+                os: "Mac-OSX 10.7",
+                web: WebChoice::Gunicorn,
+                db: DbChoice::Sqlite,
+                celery: false,
+                redis: false,
+                memcached: false,
+                monitoring: false,
+            },
+            LifecycleStage::Qa => DjangoConfig {
+                os: "Ubuntu 10.10",
+                web: WebChoice::Gunicorn,
+                db: DbChoice::Sqlite,
+                celery: false,
+                redis: false,
+                memcached: false,
+                monitoring: true,
+            },
+            LifecycleStage::Staging => DjangoConfig {
+                os: "Ubuntu 10.10",
+                web: WebChoice::Gunicorn,
+                db: DbChoice::Mysql,
+                celery: false,
+                redis: false,
+                memcached: false,
+                monitoring: true,
+            },
+            LifecycleStage::Production => DjangoConfig {
+                os: "Ubuntu 10.10",
+                web: WebChoice::Apache,
+                db: DbChoice::Mysql,
+                celery: true,
+                redis: false,
+                memcached: true,
+                monitoring: true,
+            },
+        };
+        let mut spec = PartialInstallSpec::new();
+        for inst in config.partial_spec(app_key).iter() {
+            let mut copy = PartialInstance::new(inst.id().clone(), inst.key().clone());
+            if let Some(link) = inst.inside_link() {
+                copy = copy.inside(link.clone());
+            }
+            for (k, v) in inst.config_overrides() {
+                copy = copy.config(k.clone(), v.clone());
+            }
+            if inst.id().as_str() == "app" {
+                copy = copy.config("debug", Value::from(debug));
+            }
+            spec.push(copy).expect("ids unique");
+        }
+        spec
+    }
+}
+
+/// Partial spec for deploying one Table-1 app in the default test
+/// configuration (Ubuntu, Gunicorn, SQLite).
+pub fn django_app_partial(app_key: &str) -> PartialInstallSpec {
+    DjangoConfig {
+        os: "Ubuntu 10.10",
+        web: WebChoice::Gunicorn,
+        db: DbChoice::Sqlite,
+        celery: false,
+        redis: false,
+        memcached: false,
+        monitoring: false,
+    }
+    .partial_spec(app_key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_universe_is_well_formed() {
+        let u = base_universe();
+        assert!(u.len() >= 15, "{} types", u.len());
+        assert_eq!(u.check(), Ok(()));
+        engage_model::check_declared_subtyping(&u).unwrap();
+    }
+
+    #[test]
+    fn django_universe_is_well_formed() {
+        let u = django_universe();
+        assert!(u.len() >= 45, "{} types", u.len());
+        assert_eq!(u.check(), Ok(()));
+        engage_model::check_declared_subtyping(&u).unwrap();
+    }
+
+    #[test]
+    fn full_universe_is_well_formed() {
+        let u = full_universe();
+        assert_eq!(u.check(), Ok(()));
+    }
+
+    #[test]
+    fn table1_apps_exist_in_universe() {
+        let u = django_universe();
+        for (key, _) in table1_apps() {
+            assert!(u.contains(&key.into()), "missing {key}");
+        }
+        // FA 2 (the upgrade target) as well.
+        assert!(u.contains(&"FA 2".into()));
+    }
+
+    #[test]
+    fn django_config_space_is_256() {
+        let all = DjangoConfig::all();
+        assert_eq!(all.len(), 256);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_specs_have_documented_shapes() {
+        assert_eq!(openmrs_partial().len(), 3);
+        assert_eq!(jasper_partial().len(), 3);
+        // WebApp production: "seven resources" (§6.2).
+        assert_eq!(webapp_production_partial().len(), 7);
+    }
+
+    #[test]
+    fn package_universe_covers_the_jasper_stack() {
+        let p = package_universe();
+        for pkg in [
+            "jdk-1.6",
+            "tomcat-6.0.18",
+            "mysql-5.1",
+            "mysql-jdbc-connector-5.1",
+            "jasper-reports-server-4.2",
+        ] {
+            assert!(p.contains(pkg), "missing {pkg}");
+        }
+    }
+
+    #[test]
+    fn registry_has_custom_bindings() {
+        let reg = driver_registry();
+        let dbg = format!("{reg:?}");
+        assert!(dbg.contains("FA 2"));
+        assert!(dbg.contains("MySQL 5.1"));
+    }
+}

@@ -1,0 +1,312 @@
+//! The Django application packager (§6.2).
+//!
+//! "We built an application packager that validates a Django application,
+//! extracts some metadata used by Engage, and packages the application
+//! into an archive with a pre-defined layout. This application can then be
+//! deployed by Engage to the cloud or a local machine."
+//!
+//! The packager turns an [`AppManifest`] (the metadata the real tool
+//! extracts from a Django project) into a concrete `DjangoApp` subtype,
+//! generating resource types for any PyPI requirements the library does
+//! not already know.
+
+use std::fmt;
+
+use engage_model::{
+    DepKind, Dependency, Expr, Namespace, PortDef, PortMapping, ResourceKey, ResourceType,
+    Universe, ValueType, Version,
+};
+
+/// Metadata describing a Django application to package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppManifest {
+    /// Application name (becomes the resource key's package name; must be
+    /// a `[A-Za-z][A-Za-z0-9-]*` identifier).
+    pub name: String,
+    /// Application version (dotted numeric).
+    pub version: String,
+    /// PyPI requirements as `(package, version)` pairs.
+    pub requirements: Vec<(String, String)>,
+    /// Whether the app uses Celery task queues (pulls django-celery).
+    pub uses_celery: bool,
+    /// Whether the app uses the Redis key-value store (pulls redis-py).
+    pub uses_redis: bool,
+    /// Whether the app uses memcached (pulls python-memcached).
+    pub uses_memcached: bool,
+    /// Whether the app uses South schema migrations.
+    pub uses_south: bool,
+    /// URL path the app serves under (e.g. `/shop`).
+    pub url_path: String,
+}
+
+impl AppManifest {
+    /// A minimal manifest with just a name and version.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Self {
+        AppManifest {
+            name: name.into(),
+            version: version.into(),
+            requirements: Vec::new(),
+            uses_celery: false,
+            uses_redis: false,
+            uses_memcached: false,
+            uses_south: false,
+            url_path: "/".into(),
+        }
+    }
+
+    /// Validates the manifest (the packager "validates a Django
+    /// application" before packaging).
+    ///
+    /// # Errors
+    ///
+    /// [`PackagerError`] describing the first problem.
+    pub fn validate(&self) -> Result<(), PackagerError> {
+        let mut chars = self.name.chars();
+        let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic());
+        let tail_ok = self
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-');
+        if !head_ok || !tail_ok {
+            return Err(PackagerError {
+                what: format!("invalid application name `{}`", self.name),
+            });
+        }
+        self.version.parse::<Version>().map_err(|_| PackagerError {
+            what: format!("invalid version `{}`", self.version),
+        })?;
+        for (pkg, ver) in &self.requirements {
+            if pkg.is_empty() {
+                return Err(PackagerError {
+                    what: "empty requirement name".into(),
+                });
+            }
+            ver.parse::<Version>().map_err(|_| PackagerError {
+                what: format!("requirement `{pkg}` has invalid version `{ver}`"),
+            })?;
+        }
+        if !self.url_path.starts_with('/') {
+            return Err(PackagerError {
+                what: format!("url path `{}` must start with `/`", self.url_path),
+            });
+        }
+        Ok(())
+    }
+
+    /// The resource key the packaged app will get.
+    pub fn resource_key(&self) -> ResourceKey {
+        format!("{} {}", self.name, self.version).as_str().into()
+    }
+}
+
+/// Packaging error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackagerError {
+    what: String,
+}
+
+impl fmt::Display for PackagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "packager error: {}", self.what)
+    }
+}
+
+impl std::error::Error for PackagerError {}
+
+/// Packages a Django application: validates the manifest, generates any
+/// missing PyPI resource types, generates the app's resource type (a
+/// concrete `DjangoApp` subtype), and inserts everything into `universe`.
+/// Returns the app's resource key, ready to be named in a partial
+/// installation specification.
+///
+/// # Errors
+///
+/// Validation failures, or a key collision with an existing resource.
+pub fn package_app(
+    universe: &mut Universe,
+    manifest: &AppManifest,
+) -> Result<ResourceKey, PackagerError> {
+    manifest.validate()?;
+    if !universe.contains(&"DjangoApp".into()) {
+        return Err(PackagerError {
+            what: "universe lacks the DjangoApp archetype (load the Django library first)".into(),
+        });
+    }
+    let key = manifest.resource_key();
+    if universe.contains(&key) {
+        return Err(PackagerError {
+            what: format!("resource key `{key}` already exists"),
+        });
+    }
+
+    // PyPI requirements: reuse existing pip-* types, generate missing ones.
+    let mut pip_keys = Vec::new();
+    for (pkg, ver) in &manifest.requirements {
+        let pip_key: ResourceKey = format!("pip-{pkg} {ver}").as_str().into();
+        if !universe.contains(&pip_key) {
+            let ty = ResourceType::builder(pip_key.clone())
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .dependency(Dependency::on(DepKind::Environment, "pip 1.0", vec![]))
+                .port(PortDef::output(
+                    "pkg",
+                    ValueType::record([("name", ValueType::Str)]),
+                    Expr::Struct(vec![("name".into(), Expr::lit(pkg.as_str()))]),
+                ))
+                .build();
+            universe.insert(ty).map_err(|e| PackagerError {
+                what: e.to_string(),
+            })?;
+        }
+        pip_keys.push(pip_key);
+    }
+
+    // The application resource type.
+    let mut b = ResourceType::builder(key.clone()).extends("DjangoApp");
+    for pip_key in &pip_keys {
+        b = b.dependency(Dependency::on(
+            DepKind::Environment,
+            pip_key.clone(),
+            vec![],
+        ));
+    }
+    if manifest.uses_celery {
+        b = b
+            .dependency(Dependency::on(
+                DepKind::Environment,
+                "django-celery 2.3",
+                vec![PortMapping::forward("task_queue", "task_queue")],
+            ))
+            .port(PortDef::input(
+                "task_queue",
+                ValueType::record([("broker", ValueType::Str)]),
+            ));
+    }
+    if manifest.uses_redis {
+        b = b
+            .dependency(Dependency::on(
+                DepKind::Environment,
+                "redis-py 2.4",
+                vec![PortMapping::forward("kv_binding", "kv")],
+            ))
+            .port(PortDef::input(
+                "kv",
+                ValueType::record([("url", ValueType::Str)]),
+            ));
+    }
+    if manifest.uses_memcached {
+        b = b
+            .dependency(Dependency::on(
+                DepKind::Environment,
+                "python-memcached 1.4",
+                vec![PortMapping::forward("cache_binding", "cache")],
+            ))
+            .port(PortDef::input(
+                "cache",
+                ValueType::record([("backend", ValueType::Str)]),
+            ));
+    }
+    if manifest.uses_south {
+        b = b
+            .dependency(Dependency::on(
+                DepKind::Environment,
+                "South 0.7",
+                vec![PortMapping::forward("south", "south")],
+            ))
+            .port(PortDef::input(
+                "south",
+                ValueType::record([("version", ValueType::Str)]),
+            ));
+    }
+    let app_name = manifest.name.to_lowercase();
+    b = b
+        .port(PortDef::config(
+            "app_name",
+            ValueType::Str,
+            Expr::lit(app_name.as_str()),
+        ))
+        .port(PortDef::output(
+            "app",
+            ValueType::record([("url", ValueType::Str), ("name", ValueType::Str)]),
+            Expr::Struct(vec![
+                (
+                    "url".into(),
+                    Expr::concat(vec![
+                        Expr::lit("http://"),
+                        Expr::reference(Namespace::Input, ["web", "hostname"]),
+                        Expr::lit(":"),
+                        Expr::reference(Namespace::Input, ["web", "port"]),
+                        Expr::lit(manifest.url_path.as_str()),
+                    ]),
+                ),
+                (
+                    "name".into(),
+                    Expr::reference(Namespace::Config, ["app_name"]),
+                ),
+            ]),
+        ));
+    universe.insert(b.build()).map_err(|e| PackagerError {
+        what: e.to_string(),
+    })?;
+    Ok(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> AppManifest {
+        AppManifest {
+            name: "Shop".into(),
+            version: "2.1".into(),
+            requirements: vec![
+                ("stripe".into(), "1.0".into()),
+                ("markdown".into(), "2.0".into()), // collides with pip-markdown 2.0: reused
+            ],
+            uses_celery: true,
+            uses_redis: false,
+            uses_memcached: true,
+            uses_south: true,
+            url_path: "/shop".into(),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_manifests() {
+        let mut m = manifest();
+        m.name = "9bad".into();
+        assert!(m.validate().is_err());
+        let mut m = manifest();
+        m.version = "two".into();
+        assert!(m.validate().is_err());
+        let mut m = manifest();
+        m.url_path = "shop".into();
+        assert!(m.validate().is_err());
+        assert!(manifest().validate().is_ok());
+    }
+
+    #[test]
+    fn packaged_app_joins_a_well_formed_universe() {
+        let mut u = crate::django_universe();
+        let before = u.len();
+        let key = package_app(&mut u, &manifest()).unwrap();
+        assert_eq!(key.to_string(), "Shop 2.1");
+        // New app + 1 new pip package (stripe); markdown reused.
+        assert_eq!(u.len(), before + 2);
+        assert_eq!(u.check(), Ok(()));
+        engage_model::check_declared_subtyping(&u).unwrap();
+    }
+
+    #[test]
+    fn duplicate_packaging_is_rejected() {
+        let mut u = crate::django_universe();
+        package_app(&mut u, &manifest()).unwrap();
+        assert!(package_app(&mut u, &manifest()).is_err());
+    }
+
+    #[test]
+    fn packager_requires_the_django_platform() {
+        let mut u = Universe::new();
+        let err = package_app(&mut u, &manifest()).unwrap_err();
+        assert!(err.to_string().contains("DjangoApp"));
+    }
+}

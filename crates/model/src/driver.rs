@@ -1,0 +1,441 @@
+//! Driver state-machine *specifications* (§5.1).
+//!
+//! A driver is "a state machine (Q, uninstalled, inactive, active, A, δ)"
+//! whose transitions carry guards over the basic states of upstream (↑s) and
+//! downstream (↓s) resource instances. This module holds the declarative
+//! description; executing drivers against a substrate lives in
+//! `engage-deploy`.
+
+use std::fmt;
+
+/// The three distinguished basic states every driver has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum BasicState {
+    /// Initial state: nothing installed.
+    #[default]
+    Uninstalled,
+    /// Installed but not running.
+    Inactive,
+    /// Installed and running.
+    Active,
+}
+
+impl fmt::Display for BasicState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicState::Uninstalled => write!(f, "uninstalled"),
+            BasicState::Inactive => write!(f, "inactive"),
+            BasicState::Active => write!(f, "active"),
+        }
+    }
+}
+
+/// A driver state: one of the basic states or a driver-specific named state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DriverState {
+    /// One of `{uninstalled, inactive, active}`.
+    Basic(BasicState),
+    /// A custom intermediate state (e.g. `migrating`).
+    Custom(String),
+}
+
+impl DriverState {
+    /// The basic state, if this is one.
+    pub fn as_basic(&self) -> Option<BasicState> {
+        match self {
+            DriverState::Basic(b) => Some(*b),
+            DriverState::Custom(_) => None,
+        }
+    }
+}
+
+impl From<BasicState> for DriverState {
+    fn from(b: BasicState) -> Self {
+        DriverState::Basic(b)
+    }
+}
+
+impl fmt::Display for DriverState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverState::Basic(b) => write!(f, "{b}"),
+            DriverState::Custom(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// An atomic basic-state predicate: `↑s` (all upstream dependencies in `s`)
+/// or `↓s` (all downstream dependents in `s`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatePred {
+    /// `↑s` — every upstream dependency's driver is in basic state `s`.
+    Upstream(BasicState),
+    /// `↓s` — every downstream dependent's driver is in basic state `s`.
+    Downstream(BasicState),
+}
+
+impl fmt::Display for StatePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatePred::Upstream(s) => write!(f, "upstream {s}"),
+            StatePred::Downstream(s) => write!(f, "downstream {s}"),
+        }
+    }
+}
+
+/// A transition guard: `true` or a conjunction of basic-state predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Guard {
+    preds: Vec<StatePred>,
+}
+
+impl Guard {
+    /// The always-true guard.
+    pub fn always() -> Self {
+        Guard::default()
+    }
+
+    /// Guard with a single predicate.
+    pub fn pred(p: StatePred) -> Self {
+        Guard { preds: vec![p] }
+    }
+
+    /// `↑s` shorthand.
+    pub fn upstream(s: BasicState) -> Self {
+        Guard::pred(StatePred::Upstream(s))
+    }
+
+    /// `↓s` shorthand.
+    pub fn downstream(s: BasicState) -> Self {
+        Guard::pred(StatePred::Downstream(s))
+    }
+
+    /// Conjunction (builder-style).
+    pub fn and(mut self, p: StatePred) -> Self {
+        self.preds.push(p);
+        self
+    }
+
+    /// The conjuncts (empty = always true).
+    pub fn preds(&self) -> &[StatePred] {
+        &self.preds
+    }
+
+    /// Whether the guard is trivially true.
+    pub fn is_trivial(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.preds.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One guarded transition: `from --[guard] action--> to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    from: DriverState,
+    to: DriverState,
+    action: String,
+    guard: Guard,
+}
+
+impl Transition {
+    /// Creates a transition.
+    pub fn new(
+        from: impl Into<DriverState>,
+        action: impl Into<String>,
+        guard: Guard,
+        to: impl Into<DriverState>,
+    ) -> Self {
+        Transition {
+            from: from.into(),
+            to: to.into(),
+            action: action.into(),
+            guard,
+        }
+    }
+
+    /// Source state.
+    pub fn from(&self) -> &DriverState {
+        &self.from
+    }
+
+    /// Destination state.
+    pub fn to(&self) -> &DriverState {
+        &self.to
+    }
+
+    /// The action name, resolved to an implementation by the driver registry.
+    pub fn action(&self) -> &str {
+        &self.action
+    }
+
+    /// The guard.
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} --[{}] {}--> {}",
+            self.from, self.guard, self.action, self.to
+        )
+    }
+}
+
+/// A driver specification: custom states plus guarded transitions.
+///
+/// # Examples
+///
+/// The Tomcat driver of Figure 3:
+///
+/// ```
+/// use engage_model::{DriverSpec, BasicState};
+/// let d = DriverSpec::standard_service();
+/// assert_eq!(d.transitions_from(&BasicState::Uninstalled.into()).count(), 1);
+/// assert!(d.transition(&BasicState::Inactive.into(), "start").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DriverSpec {
+    custom_states: Vec<String>,
+    transitions: Vec<Transition>,
+}
+
+impl DriverSpec {
+    /// Empty driver (no transitions).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The Figure-3 "standard service" driver shared by most daemons:
+    ///
+    /// * `uninstalled --install--> inactive`
+    /// * `inactive --[↑ active] start--> active`
+    /// * `active --[↓ inactive] stop--> inactive`
+    /// * `active --[↑ active] restart--> active`
+    /// * `inactive --uninstall--> uninstalled`
+    pub fn standard_service() -> Self {
+        let mut d = DriverSpec::new();
+        d.add_transition(Transition::new(
+            BasicState::Uninstalled,
+            "install",
+            Guard::always(),
+            BasicState::Inactive,
+        ));
+        d.add_transition(Transition::new(
+            BasicState::Inactive,
+            "start",
+            Guard::upstream(BasicState::Active),
+            BasicState::Active,
+        ));
+        d.add_transition(Transition::new(
+            BasicState::Active,
+            "stop",
+            Guard::downstream(BasicState::Inactive),
+            BasicState::Inactive,
+        ));
+        d.add_transition(Transition::new(
+            BasicState::Active,
+            "restart",
+            Guard::upstream(BasicState::Active),
+            BasicState::Active,
+        ));
+        d.add_transition(Transition::new(
+            BasicState::Inactive,
+            "uninstall",
+            Guard::always(),
+            BasicState::Uninstalled,
+        ));
+        d
+    }
+
+    /// Driver for a passive component (library, archive, config file):
+    /// installing it also makes it *active* — there is no daemon to start.
+    /// `active` and `inactive` are "possibly the same state" (§1).
+    pub fn standard_package() -> Self {
+        let mut d = DriverSpec::new();
+        d.add_transition(Transition::new(
+            BasicState::Uninstalled,
+            "install",
+            Guard::always(),
+            BasicState::Inactive,
+        ));
+        d.add_transition(Transition::new(
+            BasicState::Inactive,
+            "start",
+            Guard::always(),
+            BasicState::Active,
+        ));
+        d.add_transition(Transition::new(
+            BasicState::Active,
+            "stop",
+            Guard::downstream(BasicState::Inactive),
+            BasicState::Inactive,
+        ));
+        d.add_transition(Transition::new(
+            BasicState::Inactive,
+            "uninstall",
+            Guard::always(),
+            BasicState::Uninstalled,
+        ));
+        d
+    }
+
+    /// Declares a custom state.
+    pub fn add_state(&mut self, name: impl Into<String>) -> &mut Self {
+        self.custom_states.push(name.into());
+        self
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, t: Transition) -> &mut Self {
+        self.transitions.push(t);
+        self
+    }
+
+    /// Custom (non-basic) state names.
+    pub fn custom_states(&self) -> &[String] {
+        &self.custom_states
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Transitions leaving `from`.
+    pub fn transitions_from<'a>(
+        &'a self,
+        from: &'a DriverState,
+    ) -> impl Iterator<Item = &'a Transition> {
+        self.transitions.iter().filter(move |t| t.from() == from)
+    }
+
+    /// The unique transition from `from` labelled `action`, if any.
+    pub fn transition(&self, from: &DriverState, action: &str) -> Option<&Transition> {
+        self.transitions
+            .iter()
+            .find(|t| t.from() == from && t.action() == action)
+    }
+
+    /// Checks the spec: every custom state mentioned in a transition must be
+    /// declared, and `(from, action)` pairs must be unique (δ is a partial
+    /// *function*).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.transitions {
+            if !seen.insert((t.from().clone(), t.action().to_owned())) {
+                return Err(format!(
+                    "duplicate transition `{}` from state `{}`",
+                    t.action(),
+                    t.from()
+                ));
+            }
+            for s in [t.from(), t.to()] {
+                if let DriverState::Custom(name) = s {
+                    if !self.custom_states.contains(name) {
+                        return Err(format!("undeclared driver state `{name}`"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_service_matches_figure_3() {
+        let d = DriverSpec::standard_service();
+        let start = d.transition(&BasicState::Inactive.into(), "start").unwrap();
+        assert_eq!(
+            start.guard().preds(),
+            &[StatePred::Upstream(BasicState::Active)]
+        );
+        assert_eq!(start.to(), &DriverState::Basic(BasicState::Active));
+
+        let stop = d.transition(&BasicState::Active.into(), "stop").unwrap();
+        assert_eq!(
+            stop.guard().preds(),
+            &[StatePred::Downstream(BasicState::Inactive)]
+        );
+
+        let install = d
+            .transition(&BasicState::Uninstalled.into(), "install")
+            .unwrap();
+        assert!(install.guard().is_trivial());
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_transition_rejected() {
+        let mut d = DriverSpec::new();
+        d.add_transition(Transition::new(
+            BasicState::Uninstalled,
+            "install",
+            Guard::always(),
+            BasicState::Inactive,
+        ));
+        d.add_transition(Transition::new(
+            BasicState::Uninstalled,
+            "install",
+            Guard::always(),
+            BasicState::Active,
+        ));
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn undeclared_custom_state_rejected() {
+        let mut d = DriverSpec::new();
+        d.add_transition(Transition::new(
+            BasicState::Inactive,
+            "migrate",
+            Guard::always(),
+            DriverState::Custom("migrating".into()),
+        ));
+        assert!(d.validate().is_err());
+        d.add_state("migrating");
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn guard_display() {
+        let g =
+            Guard::upstream(BasicState::Active).and(StatePred::Downstream(BasicState::Inactive));
+        assert_eq!(g.to_string(), "upstream active && downstream inactive");
+        assert_eq!(Guard::always().to_string(), "true");
+    }
+
+    #[test]
+    fn transition_display() {
+        let t = Transition::new(
+            BasicState::Inactive,
+            "start",
+            Guard::upstream(BasicState::Active),
+            BasicState::Active,
+        );
+        assert_eq!(
+            t.to_string(),
+            "inactive --[upstream active] start--> active"
+        );
+    }
+}

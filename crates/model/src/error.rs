@@ -1,0 +1,244 @@
+//! Errors produced by model-level checks.
+
+use std::fmt;
+
+use crate::key::ResourceKey;
+
+/// Error from well-formedness checking, inheritance resolution, or install
+/// specification checking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A key was referenced but no resource type with that key exists
+    /// (well-formedness rule 1: "no pending dependencies").
+    UnknownKey {
+        /// The missing key.
+        key: ResourceKey,
+        /// Where it was referenced from.
+        referenced_by: String,
+    },
+    /// A dependency on an abstract type whose subtype tree has no concrete
+    /// frontier ("if there is an abstract resource at the leaf ... we stop
+    /// with an error", §4).
+    EmptyFrontier {
+        /// The abstract key with no concrete descendants.
+        key: ResourceKey,
+        /// Where it was referenced from.
+        referenced_by: String,
+    },
+    /// A version-range dependency matched no known concrete version.
+    EmptyRange {
+        /// Package name of the range.
+        name: String,
+        /// Printable range.
+        range: String,
+        /// Where it was referenced from.
+        referenced_by: String,
+    },
+    /// `extends` chain contains a cycle.
+    InheritanceCycle {
+        /// A key on the cycle.
+        key: ResourceKey,
+    },
+    /// Two resource types with the same key.
+    DuplicateKey {
+        /// The duplicated key.
+        key: ResourceKey,
+    },
+    /// A machine (no inside dependency) declared input ports
+    /// (well-formedness rule 2).
+    MachineWithInputs {
+        /// The offending machine type.
+        key: ResourceKey,
+        /// One offending input port.
+        port: String,
+    },
+    /// An input port is not covered, or covered more than once, by the port
+    /// mappings of the type's dependencies (well-formedness rule 3).
+    InputPortCoverage {
+        /// The resource type.
+        key: ResourceKey,
+        /// The input port.
+        port: String,
+        /// How many mappings cover it.
+        times: usize,
+    },
+    /// A port mapping names a port that does not exist on the source or
+    /// destination type.
+    UnknownPortInMapping {
+        /// The resource type declaring the dependency.
+        key: ResourceKey,
+        /// Human-readable description of the bad mapping.
+        detail: String,
+    },
+    /// A port mapping is ill-typed (source output not a subtype of the
+    /// destination input).
+    PortTypeMismatch {
+        /// The resource type declaring the dependency.
+        key: ResourceKey,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The union ⊑i ∪ ⊑e ∪ ⊑p of dependency orderings has a cycle
+    /// (well-formedness rule 4).
+    DependencyCycle {
+        /// Keys along the detected cycle, in order.
+        cycle: Vec<ResourceKey>,
+    },
+    /// A config/output port default expression failed to type-check.
+    BadPortExpression {
+        /// The resource type.
+        key: ResourceKey,
+        /// The port.
+        port: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Duplicate port (same kind and name) on one type.
+    DuplicatePort {
+        /// The resource type.
+        key: ResourceKey,
+        /// The duplicated port name.
+        port: String,
+    },
+    /// Driver specification invalid (duplicate transition, undeclared state).
+    BadDriver {
+        /// The resource type.
+        key: ResourceKey,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A declared `extends` violates the Figure-4 structural subtyping rules.
+    BadSubtype {
+        /// The subtype.
+        sub: ResourceKey,
+        /// The claimed supertype.
+        sup: ResourceKey,
+        /// Which rule failed.
+        detail: String,
+    },
+    /// Instantiating an abstract resource type.
+    AbstractInstantiation {
+        /// The abstract key.
+        key: ResourceKey,
+        /// The instance id that tried to use it.
+        instance: String,
+    },
+    /// Install-spec-level violation (missing dependency instance, wrong
+    /// machine, bad port value, dangling link, duplicate id, ...).
+    SpecError {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A static port was given a non-constant definition, or a reverse
+    /// mapping reads a dynamic port (§3.4).
+    StaticPortViolation {
+        /// The resource type.
+        key: ResourceKey,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownKey { key, referenced_by } => {
+                write!(
+                    f,
+                    "unknown resource key `{key}` referenced by {referenced_by}"
+                )
+            }
+            ModelError::EmptyFrontier { key, referenced_by } => write!(
+                f,
+                "abstract resource `{key}` has no concrete subtypes (referenced by {referenced_by})"
+            ),
+            ModelError::EmptyRange {
+                name,
+                range,
+                referenced_by,
+            } => write!(
+                f,
+                "no known version of `{name}` satisfies `{range}` (referenced by {referenced_by})"
+            ),
+            ModelError::InheritanceCycle { key } => {
+                write!(f, "inheritance cycle through `{key}`")
+            }
+            ModelError::DuplicateKey { key } => write!(f, "duplicate resource key `{key}`"),
+            ModelError::MachineWithInputs { key, port } => write!(
+                f,
+                "machine resource `{key}` declares input port `{port}` (machines have no inputs)"
+            ),
+            ModelError::InputPortCoverage { key, port, times } => write!(
+                f,
+                "input port `{port}` of `{key}` is mapped {times} times (must be exactly once)"
+            ),
+            ModelError::UnknownPortInMapping { key, detail } => {
+                write!(f, "bad port mapping on `{key}`: {detail}")
+            }
+            ModelError::PortTypeMismatch { key, detail } => {
+                write!(f, "port type mismatch on `{key}`: {detail}")
+            }
+            ModelError::DependencyCycle { cycle } => {
+                write!(f, "dependency cycle: ")?;
+                for (i, k) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "`{k}`")?;
+                }
+                Ok(())
+            }
+            ModelError::BadPortExpression { key, port, detail } => {
+                write!(f, "bad expression for port `{port}` of `{key}`: {detail}")
+            }
+            ModelError::DuplicatePort { key, port } => {
+                write!(f, "duplicate port `{port}` on `{key}`")
+            }
+            ModelError::BadDriver { key, detail } => {
+                write!(f, "bad driver for `{key}`: {detail}")
+            }
+            ModelError::BadSubtype { sub, sup, detail } => {
+                write!(
+                    f,
+                    "`{sub}` is not a structural subtype of `{sup}`: {detail}"
+                )
+            }
+            ModelError::AbstractInstantiation { key, instance } => {
+                write!(
+                    f,
+                    "instance `{instance}` instantiates abstract type `{key}`"
+                )
+            }
+            ModelError::SpecError { detail } => write!(f, "install spec error: {detail}"),
+            ModelError::StaticPortViolation { key, detail } => {
+                write!(f, "static port violation on `{key}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::UnknownKey {
+            key: "MySQL 5.1".into(),
+            referenced_by: "`OpenMRS 1.8` (peer dependency)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("MySQL 5.1"));
+        assert!(s.contains("OpenMRS 1.8"));
+    }
+
+    #[test]
+    fn cycle_display_lists_path() {
+        let e = ModelError::DependencyCycle {
+            cycle: vec!["A".into(), "B".into(), "A".into()],
+        };
+        assert_eq!(e.to_string(), "dependency cycle: `A` -> `B` -> `A`");
+    }
+}

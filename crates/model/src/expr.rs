@@ -1,0 +1,463 @@
+//! Port-value expressions.
+//!
+//! The paper requires that "each port p ∈ ConfP is either a default constant
+//! or defined as a function of the ports in InP, and each port p ∈ OutP is
+//! either a default constant or defined as a function of the ports in
+//! InP ∪ ConfP" (§3.1). This module supplies that function language: a small
+//! pure expression language over port references, with struct/list
+//! construction and string/integer `+`.
+
+use std::fmt;
+
+use crate::value::{Value, ValueType};
+
+/// Namespace a port reference draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Namespace {
+    /// `input.<port>.<field>...` — ports filled from upstream outputs.
+    Input,
+    /// `config.<port>.<field>...` — the resource's own configuration ports.
+    Config,
+}
+
+impl fmt::Display for Namespace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Namespace::Input => write!(f, "input"),
+            Namespace::Config => write!(f, "config"),
+        }
+    }
+}
+
+/// A pure expression defining a port's value.
+///
+/// # Examples
+///
+/// ```
+/// use engage_model::{Expr, Value, Namespace, EvalEnv};
+/// // "jdbc:mysql://" + input.mysql.host
+/// let e = Expr::concat(vec![
+///     Expr::lit("jdbc:mysql://"),
+///     Expr::reference(Namespace::Input, ["mysql", "host"]),
+/// ]);
+/// let mut env = EvalEnv::new();
+/// env.bind_input("mysql", Value::structure([("host", Value::from("db1"))]));
+/// assert_eq!(e.eval(&env).unwrap(), Value::from("jdbc:mysql://db1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Literal constant.
+    Lit(Value),
+    /// Reference to a port (and optionally a field path within it).
+    Ref(Namespace, Vec<String>),
+    /// Struct construction `{ field: expr, ... }`.
+    Struct(Vec<(String, Expr)>),
+    /// List construction `[expr, ...]`.
+    List(Vec<Expr>),
+    /// `a + b + ...`: string concatenation (any operand may be an int or
+    /// bool, which is stringified) unless *all* operands are ints, in which
+    /// case it is integer addition.
+    Add(Vec<Expr>),
+}
+
+impl Expr {
+    /// Literal expression.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Port (or nested field) reference.
+    pub fn reference<S: Into<String>>(ns: Namespace, path: impl IntoIterator<Item = S>) -> Expr {
+        Expr::Ref(ns, path.into_iter().map(Into::into).collect())
+    }
+
+    /// `+`-chain; see [`Expr::Add`].
+    pub fn concat(parts: Vec<Expr>) -> Expr {
+        Expr::Add(parts)
+    }
+
+    /// Evaluates the expression against an environment of port values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if a referenced port or field is absent, or if
+    /// `+` is applied to a struct or list operand.
+    pub fn eval(&self, env: &EvalEnv) -> Result<Value, EvalError> {
+        match self {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Ref(ns, path) => {
+                let (port, rest) = path.split_first().ok_or_else(|| EvalError {
+                    what: "empty reference path".into(),
+                })?;
+                let root = env.lookup(*ns, port).ok_or_else(|| EvalError {
+                    what: format!("unbound port `{ns}.{port}`"),
+                })?;
+                root.path(rest).cloned().ok_or_else(|| EvalError {
+                    what: format!("missing field `{}` in `{ns}.{port}`", rest.join(".")),
+                })
+            }
+            Expr::Struct(fields) => {
+                let mut out = std::collections::BTreeMap::new();
+                for (k, e) in fields {
+                    out.insert(k.clone(), e.eval(env)?);
+                }
+                Ok(Value::Struct(out))
+            }
+            Expr::List(items) => Ok(Value::List(
+                items
+                    .iter()
+                    .map(|e| e.eval(env))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Expr::Add(parts) => {
+                let vals: Vec<Value> = parts
+                    .iter()
+                    .map(|e| e.eval(env))
+                    .collect::<Result<_, _>>()?;
+                if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                    Ok(Value::Int(vals.iter().map(|v| v.as_int().unwrap()).sum()))
+                } else {
+                    let mut s = String::new();
+                    for v in &vals {
+                        match v {
+                            Value::Str(x) => s.push_str(x),
+                            Value::Int(n) => s.push_str(&n.to_string()),
+                            Value::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+                            other => {
+                                return Err(EvalError {
+                                    what: format!("cannot concatenate value `{other}`"),
+                                })
+                            }
+                        }
+                    }
+                    Ok(Value::Str(s))
+                }
+            }
+        }
+    }
+
+    /// Infers the expression's type given the types of referenced ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] for unbound references or ill-typed `+`.
+    pub fn infer_type(&self, env: &TypeEnv) -> Result<ValueType, EvalError> {
+        match self {
+            Expr::Lit(v) => Ok(v.type_of()),
+            Expr::Ref(ns, path) => {
+                let (port, rest) = path.split_first().ok_or_else(|| EvalError {
+                    what: "empty reference path".into(),
+                })?;
+                let mut ty = env.lookup(*ns, port).ok_or_else(|| EvalError {
+                    what: format!("unbound port `{ns}.{port}`"),
+                })?;
+                for seg in rest {
+                    ty = match ty {
+                        ValueType::Struct(fields) => fields.get(seg).ok_or_else(|| EvalError {
+                            what: format!("type has no field `{seg}`"),
+                        })?,
+                        other => {
+                            return Err(EvalError {
+                                what: format!("cannot project `.{seg}` from `{other}`"),
+                            })
+                        }
+                    };
+                }
+                Ok(ty.clone())
+            }
+            Expr::Struct(fields) => {
+                let mut out = std::collections::BTreeMap::new();
+                for (k, e) in fields {
+                    out.insert(k.clone(), e.infer_type(env)?);
+                }
+                Ok(ValueType::Struct(out))
+            }
+            Expr::List(items) => {
+                let elem = match items.first() {
+                    Some(e) => e.infer_type(env)?,
+                    None => ValueType::Str,
+                };
+                for e in &items[1..] {
+                    let t = e.infer_type(env)?;
+                    if t != elem {
+                        return Err(EvalError {
+                            what: format!("heterogeneous list: `{elem}` vs `{t}`"),
+                        });
+                    }
+                }
+                Ok(ValueType::List(Box::new(elem)))
+            }
+            Expr::Add(parts) => {
+                let tys: Vec<ValueType> = parts
+                    .iter()
+                    .map(|e| e.infer_type(env))
+                    .collect::<Result<_, _>>()?;
+                for t in &tys {
+                    if matches!(t, ValueType::Struct(_) | ValueType::List(_)) {
+                        return Err(EvalError {
+                            what: format!("`+` not defined on `{t}`"),
+                        });
+                    }
+                }
+                if tys.iter().all(|t| *t == ValueType::Int) {
+                    Ok(ValueType::Int)
+                } else {
+                    Ok(ValueType::Str)
+                }
+            }
+        }
+    }
+
+    /// Collects the ports this expression reads, as `(namespace, port name)`.
+    pub fn references(&self) -> Vec<(Namespace, &str)> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<(Namespace, &'a str)>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Ref(ns, path) => {
+                if let Some(first) = path.first() {
+                    out.push((*ns, first.as_str()));
+                }
+            }
+            Expr::Struct(fields) => fields.iter().for_each(|(_, e)| e.collect_refs(out)),
+            Expr::List(items) | Expr::Add(items) => items.iter().for_each(|e| e.collect_refs(out)),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(Value::Str(s)) => write!(f, "{s:?}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Ref(ns, path) => write!(f, "{ns}.{}", path.join(".")),
+            Expr::Struct(fields) => {
+                write!(f, "{{ ")?;
+                for (i, (k, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {e}")?;
+                }
+                write!(f, " }}")
+            }
+            Expr::List(items) => {
+                write!(f, "[")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Expr::Add(parts) => {
+                for (i, e) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Value bindings for evaluating port expressions of one resource instance.
+#[derive(Debug, Clone, Default)]
+pub struct EvalEnv {
+    inputs: std::collections::BTreeMap<String, Value>,
+    configs: std::collections::BTreeMap<String, Value>,
+}
+
+impl EvalEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds an input port value.
+    pub fn bind_input(&mut self, port: impl Into<String>, v: Value) -> &mut Self {
+        self.inputs.insert(port.into(), v);
+        self
+    }
+
+    /// Binds a config port value.
+    pub fn bind_config(&mut self, port: impl Into<String>, v: Value) -> &mut Self {
+        self.configs.insert(port.into(), v);
+        self
+    }
+
+    /// Looks up a port value.
+    pub fn lookup(&self, ns: Namespace, port: &str) -> Option<&Value> {
+        match ns {
+            Namespace::Input => self.inputs.get(port),
+            Namespace::Config => self.configs.get(port),
+        }
+    }
+}
+
+/// Type bindings for checking port expressions of one resource type.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    inputs: std::collections::BTreeMap<String, ValueType>,
+    configs: std::collections::BTreeMap<String, ValueType>,
+}
+
+impl TypeEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds an input port type.
+    pub fn bind_input(&mut self, port: impl Into<String>, t: ValueType) -> &mut Self {
+        self.inputs.insert(port.into(), t);
+        self
+    }
+
+    /// Binds a config port type.
+    pub fn bind_config(&mut self, port: impl Into<String>, t: ValueType) -> &mut Self {
+        self.configs.insert(port.into(), t);
+        self
+    }
+
+    /// Looks up a port type.
+    pub fn lookup(&self, ns: Namespace, port: &str) -> Option<&ValueType> {
+        match ns {
+            Namespace::Input => self.inputs.get(port),
+            Namespace::Config => self.configs.get(port),
+        }
+    }
+}
+
+/// Error produced by expression evaluation or type inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    what: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port expression error: {}", self.what)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_eval() {
+        let env = EvalEnv::new();
+        assert_eq!(Expr::lit(8080i64).eval(&env).unwrap(), Value::Int(8080));
+    }
+
+    #[test]
+    fn reference_projects_fields() {
+        let mut env = EvalEnv::new();
+        env.bind_config(
+            "db",
+            Value::structure([("host", Value::from("h")), ("port", Value::from(3306i64))]),
+        );
+        let e = Expr::reference(Namespace::Config, ["db", "port"]);
+        assert_eq!(e.eval(&env).unwrap(), Value::Int(3306));
+    }
+
+    #[test]
+    fn unbound_reference_is_an_error() {
+        let env = EvalEnv::new();
+        let e = Expr::reference(Namespace::Input, ["java"]);
+        assert!(e.eval(&env).is_err());
+    }
+
+    #[test]
+    fn add_is_int_sum_or_string_concat() {
+        let env = EvalEnv::new();
+        let ints = Expr::concat(vec![Expr::lit(1i64), Expr::lit(2i64)]);
+        assert_eq!(ints.eval(&env).unwrap(), Value::Int(3));
+        let mixed = Expr::concat(vec![Expr::lit("port="), Expr::lit(3306i64)]);
+        assert_eq!(mixed.eval(&env).unwrap(), Value::from("port=3306"));
+    }
+
+    #[test]
+    fn add_rejects_structs() {
+        let env = EvalEnv::new();
+        let e = Expr::concat(vec![Expr::Struct(vec![]), Expr::lit("x")]);
+        assert!(e.eval(&env).is_err());
+    }
+
+    #[test]
+    fn struct_expr_builds_struct() {
+        let mut env = EvalEnv::new();
+        env.bind_config("hostname", Value::from("localhost"));
+        let e = Expr::Struct(vec![(
+            "hostname".into(),
+            Expr::reference(Namespace::Config, ["hostname"]),
+        )]);
+        assert_eq!(
+            e.eval(&env).unwrap(),
+            Value::structure([("hostname", Value::from("localhost"))])
+        );
+    }
+
+    #[test]
+    fn type_inference_matches_eval() {
+        let mut tenv = TypeEnv::new();
+        tenv.bind_input("java", ValueType::record([("home", ValueType::Str)]));
+        let e = Expr::Struct(vec![
+            (
+                "home".into(),
+                Expr::reference(Namespace::Input, ["java", "home"]),
+            ),
+            ("port".into(), Expr::lit(8080i64)),
+        ]);
+        let t = e.infer_type(&tenv).unwrap();
+        assert_eq!(
+            t,
+            ValueType::record([("home", ValueType::Str), ("port", ValueType::Int)])
+        );
+    }
+
+    #[test]
+    fn infer_rejects_bad_projection() {
+        let mut tenv = TypeEnv::new();
+        tenv.bind_input("java", ValueType::Str);
+        let e = Expr::reference(Namespace::Input, ["java", "home"]);
+        assert!(e.infer_type(&tenv).is_err());
+    }
+
+    #[test]
+    fn references_are_collected() {
+        let e = Expr::Struct(vec![
+            ("a".into(), Expr::reference(Namespace::Input, ["x", "f"])),
+            (
+                "b".into(),
+                Expr::concat(vec![
+                    Expr::lit("-"),
+                    Expr::reference(Namespace::Config, ["y"]),
+                ]),
+            ),
+        ]);
+        let refs = e.references();
+        assert!(refs.contains(&(Namespace::Input, "x")));
+        assert!(refs.contains(&(Namespace::Config, "y")));
+        assert_eq!(refs.len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::concat(vec![
+            Expr::lit("jdbc:"),
+            Expr::reference(Namespace::Input, ["db", "host"]),
+        ]);
+        assert_eq!(e.to_string(), "\"jdbc:\" + input.db.host");
+    }
+}

@@ -1,0 +1,173 @@
+//! Resource keys: the globally-unique identifiers of resource types.
+//!
+//! A key "usually consists of the name of the package and its version"
+//! (paper §2), e.g. `"Tomcat 6.0.18"` or `"Mac-OSX 10.6"`. Some resources
+//! (e.g. application archetypes) have no version.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::version::{ParseVersionError, Version};
+
+/// Globally unique identifier of a resource type: package name plus an
+/// optional version.
+///
+/// The textual form is `"<name> <version>"` (or just `"<name>"` when the
+/// version is absent). The name may itself contain spaces; when parsing, the
+/// *last* whitespace-separated token is treated as the version iff it parses
+/// as one.
+///
+/// # Examples
+///
+/// ```
+/// use engage_model::ResourceKey;
+/// let k: ResourceKey = "Tomcat 6.0.18".parse().unwrap();
+/// assert_eq!(k.name(), "Tomcat");
+/// assert_eq!(k.version().unwrap().to_string(), "6.0.18");
+/// assert_eq!(k.to_string(), "Tomcat 6.0.18");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceKey {
+    name: String,
+    version: Option<Version>,
+}
+
+impl ResourceKey {
+    /// Creates a key with a version.
+    pub fn new(name: impl Into<String>, version: Version) -> Self {
+        ResourceKey {
+            name: name.into(),
+            version: Some(version),
+        }
+    }
+
+    /// Creates a version-less key (e.g. an abstract archetype like `Server`).
+    pub fn unversioned(name: impl Into<String>) -> Self {
+        ResourceKey {
+            name: name.into(),
+            version: None,
+        }
+    }
+
+    /// The package name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The version, if any.
+    pub fn version(&self) -> Option<&Version> {
+        self.version.as_ref()
+    }
+}
+
+impl fmt::Display for ResourceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.version {
+            Some(v) => write!(f, "{} {}", self.name, v),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Error returned when parsing a [`ResourceKey`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKeyError {
+    text: String,
+}
+
+impl fmt::Display for ParseKeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid resource key: `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseKeyError {}
+
+impl From<ParseVersionError> for ParseKeyError {
+    fn from(_: ParseVersionError) -> Self {
+        ParseKeyError {
+            text: String::new(),
+        }
+    }
+}
+
+impl FromStr for ResourceKey {
+    type Err = ParseKeyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseKeyError { text: s.into() });
+        }
+        match s.rsplit_once(char::is_whitespace) {
+            Some((name, last)) => match last.parse::<Version>() {
+                Ok(v) if !name.trim().is_empty() => Ok(ResourceKey::new(name.trim(), v)),
+                _ => Ok(ResourceKey::unversioned(s)),
+            },
+            None => Ok(ResourceKey::unversioned(s)),
+        }
+    }
+}
+
+impl From<&str> for ResourceKey {
+    fn from(s: &str) -> Self {
+        s.parse()
+            .expect("resource key parse is total on non-empty strings")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_and_version() {
+        let k: ResourceKey = "OpenMRS 1.8".parse().unwrap();
+        assert_eq!(k.name(), "OpenMRS");
+        assert_eq!(k.version().unwrap(), &"1.8".parse::<Version>().unwrap());
+    }
+
+    #[test]
+    fn parses_versionless_key() {
+        let k: ResourceKey = "Server".parse().unwrap();
+        assert_eq!(k.name(), "Server");
+        assert!(k.version().is_none());
+    }
+
+    #[test]
+    fn multiword_names_keep_spaces() {
+        let k: ResourceKey = "Jasper Reports Server 4.2".parse().unwrap();
+        assert_eq!(k.name(), "Jasper Reports Server");
+        assert_eq!(k.to_string(), "Jasper Reports Server 4.2");
+    }
+
+    #[test]
+    fn non_version_last_token_folds_into_name() {
+        let k: ResourceKey = "Apache HTTP".parse().unwrap();
+        assert_eq!(k.name(), "Apache HTTP");
+        assert!(k.version().is_none());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["Tomcat 6.0.18", "Mac-OSX 10.6", "Java", "MySQL 5.1"] {
+            let k: ResourceKey = s.parse().unwrap();
+            assert_eq!(k.to_string(), s);
+            let k2: ResourceKey = k.to_string().parse().unwrap();
+            assert_eq!(k, k2);
+        }
+    }
+
+    #[test]
+    fn empty_is_rejected() {
+        assert!("".parse::<ResourceKey>().is_err());
+        assert!("   ".parse::<ResourceKey>().is_err());
+    }
+
+    #[test]
+    fn ordering_groups_by_name_then_version() {
+        let a: ResourceKey = "Tomcat 5.5".parse().unwrap();
+        let b: ResourceKey = "Tomcat 6.0.18".parse().unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,170 @@
+//! Port definitions: the typed configuration surface of a resource type.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::value::ValueType;
+
+/// Which of the three disjoint port sets a port belongs to (§3.1:
+/// `InP`, `ConfP`, `OutP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortKind {
+    /// Receives data from other resources via dependency port mappings.
+    Input,
+    /// Resource-specific metadata used in configuration and installation.
+    Config,
+    /// Exported to downstream resources.
+    Output,
+}
+
+impl fmt::Display for PortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortKind::Input => write!(f, "input"),
+            PortKind::Config => write!(f, "config"),
+            PortKind::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// When a port's value is fixed (§3.4 extension).
+///
+/// A *static* port is assigned at instantiation time (it must be a constant,
+/// or for outputs a function of static config ports); a *dynamic* port is
+/// assigned at installation time. Static ports are what lets configuration
+/// flow *against* the dependency direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Binding {
+    /// Value fixed when the resource instance is created.
+    Static,
+    /// Value computed during configuration/installation (the default).
+    #[default]
+    Dynamic,
+}
+
+/// A named, typed port with an optional defining expression.
+///
+/// Per §3.1: input ports have no definition (they are filled by port
+/// mappings); a config port's definition may read input ports; an output
+/// port's definition may read input and config ports. A missing definition
+/// on a config/output port means the instance must supply the value
+/// explicitly (or the well-formedness checker reports it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDef {
+    name: String,
+    kind: PortKind,
+    ty: ValueType,
+    default: Option<Expr>,
+    binding: Binding,
+}
+
+impl PortDef {
+    /// Creates a port definition.
+    pub fn new(
+        name: impl Into<String>,
+        kind: PortKind,
+        ty: ValueType,
+        default: Option<Expr>,
+    ) -> Self {
+        PortDef {
+            name: name.into(),
+            kind,
+            ty,
+            default,
+            binding: Binding::Dynamic,
+        }
+    }
+
+    /// Creates an input port (no definition).
+    pub fn input(name: impl Into<String>, ty: ValueType) -> Self {
+        PortDef::new(name, PortKind::Input, ty, None)
+    }
+
+    /// Creates a config port with a default expression.
+    pub fn config(name: impl Into<String>, ty: ValueType, default: Expr) -> Self {
+        PortDef::new(name, PortKind::Config, ty, Some(default))
+    }
+
+    /// Creates an output port with a defining expression.
+    pub fn output(name: impl Into<String>, ty: ValueType, def: Expr) -> Self {
+        PortDef::new(name, PortKind::Output, ty, Some(def))
+    }
+
+    /// Marks the port as statically bound (builder-style).
+    pub fn with_binding(mut self, binding: Binding) -> Self {
+        self.binding = binding;
+        self
+    }
+
+    /// Port name (`p.name` in the paper).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which port set this belongs to.
+    pub fn kind(&self) -> PortKind {
+        self.kind
+    }
+
+    /// Port type (`p.type`).
+    pub fn ty(&self) -> &ValueType {
+        &self.ty
+    }
+
+    /// The defining/default expression, if any.
+    pub fn default(&self) -> Option<&Expr> {
+        self.default.as_ref()
+    }
+
+    /// Static or dynamic binding.
+    pub fn binding(&self) -> Binding {
+        self.binding
+    }
+}
+
+impl fmt::Display for PortDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.binding == Binding::Static {
+            write!(f, "static ")?;
+        }
+        write!(f, "{} port {}: {}", self.kind, self.name, self.ty)?;
+        if let Some(d) = &self.default {
+            write!(f, " = {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(PortDef::input("a", ValueType::Str).kind(), PortKind::Input);
+        assert_eq!(
+            PortDef::config("a", ValueType::Int, Expr::lit(1i64)).kind(),
+            PortKind::Config
+        );
+        assert_eq!(
+            PortDef::output("a", ValueType::Str, Expr::lit("x")).kind(),
+            PortKind::Output
+        );
+    }
+
+    #[test]
+    fn binding_defaults_to_dynamic() {
+        let p = PortDef::input("a", ValueType::Str);
+        assert_eq!(p.binding(), Binding::Dynamic);
+        let s = p.with_binding(Binding::Static);
+        assert_eq!(s.binding(), Binding::Static);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let p = PortDef::config("port", ValueType::Int, Expr::lit(3306i64))
+            .with_binding(Binding::Static);
+        assert_eq!(p.to_string(), "static config port port: int = 3306");
+    }
+}

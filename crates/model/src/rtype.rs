@@ -1,0 +1,287 @@
+//! Resource types (§3.1–§3.2): the classes of the deployment model.
+
+use std::fmt;
+
+use crate::deps::{DepKind, Dependency};
+use crate::driver::DriverSpec;
+use crate::key::ResourceKey;
+use crate::ports::{PortDef, PortKind};
+
+/// A resource type `R = (key, InP, ConfP, OutP, Inside, Env, Peer)` plus a
+/// driver spec and the OO extensions of §3.2 (abstract flag, `extends`).
+///
+/// Build with [`ResourceTypeBuilder`] via [`ResourceType::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use engage_model::{ResourceType, ValueType, PortDef, Expr, Dependency, DepKind, PortMapping};
+/// let tomcat = ResourceType::builder("Tomcat 6.0.18")
+///     .port(PortDef::config("manager_port", ValueType::Int, Expr::lit(8080i64)))
+///     .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+///     .dependency(Dependency::on(
+///         DepKind::Environment,
+///         "Java",
+///         vec![PortMapping::forward("java", "java")],
+///     ))
+///     .port(PortDef::input("java", ValueType::record([("home", ValueType::Str)])))
+///     .build();
+/// assert!(tomcat.inside().is_some());
+/// assert_eq!(tomcat.env().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceType {
+    key: ResourceKey,
+    is_abstract: bool,
+    extends: Option<ResourceKey>,
+    ports: Vec<PortDef>,
+    inside: Option<Dependency>,
+    env: Vec<Dependency>,
+    peer: Vec<Dependency>,
+    driver: Option<DriverSpec>,
+}
+
+impl ResourceType {
+    /// Starts building a resource type with the given key.
+    pub fn builder(key: impl Into<ResourceKey>) -> ResourceTypeBuilder {
+        ResourceTypeBuilder {
+            ty: ResourceType {
+                key: key.into(),
+                is_abstract: false,
+                extends: None,
+                ports: Vec::new(),
+                inside: None,
+                env: Vec::new(),
+                peer: Vec::new(),
+                driver: None,
+            },
+        }
+    }
+
+    /// The globally unique key.
+    pub fn key(&self) -> &ResourceKey {
+        &self.key
+    }
+
+    /// Whether the type is abstract (cannot be instantiated; used for
+    /// inheritance, e.g. `Server`, `Java`).
+    pub fn is_abstract(&self) -> bool {
+        self.is_abstract
+    }
+
+    /// The declared supertype, if any.
+    pub fn extends(&self) -> Option<&ResourceKey> {
+        self.extends.as_ref()
+    }
+
+    /// All port definitions (all three kinds).
+    pub fn ports(&self) -> &[PortDef] {
+        &self.ports
+    }
+
+    /// Ports of one kind.
+    pub fn ports_of(&self, kind: PortKind) -> impl Iterator<Item = &PortDef> {
+        self.ports.iter().filter(move |p| p.kind() == kind)
+    }
+
+    /// Looks up a port by name and kind.
+    pub fn port(&self, kind: PortKind, name: &str) -> Option<&PortDef> {
+        self.ports
+            .iter()
+            .find(|p| p.kind() == kind && p.name() == name)
+    }
+
+    /// The inside dependency (`None` ⇒ this type is a *machine*).
+    pub fn inside(&self) -> Option<&Dependency> {
+        self.inside.as_ref()
+    }
+
+    /// Environment dependencies.
+    pub fn env(&self) -> &[Dependency] {
+        &self.env
+    }
+
+    /// Peer dependencies.
+    pub fn peer(&self) -> &[Dependency] {
+        &self.peer
+    }
+
+    /// All dependencies: inside (if any), then env, then peer.
+    pub fn dependencies(&self) -> impl Iterator<Item = &Dependency> {
+        self.inside
+            .iter()
+            .chain(self.env.iter())
+            .chain(self.peer.iter())
+    }
+
+    /// Whether the type is a machine (no inside dependency; §3.1).
+    pub fn is_machine(&self) -> bool {
+        self.inside.is_none()
+    }
+
+    /// The explicitly declared driver spec, if any.
+    ///
+    /// Inheritance resolution (and the fallback to
+    /// [`DriverSpec::standard_package`]) happens in
+    /// `Universe::effective_driver`, so a type without its own driver
+    /// returns `None` here.
+    pub fn driver_spec(&self) -> Option<&DriverSpec> {
+        self.driver.as_ref()
+    }
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_abstract {
+            write!(f, "abstract ")?;
+        }
+        write!(f, "resource \"{}\"", self.key)?;
+        if let Some(sup) = &self.extends {
+            write!(f, " extends \"{sup}\"")?;
+        }
+        writeln!(f, " {{")?;
+        if let Some(d) = &self.inside {
+            writeln!(f, "  {d};")?;
+        }
+        for d in self.env.iter().chain(self.peer.iter()) {
+            writeln!(f, "  {d};")?;
+        }
+        for p in &self.ports {
+            writeln!(f, "  {p};")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`ResourceType`].
+#[derive(Debug, Clone)]
+pub struct ResourceTypeBuilder {
+    ty: ResourceType,
+}
+
+impl ResourceTypeBuilder {
+    /// Marks the type abstract.
+    pub fn abstract_type(mut self) -> Self {
+        self.ty.is_abstract = true;
+        self
+    }
+
+    /// Declares the supertype.
+    pub fn extends(mut self, key: impl Into<ResourceKey>) -> Self {
+        self.ty.extends = Some(key.into());
+        self
+    }
+
+    /// Adds a port definition.
+    pub fn port(mut self, p: PortDef) -> Self {
+        self.ty.ports.push(p);
+        self
+    }
+
+    /// Sets the inside dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dep` is not an inside dependency or one was already set
+    /// ("each resource type has either zero ... or exactly one inside
+    /// dependency", §3.1).
+    pub fn inside(mut self, dep: Dependency) -> Self {
+        assert_eq!(dep.kind(), DepKind::Inside, "expected an inside dependency");
+        assert!(self.ty.inside.is_none(), "inside dependency already set");
+        self.ty.inside = Some(dep);
+        self
+    }
+
+    /// Adds an environment or peer dependency (routes by `dep.kind()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if passed an inside dependency — use
+    /// [`ResourceTypeBuilder::inside`].
+    pub fn dependency(mut self, dep: Dependency) -> Self {
+        match dep.kind() {
+            DepKind::Environment => self.ty.env.push(dep),
+            DepKind::Peer => self.ty.peer.push(dep),
+            DepKind::Inside => panic!("use .inside() for inside dependencies"),
+        }
+        self
+    }
+
+    /// Sets the driver spec. Types without one inherit their supertype's
+    /// driver, falling back to [`DriverSpec::standard_package`].
+    pub fn driver(mut self, d: DriverSpec) -> Self {
+        self.ty.driver = Some(d);
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> ResourceType {
+        self.ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::PortMapping;
+    use crate::expr::Expr;
+    use crate::value::ValueType;
+
+    #[test]
+    fn machine_types_have_no_inside() {
+        let server = ResourceType::builder("Server").abstract_type().build();
+        assert!(server.is_machine());
+        assert!(server.is_abstract());
+    }
+
+    #[test]
+    fn builder_routes_dependencies() {
+        let t = ResourceType::builder("OpenMRS 1.8")
+            .inside(Dependency::on(DepKind::Inside, "Tomcat 6.0.18", vec![]))
+            .dependency(Dependency::on(DepKind::Environment, "Java", vec![]))
+            .dependency(Dependency::on(
+                DepKind::Peer,
+                "MySQL 5.1",
+                vec![PortMapping::forward("mysql", "mysql")],
+            ))
+            .build();
+        assert!(!t.is_machine());
+        assert_eq!(t.env().len(), 1);
+        assert_eq!(t.peer().len(), 1);
+        assert_eq!(t.dependencies().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside dependency already set")]
+    fn two_inside_deps_panic() {
+        let _ = ResourceType::builder("X")
+            .inside(Dependency::on(DepKind::Inside, "A", vec![]))
+            .inside(Dependency::on(DepKind::Inside, "B", vec![]));
+    }
+
+    #[test]
+    fn port_lookup_by_kind_and_name() {
+        let t = ResourceType::builder("MySQL 5.1")
+            .port(PortDef::config("port", ValueType::Int, Expr::lit(3306i64)))
+            .port(PortDef::output(
+                "mysql",
+                ValueType::record([("port", ValueType::Int)]),
+                Expr::Struct(vec![(
+                    "port".into(),
+                    Expr::reference(crate::expr::Namespace::Config, ["port"]),
+                )]),
+            ))
+            .build();
+        assert!(t.port(PortKind::Config, "port").is_some());
+        assert!(t.port(PortKind::Output, "mysql").is_some());
+        assert!(t.port(PortKind::Input, "port").is_none());
+        assert_eq!(t.ports_of(PortKind::Output).count(), 1);
+    }
+
+    #[test]
+    fn display_is_dsl_like() {
+        let t = ResourceType::builder("JDK 1.6").extends("Java").build();
+        let s = t.to_string();
+        assert!(s.contains("resource \"JDK 1.6\" extends \"Java\""));
+    }
+}

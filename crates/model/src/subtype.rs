@@ -1,0 +1,460 @@
+//! Structural resource-type subtyping — the Figure 4 rules.
+//!
+//! `R' ≤RT R` holds when:
+//!
+//! * **Input ports** (contravariant, like method arguments): for every input
+//!   port `p` of `R` there is an input port `p'` of `R'` with the same name
+//!   and `p.type ≤ p'.type`.
+//! * **Config and output ports** (covariant): for every config/output port
+//!   `p` of `R` there is a same-named port `p'` of `R'` with
+//!   `p'.type ≤ p.type`.
+//! * **Inside**: `R'`'s inside target is a subtype of `R`'s (or both are
+//!   null), with a compatible port mapping.
+//! * **Env/Peer**: every dependency `(I, m)` of `R` is matched by some
+//!   `(I', m')` of `R'` with `[I'] ≤RT [I]` and `m' ≤pm m`.
+//!
+//! The relation recurses through dependency targets, so the checker carries
+//! a coinductive assumption set (standard for iso-recursive subtyping).
+
+use std::collections::HashSet;
+
+use crate::deps::{DepTarget, Dependency, PortMapping};
+use crate::error::ModelError;
+use crate::key::ResourceKey;
+use crate::ports::PortKind;
+use crate::rtype::ResourceType;
+use crate::universe::Universe;
+
+/// Checks `sub ≤RT sup` structurally over the types in `universe`.
+///
+/// Both keys are resolved to their *effective* (inheritance-flattened)
+/// types. Unknown keys yield `false`.
+pub fn is_structural_subtype(universe: &Universe, sub: &ResourceKey, sup: &ResourceKey) -> bool {
+    let mut assumed = HashSet::new();
+    check_keys(universe, sub, sup, &mut assumed)
+}
+
+/// Verifies every declared `extends` edge in the universe against the
+/// Figure 4 rules.
+///
+/// # Errors
+///
+/// One [`ModelError::BadSubtype`] per violating edge.
+pub fn check_declared_subtyping(universe: &Universe) -> Result<(), Vec<ModelError>> {
+    let mut errors = Vec::new();
+    for ty in universe.iter() {
+        if let Some(sup) = ty.extends() {
+            if let Some(detail) = explain_violation(universe, ty.key(), sup) {
+                errors.push(ModelError::BadSubtype {
+                    sub: ty.key().clone(),
+                    sup: sup.clone(),
+                    detail,
+                });
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Returns a human-readable reason why `sub ≤RT sup` fails, or `None` if it
+/// holds.
+pub fn explain_violation(
+    universe: &Universe,
+    sub: &ResourceKey,
+    sup: &ResourceKey,
+) -> Option<String> {
+    let (Ok(sub_ty), Ok(sup_ty)) = (universe.effective(sub), universe.effective(sup)) else {
+        return Some("unresolvable type".into());
+    };
+    let mut assumed = HashSet::new();
+    explain(universe, &sub_ty, &sup_ty, &mut assumed)
+}
+
+fn check_keys(
+    universe: &Universe,
+    sub: &ResourceKey,
+    sup: &ResourceKey,
+    assumed: &mut HashSet<(ResourceKey, ResourceKey)>,
+) -> bool {
+    if sub == sup {
+        return true;
+    }
+    // Coinduction: assume the pair holds while checking its body.
+    if !assumed.insert((sub.clone(), sup.clone())) {
+        return true;
+    }
+    let (Ok(sub_ty), Ok(sup_ty)) = (universe.effective(sub), universe.effective(sup)) else {
+        return false;
+    };
+    explain(universe, &sub_ty, &sup_ty, assumed).is_none()
+}
+
+/// Core of the Figure 4 check over effective types; returns a violation
+/// description or `None` if `sub ≤RT sup`.
+fn explain(
+    universe: &Universe,
+    sub: &ResourceType,
+    sup: &ResourceType,
+    assumed: &mut HashSet<(ResourceKey, ResourceKey)>,
+) -> Option<String> {
+    // Ports.
+    for p in sup.ports() {
+        let Some(q) = sub.port(p.kind(), p.name()) else {
+            return Some(format!(
+                "missing {} port `{}` required by `{}`",
+                p.kind(),
+                p.name(),
+                sup.key()
+            ));
+        };
+        let ok = match p.kind() {
+            // Contravariant: super's input type must flow into sub's.
+            PortKind::Input => p.ty().is_subtype_of(q.ty()),
+            // Covariant.
+            PortKind::Config | PortKind::Output => q.ty().is_subtype_of(p.ty()),
+        };
+        if !ok {
+            return Some(format!(
+                "{} port `{}`: `{}` incompatible with `{}`",
+                p.kind(),
+                p.name(),
+                q.ty(),
+                p.ty()
+            ));
+        }
+    }
+
+    // Inside dependency. "Sub-resource types extend base resource types by
+    // ... subtyping the inside dependency" (§3.2); a subtype may *add* an
+    // inside dependency the (abstract) supertype lacks — the paper's own
+    // JDK/JRE add `inside Server` to abstract Java — but never drop one.
+    match (sub.inside(), sup.inside()) {
+        (_, None) => {}
+        (None, Some(_)) => {
+            return Some("subtype drops the inside dependency".into());
+        }
+        (Some(di), Some(si)) => {
+            if !dep_refines(universe, di, si, assumed) {
+                return Some(format!("inside dependency `{di}` does not refine `{si}`"));
+            }
+        }
+    }
+
+    // Env and peer dependencies: each of super's must be matched.
+    for (label, sup_deps, sub_deps) in [
+        ("env", sup.env(), sub.env()),
+        ("peer", sup.peer(), sub.peer()),
+    ] {
+        for sd in sup_deps {
+            let matched = sub_deps
+                .iter()
+                .any(|cd| dep_refines(universe, cd, sd, assumed));
+            if !matched {
+                return Some(format!(
+                    "{label} dependency `{sd}` has no refinement in subtype"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// `sub_dep` refines `sup_dep`: every target of `sub_dep` is (structurally)
+/// a subtype of some target of `sup_dep`, and the port mappings refine
+/// (`m' ≤pm m`: every pair of `m` appears in `m'`).
+fn dep_refines(
+    universe: &Universe,
+    sub_dep: &Dependency,
+    sup_dep: &Dependency,
+    assumed: &mut HashSet<(ResourceKey, ResourceKey)>,
+) -> bool {
+    if sub_dep.kind() != sup_dep.kind() {
+        return false;
+    }
+    let sub_keys = match expand(universe, sub_dep) {
+        Some(k) => k,
+        None => return false,
+    };
+    let sup_keys = match expand(universe, sup_dep) {
+        Some(k) => k,
+        None => return false,
+    };
+    let targets_ok = sub_keys.iter().all(|sk| {
+        sup_keys
+            .iter()
+            .any(|pk| check_keys(universe, sk, pk, assumed) || universe.is_declared_subtype(sk, pk))
+    });
+    if !targets_ok {
+        return false;
+    }
+    pmap_refines(sub_dep.mappings(), sup_dep.mappings())
+}
+
+/// `m' ≤pm m`: every mapping pair of `m` occurs in `m'` (same ports, same
+/// direction).
+fn pmap_refines(sub_maps: &[PortMapping], sup_maps: &[PortMapping]) -> bool {
+    sup_maps.iter().all(|m| sub_maps.contains(m))
+}
+
+/// Expands dependency targets to candidate keys without hard errors:
+/// abstract targets stay nominal here (subtype checks handle them), ranges
+/// expand against the universe.
+fn expand(universe: &Universe, dep: &Dependency) -> Option<Vec<ResourceKey>> {
+    let mut out = Vec::new();
+    for t in dep.targets() {
+        match t {
+            DepTarget::Exact(k) => out.push(k.clone()),
+            DepTarget::Range { name, range } => {
+                for ty in universe.iter() {
+                    if ty.key().name() == name
+                        && ty.key().version().is_some_and(|v| range.contains(v))
+                    {
+                        out.push(ty.key().clone());
+                    }
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::DepKind;
+    use crate::expr::{Expr, Namespace};
+    use crate::ports::PortDef;
+    use crate::value::ValueType;
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        u.insert(
+            ResourceType::builder("Server")
+                .abstract_type()
+                .port(PortDef::config(
+                    "hostname",
+                    ValueType::Str,
+                    Expr::lit("localhost"),
+                ))
+                .port(PortDef::output(
+                    "host",
+                    ValueType::record([("hostname", ValueType::Str)]),
+                    Expr::Struct(vec![(
+                        "hostname".into(),
+                        Expr::reference(Namespace::Config, ["hostname"]),
+                    )]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("Mac-OSX 10.6")
+                .extends("Server")
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("Java")
+                .abstract_type()
+                .port(PortDef::output(
+                    "java",
+                    ValueType::record([("home", ValueType::Str)]),
+                    Expr::Struct(vec![("home".into(), Expr::lit("/usr/java"))]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("JDK 1.6")
+                .extends("Java")
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .build(),
+        )
+        .unwrap();
+        u
+    }
+
+    #[test]
+    fn reflexive() {
+        let u = universe();
+        assert!(is_structural_subtype(&u, &"Java".into(), &"Java".into()));
+    }
+
+    #[test]
+    fn extends_edge_is_structural() {
+        let u = universe();
+        assert!(is_structural_subtype(
+            &u,
+            &"Mac-OSX 10.6".into(),
+            &"Server".into()
+        ));
+        assert!(is_structural_subtype(&u, &"JDK 1.6".into(), &"Java".into()));
+        assert!(check_declared_subtyping(&u).is_ok());
+    }
+
+    #[test]
+    fn subtype_is_directional() {
+        let u = universe();
+        // Server has ports JDK's supertype chain provides, but Java lacks
+        // Server's host output.
+        assert!(!is_structural_subtype(&u, &"Java".into(), &"Server".into()));
+    }
+
+    #[test]
+    fn missing_port_breaks_subtyping() {
+        let mut u = universe();
+        // Claim an extends edge but override nothing; then add a bogus
+        // subtype that lacks the super's output port.
+        u.insert(
+            ResourceType::builder("FakeJava 1")
+                .port(PortDef::output("other", ValueType::Str, Expr::lit("x")))
+                .build(),
+        )
+        .unwrap();
+        assert!(!is_structural_subtype(
+            &u,
+            &"FakeJava 1".into(),
+            &"Java".into()
+        ));
+        let why = explain_violation(&u, &"FakeJava 1".into(), &"Java".into()).unwrap();
+        assert!(why.contains("java"), "got: {why}");
+    }
+
+    #[test]
+    fn covariant_output_and_contravariant_input() {
+        let mut u = Universe::new();
+        let wide = ValueType::record([("a", ValueType::Str), ("b", ValueType::Int)]);
+        let narrow = ValueType::record([("a", ValueType::Str)]);
+        u.insert(
+            ResourceType::builder("Base")
+                .abstract_type()
+                .port(PortDef::output(
+                    "out",
+                    narrow.clone(),
+                    Expr::Struct(vec![("a".into(), Expr::lit("x"))]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        // Sub's output is *wider* (more fields) => subtype of narrow: OK.
+        u.insert(
+            ResourceType::builder("Good 1")
+                .port(PortDef::output(
+                    "out",
+                    wide.clone(),
+                    Expr::Struct(vec![
+                        ("a".into(), Expr::lit("x")),
+                        ("b".into(), Expr::lit(1i64)),
+                    ]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        // Sub's output narrower than base's wide output: not OK.
+        u.insert(
+            ResourceType::builder("BaseWide")
+                .abstract_type()
+                .port(PortDef::output(
+                    "out",
+                    wide,
+                    Expr::Struct(vec![
+                        ("a".into(), Expr::lit("x")),
+                        ("b".into(), Expr::lit(1i64)),
+                    ]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("Bad 1")
+                .port(PortDef::output(
+                    "out",
+                    narrow,
+                    Expr::Struct(vec![("a".into(), Expr::lit("x"))]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        assert!(is_structural_subtype(&u, &"Good 1".into(), &"Base".into()));
+        assert!(!is_structural_subtype(
+            &u,
+            &"Bad 1".into(),
+            &"BaseWide".into()
+        ));
+    }
+
+    #[test]
+    fn dropping_inside_dep_breaks_subtyping() {
+        let mut u = universe();
+        u.insert(
+            ResourceType::builder("FloatingJDK 1")
+                .extends("JDK 1.6")
+                .build(),
+        )
+        .unwrap();
+        // Effective type inherits inside; OK.
+        assert!(check_declared_subtyping(&u).is_ok());
+        // A machine claiming to subtype JDK (which has an inside dep) fails.
+        u.insert(
+            ResourceType::builder("NotReallyJDK 1")
+                .port(PortDef::output(
+                    "java",
+                    ValueType::record([("home", ValueType::Str)]),
+                    Expr::Struct(vec![("home".into(), Expr::lit("/x"))]),
+                ))
+                .build(),
+        )
+        .unwrap();
+        assert!(!is_structural_subtype(
+            &u,
+            &"NotReallyJDK 1".into(),
+            &"JDK 1.6".into()
+        ));
+    }
+
+    #[test]
+    fn env_dep_must_be_matched() {
+        let mut u = universe();
+        u.insert(
+            ResourceType::builder("NeedsJava")
+                .abstract_type()
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .dependency(Dependency::on(DepKind::Environment, "Java", vec![]))
+                .build(),
+        )
+        .unwrap();
+        // Subtype refining Java to JDK 1.6 is fine.
+        u.insert(
+            ResourceType::builder("FineApp 1")
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .dependency(Dependency::on(DepKind::Environment, "JDK 1.6", vec![]))
+                .build(),
+        )
+        .unwrap();
+        // Subtype with no env dep at all is not.
+        u.insert(
+            ResourceType::builder("BadApp 1")
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .build(),
+        )
+        .unwrap();
+        assert!(is_structural_subtype(
+            &u,
+            &"FineApp 1".into(),
+            &"NeedsJava".into()
+        ));
+        assert!(!is_structural_subtype(
+            &u,
+            &"BadApp 1".into(),
+            &"NeedsJava".into()
+        ));
+    }
+}

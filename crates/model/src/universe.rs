@@ -1,0 +1,1080 @@
+//! The resource-type universe: "a database of resources" (§2).
+//!
+//! Holds a well-formed set of resource types, resolves inheritance
+//! (§3.2: "fields from a super-resource type are implicitly replicated in
+//! the sub-resource type, or overridden"), computes concrete frontiers for
+//! abstract dependency targets (§4), expands version ranges (§3.4), and
+//! checks the four well-formedness conditions of §3.1.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::deps::{DepTarget, Dependency};
+use crate::driver::DriverSpec;
+use crate::error::ModelError;
+use crate::expr::{Expr, Namespace, TypeEnv};
+use crate::key::ResourceKey;
+use crate::ports::{Binding, PortDef, PortKind};
+use crate::rtype::ResourceType;
+
+/// A collection of resource types indexed by key.
+///
+/// # Examples
+///
+/// ```
+/// use engage_model::{Universe, ResourceType};
+/// let mut u = Universe::new();
+/// u.insert(ResourceType::builder("Java").abstract_type().build()).unwrap();
+/// u.insert(ResourceType::builder("JDK 1.6").extends("Java").build()).unwrap();
+/// u.insert(ResourceType::builder("JRE 1.6").extends("Java").build()).unwrap();
+/// let frontier = u.concrete_frontier(&"Java".into()).unwrap();
+/// assert_eq!(frontier.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Universe {
+    types: BTreeMap<ResourceKey, ResourceType>,
+}
+
+impl Universe {
+    /// Empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resource type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateKey`] if a type with the same key is
+    /// already present.
+    pub fn insert(&mut self, ty: ResourceType) -> Result<(), ModelError> {
+        if self.types.contains_key(ty.key()) {
+            return Err(ModelError::DuplicateKey {
+                key: ty.key().clone(),
+            });
+        }
+        self.types.insert(ty.key().clone(), ty);
+        Ok(())
+    }
+
+    /// Looks up a type *as declared* (inherited fields not merged in).
+    pub fn get(&self, key: &ResourceKey) -> Option<&ResourceType> {
+        self.types.get(key)
+    }
+
+    /// Whether the universe contains `key`.
+    pub fn contains(&self, key: &ResourceKey) -> bool {
+        self.types.contains_key(key)
+    }
+
+    /// Number of resource types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over all types in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &ResourceType> {
+        self.types.values()
+    }
+
+    /// Iterates over all keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &ResourceKey> {
+        self.types.keys()
+    }
+
+    /// The chain of ancestors of `key` from the root supertype down to and
+    /// including `key` itself.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownKey`] if a link of the chain is missing;
+    /// [`ModelError::InheritanceCycle`] if `extends` loops.
+    pub fn ancestry(&self, key: &ResourceKey) -> Result<Vec<&ResourceType>, ModelError> {
+        let mut chain = Vec::new();
+        let mut seen = BTreeSet::new();
+        let mut cur = key.clone();
+        loop {
+            if !seen.insert(cur.clone()) {
+                return Err(ModelError::InheritanceCycle { key: cur });
+            }
+            let ty = self.types.get(&cur).ok_or_else(|| ModelError::UnknownKey {
+                key: cur.clone(),
+                referenced_by: format!("`{key}` (extends chain)"),
+            })?;
+            chain.push(ty);
+            match ty.extends() {
+                Some(sup) => cur = sup.clone(),
+                None => break,
+            }
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// The *effective* type for `key`: inherited ports and dependencies
+    /// merged down the `extends` chain. A more-derived port with the same
+    /// kind and name overrides; a more-derived inside dependency overrides;
+    /// env/peer dependencies accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Universe::ancestry`] errors.
+    pub fn effective(&self, key: &ResourceKey) -> Result<ResourceType, ModelError> {
+        let chain = self.ancestry(key)?;
+        let leaf = *chain.last().expect("ancestry is never empty");
+        let mut b = ResourceType::builder(key.clone());
+        if leaf.is_abstract() {
+            b = b.abstract_type();
+        }
+        if let Some(sup) = leaf.extends() {
+            b = b.extends(sup.clone());
+        }
+
+        // Ports: later levels override same (kind, name).
+        let mut ports: Vec<PortDef> = Vec::new();
+        for ty in &chain {
+            for p in ty.ports() {
+                if let Some(slot) = ports
+                    .iter_mut()
+                    .find(|q| q.kind() == p.kind() && q.name() == p.name())
+                {
+                    *slot = p.clone();
+                } else {
+                    ports.push(p.clone());
+                }
+            }
+        }
+        for p in ports {
+            b = b.port(p);
+        }
+
+        // Inside: the most-derived declaration wins.
+        let inside = chain.iter().rev().find_map(|ty| ty.inside().cloned());
+        if let Some(d) = inside {
+            b = b.inside(d);
+        }
+
+        // Env/peer accumulate root-first, deduplicated.
+        let mut seen_deps: Vec<Dependency> = Vec::new();
+        for ty in &chain {
+            for d in ty.env().iter().chain(ty.peer().iter()) {
+                if !seen_deps.contains(d) {
+                    seen_deps.push(d.clone());
+                }
+            }
+        }
+        for d in seen_deps {
+            b = b.dependency(d);
+        }
+
+        // Driver: most-derived explicit spec wins.
+        if let Some(d) = chain.iter().rev().find_map(|ty| ty.driver_spec().cloned()) {
+            b = b.driver(d);
+        }
+        Ok(b.build())
+    }
+
+    /// The driver for `key`, resolving inheritance and defaulting to
+    /// [`DriverSpec::standard_package`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Universe::ancestry`] errors.
+    pub fn effective_driver(&self, key: &ResourceKey) -> Result<DriverSpec, ModelError> {
+        let chain = self.ancestry(key)?;
+        Ok(chain
+            .iter()
+            .rev()
+            .find_map(|ty| ty.driver_spec().cloned())
+            .unwrap_or_else(DriverSpec::standard_package))
+    }
+
+    /// Direct declared subtypes of `key`.
+    pub fn children(&self, key: &ResourceKey) -> Vec<&ResourceType> {
+        self.types
+            .values()
+            .filter(|t| t.extends() == Some(key))
+            .collect()
+    }
+
+    /// Declared (nominal) subtyping: reflexive-transitive closure of
+    /// `extends`.
+    pub fn is_declared_subtype(&self, sub: &ResourceKey, sup: &ResourceKey) -> bool {
+        let mut cur = sub.clone();
+        loop {
+            if &cur == sup {
+                return true;
+            }
+            match self.types.get(&cur).and_then(|t| t.extends()) {
+                Some(next) => cur = next.clone(),
+                None => return false,
+            }
+        }
+    }
+
+    /// The concrete frontier of `key` (§4): traverse the subtype tree
+    /// starting at `key`, stopping at the first concrete type on each
+    /// branch. If `key` itself is concrete the frontier is `[key]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownKey`] if `key` is absent;
+    /// [`ModelError::EmptyFrontier`] if no concrete descendant exists.
+    pub fn concrete_frontier(&self, key: &ResourceKey) -> Result<Vec<ResourceKey>, ModelError> {
+        let ty = self.types.get(key).ok_or_else(|| ModelError::UnknownKey {
+            key: key.clone(),
+            referenced_by: "frontier computation".into(),
+        })?;
+        if !ty.is_abstract() {
+            return Ok(vec![key.clone()]);
+        }
+        let mut frontier = Vec::new();
+        let mut stack: Vec<&ResourceType> = self.children(key);
+        // Depth-first, stopping at concrete nodes.
+        while let Some(t) = stack.pop() {
+            if t.is_abstract() {
+                stack.extend(self.children(t.key()));
+            } else {
+                frontier.push(t.key().clone());
+            }
+        }
+        frontier.sort();
+        frontier.dedup();
+        if frontier.is_empty() {
+            return Err(ModelError::EmptyFrontier {
+                key: key.clone(),
+                referenced_by: "frontier computation".into(),
+            });
+        }
+        Ok(frontier)
+    }
+
+    /// Expands a dependency's disjunction of targets to concrete keys:
+    /// abstract targets are replaced by their concrete frontier, version
+    /// ranges by every matching concrete version (§3.4, §4).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownKey`], [`ModelError::EmptyFrontier`] or
+    /// [`ModelError::EmptyRange`] with `referenced_by` set to `referrer`.
+    pub fn expand_targets(
+        &self,
+        dep: &Dependency,
+        referrer: &str,
+    ) -> Result<Vec<ResourceKey>, ModelError> {
+        let mut out: Vec<ResourceKey> = Vec::new();
+        for target in dep.targets() {
+            match target {
+                DepTarget::Exact(key) => {
+                    let ty = self.types.get(key).ok_or_else(|| ModelError::UnknownKey {
+                        key: key.clone(),
+                        referenced_by: referrer.to_owned(),
+                    })?;
+                    if ty.is_abstract() {
+                        match self.concrete_frontier(key) {
+                            Ok(f) => out.extend(f),
+                            Err(ModelError::EmptyFrontier { key, .. }) => {
+                                return Err(ModelError::EmptyFrontier {
+                                    key,
+                                    referenced_by: referrer.to_owned(),
+                                })
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    } else {
+                        out.push(key.clone());
+                    }
+                }
+                DepTarget::Range { name, range } => {
+                    let mut matches: Vec<ResourceKey> = self
+                        .types
+                        .values()
+                        .filter(|t| !t.is_abstract())
+                        .filter(|t| t.key().name() == name)
+                        .filter(|t| t.key().version().is_some_and(|v| range.contains(v)))
+                        .map(|t| t.key().clone())
+                        .collect();
+                    if matches.is_empty() {
+                        return Err(ModelError::EmptyRange {
+                            name: name.clone(),
+                            range: range.to_string(),
+                            referenced_by: referrer.to_owned(),
+                        });
+                    }
+                    matches.sort();
+                    out.append(&mut matches);
+                }
+            }
+        }
+        let mut seen = BTreeSet::new();
+        out.retain(|k| seen.insert(k.clone()));
+        Ok(out)
+    }
+
+    /// Runs every well-formedness check of §3.1 (plus the §3.2/§3.4
+    /// extensions) over the whole universe, collecting all violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (non-empty) list of violations.
+    pub fn check(&self) -> Result<(), Vec<ModelError>> {
+        let mut errors = Vec::new();
+
+        // Resolve every effective type up front; inheritance errors are
+        // reported once per key.
+        let mut effective: HashMap<ResourceKey, ResourceType> = HashMap::new();
+        for key in self.types.keys() {
+            match self.effective(key) {
+                Ok(t) => {
+                    effective.insert(key.clone(), t);
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+
+        // Inputs fed in reverse (static ports, §3.4): set of
+        // (dependee key, input port) pairs covered by some dependent.
+        let mut reverse_fed: BTreeSet<(ResourceKey, String)> = BTreeSet::new();
+        for ty in effective.values() {
+            for dep in ty.dependencies() {
+                let referrer = format!("`{}`", ty.key());
+                let Ok(targets) = self.expand_targets(dep, &referrer) else {
+                    continue;
+                };
+                for m in dep.reverse_mappings() {
+                    for t in &targets {
+                        reverse_fed.insert((t.clone(), m.to_input().to_owned()));
+                    }
+                }
+            }
+        }
+
+        for ty in effective.values() {
+            self.check_type(ty, &effective, &reverse_fed, &mut errors);
+        }
+
+        self.check_acyclic(&effective, &mut errors);
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            errors.sort_by_key(|e| e.to_string());
+            Err(errors)
+        }
+    }
+
+    fn check_type(
+        &self,
+        ty: &ResourceType,
+        effective: &HashMap<ResourceKey, ResourceType>,
+        reverse_fed: &BTreeSet<(ResourceKey, String)>,
+        errors: &mut Vec<ModelError>,
+    ) {
+        let key = ty.key().clone();
+
+        // Duplicate ports.
+        let mut seen_ports = BTreeSet::new();
+        for p in ty.ports() {
+            if !seen_ports.insert((p.kind(), p.name().to_owned())) {
+                errors.push(ModelError::DuplicatePort {
+                    key: key.clone(),
+                    port: p.name().to_owned(),
+                });
+            }
+        }
+
+        // Rule 2: machines have no input ports.
+        if ty.is_machine() {
+            if let Some(p) = ty.ports_of(PortKind::Input).next() {
+                errors.push(ModelError::MachineWithInputs {
+                    key: key.clone(),
+                    port: p.name().to_owned(),
+                });
+            }
+        }
+
+        // Dependency targets resolvable; port mappings well-typed.
+        let referrer = format!("`{key}`");
+        let mut input_cover: BTreeMap<String, usize> = BTreeMap::new();
+        for dep in ty.dependencies() {
+            let targets = match self.expand_targets(dep, &referrer) {
+                Ok(t) => t,
+                Err(e) => {
+                    errors.push(e);
+                    continue;
+                }
+            };
+            for m in dep.forward_mappings() {
+                *input_cover.entry(m.to_input().to_owned()).or_insert(0) += 1;
+                match ty.port(PortKind::Input, m.to_input()) {
+                    None => errors.push(ModelError::UnknownPortInMapping {
+                        key: key.clone(),
+                        detail: format!(
+                            "mapping targets input port `{}` which `{key}` does not declare",
+                            m.to_input()
+                        ),
+                    }),
+                    Some(in_port) => {
+                        for tkey in &targets {
+                            let Some(tty) = effective.get(tkey) else {
+                                continue;
+                            };
+                            match tty.port(PortKind::Output, m.from_output()) {
+                                None => errors.push(ModelError::UnknownPortInMapping {
+                                    key: key.clone(),
+                                    detail: format!(
+                                        "mapping reads output port `{}` which `{tkey}` does not declare",
+                                        m.from_output()
+                                    ),
+                                }),
+                                Some(out_port) => {
+                                    if !out_port.ty().is_subtype_of(in_port.ty()) {
+                                        errors.push(ModelError::PortTypeMismatch {
+                                            key: key.clone(),
+                                            detail: format!(
+                                                "output `{}.{}`: `{}` is not a subtype of input `{}`: `{}`",
+                                                tkey,
+                                                m.from_output(),
+                                                out_port.ty(),
+                                                m.to_input(),
+                                                in_port.ty()
+                                            ),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for m in dep.reverse_mappings() {
+                // Reverse maps read a *static* output of this type.
+                match ty.port(PortKind::Output, m.from_output()) {
+                    None => errors.push(ModelError::UnknownPortInMapping {
+                        key: key.clone(),
+                        detail: format!(
+                            "reverse mapping reads output port `{}` which `{key}` does not declare",
+                            m.from_output()
+                        ),
+                    }),
+                    Some(out_port) => {
+                        if out_port.binding() != Binding::Static {
+                            errors.push(ModelError::StaticPortViolation {
+                                key: key.clone(),
+                                detail: format!(
+                                    "reverse mapping reads dynamic output port `{}`",
+                                    m.from_output()
+                                ),
+                            });
+                        }
+                        for tkey in &targets {
+                            let Some(tty) = effective.get(tkey) else {
+                                continue;
+                            };
+                            match tty.port(PortKind::Input, m.to_input()) {
+                                None => errors.push(ModelError::UnknownPortInMapping {
+                                    key: key.clone(),
+                                    detail: format!(
+                                        "reverse mapping targets input `{}` which `{tkey}` does not declare",
+                                        m.to_input()
+                                    ),
+                                }),
+                                Some(in_port) => {
+                                    if !out_port.ty().is_subtype_of(in_port.ty()) {
+                                        errors.push(ModelError::PortTypeMismatch {
+                                            key: key.clone(),
+                                            detail: format!(
+                                                "reverse mapping `{} -> {}.{}` is ill-typed",
+                                                m.from_output(),
+                                                tkey,
+                                                m.to_input()
+                                            ),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rule 3: each input port mapped exactly once (concrete types only —
+        // an abstract type's inputs may be wired by its subtypes' deps).
+        if !ty.is_abstract() {
+            for p in ty.ports_of(PortKind::Input) {
+                let n = input_cover.get(p.name()).copied().unwrap_or(0);
+                let reverse = reverse_fed.contains(&(key.clone(), p.name().to_owned()));
+                let covered_once = n == 1 && !reverse || n == 0 && reverse;
+                if !covered_once {
+                    errors.push(ModelError::InputPortCoverage {
+                        key: key.clone(),
+                        port: p.name().to_owned(),
+                        times: n + if reverse { 1 } else { 0 },
+                    });
+                }
+            }
+        }
+
+        // Port default expressions type-check; §3.1 scoping: config defaults
+        // read inputs; output definitions read inputs and configs.
+        let mut input_env = TypeEnv::new();
+        let mut full_env = TypeEnv::new();
+        for p in ty.ports_of(PortKind::Input) {
+            input_env.bind_input(p.name(), p.ty().clone());
+            full_env.bind_input(p.name(), p.ty().clone());
+        }
+        for p in ty.ports_of(PortKind::Config) {
+            full_env.bind_config(p.name(), p.ty().clone());
+        }
+        for p in ty.ports() {
+            let env = match p.kind() {
+                PortKind::Input => continue,
+                PortKind::Config => &input_env,
+                PortKind::Output => &full_env,
+            };
+            match p.default() {
+                Some(e) => match e.infer_type(env) {
+                    Ok(t) => {
+                        if !t.is_subtype_of(p.ty()) {
+                            errors.push(ModelError::BadPortExpression {
+                                key: key.clone(),
+                                port: p.name().to_owned(),
+                                detail: format!("inferred `{t}`, declared `{}`", p.ty()),
+                            });
+                        }
+                    }
+                    Err(e) => errors.push(ModelError::BadPortExpression {
+                        key: key.clone(),
+                        port: p.name().to_owned(),
+                        detail: e.to_string(),
+                    }),
+                },
+                None => {
+                    // Rule 3 second half: "each output port is assigned a
+                    // value" — concrete types must define their outputs.
+                    if p.kind() == PortKind::Output && !ty.is_abstract() {
+                        errors.push(ModelError::BadPortExpression {
+                            key: key.clone(),
+                            port: p.name().to_owned(),
+                            detail: "concrete type leaves output port undefined".into(),
+                        });
+                    }
+                }
+            }
+            // §3.4 static binding restrictions.
+            if p.binding() == Binding::Static {
+                if let Some(e) = p.default() {
+                    let ok = match p.kind() {
+                        PortKind::Config => matches!(e, Expr::Lit(_)),
+                        PortKind::Output => e.references().iter().all(|(ns, port)| {
+                            *ns == Namespace::Config
+                                && ty
+                                    .port(PortKind::Config, port)
+                                    .is_some_and(|q| q.binding() == Binding::Static)
+                        }),
+                        PortKind::Input => false,
+                    };
+                    if !ok {
+                        errors.push(ModelError::StaticPortViolation {
+                            key: key.clone(),
+                            detail: format!(
+                                "static {} port `{}` must be a constant (or, for outputs, a \
+                                 function of static config ports)",
+                                p.kind(),
+                                p.name()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Driver spec sanity.
+        if let Ok(driver) = self.effective_driver(&key) {
+            if let Err(detail) = driver.validate() {
+                errors.push(ModelError::BadDriver {
+                    key: key.clone(),
+                    detail,
+                });
+            }
+        }
+    }
+
+    /// Rule 4: ⊑i ∪ ⊑e ∪ ⊑p acyclic over (expanded) dependency targets.
+    fn check_acyclic(
+        &self,
+        effective: &HashMap<ResourceKey, ResourceType>,
+        errors: &mut Vec<ModelError>,
+    ) {
+        let mut edges: BTreeMap<&ResourceKey, Vec<ResourceKey>> = BTreeMap::new();
+        for ty in effective.values() {
+            let referrer = format!("`{}`", ty.key());
+            let mut outs = Vec::new();
+            for dep in ty.dependencies() {
+                if let Ok(targets) = self.expand_targets(dep, &referrer) {
+                    outs.extend(targets);
+                }
+            }
+            edges.insert(ty.key(), outs);
+        }
+
+        // Iterative DFS with colors; reconstruct one cycle if found.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<&ResourceKey, Color> =
+            edges.keys().map(|k| (*k, Color::White)).collect();
+        let keys: Vec<&ResourceKey> = edges.keys().copied().collect();
+        for root in keys {
+            if color[root] != Color::White {
+                continue;
+            }
+            // Stack of (node, next-child-index), path tracks the gray chain.
+            let mut stack: Vec<(&ResourceKey, usize)> = vec![(root, 0)];
+            color.insert(root, Color::Gray);
+            let mut path: Vec<&ResourceKey> = vec![root];
+            while let Some((node, idx)) = stack.last_mut() {
+                let node = *node;
+                let succs = &edges[node];
+                if *idx < succs.len() {
+                    let child_key = &succs[*idx];
+                    *idx += 1;
+                    // Dependencies on keys outside `effective` were already
+                    // reported as UnknownKey.
+                    let Some((child, _)) = edges.get_key_value(child_key) else {
+                        continue;
+                    };
+                    let child: &ResourceKey = child;
+                    match color[child] {
+                        Color::White => {
+                            color.insert(child, Color::Gray);
+                            stack.push((child, 0));
+                            path.push(child);
+                        }
+                        Color::Gray => {
+                            let start = path.iter().position(|k| *k == child).unwrap_or(0);
+                            let mut cycle: Vec<ResourceKey> =
+                                path[start..].iter().map(|k| (*k).clone()).collect();
+                            cycle.push((*child).clone());
+                            errors.push(ModelError::DependencyCycle { cycle });
+                            return; // one cycle report is enough
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+impl FromIterator<ResourceType> for Universe {
+    /// Builds a universe, panicking on duplicate keys (use
+    /// [`Universe::insert`] for fallible insertion).
+    fn from_iter<I: IntoIterator<Item = ResourceType>>(iter: I) -> Self {
+        let mut u = Universe::new();
+        for t in iter {
+            u.insert(t).expect("duplicate key in FromIterator");
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::{DepKind, PortMapping};
+    use crate::expr::Expr;
+    use crate::value::ValueType;
+    use crate::version::{Bound, VersionRange};
+
+    fn server() -> ResourceType {
+        ResourceType::builder("Server")
+            .abstract_type()
+            .port(PortDef::config(
+                "hostname",
+                ValueType::Str,
+                Expr::lit("localhost"),
+            ))
+            .port(PortDef::output(
+                "host",
+                ValueType::record([("hostname", ValueType::Str)]),
+                Expr::Struct(vec![(
+                    "hostname".into(),
+                    Expr::reference(Namespace::Config, ["hostname"]),
+                )]),
+            ))
+            .build()
+    }
+
+    fn mac() -> ResourceType {
+        ResourceType::builder("Mac-OSX 10.6")
+            .extends("Server")
+            .build()
+    }
+
+    fn java_stack() -> Vec<ResourceType> {
+        let java = ResourceType::builder("Java")
+            .abstract_type()
+            .port(PortDef::output(
+                "java",
+                ValueType::record([("home", ValueType::Str)]),
+                Expr::Struct(vec![("home".into(), Expr::lit("/usr/java"))]),
+            ))
+            .build();
+        let jdk = ResourceType::builder("JDK 1.6")
+            .extends("Java")
+            .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+            .build();
+        let jre = ResourceType::builder("JRE 1.6")
+            .extends("Java")
+            .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+            .build();
+        vec![java, jdk, jre]
+    }
+
+    fn small_universe() -> Universe {
+        let mut u = Universe::new();
+        u.insert(server()).unwrap();
+        u.insert(mac()).unwrap();
+        for t in java_stack() {
+            u.insert(t).unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn insert_rejects_duplicates() {
+        let mut u = Universe::new();
+        u.insert(server()).unwrap();
+        assert!(matches!(
+            u.insert(server()),
+            Err(ModelError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn effective_merges_inherited_ports() {
+        let u = small_universe();
+        let mac = u.effective(&"Mac-OSX 10.6".into()).unwrap();
+        assert!(mac.port(PortKind::Config, "hostname").is_some());
+        assert!(mac.port(PortKind::Output, "host").is_some());
+        assert!(!mac.is_abstract());
+    }
+
+    #[test]
+    fn effective_override_wins() {
+        let mut u = Universe::new();
+        u.insert(server()).unwrap();
+        u.insert(
+            ResourceType::builder("Ubuntu 10.10")
+                .extends("Server")
+                .port(PortDef::config(
+                    "hostname",
+                    ValueType::Str,
+                    Expr::lit("ubuntu-host"),
+                ))
+                .build(),
+        )
+        .unwrap();
+        let t = u.effective(&"Ubuntu 10.10".into()).unwrap();
+        let p = t.port(PortKind::Config, "hostname").unwrap();
+        assert_eq!(p.default(), Some(&Expr::lit("ubuntu-host")));
+        // Only one hostname port after override.
+        assert_eq!(t.ports_of(PortKind::Config).count(), 1);
+    }
+
+    #[test]
+    fn inheritance_cycle_detected() {
+        let mut u = Universe::new();
+        u.insert(ResourceType::builder("A").extends("B").build())
+            .unwrap();
+        u.insert(ResourceType::builder("B").extends("A").build())
+            .unwrap();
+        assert!(matches!(
+            u.effective(&"A".into()),
+            Err(ModelError::InheritanceCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn frontier_stops_at_first_concrete() {
+        let mut u = small_universe();
+        // A concrete subtype of a concrete type must not appear in the
+        // frontier of Java (we stop at its concrete parent).
+        u.insert(
+            ResourceType::builder("JDK 1.6.1")
+                .extends("JDK 1.6")
+                .build(),
+        )
+        .unwrap();
+        let f = u.concrete_frontier(&"Java".into()).unwrap();
+        assert_eq!(
+            f,
+            vec![ResourceKey::from("JDK 1.6"), ResourceKey::from("JRE 1.6")]
+        );
+    }
+
+    #[test]
+    fn frontier_of_concrete_is_itself() {
+        let u = small_universe();
+        let f = u.concrete_frontier(&"JDK 1.6".into()).unwrap();
+        assert_eq!(f, vec![ResourceKey::from("JDK 1.6")]);
+    }
+
+    #[test]
+    fn empty_frontier_is_error() {
+        let mut u = Universe::new();
+        u.insert(ResourceType::builder("Ghost").abstract_type().build())
+            .unwrap();
+        assert!(matches!(
+            u.concrete_frontier(&"Ghost".into()),
+            Err(ModelError::EmptyFrontier { .. })
+        ));
+    }
+
+    #[test]
+    fn expand_targets_handles_ranges() {
+        let mut u = small_universe();
+        for v in ["5.5", "6.0.18", "6.0.29"] {
+            u.insert(
+                ResourceType::builder(format!("Tomcat {v}").as_str())
+                    .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                    .build(),
+            )
+            .unwrap();
+        }
+        let dep = Dependency::new(
+            DepKind::Inside,
+            vec![DepTarget::Range {
+                name: "Tomcat".into(),
+                range: VersionRange::new(
+                    Bound::Inclusive("5.5".parse().unwrap()),
+                    Bound::Exclusive("6.0.29".parse().unwrap()),
+                ),
+            }],
+            vec![],
+        );
+        let keys = u.expand_targets(&dep, "test").unwrap();
+        assert_eq!(
+            keys,
+            vec![
+                ResourceKey::from("Tomcat 5.5"),
+                ResourceKey::from("Tomcat 6.0.18")
+            ]
+        );
+    }
+
+    #[test]
+    fn expand_targets_abstract_to_frontier() {
+        let u = small_universe();
+        let dep = Dependency::on(DepKind::Environment, "Java", vec![]);
+        let keys = u.expand_targets(&dep, "test").unwrap();
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn check_accepts_small_universe() {
+        let u = small_universe();
+        assert_eq!(u.check(), Ok(()));
+    }
+
+    #[test]
+    fn check_rejects_machine_with_inputs() {
+        let mut u = Universe::new();
+        u.insert(
+            ResourceType::builder("BadMachine")
+                .port(PortDef::input("x", ValueType::Str))
+                .build(),
+        )
+        .unwrap();
+        let errs = u.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::MachineWithInputs { .. })));
+    }
+
+    #[test]
+    fn check_rejects_unmapped_input() {
+        let mut u = small_universe();
+        u.insert(
+            ResourceType::builder("App 1.0")
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .port(PortDef::input("java", ValueType::Str))
+                .build(),
+        )
+        .unwrap();
+        let errs = u.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::InputPortCoverage { times: 0, .. })));
+    }
+
+    #[test]
+    fn check_rejects_doubly_mapped_input() {
+        let mut u = small_universe();
+        u.insert(
+            ResourceType::builder("App 1.0")
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .port(PortDef::input(
+                    "java",
+                    ValueType::record([("home", ValueType::Str)]),
+                ))
+                .dependency(Dependency::on(
+                    DepKind::Environment,
+                    "JDK 1.6",
+                    vec![PortMapping::forward("java", "java")],
+                ))
+                .dependency(Dependency::on(
+                    DepKind::Environment,
+                    "JRE 1.6",
+                    vec![PortMapping::forward("java", "java")],
+                ))
+                .build(),
+        )
+        .unwrap();
+        let errs = u.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::InputPortCoverage { times: 2, .. })));
+    }
+
+    #[test]
+    fn check_rejects_dependency_cycle() {
+        let mut u = Universe::new();
+        u.insert(server()).unwrap();
+        u.insert(mac()).unwrap();
+        u.insert(
+            ResourceType::builder("A 1")
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .dependency(Dependency::on(DepKind::Peer, "B 1", vec![]))
+                .build(),
+        )
+        .unwrap();
+        u.insert(
+            ResourceType::builder("B 1")
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .dependency(Dependency::on(DepKind::Peer, "A 1", vec![]))
+                .build(),
+        )
+        .unwrap();
+        let errs = u.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::DependencyCycle { .. })));
+    }
+
+    #[test]
+    fn check_rejects_unknown_dependency() {
+        let mut u = Universe::new();
+        u.insert(
+            ResourceType::builder("Lonely 1")
+                .inside(Dependency::on(DepKind::Inside, "Nowhere", vec![]))
+                .build(),
+        )
+        .unwrap();
+        let errs = u.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::UnknownKey { .. })));
+    }
+
+    #[test]
+    fn check_rejects_ill_typed_mapping() {
+        let mut u = small_universe();
+        u.insert(
+            ResourceType::builder("App 1.0")
+                .inside(Dependency::on(DepKind::Inside, "Server", vec![]))
+                .port(PortDef::input("java", ValueType::Int)) // wrong type
+                .dependency(Dependency::on(
+                    DepKind::Environment,
+                    "JDK 1.6",
+                    vec![PortMapping::forward("java", "java")],
+                ))
+                .build(),
+        )
+        .unwrap();
+        let errs = u.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::PortTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn check_rejects_undefined_concrete_output() {
+        let mut u = Universe::new();
+        u.insert(
+            ResourceType::builder("Widget 1")
+                .port(PortDef::new("out", PortKind::Output, ValueType::Str, None))
+                .build(),
+        )
+        .unwrap();
+        let errs = u.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::BadPortExpression { .. })));
+    }
+
+    #[test]
+    fn check_rejects_nonconstant_static_config() {
+        let mut u = Universe::new();
+        u.insert(
+            ResourceType::builder("S 1")
+                .port(
+                    PortDef::config(
+                        "p",
+                        ValueType::Str,
+                        Expr::concat(vec![Expr::lit("a"), Expr::lit("b")]),
+                    )
+                    .with_binding(Binding::Static),
+                )
+                .build(),
+        )
+        .unwrap();
+        let errs = u.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::StaticPortViolation { .. })));
+    }
+
+    #[test]
+    fn effective_driver_inherits() {
+        let mut u = Universe::new();
+        u.insert(
+            ResourceType::builder("Daemon")
+                .abstract_type()
+                .driver(DriverSpec::standard_service())
+                .build(),
+        )
+        .unwrap();
+        u.insert(ResourceType::builder("Redis 2.4").extends("Daemon").build())
+            .unwrap();
+        let d = u.effective_driver(&"Redis 2.4".into()).unwrap();
+        assert_eq!(d, DriverSpec::standard_service());
+        // No declaration anywhere -> standard package driver.
+        u.insert(ResourceType::builder("Plain 1").build()).unwrap();
+        assert_eq!(
+            u.effective_driver(&"Plain 1".into()).unwrap(),
+            DriverSpec::standard_package()
+        );
+    }
+
+    #[test]
+    fn declared_subtype_is_transitive() {
+        let u = small_universe();
+        assert!(u.is_declared_subtype(&"JDK 1.6".into(), &"Java".into()));
+        assert!(u.is_declared_subtype(&"Java".into(), &"Java".into()));
+        assert!(!u.is_declared_subtype(&"Java".into(), &"JDK 1.6".into()));
+    }
+}

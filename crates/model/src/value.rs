@@ -1,0 +1,332 @@
+//! Runtime values and base types for ports.
+//!
+//! The paper assumes "an (unspecified) set of base types" and "an
+//! (unspecified) subtyping relation ≤ on the base types over which ports are
+//! defined" (§3.1–3.2). We instantiate both: scalars (`string`, `int`,
+//! `bool`), homogeneous lists, and structural record types with width-and-
+//! depth subtyping (§3.4 allows "a port to be a structure with named
+//! fields").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A configuration value carried by a port.
+///
+/// # Examples
+///
+/// ```
+/// use engage_model::Value;
+/// let v = Value::from(3306i64);
+/// assert_eq!(v.to_string(), "3306");
+/// let s = Value::structure([("host", Value::from("localhost")), ("port", Value::from(3306i64))]);
+/// assert_eq!(s.field("port"), Some(&Value::Int(3306)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// UTF-8 string.
+    Str(String),
+    /// 64-bit signed integer (port numbers, sizes, ...).
+    Int(i64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Record with named fields, ordered by name.
+    Struct(BTreeMap<String, Value>),
+    /// Homogeneous list.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for struct values.
+    pub fn structure<K, I>(fields: I) -> Value
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, Value)>,
+    {
+        Value::Struct(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a field of a struct value. Returns `None` for non-structs
+    /// and missing fields.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Struct(m) => m.get(name),
+            _ => None,
+        }
+    }
+
+    /// Follows a dotted path of field names through nested structs.
+    pub fn path(&self, path: &[impl AsRef<str>]) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path {
+            cur = cur.field(seg.as_ref())?;
+        }
+        Some(cur)
+    }
+
+    /// The most precise [`ValueType`] describing this value.
+    ///
+    /// Empty lists are typed `list<string>` by convention (any list type
+    /// would do; the checker treats empty lists as compatible with every
+    /// list type).
+    pub fn type_of(&self) -> ValueType {
+        match self {
+            Value::Str(_) => ValueType::Str,
+            Value::Int(_) => ValueType::Int,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Struct(m) => {
+                ValueType::Struct(m.iter().map(|(k, v)| (k.clone(), v.type_of())).collect())
+            }
+            Value::List(items) => {
+                let elem = items.first().map(Value::type_of).unwrap_or(ValueType::Str);
+                ValueType::List(Box::new(elem))
+            }
+        }
+    }
+
+    /// Returns the string content, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content, if this is an int value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content, if this is a bool value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Struct(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// The type of a port.
+///
+/// # Examples
+///
+/// ```
+/// use engage_model::ValueType;
+/// let narrow = ValueType::record([("host", ValueType::Str), ("port", ValueType::Int)]);
+/// let wide = ValueType::record([("host", ValueType::Str)]);
+/// // A record with more fields is a subtype of one with fewer (width subtyping).
+/// assert!(narrow.is_subtype_of(&wide));
+/// assert!(!wide.is_subtype_of(&narrow));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// `string`
+    Str,
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `{ field: type, ... }`
+    Struct(BTreeMap<String, ValueType>),
+    /// `list<type>`
+    List(Box<ValueType>),
+}
+
+impl ValueType {
+    /// Convenience constructor for struct types.
+    pub fn record<K, I>(fields: I) -> ValueType
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, ValueType)>,
+    {
+        ValueType::Struct(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Structural subtyping on base types: reflexive on scalars, width and
+    /// depth subtyping on structs, covariant on lists.
+    pub fn is_subtype_of(&self, other: &ValueType) -> bool {
+        match (self, other) {
+            (ValueType::Str, ValueType::Str)
+            | (ValueType::Int, ValueType::Int)
+            | (ValueType::Bool, ValueType::Bool) => true,
+            (ValueType::List(a), ValueType::List(b)) => a.is_subtype_of(b),
+            (ValueType::Struct(a), ValueType::Struct(b)) => b
+                .iter()
+                .all(|(k, bt)| a.get(k).is_some_and(|at| at.is_subtype_of(bt))),
+            _ => false,
+        }
+    }
+
+    /// Whether a concrete value inhabits this type.
+    ///
+    /// A struct value may carry *extra* fields (width subtyping); an empty
+    /// list inhabits every list type.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (ValueType::Str, Value::Str(_))
+            | (ValueType::Int, Value::Int(_))
+            | (ValueType::Bool, Value::Bool(_)) => true,
+            (ValueType::List(t), Value::List(items)) => items.iter().all(|i| t.admits(i)),
+            (ValueType::Struct(fields), Value::Struct(m)) => fields
+                .iter()
+                .all(|(k, t)| m.get(k).is_some_and(|fv| t.admits(fv))),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Str => write!(f, "string"),
+            ValueType::Int => write!(f, "int"),
+            ValueType::Bool => write!(f, "bool"),
+            ValueType::Struct(m) => {
+                write!(f, "{{")?;
+                for (i, (k, t)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {t}")?;
+                }
+                write!(f, "}}")
+            }
+            ValueType::List(t) => write!(f, "list<{t}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of_scalars() {
+        assert_eq!(Value::from("x").type_of(), ValueType::Str);
+        assert_eq!(Value::from(1i64).type_of(), ValueType::Int);
+        assert_eq!(Value::from(true).type_of(), ValueType::Bool);
+    }
+
+    #[test]
+    fn struct_path_lookup() {
+        let v = Value::structure([(
+            "mysql",
+            Value::structure([("host", Value::from("db1")), ("port", Value::from(3306i64))]),
+        )]);
+        assert_eq!(v.path(&["mysql", "port"]), Some(&Value::Int(3306)));
+        assert_eq!(v.path(&["mysql", "user"]), None);
+        assert_eq!(v.path(&["nothere"]), None);
+    }
+
+    #[test]
+    fn subtyping_is_reflexive_on_samples() {
+        let tys = [
+            ValueType::Str,
+            ValueType::Int,
+            ValueType::record([("a", ValueType::Int)]),
+            ValueType::List(Box::new(ValueType::Bool)),
+        ];
+        for t in &tys {
+            assert!(t.is_subtype_of(t), "{t} should be a subtype of itself");
+        }
+    }
+
+    #[test]
+    fn width_subtyping() {
+        let wide = ValueType::record([("host", ValueType::Str), ("port", ValueType::Int)]);
+        let narrow = ValueType::record([("host", ValueType::Str)]);
+        assert!(wide.is_subtype_of(&narrow));
+        assert!(!narrow.is_subtype_of(&wide));
+    }
+
+    #[test]
+    fn depth_subtyping_through_nesting() {
+        let a = ValueType::record([(
+            "db",
+            ValueType::record([("host", ValueType::Str), ("port", ValueType::Int)]),
+        )]);
+        let b = ValueType::record([("db", ValueType::record([("host", ValueType::Str)]))]);
+        assert!(a.is_subtype_of(&b));
+        assert!(!b.is_subtype_of(&a));
+    }
+
+    #[test]
+    fn scalar_types_are_unrelated() {
+        assert!(!ValueType::Str.is_subtype_of(&ValueType::Int));
+        assert!(!ValueType::Int.is_subtype_of(&ValueType::Bool));
+    }
+
+    #[test]
+    fn admits_checks_values_structurally() {
+        let t = ValueType::record([("host", ValueType::Str)]);
+        let ok = Value::structure([("host", Value::from("h")), ("extra", Value::from(1i64))]);
+        let bad = Value::structure([("host", Value::from(1i64))]);
+        assert!(t.admits(&ok));
+        assert!(!t.admits(&bad));
+        assert!(ValueType::List(Box::new(ValueType::Int)).admits(&Value::List(vec![])));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::structure([("port", Value::from(3306i64))]);
+        assert_eq!(v.to_string(), "{port: 3306}");
+        let t = ValueType::List(Box::new(ValueType::Str));
+        assert_eq!(t.to_string(), "list<string>");
+    }
+}

@@ -1,0 +1,318 @@
+//! Version numbers and version ranges.
+//!
+//! Engage resource keys are of the form `"Tomcat 6.0.18"`: a package name
+//! plus a version. Dependencies may use *version ranges* (§3.4 of the paper,
+//! "syntactic sugar to allow specifying ranges of versions for the same
+//! package, which are internally expanded to disjunctions of the different
+//! versions satisfying the range").
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A dotted numeric version, e.g. `6.0.18`.
+///
+/// Comparison is segment-wise numeric; missing trailing segments compare as
+/// zero, so `6.0` == `6.0.0` and `6.0` < `6.0.18`. The segments as written
+/// are preserved for display (`"1.0"` prints back as `1.0`).
+///
+/// # Examples
+///
+/// ```
+/// use engage_model::Version;
+/// let a: Version = "6.0.18".parse().unwrap();
+/// let b: Version = "6.1".parse().unwrap();
+/// assert!(a < b);
+/// assert_eq!("6.0".parse::<Version>().unwrap(), "6.0.0".parse().unwrap());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Version {
+    segments: Vec<u64>,
+}
+
+impl Version {
+    /// Creates a version from its numeric segments (kept as given;
+    /// equality and ordering treat missing trailing segments as zero).
+    pub fn new<I: IntoIterator<Item = u64>>(segments: I) -> Self {
+        Version {
+            segments: segments.into_iter().collect(),
+        }
+    }
+
+    /// The numeric segments, as written.
+    pub fn segments(&self) -> &[u64] {
+        &self.segments
+    }
+
+    /// The segments without trailing zeros (the canonical form used for
+    /// equality and hashing).
+    fn normalized(&self) -> &[u64] {
+        let mut n = self.segments.len();
+        while n > 0 && self.segments[n - 1] == 0 {
+            n -= 1;
+        }
+        &self.segments[..n]
+    }
+
+    /// Major (first) segment, or 0 for the empty version.
+    pub fn major(&self) -> u64 {
+        self.segments.first().copied().unwrap_or(0)
+    }
+}
+
+impl PartialEq for Version {
+    fn eq(&self, other: &Self) -> bool {
+        self.normalized() == other.normalized()
+    }
+}
+
+impl Eq for Version {}
+
+impl std::hash::Hash for Version {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.normalized().hash(state);
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let n = self.segments.len().max(other.segments.len());
+        for i in 0..n {
+            let a = self.segments.get(i).copied().unwrap_or(0);
+            let b = other.segments.get(i).copied().unwrap_or(0);
+            match a.cmp(&b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`Version`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVersionError {
+    text: String,
+}
+
+impl fmt::Display for ParseVersionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid version syntax: `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseVersionError {}
+
+impl FromStr for Version {
+    type Err = ParseVersionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseVersionError { text: s.into() });
+        }
+        let mut segments = Vec::new();
+        for part in s.split('.') {
+            let n: u64 = part
+                .parse()
+                .map_err(|_| ParseVersionError { text: s.into() })?;
+            segments.push(n);
+        }
+        Ok(Version::new(segments))
+    }
+}
+
+/// An endpoint of a [`VersionRange`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// No constraint on this side.
+    Unbounded,
+    /// Endpoint included in the range.
+    Inclusive(Version),
+    /// Endpoint excluded from the range.
+    Exclusive(Version),
+}
+
+/// A half-open/closed interval of versions, e.g. `[5.5, 6.0.29)`.
+///
+/// Used by dependency sugar: `inside "Tomcat [5.5, 6.0.29)"` expands to a
+/// disjunction over every known concrete `Tomcat` version in the interval.
+///
+/// # Examples
+///
+/// ```
+/// use engage_model::{Version, VersionRange, Bound};
+/// let r = VersionRange::new(
+///     Bound::Inclusive("5.5".parse().unwrap()),
+///     Bound::Exclusive("6.0.29".parse().unwrap()),
+/// );
+/// assert!(r.contains(&"6.0.18".parse::<Version>().unwrap()));
+/// assert!(!r.contains(&"6.0.29".parse::<Version>().unwrap()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VersionRange {
+    lo: Bound,
+    hi: Bound,
+}
+
+impl VersionRange {
+    /// Creates a range from its two bounds.
+    pub fn new(lo: Bound, hi: Bound) -> Self {
+        VersionRange { lo, hi }
+    }
+
+    /// The range containing every version.
+    pub fn any() -> Self {
+        VersionRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// The range containing exactly one version.
+    pub fn exact(v: Version) -> Self {
+        VersionRange {
+            lo: Bound::Inclusive(v.clone()),
+            hi: Bound::Inclusive(v),
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> &Bound {
+        &self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> &Bound {
+        &self.hi
+    }
+
+    /// Whether `v` falls within the range.
+    pub fn contains(&self, v: &Version) -> bool {
+        let lo_ok = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Inclusive(b) => v >= b,
+            Bound::Exclusive(b) => v > b,
+        };
+        let hi_ok = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Inclusive(b) => v <= b,
+            Bound::Exclusive(b) => v < b,
+        };
+        lo_ok && hi_ok
+    }
+}
+
+impl fmt::Display for VersionRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.lo {
+            Bound::Unbounded => write!(f, "(,")?,
+            Bound::Inclusive(v) => write!(f, "[{v},")?,
+            Bound::Exclusive(v) => write!(f, "({v},")?,
+        }
+        match &self.hi {
+            Bound::Unbounded => write!(f, ")"),
+            Bound::Inclusive(v) => write!(f, " {v}]"),
+            Bound::Exclusive(v) => write!(f, " {v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["1", "6.0.18", "10.4", "0.9"] {
+            assert_eq!(v(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn trailing_zeros_equal_but_display_preserved() {
+        assert_eq!(v("6.0"), v("6.0.0"));
+        assert_eq!(v("6.0.0").to_string(), "6.0.0");
+        assert_eq!(v("1.0").to_string(), "1.0");
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |x: &Version| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&v("6.0")), h(&v("6.0.0")));
+    }
+
+    #[test]
+    fn ordering_is_segmentwise() {
+        assert!(v("5.5") < v("6.0.18"));
+        assert!(v("6.0.18") < v("6.0.29"));
+        assert!(v("6.0.29") < v("6.1"));
+        assert!(v("10.4") > v("9.9"));
+        assert_eq!(v("6.0").cmp(&v("6")), Ordering::Equal);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Version>().is_err());
+        assert!("a.b".parse::<Version>().is_err());
+        assert!("1..2".parse::<Version>().is_err());
+        assert!("1.2-rc".parse::<Version>().is_err());
+    }
+
+    #[test]
+    fn range_contains_openmrs_tomcat_constraint() {
+        // Tomcat must be >= 5.5 and before 6.0.29 (paper §2).
+        let r = VersionRange::new(Bound::Inclusive(v("5.5")), Bound::Exclusive(v("6.0.29")));
+        assert!(r.contains(&v("5.5")));
+        assert!(r.contains(&v("6.0.18")));
+        assert!(!r.contains(&v("6.0.29")));
+        assert!(!r.contains(&v("5.0")));
+    }
+
+    #[test]
+    fn range_unbounded_and_exact() {
+        assert!(VersionRange::any().contains(&v("42")));
+        let e = VersionRange::exact(v("5.1"));
+        assert!(e.contains(&v("5.1")));
+        assert!(!e.contains(&v("5.1.1")));
+    }
+
+    #[test]
+    fn range_display() {
+        let r = VersionRange::new(Bound::Inclusive(v("5.5")), Bound::Exclusive(v("6.0.29")));
+        assert_eq!(r.to_string(), "[5.5, 6.0.29)");
+        assert_eq!(VersionRange::any().to_string(), "(,)");
+    }
+
+    #[test]
+    fn version_major() {
+        assert_eq!(v("6.0.18").major(), 6);
+        assert_eq!(Version::default().major(), 0);
+    }
+}

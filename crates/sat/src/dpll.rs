@@ -1,0 +1,199 @@
+//! A plain DPLL solver (unit propagation + chronological backtracking,
+//! no clause learning) — the ablation baseline against the CDCL solver.
+
+use crate::cnf::Cnf;
+use crate::solver::SatResult;
+use crate::types::{Clause, LBool, Lit, Model, Var};
+
+/// Solves `cnf` by recursive DPLL.
+///
+/// Exponential in the worst case; used to cross-check the CDCL solver on
+/// small formulas and as a benchmark baseline.
+///
+/// # Examples
+///
+/// ```
+/// use engage_sat::{dpll_solve, Cnf};
+/// let mut f = Cnf::new();
+/// let a = f.fresh_var();
+/// f.add_clause(vec![a.negative()]);
+/// let r = dpll_solve(&f);
+/// assert!(!r.model().unwrap().value(a));
+/// ```
+pub fn dpll_solve(cnf: &Cnf) -> SatResult {
+    let mut assigns = vec![LBool::Undef; cnf.num_vars() as usize];
+    if dpll(cnf.clauses(), &mut assigns) {
+        SatResult::Sat(Model::new(
+            assigns.iter().map(|&a| a == LBool::True).collect(),
+        ))
+    } else {
+        SatResult::Unsat
+    }
+}
+
+fn dpll(clauses: &[Clause], assigns: &mut Vec<LBool>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<Var> = Vec::new();
+    loop {
+        let mut unit: Option<Lit> = None;
+        for c in clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in c {
+                match assigns[l.var().index()].under(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::Undef => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    LBool::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => {
+                    // Conflict: undo and fail.
+                    for v in trail {
+                        assigns[v.index()] = LBool::Undef;
+                    }
+                    return false;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some(l) => {
+                assigns[l.var().index()] = LBool::from_bool(l.is_positive());
+                trail.push(l.var());
+            }
+            None => break,
+        }
+    }
+
+    // Pick the first unassigned variable appearing in an unsatisfied clause.
+    let branch = clauses.iter().find_map(|c| {
+        let satisfied = c
+            .iter()
+            .any(|&l| assigns[l.var().index()].under(l) == LBool::True);
+        if satisfied {
+            return None;
+        }
+        c.iter()
+            .find(|l| assigns[l.var().index()] == LBool::Undef)
+            .copied()
+    });
+
+    let result = match branch {
+        None => true, // every clause satisfied
+        Some(l) => {
+            let v = l.var();
+            let mut ok = false;
+            for phase in [l.is_positive(), !l.is_positive()] {
+                assigns[v.index()] = LBool::from_bool(phase);
+                if dpll(clauses, assigns) {
+                    ok = true;
+                    break;
+                }
+                assigns[v.index()] = LBool::Undef;
+            }
+            ok
+        }
+    };
+    if !result {
+        for v in trail {
+            assigns[v.index()] = LBool::Undef;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_basic_cases() {
+        let mut sat = Cnf::new();
+        let a = sat.fresh_var();
+        let b = sat.fresh_var();
+        sat.add_clause(vec![a.positive(), b.positive()]);
+        sat.add_clause(vec![a.negative()]);
+        let r = dpll_solve(&sat);
+        let m = r.model().unwrap();
+        assert!(!m.value(a) && m.value(b));
+        assert!(m.satisfies_all(sat.clauses()));
+
+        let mut unsat = Cnf::new();
+        let x = unsat.fresh_var();
+        unsat.add_clause(vec![x.positive()]);
+        unsat.add_clause(vec![x.negative()]);
+        assert_eq!(dpll_solve(&unsat), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Vec<Var>> = (0..4)
+            .map(|_| (0..3).map(|_| cnf.fresh_var()).collect())
+            .collect();
+        for p in &vars {
+            cnf.add_clause(p.iter().map(|v| v.positive()).collect());
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in p1 + 1..4 {
+                    cnf.add_clause(vec![vars[p1][h].negative(), vars[p2][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(dpll_solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_and_empty_clause() {
+        let cnf = Cnf::new();
+        assert!(dpll_solve(&cnf).is_sat());
+        let mut bad = Cnf::new();
+        bad.add_clause(vec![]);
+        assert_eq!(dpll_solve(&bad), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_always_satisfies() {
+        // Fixed pseudo-random 3-CNFs, cross-checked for satisfaction.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let mut cnf = Cnf::new();
+            let vars: Vec<Var> = (0..8).map(|_| cnf.fresh_var()).collect();
+            for _ in 0..20 {
+                let c: Clause = (0..3)
+                    .map(|_| {
+                        let v = vars[(next() % 8) as usize];
+                        Lit::new(v, next() % 2 == 0)
+                    })
+                    .collect();
+                cnf.add_clause(c);
+            }
+            if let SatResult::Sat(m) = dpll_solve(&cnf) {
+                assert!(m.satisfies_all(cnf.clauses()));
+            }
+        }
+    }
+}

@@ -1,0 +1,836 @@
+//! A CDCL SAT solver — the MiniSat substitute used by the configuration
+//! engine (the paper uses MiniSat, §6).
+//!
+//! Features: two-watched-literal propagation, first-UIP conflict analysis,
+//! VSIDS variable activities with exponential decay, phase saving, Luby
+//! restarts, and activity-based learnt-clause database reduction.
+
+use crate::cnf::Cnf;
+use crate::types::{Clause, LBool, Lit, Model, Var};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// Whether the result is satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Search statistics, for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ClauseData {
+    lits: Clause,
+    learnt: bool,
+    activity: f64,
+}
+
+type ClauseRef = usize;
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use engage_sat::{Solver, Var};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(vec![a.positive(), b.positive()]);
+/// s.add_clause(vec![a.negative()]);
+/// let result = s.solve();
+/// let m = result.model().expect("satisfiable");
+/// assert!(!m.value(a));
+/// assert!(m.value(b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<ClauseData>,
+    /// watches[l.index()] = clauses in which literal `l` is watched.
+    watches: Vec<Vec<ClauseRef>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: std::collections::BinaryHeap<(u64, Var)>,
+    phase: Vec<bool>,
+    cla_inc: f64,
+    unsat: bool,
+    stats: SolverStats,
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESTART_BASE: u64 = 100;
+
+impl Solver {
+    /// Empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: std::collections::BinaryHeap::new(),
+            phase: Vec::new(),
+            cla_inc: 1.0,
+            unsat: false,
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Builds a solver preloaded with a formula.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Solver::new();
+        while s.num_vars() < cnf.num_vars() as usize {
+            s.new_var();
+        }
+        for c in cnf.clauses() {
+            s.add_clause(c.clone());
+        }
+        s
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push((0, v));
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause. May be called between [`Solver::solve`] calls for
+    /// incremental solving (e.g. blocking clauses during model
+    /// enumeration); the solver backtracks to the root level first.
+    pub fn add_clause(&mut self, mut lits: Clause) {
+        if self.unsat {
+            return;
+        }
+        self.backtrack_to(0);
+        for l in &lits {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} references an unallocated variable"
+            );
+        }
+        // Remove duplicates; drop tautologies.
+        lits.sort_unstable();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // x ∨ ¬x: tautology
+            }
+        }
+        // Remove literals already false at level 0; check satisfied.
+        lits.retain(|&l| self.value(l) != LBool::False);
+        if lits.iter().any(|&l| self.value(l) == LBool::True) {
+            return;
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                self.enqueue(lits[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let cref = self.clauses.len();
+                self.watches[lits[0].index()].push(cref);
+                self.watches[lits[1].index()].push(cref);
+                self.clauses.push(ClauseData {
+                    lits,
+                    learnt: false,
+                    activity: 0.0,
+                });
+            }
+        }
+    }
+
+    /// Runs the CDCL search.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Runs the CDCL search under temporary `assumptions`: literals forced
+    /// true for this call only (MiniSat's incremental interface). Returns
+    /// `Unsat` if the formula is unsatisfiable *under the assumptions*;
+    /// the solver remains usable afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption references an unallocated variable.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        for a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption {a} references an unallocated variable"
+            );
+        }
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restart_idx: u64 = 0;
+        let mut restart_budget = RESTART_BASE * luby(restart_idx);
+        let mut max_learnts = (self.clauses.len() / 3).max(1000);
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.stats.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.decision_level() == 0 {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                    let (learnt, back_level) = self.analyze(confl);
+                    self.backtrack_to(back_level);
+                    self.learn(learnt);
+                    self.var_inc /= VAR_DECAY;
+                    self.cla_inc /= CLA_DECAY;
+                }
+                None => {
+                    if conflicts_since_restart >= restart_budget {
+                        self.stats.restarts += 1;
+                        conflicts_since_restart = 0;
+                        restart_idx += 1;
+                        restart_budget = RESTART_BASE * luby(restart_idx);
+                        self.backtrack_to(0);
+                        continue;
+                    }
+                    if self.learnt_count() > max_learnts {
+                        self.reduce_db();
+                        max_learnts += max_learnts / 10;
+                    }
+                    // Apply pending assumptions as pseudo-decisions first.
+                    if (self.decision_level() as usize) < assumptions.len() {
+                        let a = assumptions[self.decision_level() as usize];
+                        match self.value(a) {
+                            LBool::True => {
+                                // Already satisfied; open an empty level so
+                                // indices stay aligned with `assumptions`.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            LBool::False => {
+                                // Conflicts with the current (level ≤ now)
+                                // state: unsatisfiable under assumptions.
+                                self.backtrack_to(0);
+                                return SatResult::Unsat;
+                            }
+                            LBool::Undef => {
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue(a, None);
+                            }
+                        }
+                        continue;
+                    }
+                    match self.pick_branch_var() {
+                        None => {
+                            let model = Model::new(
+                                self.assigns.iter().map(|&a| a == LBool::True).collect(),
+                            );
+                            // Leave the solver reusable.
+                            self.backtrack_to(0);
+                            return SatResult::Sat(model);
+                        }
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let lit = Lit::new(v, self.phase[v.index()]);
+                            self.enqueue(lit, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn learnt_count(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].under(l)
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from_bool(l.is_positive());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.phase[v.index()] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause reference if a
+    /// conflict is found.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut idx = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            while idx < watch_list.len() {
+                let cref = watch_list[idx];
+                // Ensure the false literal is at position 1.
+                let (w0, w1) = {
+                    let lits = &mut self.clauses[cref].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    (lits[0], lits[1])
+                };
+                debug_assert_eq!(w1, false_lit);
+                if self.value(w0) == LBool::True {
+                    idx += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[lk.index()].push(cref);
+                        watch_list.swap_remove(idx);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value(w0) == LBool::False {
+                    // Conflict: restore remaining watches.
+                    self.watches[false_lit.index()] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(w0, Some(cref));
+                idx += 1;
+            }
+            self.watches[false_lit.index()] = watch_list;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Clause, u32) {
+        let mut learnt: Clause = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+        let mut cref = confl;
+        let cur_level = self.decision_level();
+
+        loop {
+            self.bump_clause(cref);
+            let lits = self.clauses[cref].lits.clone();
+            for &q in lits.iter() {
+                // When following a reason clause, the implied literal p
+                // itself is in the clause; skip it.
+                if p == Some(q) {
+                    continue;
+                }
+                let v = q.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                self.seen[v.index()] = true;
+                self.bump_var(v);
+                if self.level[v.index()] == cur_level {
+                    counter += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            cref = self.reason[pv.index()].expect("non-decision literal has a reason");
+        }
+        let uip = !p.unwrap();
+        // Learnt-clause minimization (local self-subsumption): a literal q
+        // is redundant if its reason clause's other literals are all
+        // already in the clause (still `seen`) or fixed at level 0.
+        let mut keep = vec![true; learnt.len()];
+        for (i, &q) in learnt.iter().enumerate() {
+            let Some(reason) = self.reason[q.var().index()] else {
+                continue;
+            };
+            let redundant = self.clauses[reason].lits.iter().all(|&r| {
+                r.var() == q.var() || self.seen[r.var().index()] || self.level[r.var().index()] == 0
+            });
+            if redundant {
+                keep[i] = false;
+            }
+        }
+        // Clear seen flags for the learnt literals.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let mut keep_iter = keep.into_iter();
+        learnt.retain(|_| keep_iter.next().unwrap());
+        // Backtrack level: second-highest level in the clause.
+        let back_level = learnt
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Put the asserting literal first, a highest-of-the-rest second
+        // (watch invariant after backtracking).
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(uip);
+        clause.extend(learnt);
+        if clause.len() > 2 {
+            let mut max_i = 1;
+            for i in 2..clause.len() {
+                if self.level[clause[i].var().index()] > self.level[clause[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            clause.swap(1, max_i);
+        }
+        (clause, back_level)
+    }
+
+    fn learn(&mut self, clause: Clause) {
+        match clause.len() {
+            0 => self.unsat = true,
+            1 => {
+                debug_assert_eq!(self.decision_level(), 0);
+                if self.value(clause[0]) == LBool::Undef {
+                    self.enqueue(clause[0], None);
+                }
+            }
+            _ => {
+                let cref = self.clauses.len();
+                self.watches[clause[0].index()].push(cref);
+                self.watches[clause[1].index()].push(cref);
+                let asserting = clause[0];
+                self.clauses.push(ClauseData {
+                    lits: clause,
+                    learnt: true,
+                    activity: self.cla_inc,
+                });
+                self.stats.learnt_clauses += 1;
+                self.enqueue(asserting, Some(cref));
+            }
+        }
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var();
+                self.assigns[v.index()] = LBool::Undef;
+                self.reason[v.index()] = None;
+                self.heap.push((self.activity[v.index()].to_bits(), v));
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        if level == 0 {
+            self.qhead = self.qhead.min(self.trail.len());
+        }
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some((act_bits, v)) = self.heap.pop() {
+            if self.assigns[v.index()] != LBool::Undef {
+                continue;
+            }
+            // Stale entry?
+            if act_bits != self.activity[v.index()].to_bits() {
+                self.heap.push((self.activity[v.index()].to_bits(), v));
+                // Guard against infinite loop: the pushed entry is fresh, so
+                // the next pop of `v` will match.
+                continue;
+            }
+            return Some(v);
+        }
+        // Heap may have lost entries; do a linear sweep as backstop.
+        (0..self.num_vars())
+            .map(|i| Var(i as u32))
+            .find(|v| self.assigns[v.index()] == LBool::Undef)
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.assigns[v.index()] == LBool::Undef {
+            self.heap.push((self.activity[v.index()].to_bits(), v));
+        }
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        if !self.clauses[cref].learnt {
+            return;
+        }
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Removes the lower-activity half of removable learnt clauses and
+    /// rebuilds the watch lists.
+    fn reduce_db(&mut self) {
+        self.backtrack_to(0);
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && self.clauses[i].lits.len() > 2)
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let remove: std::collections::HashSet<ClauseRef> = learnt_refs[..learnt_refs.len() / 2]
+            .iter()
+            .copied()
+            .collect();
+        if remove.is_empty() {
+            return;
+        }
+        let mut kept = Vec::with_capacity(self.clauses.len() - remove.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if !remove.contains(&i) {
+                kept.push(c);
+            }
+        }
+        self.clauses = kept;
+        // Rebuild watches.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].index()].push(i);
+            self.watches[c.lits[1].index()].push(i);
+        }
+        // The blindly chosen watch positions may already be false under the
+        // level-0 trail; replaying propagation from the start restores the
+        // two-watched-literal invariant.
+        self.qhead = 0;
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ...
+pub fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i, then recurse.
+    let mut k = 1u32;
+    loop {
+        let span = (1u64 << k) - 1;
+        if i + 1 == span {
+            return 1 << (k - 1);
+        }
+        if i + 1 < span {
+            i -= (1 << (k - 1)) - 1;
+            k = 1;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(pairs: &[(u32, bool)]) -> Clause {
+        pairs.iter().map(|&(v, s)| Lit::new(Var(v), s)).collect()
+    }
+
+    fn solver_with(n: u32, clauses: &[Clause]) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(c.clone());
+        }
+        s
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = solver_with(1, &[lits(&[(0, true)])]);
+        let r = s.solve();
+        assert!(r.model().unwrap().value(Var(0)));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = solver_with(1, &[lits(&[(0, true)]), lits(&[(0, false)])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = solver_with(1, &[vec![]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let mut s = solver_with(3, &[]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn propagation_chain() {
+        // a; a->b; b->c; c->d  (as clauses)
+        let cs = vec![
+            lits(&[(0, true)]),
+            lits(&[(0, false), (1, true)]),
+            lits(&[(1, false), (2, true)]),
+            lits(&[(2, false), (3, true)]),
+        ];
+        let mut s = solver_with(4, &cs);
+        let r = s.solve();
+        let m = r.model().unwrap();
+        for v in 0..4 {
+            assert!(m.value(Var(v)));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let var = |p: u32, h: u32| Var(p * 2 + h);
+        let mut clauses: Vec<Clause> = Vec::new();
+        for p in 0..3 {
+            clauses.push(vec![var(p, 0).positive(), var(p, 1).positive()]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in p1 + 1..3 {
+                    clauses.push(vec![var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        let mut s = solver_with(6, &clauses);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        // A formula that needs some search: 3-SAT-ish random but fixed.
+        let cs = vec![
+            lits(&[(0, true), (1, true), (2, false)]),
+            lits(&[(0, false), (3, true), (4, true)]),
+            lits(&[(1, false), (2, true), (5, false)]),
+            lits(&[(3, false), (4, false), (5, true)]),
+            lits(&[(0, true), (4, false), (5, false)]),
+            lits(&[(1, true), (3, true), (5, true)]),
+        ];
+        let mut s = solver_with(6, &cs);
+        let r = s.solve();
+        let m = r.model().unwrap();
+        assert!(m.satisfies_all(&cs));
+    }
+
+    #[test]
+    fn incremental_blocking() {
+        // Exactly-one over 3 vars; enumerate by blocking.
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..3).map(|_| cnf.fresh_var()).collect();
+        cnf.add_exactly_one(
+            &vars.iter().map(|v| v.positive()).collect::<Vec<_>>(),
+            crate::cnf::ExactlyOneEncoding::Pairwise,
+        );
+        let mut s = Solver::from_cnf(&cnf);
+        let mut count = 0;
+        loop {
+            match s.solve() {
+                SatResult::Unsat => break,
+                SatResult::Sat(m) => {
+                    count += 1;
+                    assert!(count <= 3, "too many models");
+                    let block: Clause = vars.iter().map(|&v| Lit::new(v, !m.value(v))).collect();
+                    s.add_clause(block);
+                }
+            }
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn solve_is_repeatable() {
+        let cs = vec![lits(&[(0, true), (1, true)]), lits(&[(0, false)])];
+        let mut s = solver_with(2, &cs);
+        assert!(s.solve().is_sat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let cs = vec![
+            lits(&[(0, true), (1, true)]),
+            lits(&[(0, false), (1, true)]),
+            lits(&[(0, true), (1, false)]),
+        ];
+        let mut s = solver_with(2, &cs);
+        assert!(s.solve().is_sat());
+        assert!(s.stats().decisions >= 1);
+    }
+
+    #[test]
+    fn assumptions_restrict_without_committing() {
+        // (a | b) with assumption !a forces b; solver stays reusable.
+        let mut s = solver_with(2, &[lits(&[(0, true), (1, true)])]);
+        let r = s.solve_with_assumptions(&[Var(0).negative()]);
+        let m = r.model().unwrap();
+        assert!(!m.value(Var(0)));
+        assert!(m.value(Var(1)));
+        // Contradictory assumptions: unsat under assumptions only.
+        let r = s.solve_with_assumptions(&[Var(0).positive(), Var(0).negative()]);
+        assert_eq!(r, SatResult::Unsat);
+        // Plain solve still succeeds afterwards.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_conflicting_with_clauses_are_unsat() {
+        // a & (a -> b) & assumption !b.
+        let mut s = solver_with(2, &[lits(&[(0, true)]), lits(&[(0, false), (1, true)])]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Var(1).negative()]),
+            SatResult::Unsat
+        );
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_enumerate_both_branches() {
+        // Exactly-one over {a, b}: assuming each in turn yields both models.
+        let mut s = solver_with(
+            2,
+            &[
+                lits(&[(0, true), (1, true)]),
+                lits(&[(0, false), (1, false)]),
+            ],
+        );
+        let ra = s.solve_with_assumptions(&[Var(0).positive()]);
+        assert!(ra.model().unwrap().value(Var(0)));
+        assert!(!ra.model().unwrap().value(Var(1)));
+        let rb = s.solve_with_assumptions(&[Var(1).positive()]);
+        assert!(rb.model().unwrap().value(Var(1)));
+        assert!(!rb.model().unwrap().value(Var(0)));
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = solver_with(2, &[]);
+        s.add_clause(lits(&[(0, true), (0, true)])); // dedups to unit
+        s.add_clause(lits(&[(1, true), (1, false)])); // tautology: dropped
+        let r = s.solve();
+        assert!(r.model().unwrap().value(Var(0)));
+    }
+}

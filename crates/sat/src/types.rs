@@ -1,0 +1,211 @@
+//! Core SAT types: variables, literals, clauses, truth values.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index for array storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `2*var + sign` for
+/// dense array indexing (MiniSat convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal; `positive == true` for the unnegated variable.
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index in `[0, 2*num_vars)`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its dense index.
+    pub fn from_index(idx: usize) -> Self {
+        Lit(idx as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// Three-valued assignment state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not yet assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// The truth value of a literal whose variable has this value.
+    pub fn under(self, lit: Lit) -> LBool {
+        match (self, lit.is_positive()) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, true) | (LBool::False, false) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+
+    /// From a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A satisfying assignment, indexed by variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Wraps an assignment vector (index = variable number).
+    pub fn new(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range.
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.index()]
+    }
+
+    /// The truth of a literal.
+    pub fn satisfies(&self, l: Lit) -> bool {
+        self.value(l.var()) == l.is_positive()
+    }
+
+    /// Whether the model satisfies every clause.
+    pub fn satisfies_all<'a, I: IntoIterator<Item = &'a Clause>>(&self, clauses: I) -> bool {
+        clauses
+            .into_iter()
+            .all(|c| c.iter().any(|&l| self.satisfies(l)))
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var(5);
+        let p = v.positive();
+        let n = v.negative();
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(p.index(), 10);
+        assert_eq!(n.index(), 11);
+        assert_eq!(Lit::from_index(11), n);
+    }
+
+    #[test]
+    fn lbool_under_literal() {
+        let v = Var(0);
+        assert_eq!(LBool::True.under(v.positive()), LBool::True);
+        assert_eq!(LBool::True.under(v.negative()), LBool::False);
+        assert_eq!(LBool::False.under(v.negative()), LBool::True);
+        assert_eq!(LBool::Undef.under(v.positive()), LBool::Undef);
+    }
+
+    #[test]
+    fn model_satisfaction() {
+        let m = Model::new(vec![true, false]);
+        assert!(m.satisfies(Var(0).positive()));
+        assert!(m.satisfies(Var(1).negative()));
+        let clauses = vec![
+            vec![Var(0).positive(), Var(1).positive()],
+            vec![Var(1).negative()],
+        ];
+        assert!(m.satisfies_all(&clauses));
+        let bad = vec![vec![Var(1).positive()]];
+        assert!(!m.satisfies_all(&bad));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var(3).to_string(), "x3");
+        assert_eq!(Var(3).positive().to_string(), "x3");
+        assert_eq!(Var(3).negative().to_string(), "!x3");
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-host simulated state: packages, files, services, TCP ports.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::os::{HostId, HostInfo, Os};
+
+/// State of one service (daemon) on a host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Service {
+    /// Simulated process id (changes on restart).
+    pub pid: u32,
+    /// TCP port the service listens on, if any.
+    pub port: Option<u16>,
+    /// Whether the process is currently alive.
+    pub running: bool,
+    /// How many times the process has died.
+    pub crashes: u32,
+    /// How many times it has been (re)started.
+    pub starts: u32,
+}
+
+/// The full mutable state of one simulated host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Host {
+    info: HostInfo,
+    packages: BTreeSet<String>,
+    files: BTreeMap<String, String>,
+    services: BTreeMap<String, Service>,
+}
+
+impl Host {
+    /// Creates a pristine host.
+    pub fn new(id: HostId, hostname: impl Into<String>, os: Os) -> Self {
+        let n = id.0;
+        Host {
+            info: HostInfo {
+                id,
+                hostname: hostname.into(),
+                ip: format!("10.0.{}.{}", n / 256, n % 256 + 1),
+                os,
+                arch: "x86_64",
+            },
+            packages: BTreeSet::new(),
+            files: BTreeMap::new(),
+            services: BTreeMap::new(),
+        }
+    }
+
+    /// Host facts.
+    pub fn info(&self) -> &HostInfo {
+        &self.info
+    }
+
+    /// Whether a package is installed.
+    pub fn has_package(&self, name: &str) -> bool {
+        self.packages.contains(name)
+    }
+
+    /// Installed package names.
+    pub fn packages(&self) -> impl Iterator<Item = &str> {
+        self.packages.iter().map(String::as_str)
+    }
+
+    pub(crate) fn add_package(&mut self, name: impl Into<String>) {
+        self.packages.insert(name.into());
+    }
+
+    pub(crate) fn remove_package(&mut self, name: &str) -> bool {
+        self.packages.remove(name)
+    }
+
+    /// A file's content.
+    pub fn file(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    pub(crate) fn write_file(&mut self, path: impl Into<String>, content: impl Into<String>) {
+        self.files.insert(path.into(), content.into());
+    }
+
+    /// Removes a file; returns whether it existed.
+    pub fn remove_file(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// A service's state.
+    pub fn service(&self, name: &str) -> Option<&Service> {
+        self.services.get(name)
+    }
+
+    /// Whether a service exists and is running.
+    pub fn service_running(&self, name: &str) -> bool {
+        self.services.get(name).is_some_and(|s| s.running)
+    }
+
+    /// All services.
+    pub fn services(&self) -> impl Iterator<Item = (&str, &Service)> {
+        self.services.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether a TCP port is free ("environment checks (e.g., required
+    /// TCP/IP ports are available)", §6.1).
+    pub fn port_free(&self, port: u16) -> bool {
+        !self
+            .services
+            .values()
+            .any(|s| s.running && s.port == Some(port))
+    }
+
+    pub(crate) fn start_service(
+        &mut self,
+        name: impl Into<String>,
+        port: Option<u16>,
+        pid: u32,
+    ) -> Result<(), String> {
+        let name = name.into();
+        if self.service_running(&name) {
+            return Err(format!("service `{name}` is already running"));
+        }
+        if let Some(p) = port {
+            if !self.port_free(p) {
+                return Err(format!("port {p} is already in use"));
+            }
+        }
+        let entry = self.services.entry(name).or_insert(Service {
+            pid,
+            port,
+            running: false,
+            crashes: 0,
+            starts: 0,
+        });
+        entry.pid = pid;
+        entry.port = port;
+        entry.running = true;
+        entry.starts += 1;
+        Ok(())
+    }
+
+    pub(crate) fn stop_service(&mut self, name: &str) -> Result<(), String> {
+        match self.services.get_mut(name) {
+            Some(s) if s.running => {
+                s.running = false;
+                Ok(())
+            }
+            Some(_) => Err(format!("service `{name}` is not running")),
+            None => Err(format!("unknown service `{name}`")),
+        }
+    }
+
+    pub(crate) fn crash_service(&mut self, name: &str) -> Result<(), String> {
+        match self.services.get_mut(name) {
+            Some(s) if s.running => {
+                s.running = false;
+                s.crashes += 1;
+                Ok(())
+            }
+            _ => Err(format!("service `{name}` is not running")),
+        }
+    }
+
+    /// Drops all record of a service (post-uninstall cleanup).
+    pub fn forget_service(&mut self, name: &str) {
+        self.services.remove(name);
+    }
+}
+
+/// A point-in-time copy of a host's state, used by the upgrade engine's
+/// backup/rollback ("the current system is then backed up", §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub(crate) host: Host,
+}
+
+impl Snapshot {
+    /// The host id the snapshot was taken from.
+    pub fn host_id(&self) -> HostId {
+        self.host.info().id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> Host {
+        Host::new(HostId(0), "demo", Os::Ubuntu1010)
+    }
+
+    #[test]
+    fn packages_and_files() {
+        let mut h = host();
+        assert!(!h.has_package("mysql"));
+        h.add_package("mysql");
+        assert!(h.has_package("mysql"));
+        h.write_file("/etc/mysql/my.cnf", "port=3306");
+        assert_eq!(h.file("/etc/mysql/my.cnf"), Some("port=3306"));
+        assert!(h.remove_package("mysql"));
+        assert!(!h.remove_package("mysql"));
+        assert!(h.remove_file("/etc/mysql/my.cnf"));
+    }
+
+    #[test]
+    fn service_lifecycle_and_ports() {
+        let mut h = host();
+        h.start_service("mysqld", Some(3306), 100).unwrap();
+        assert!(h.service_running("mysqld"));
+        assert!(!h.port_free(3306));
+        // Same port conflicts.
+        let err = h.start_service("other", Some(3306), 101).unwrap_err();
+        assert!(err.contains("3306"));
+        h.stop_service("mysqld").unwrap();
+        assert!(h.port_free(3306));
+        assert!(h.stop_service("mysqld").is_err());
+    }
+
+    #[test]
+    fn crash_tracking() {
+        let mut h = host();
+        h.start_service("redis", Some(6379), 1).unwrap();
+        h.crash_service("redis").unwrap();
+        assert!(!h.service_running("redis"));
+        assert_eq!(h.service("redis").unwrap().crashes, 1);
+        // Restart bumps starts and pid.
+        h.start_service("redis", Some(6379), 2).unwrap();
+        assert_eq!(h.service("redis").unwrap().starts, 2);
+        assert_eq!(h.service("redis").unwrap().pid, 2);
+    }
+
+    #[test]
+    fn double_start_rejected() {
+        let mut h = host();
+        h.start_service("x", None, 1).unwrap();
+        assert!(h.start_service("x", None, 2).is_err());
+    }
+
+    #[test]
+    fn host_ips_are_distinct() {
+        let a = Host::new(HostId(0), "a", Os::Ubuntu1010);
+        let b = Host::new(HostId(1), "b", Os::Ubuntu1010);
+        assert_ne!(a.info().ip, b.info().ip);
+    }
+}

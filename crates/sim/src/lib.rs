@@ -1,0 +1,46 @@
+//! # engage-sim
+//!
+//! The simulated substrate the Engage reproduction deploys onto — the
+//! substitute for the paper's real machines, Rackspace/AWS cloud servers
+//! (via libcloud), OS package managers, and monit (§5.2, §6):
+//!
+//! * simulated hosts with packages, files, services, and TCP ports;
+//! * a cloud provider that provisions hosts on demand;
+//! * a package universe with download sizes and an internet-vs-local-cache
+//!   bandwidth model (reproducing the §6.1 17-minute vs 5-minute Jasper
+//!   install split);
+//! * host snapshots for the upgrade engine's backup/rollback;
+//! * failure injection (install failures, service crashes); and
+//! * a monit-style process monitor with automatic restart.
+//!
+//! # Examples
+//!
+//! ```
+//! use engage_sim::{Sim, Os, DownloadSource, Monitor};
+//! let sim = Sim::new(DownloadSource::local_cache());
+//! let web = sim.provision_cloud("web1", Os::Ubuntu1010);
+//! sim.install_package(web, "gunicorn-0.13").unwrap();
+//! sim.start_service(web, "gunicorn", Some(8000)).unwrap();
+//!
+//! let mut monit = Monitor::new();
+//! monit.watch(web, "gunicorn", Some(8000));
+//! sim.crash_service(web, "gunicorn").unwrap();
+//! let restarted = monit.tick(&sim).unwrap();
+//! assert_eq!(restarted.len(), 1);
+//! assert!(sim.service_running(web, "gunicorn"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod host;
+mod monitor;
+mod os;
+mod pkg;
+mod sim;
+
+pub use host::{Host, Service, Snapshot};
+pub use monitor::{Monitor, RestartRecord, WatchEntry};
+pub use os::{HostId, HostInfo, Os};
+pub use pkg::{DownloadSource, PackageMeta, PackageUniverse};
+pub use sim::{Event, Sim, SimError};

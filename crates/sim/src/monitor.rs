@@ -1,0 +1,181 @@
+//! The monit substitute: a process monitor with automatic restart (§5.2).
+//!
+//! "Engage integrates with monit, a process monitoring/restart service ...
+//! If the process associated with a service fails, it will be automatically
+//! restarted by monit using a set of runtime services provided by Engage."
+
+use std::time::Duration;
+
+use crate::os::HostId;
+use crate::sim::{Sim, SimError};
+
+/// One entry of the generated monit configuration: which service to watch
+/// on which host, and how to bring it back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEntry {
+    /// Host the service runs on.
+    pub host: HostId,
+    /// Service name.
+    pub service: String,
+    /// Port to rebind on restart, if the service listens.
+    pub port: Option<u16>,
+}
+
+/// A restart performed by the monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartRecord {
+    /// Host the service runs on.
+    pub host: HostId,
+    /// Service restarted.
+    pub service: String,
+    /// Simulated time of the restart.
+    pub at: Duration,
+}
+
+/// The process monitor. One instance per deployment (the runtime "adds an
+/// instance of monit to the installation specification for each target
+/// host"; here a single monitor watches all hosts for simplicity of the
+/// harness — per-host sharding is a registration detail).
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    watches: Vec<WatchEntry>,
+    restarts: Vec<RestartRecord>,
+}
+
+impl Monitor {
+    /// A monitor with no watches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service to watch (what the monit plugin does from the
+    /// resource type after deployment).
+    pub fn watch(&mut self, host: HostId, service: impl Into<String>, port: Option<u16>) {
+        self.watches.push(WatchEntry {
+            host,
+            service: service.into(),
+            port,
+        });
+    }
+
+    /// Stops watching a service (used on shutdown/uninstall).
+    pub fn unwatch(&mut self, host: HostId, service: &str) {
+        self.watches
+            .retain(|w| !(w.host == host && w.service == service));
+    }
+
+    /// The current watch list (the "monit configuration file").
+    pub fn watches(&self) -> &[WatchEntry] {
+        &self.watches
+    }
+
+    /// One monitoring cycle: every watched service that is down is
+    /// restarted. Returns the restarts performed this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors (e.g. the port was stolen while the
+    /// service was down).
+    pub fn tick(&mut self, sim: &Sim) -> Result<Vec<RestartRecord>, SimError> {
+        let mut performed = Vec::new();
+        for w in &self.watches {
+            if !sim.service_running(w.host, &w.service) {
+                sim.start_service(w.host, &w.service, w.port)?;
+                let rec = RestartRecord {
+                    host: w.host,
+                    service: w.service.clone(),
+                    at: sim.now(),
+                };
+                performed.push(rec.clone());
+                self.restarts.push(rec);
+            }
+        }
+        sim.advance(Duration::from_secs(30)); // monit polling interval
+        Ok(performed)
+    }
+
+    /// All restarts ever performed.
+    pub fn restarts(&self) -> &[RestartRecord] {
+        &self.restarts
+    }
+
+    /// Renders the watch list as a monit-style configuration file.
+    pub fn render_config(&self) -> String {
+        let mut out = String::new();
+        for w in &self.watches {
+            out.push_str(&format!("check process {} on {} ", w.service, w.host));
+            match w.port {
+                Some(p) => out.push_str(&format!("if failed port {p} then restart\n")),
+                None => out.push_str("if not exist then restart\n"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::Os;
+    use crate::pkg::DownloadSource;
+
+    #[test]
+    fn restarts_crashed_services() {
+        let sim = Sim::new(DownloadSource::local_cache());
+        let h = sim.provision_local("web", Os::Ubuntu1010);
+        sim.start_service(h, "gunicorn", Some(8000)).unwrap();
+        let mut mon = Monitor::new();
+        mon.watch(h, "gunicorn", Some(8000));
+
+        // Healthy tick: nothing to do.
+        assert!(mon.tick(&sim).unwrap().is_empty());
+
+        sim.crash_service(h, "gunicorn").unwrap();
+        let restarted = mon.tick(&sim).unwrap();
+        assert_eq!(restarted.len(), 1);
+        assert!(sim.service_running(h, "gunicorn"));
+        assert_eq!(mon.restarts().len(), 1);
+        // The service state reflects crash + restart.
+        let st = sim.service_state(h, "gunicorn").unwrap();
+        assert_eq!(st.crashes, 1);
+        assert_eq!(st.starts, 2);
+    }
+
+    #[test]
+    fn unwatch_stops_restarting() {
+        let sim = Sim::new(DownloadSource::local_cache());
+        let h = sim.provision_local("web", Os::Ubuntu1010);
+        sim.start_service(h, "celery", None).unwrap();
+        let mut mon = Monitor::new();
+        mon.watch(h, "celery", None);
+        mon.unwatch(h, "celery");
+        sim.crash_service(h, "celery").unwrap();
+        assert!(mon.tick(&sim).unwrap().is_empty());
+        assert!(!sim.service_running(h, "celery"));
+    }
+
+    #[test]
+    fn config_rendering_mentions_ports() {
+        let mut mon = Monitor::new();
+        mon.watch(HostId(0), "mysqld", Some(3306));
+        mon.watch(HostId(1), "celery", None);
+        let cfg = mon.render_config();
+        assert!(cfg.contains("check process mysqld on host-0 if failed port 3306"));
+        assert!(cfg.contains("check process celery on host-1 if not exist"));
+    }
+
+    #[test]
+    fn watches_multiple_hosts() {
+        let sim = Sim::new(DownloadSource::local_cache());
+        let a = sim.provision_local("a", Os::Ubuntu1010);
+        let b = sim.provision_local("b", Os::Ubuntu1010);
+        sim.start_service(a, "s1", None).unwrap();
+        sim.start_service(b, "s2", None).unwrap();
+        let mut mon = Monitor::new();
+        mon.watch(a, "s1", None);
+        mon.watch(b, "s2", None);
+        sim.crash_service(a, "s1").unwrap();
+        sim.crash_service(b, "s2").unwrap();
+        assert_eq!(mon.tick(&sim).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Operating systems and host metadata for the simulated data center.
+
+use std::fmt;
+
+/// Operating systems appearing in the paper's deployments (§2, §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Os {
+    /// Mac OS X 10.6 (Snow Leopard).
+    MacOsX106,
+    /// Mac OS X 10.7 (Lion) — the second MacOSX version of §6.2.
+    MacOsX107,
+    /// Ubuntu Linux 10.04 LTS.
+    Ubuntu1004,
+    /// Ubuntu Linux 10.10.
+    Ubuntu1010,
+    /// Windows XP (OpenMRS supports it, §2).
+    WindowsXp,
+}
+
+impl Os {
+    /// The Engage resource-type key for a machine running this OS.
+    pub fn resource_key(self) -> &'static str {
+        match self {
+            Os::MacOsX106 => "Mac-OSX 10.6",
+            Os::MacOsX107 => "Mac-OSX 10.7",
+            Os::Ubuntu1004 => "Ubuntu 10.04",
+            Os::Ubuntu1010 => "Ubuntu 10.10",
+            Os::WindowsXp => "Windows-XP 5.1",
+        }
+    }
+
+    /// The OS-level package manager family (the OSLPM Engage drivers call,
+    /// Related Work §1).
+    pub fn package_manager(self) -> &'static str {
+        match self {
+            Os::MacOsX106 | Os::MacOsX107 => "brew",
+            Os::Ubuntu1004 | Os::Ubuntu1010 => "apt",
+            Os::WindowsXp => "msi",
+        }
+    }
+
+    /// All modeled operating systems.
+    pub fn all() -> [Os; 5] {
+        [
+            Os::MacOsX106,
+            Os::MacOsX107,
+            Os::Ubuntu1004,
+            Os::Ubuntu1010,
+            Os::WindowsXp,
+        ]
+    }
+}
+
+impl fmt::Display for Os {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.resource_key())
+    }
+}
+
+/// Identifier of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+/// Static facts about a host, as discovered by Engage's provisioning tools
+/// (§5.2: "hostname, IP address, operating system, CPU architecture").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// The host id.
+    pub id: HostId,
+    /// DNS hostname.
+    pub hostname: String,
+    /// IPv4 address (simulated).
+    pub ip: String,
+    /// Operating system.
+    pub os: Os,
+    /// CPU architecture.
+    pub arch: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_keys_are_versioned() {
+        for os in Os::all() {
+            let key = os.resource_key();
+            assert!(key.contains(' '), "{key} should have a version");
+        }
+    }
+
+    #[test]
+    fn package_managers_by_family() {
+        assert_eq!(Os::Ubuntu1010.package_manager(), "apt");
+        assert_eq!(Os::MacOsX106.package_manager(), "brew");
+        assert_eq!(Os::WindowsXp.package_manager(), "msi");
+    }
+
+    #[test]
+    fn host_id_display() {
+        assert_eq!(HostId(3).to_string(), "host-3");
+    }
+}

@@ -1,0 +1,162 @@
+//! The package universe and download timing model.
+//!
+//! Substitutes the real software downloads the paper's drivers perform.
+//! Package sizes plus a bandwidth model reproduce the §6.1 observation that
+//! the Jasper install takes ~17 minutes from the internet and ~5 minutes
+//! from a local file cache: downloads dominate the first case and vanish in
+//! the second.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Where package archives are fetched from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DownloadSource {
+    /// The internet: per-request latency plus limited bandwidth.
+    Internet {
+        /// Sustained download bandwidth in bytes/second.
+        bytes_per_sec: u64,
+        /// Per-package connection latency.
+        latency: Duration,
+    },
+    /// A local file cache: effectively free downloads (disk-speed copy).
+    LocalCache {
+        /// Local copy bandwidth in bytes/second.
+        bytes_per_sec: u64,
+    },
+}
+
+impl DownloadSource {
+    /// A typical 2012 office connection (~2 MB/s, 2 s handshake+mirror
+    /// selection per package).
+    pub fn typical_internet() -> Self {
+        DownloadSource::Internet {
+            bytes_per_sec: 2 * 1024 * 1024,
+            latency: Duration::from_secs(2),
+        }
+    }
+
+    /// A local package cache on disk (~80 MB/s).
+    pub fn local_cache() -> Self {
+        DownloadSource::LocalCache {
+            bytes_per_sec: 80 * 1024 * 1024,
+        }
+    }
+
+    /// Time to fetch `size_bytes`.
+    pub fn fetch_time(&self, size_bytes: u64) -> Duration {
+        match self {
+            DownloadSource::Internet {
+                bytes_per_sec,
+                latency,
+            } => *latency + Duration::from_secs_f64(size_bytes as f64 / *bytes_per_sec as f64),
+            DownloadSource::LocalCache { bytes_per_sec } => {
+                Duration::from_secs_f64(size_bytes as f64 / *bytes_per_sec as f64)
+            }
+        }
+    }
+}
+
+/// Metadata for one installable package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageMeta {
+    /// Archive size in bytes (drives download time).
+    pub size_bytes: u64,
+    /// CPU-side install/extract/configure time, independent of the source.
+    pub install_time: Duration,
+}
+
+impl PackageMeta {
+    /// Convenience constructor from megabytes and seconds.
+    pub fn new(size_mb: u64, install_secs: u64) -> Self {
+        PackageMeta {
+            size_bytes: size_mb * 1024 * 1024,
+            install_time: Duration::from_secs(install_secs),
+        }
+    }
+}
+
+/// The set of packages the simulated OSLPMs can install.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PackageUniverse {
+    packages: BTreeMap<String, PackageMeta>,
+}
+
+impl PackageUniverse {
+    /// Empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a package.
+    pub fn insert(&mut self, name: impl Into<String>, meta: PackageMeta) {
+        self.packages.insert(name.into(), meta);
+    }
+
+    /// Looks up a package.
+    pub fn get(&self, name: &str) -> Option<&PackageMeta> {
+        self.packages.get(name)
+    }
+
+    /// Whether a package exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.packages.contains_key(name)
+    }
+
+    /// Number of known packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Total install duration for a package from a source: fetch + install.
+    /// Unknown packages get a default small metadata entry (5 MB, 5 s) so
+    /// exploratory stacks need not enumerate every pip dependency.
+    pub fn install_duration(&self, name: &str, source: &DownloadSource) -> Duration {
+        let default = PackageMeta::new(5, 5);
+        let meta = self.packages.get(name).unwrap_or(&default);
+        source.fetch_time(meta.size_bytes) + meta.install_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internet_is_slower_than_cache() {
+        let meta = PackageMeta::new(100, 10);
+        let net = DownloadSource::typical_internet().fetch_time(meta.size_bytes);
+        let cache = DownloadSource::local_cache().fetch_time(meta.size_bytes);
+        assert!(net > cache * 10, "net={net:?} cache={cache:?}");
+    }
+
+    #[test]
+    fn install_duration_includes_cpu_time() {
+        let mut u = PackageUniverse::new();
+        u.insert("tomcat", PackageMeta::new(10, 30));
+        let d = u.install_duration("tomcat", &DownloadSource::local_cache());
+        assert!(d >= Duration::from_secs(30));
+        assert!(d < Duration::from_secs(32));
+    }
+
+    #[test]
+    fn unknown_packages_get_default_meta() {
+        let u = PackageUniverse::new();
+        let d = u.install_duration("some-pip-package", &DownloadSource::local_cache());
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_applies_per_package() {
+        let src = DownloadSource::Internet {
+            bytes_per_sec: u64::MAX,
+            latency: Duration::from_secs(3),
+        };
+        assert_eq!(src.fetch_time(0), Duration::from_secs(3));
+    }
+}

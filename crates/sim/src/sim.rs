@@ -1,0 +1,578 @@
+//! The simulated data center: hosts, the cloud provider, the package
+//! source, the clock, failure injection, and the event log.
+//!
+//! This is the substitute for the real machines / Rackspace / AWS targets
+//! the paper deploys to (§5.2, §6); drivers in `engage-deploy` effect all
+//! their changes through this API.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::host::{Host, Snapshot};
+use crate::os::{HostId, HostInfo, Os};
+use crate::pkg::{DownloadSource, PackageUniverse};
+
+/// Error from a simulated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    what: String,
+}
+
+impl SimError {
+    pub(crate) fn new(what: impl Into<String>) -> Self {
+        SimError { what: what.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.what)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// An entry in the simulation's event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A host was provisioned (locally declared or from the cloud).
+    Provisioned {
+        /// The new host.
+        host: HostId,
+        /// Its OS.
+        os: Os,
+        /// Whether it came from the cloud provider.
+        cloud: bool,
+    },
+    /// A package was installed.
+    PackageInstalled {
+        /// Where.
+        host: HostId,
+        /// Which package.
+        package: String,
+        /// How long the install took.
+        took: Duration,
+    },
+    /// A package was removed.
+    PackageRemoved {
+        /// Where.
+        host: HostId,
+        /// Which package.
+        package: String,
+    },
+    /// A service started.
+    ServiceStarted {
+        /// Where.
+        host: HostId,
+        /// Which service.
+        service: String,
+    },
+    /// A service stopped cleanly.
+    ServiceStopped {
+        /// Where.
+        host: HostId,
+        /// Which service.
+        service: String,
+    },
+    /// A service process died (failure injection).
+    ServiceCrashed {
+        /// Where.
+        host: HostId,
+        /// Which service.
+        service: String,
+    },
+    /// A snapshot was taken (upgrade backup).
+    SnapshotTaken {
+        /// Of which host.
+        host: HostId,
+    },
+    /// A host was rolled back to a snapshot.
+    Restored {
+        /// Which host.
+        host: HostId,
+    },
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    hosts: BTreeMap<HostId, Host>,
+    events: Vec<Event>,
+    clock: Duration,
+    next_host: u32,
+    next_pid: u32,
+    /// package name → remaining injected install failures.
+    install_failures: BTreeMap<String, u32>,
+}
+
+/// The simulated data center. Cheap to clone (shared state).
+///
+/// # Examples
+///
+/// ```
+/// use engage_sim::{Sim, Os, DownloadSource};
+/// let sim = Sim::new(DownloadSource::local_cache());
+/// let h = sim.provision_local("demo", Os::Ubuntu1010);
+/// sim.install_package(h, "mysql-5.1").unwrap();
+/// assert!(sim.host_info(h).unwrap().os == Os::Ubuntu1010);
+/// assert!(sim.has_package(h, "mysql-5.1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sim {
+    state: Arc<Mutex<SimState>>,
+    packages: Arc<PackageUniverse>,
+    source: DownloadSource,
+}
+
+impl Sim {
+    /// Creates a data center with an empty package universe (unknown
+    /// packages install with default timing).
+    pub fn new(source: DownloadSource) -> Self {
+        Sim::with_packages(PackageUniverse::new(), source)
+    }
+
+    /// Creates a data center with a package universe.
+    pub fn with_packages(packages: PackageUniverse, source: DownloadSource) -> Self {
+        Sim {
+            state: Arc::new(Mutex::new(SimState::default())),
+            packages: Arc::new(packages),
+            source,
+        }
+    }
+
+    /// The configured download source.
+    pub fn download_source(&self) -> DownloadSource {
+        self.source
+    }
+
+    /// The package universe.
+    pub fn packages(&self) -> &PackageUniverse {
+        &self.packages
+    }
+
+    // ----- provisioning (§5.2) -----
+
+    /// Declares an existing (on-premises) machine.
+    pub fn provision_local(&self, hostname: &str, os: Os) -> HostId {
+        self.provision(hostname, os, false)
+    }
+
+    /// Provisions a new virtual server from the cloud provider (the
+    /// Rackspace/AWS-via-libcloud substitute). Takes simulated boot time.
+    pub fn provision_cloud(&self, hostname: &str, os: Os) -> HostId {
+        let id = self.provision(hostname, os, true);
+        self.advance(Duration::from_secs(45)); // VM boot
+        id
+    }
+
+    fn provision(&self, hostname: &str, os: Os, cloud: bool) -> HostId {
+        let mut st = self.state.lock();
+        let id = HostId(st.next_host);
+        st.next_host += 1;
+        st.hosts.insert(id, Host::new(id, hostname, os));
+        st.events.push(Event::Provisioned {
+            host: id,
+            os,
+            cloud,
+        });
+        id
+    }
+
+    /// Host facts, as the provisioning tools discover them.
+    pub fn host_info(&self, id: HostId) -> Option<HostInfo> {
+        self.state.lock().hosts.get(&id).map(|h| h.info().clone())
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> Vec<HostId> {
+        self.state.lock().hosts.keys().copied().collect()
+    }
+
+    // ----- clock -----
+
+    /// Current simulated time.
+    pub fn now(&self) -> Duration {
+        self.state.lock().clock
+    }
+
+    /// Advances the simulated clock.
+    pub fn advance(&self, d: Duration) {
+        self.state.lock().clock += d;
+    }
+
+    // ----- packages -----
+
+    /// Installs a package via the host's OSLPM, advancing the clock by the
+    /// fetch+install duration. Idempotent: re-installing is a fast no-op.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host, or an injected failure
+    /// ([`Sim::inject_install_failure`]).
+    pub fn install_package(&self, host: HostId, package: &str) -> Result<Duration, SimError> {
+        let mut st = self.state.lock();
+        if let Some(n) = st.install_failures.get_mut(package) {
+            if *n > 0 {
+                *n -= 1;
+                return Err(SimError::new(format!(
+                    "injected failure installing `{package}`"
+                )));
+            }
+        }
+        let h = st
+            .hosts
+            .get(&host)
+            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
+        if h.has_package(package) {
+            let took = Duration::from_millis(50);
+            st.clock += took;
+            return Ok(took);
+        }
+        let took = self.packages.install_duration(package, &self.source);
+        st.clock += took;
+        let h = st.hosts.get_mut(&host).expect("checked above");
+        h.add_package(package);
+        st.events.push(Event::PackageInstalled {
+            host,
+            package: package.to_owned(),
+            took,
+        });
+        Ok(took)
+    }
+
+    /// Removes a package.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host or package not installed.
+    pub fn remove_package(&self, host: HostId, package: &str) -> Result<(), SimError> {
+        let mut st = self.state.lock();
+        let h = st
+            .hosts
+            .get_mut(&host)
+            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
+        if !h.remove_package(package) {
+            return Err(SimError::new(format!(
+                "package `{package}` is not installed on {host}"
+            )));
+        }
+        st.clock += Duration::from_secs(2);
+        st.events.push(Event::PackageRemoved {
+            host,
+            package: package.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Whether a package is installed.
+    pub fn has_package(&self, host: HostId, package: &str) -> bool {
+        self.state
+            .lock()
+            .hosts
+            .get(&host)
+            .is_some_and(|h| h.has_package(package))
+    }
+
+    /// Makes the next `count` installs of `package` fail (failure
+    /// injection for upgrade/rollback tests).
+    pub fn inject_install_failure(&self, package: &str, count: u32) {
+        self.state
+            .lock()
+            .install_failures
+            .insert(package.to_owned(), count);
+    }
+
+    // ----- files -----
+
+    /// Writes a configuration file.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host.
+    pub fn write_file(&self, host: HostId, path: &str, content: &str) -> Result<(), SimError> {
+        let mut st = self.state.lock();
+        let h = st
+            .hosts
+            .get_mut(&host)
+            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
+        h.write_file(path, content);
+        Ok(())
+    }
+
+    /// Reads a file.
+    pub fn read_file(&self, host: HostId, path: &str) -> Option<String> {
+        self.state
+            .lock()
+            .hosts
+            .get(&host)
+            .and_then(|h| h.file(path).map(str::to_owned))
+    }
+
+    // ----- services -----
+
+    /// Starts a service, optionally binding a TCP port.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host, already-running service, or port conflict.
+    pub fn start_service(
+        &self,
+        host: HostId,
+        service: &str,
+        port: Option<u16>,
+    ) -> Result<(), SimError> {
+        let mut st = self.state.lock();
+        st.next_pid += 1;
+        let pid = st.next_pid;
+        let h = st
+            .hosts
+            .get_mut(&host)
+            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
+        h.start_service(service, port, pid).map_err(SimError::new)?;
+        st.clock += Duration::from_secs(3); // daemon startup
+        st.events.push(Event::ServiceStarted {
+            host,
+            service: service.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Stops a service.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host or service not running.
+    pub fn stop_service(&self, host: HostId, service: &str) -> Result<(), SimError> {
+        let mut st = self.state.lock();
+        let h = st
+            .hosts
+            .get_mut(&host)
+            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
+        h.stop_service(service).map_err(SimError::new)?;
+        st.clock += Duration::from_secs(1);
+        st.events.push(Event::ServiceStopped {
+            host,
+            service: service.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Whether a service is running.
+    pub fn service_running(&self, host: HostId, service: &str) -> bool {
+        self.state
+            .lock()
+            .hosts
+            .get(&host)
+            .is_some_and(|h| h.service_running(service))
+    }
+
+    /// Whether a TCP port is free on a host.
+    pub fn port_free(&self, host: HostId, port: u16) -> bool {
+        self.state
+            .lock()
+            .hosts
+            .get(&host)
+            .is_some_and(|h| h.port_free(port))
+    }
+
+    /// Kills a running service process (failure injection; what monit then
+    /// notices and repairs).
+    ///
+    /// # Errors
+    ///
+    /// Unknown host or service not running.
+    pub fn crash_service(&self, host: HostId, service: &str) -> Result<(), SimError> {
+        let mut st = self.state.lock();
+        let h = st
+            .hosts
+            .get_mut(&host)
+            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
+        h.crash_service(service).map_err(SimError::new)?;
+        st.events.push(Event::ServiceCrashed {
+            host,
+            service: service.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Per-service state snapshot (pid, port, crash/start counters).
+    pub fn service_state(&self, host: HostId, service: &str) -> Option<crate::host::Service> {
+        self.state
+            .lock()
+            .hosts
+            .get(&host)
+            .and_then(|h| h.service(service).cloned())
+    }
+
+    /// Names of all services ever started on a host.
+    pub fn services_on(&self, host: HostId) -> Vec<String> {
+        self.state
+            .lock()
+            .hosts
+            .get(&host)
+            .map(|h| h.services().map(|(n, _)| n.to_owned()).collect())
+            .unwrap_or_default()
+    }
+
+    // ----- snapshots (upgrade backup/rollback, §5.2) -----
+
+    /// Takes a full snapshot of a host.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host.
+    pub fn snapshot(&self, host: HostId) -> Result<Snapshot, SimError> {
+        let mut st = self.state.lock();
+        let h = st
+            .hosts
+            .get(&host)
+            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?
+            .clone();
+        st.clock += Duration::from_secs(10);
+        st.events.push(Event::SnapshotTaken { host });
+        Ok(Snapshot { host: h })
+    }
+
+    /// Restores a host from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// The snapshot's host no longer exists.
+    pub fn restore(&self, snap: &Snapshot) -> Result<(), SimError> {
+        let mut st = self.state.lock();
+        let id = snap.host.info().id;
+        if !st.hosts.contains_key(&id) {
+            return Err(SimError::new(format!("unknown host {id}")));
+        }
+        st.hosts.insert(id, snap.host.clone());
+        st.clock += Duration::from_secs(15);
+        st.events.push(Event::Restored { host: id });
+        Ok(())
+    }
+
+    // ----- events -----
+
+    /// A copy of the event log.
+    pub fn events(&self) -> Vec<Event> {
+        self.state.lock().events.clone()
+    }
+
+    /// Number of events matching a predicate.
+    pub fn count_events(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.state.lock().events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Sim {
+        Sim::new(DownloadSource::local_cache())
+    }
+
+    #[test]
+    fn provisioning_assigns_ids_and_logs() {
+        let s = sim();
+        let a = s.provision_local("a", Os::MacOsX106);
+        let b = s.provision_cloud("b", Os::Ubuntu1010);
+        assert_ne!(a, b);
+        assert_eq!(s.hosts().len(), 2);
+        assert_eq!(
+            s.count_events(|e| matches!(e, Event::Provisioned { cloud: true, .. })),
+            1
+        );
+        // Cloud provisioning takes boot time.
+        assert!(s.now() >= Duration::from_secs(45));
+    }
+
+    #[test]
+    fn install_is_idempotent_and_advances_clock() {
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        let t0 = s.now();
+        s.install_package(h, "tomcat-6.0.18").unwrap();
+        let t1 = s.now();
+        assert!(t1 > t0);
+        // Second install: fast no-op, no new event.
+        s.install_package(h, "tomcat-6.0.18").unwrap();
+        assert_eq!(
+            s.count_events(|e| matches!(e, Event::PackageInstalled { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn injected_failures_fire_then_clear() {
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        s.inject_install_failure("bad-pkg", 2);
+        assert!(s.install_package(h, "bad-pkg").is_err());
+        assert!(s.install_package(h, "bad-pkg").is_err());
+        assert!(s.install_package(h, "bad-pkg").is_ok());
+    }
+
+    #[test]
+    fn service_conflicts_are_visible_across_api() {
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        s.start_service(h, "mysqld", Some(3306)).unwrap();
+        assert!(s.service_running(h, "mysqld"));
+        assert!(!s.port_free(h, 3306));
+        assert!(s.start_service(h, "clone", Some(3306)).is_err());
+        s.stop_service(h, "mysqld").unwrap();
+        assert!(s.port_free(h, 3306));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        s.install_package(h, "app-1.0").unwrap();
+        s.write_file(h, "/srv/app/version", "1.0").unwrap();
+        let snap = s.snapshot(h).unwrap();
+        // Mutate: upgrade to 2.0.
+        s.remove_package(h, "app-1.0").unwrap();
+        s.install_package(h, "app-2.0").unwrap();
+        s.write_file(h, "/srv/app/version", "2.0").unwrap();
+        // Roll back.
+        s.restore(&snap).unwrap();
+        assert!(s.has_package(h, "app-1.0"));
+        assert!(!s.has_package(h, "app-2.0"));
+        assert_eq!(s.read_file(h, "/srv/app/version").unwrap(), "1.0");
+    }
+
+    #[test]
+    fn crash_is_logged_and_stops_service() {
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        s.start_service(h, "redis", Some(6379)).unwrap();
+        s.crash_service(h, "redis").unwrap();
+        assert!(!s.service_running(h, "redis"));
+        assert_eq!(
+            s.count_events(|e| matches!(e, Event::ServiceCrashed { .. })),
+            1
+        );
+        assert_eq!(s.service_state(h, "redis").unwrap().crashes, 1);
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let s = sim();
+        assert!(s.install_package(HostId(99), "x").is_err());
+        assert!(s.stop_service(HostId(99), "x").is_err());
+        assert!(s.snapshot(HostId(99)).is_err());
+        assert_eq!(s.host_info(HostId(99)), None);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let s = sim();
+        let s2 = s.clone();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        assert!(s2.host_info(h).is_some());
+    }
+}

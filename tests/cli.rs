@@ -1,0 +1,266 @@
+//! Integration tests for the `engage` command-line interface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn engage_cmd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_engage"))
+        .args(args)
+        .output()
+        .expect("engage binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn write_temp(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("engage-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const FIGURE_2: &str = r#"[
+  { "id": "server", "key": "Mac-OSX 10.6",
+    "config_port": { "hostname": "localhost", "os_user_name": "root" } },
+  { "id": "tomcat", "key": "Tomcat 6.0.18", "inside": { "id": "server" } },
+  { "id": "openmrs", "key": "OpenMRS 1.8", "inside": { "id": "tomcat" } }
+]"#;
+
+#[test]
+fn check_passes_on_the_builtin_library() {
+    let out = engage_cmd(&["check"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("well-formed"), "{}", stdout(&out));
+}
+
+#[test]
+fn check_reports_problems_in_user_files() {
+    let bad = write_temp("bad.ers", r#"resource "Cyclic-A 1" { inside "Nowhere"; }"#);
+    let out = engage_cmd(&["check", "--library", "none", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown resource key"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn plan_expands_figure_2() {
+    let spec = write_temp("fig2.json", FIGURE_2);
+    let out = engage_cmd(&[
+        "plan",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // The plan includes generated instances the user never wrote.
+    assert!(text.contains("mysql-5.1"), "{text}");
+    assert!(text.contains("output_port"), "{text}");
+    // And it is itself a parseable full spec.
+    let parsed = engage_dsl::parse_install_spec(&text).unwrap();
+    assert_eq!(parsed.len(), 5);
+}
+
+#[test]
+fn graph_prints_figure_5() {
+    let spec = write_temp("fig2b.json", FIGURE_2);
+    let out = engage_cmd(&[
+        "graph",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("node openmrs : OpenMRS 1.8"), "{text}");
+    assert!(text.contains("-> X{jdk-1.6, jre-1.6}"), "{text}");
+}
+
+#[test]
+fn dimacs_exports_solvable_cnf() {
+    let spec = write_temp("fig2c.json", FIGURE_2);
+    let out = engage_cmd(&[
+        "dimacs",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Strip the comment header and check the formula solves.
+    let cnf = engage_sat::Cnf::from_dimacs(&text).unwrap();
+    assert!(engage_sat::Solver::from_cnf(&cnf).solve().is_sat());
+    assert!(text.contains("c var"), "{text}");
+}
+
+#[test]
+fn deploy_reports_active_status() {
+    let spec = write_temp("fig2d.json", FIGURE_2);
+    let out = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("status openmrs: active"), "{text}");
+    assert!(text.contains("install"), "{text}");
+}
+
+#[test]
+fn deploy_parallel_runs_slaves() {
+    let spec = write_temp(
+        "prod.json",
+        r#"[
+          { "id": "app-server", "key": "Ubuntu 10.10",
+            "config_port": { "hostname": "app.example.com" } },
+          { "id": "db-server", "key": "Ubuntu 10.10",
+            "config_port": { "hostname": "db.example.com" } },
+          { "id": "tomcat", "key": "Tomcat 6.0.18", "inside": { "id": "app-server" } },
+          { "id": "openmrs", "key": "OpenMRS 1.8", "inside": { "id": "tomcat" } },
+          { "id": "mysql", "key": "MySQL 5.1", "inside": { "id": "db-server" } }
+        ]"#,
+    );
+    let out = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--parallel",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("2 parallel slave(s)"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn diagnose_explains_conflicts() {
+    let spec = write_temp(
+        "conflict.json",
+        r#"[
+          { "id": "server", "key": "Ubuntu 10.10" },
+          { "id": "db1", "key": "SQLite 3.7", "inside": { "id": "server" } },
+          { "id": "db2", "key": "MySQL 5.1", "inside": { "id": "server" } },
+          { "id": "app", "key": "Areneae 1.0", "inside": { "id": "server" } }
+        ]"#,
+    );
+    let out = engage_cmd(&[
+        "diagnose",
+        "--library",
+        "django",
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("unsatisfiable"), "{text}");
+    assert!(text.contains("exactly one"), "{text}");
+}
+
+#[test]
+fn diagnose_reports_satisfiable() {
+    let spec = write_temp("fig2e.json", FIGURE_2);
+    let out = engage_cmd(&[
+        "diagnose",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("satisfiable"), "{}", stdout(&out));
+}
+
+#[test]
+fn print_roundtrips_through_check() {
+    let out = engage_cmd(&["print", "--library", "base"]);
+    assert!(out.status.success());
+    let printed = write_temp("printed.ers", &stdout(&out));
+    let out2 = engage_cmd(&["check", "--library", "none", printed.to_str().unwrap()]);
+    assert!(out2.status.success(), "{}", stderr(&out2));
+}
+
+#[test]
+fn checkspec_validates_planned_output_and_rejects_tampering() {
+    let spec = write_temp("fig2g.json", FIGURE_2);
+    let out_path = std::env::temp_dir().join("engage-cli-tests/full-check.json");
+    let out = engage_cmd(&[
+        "plan",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+        "-o",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // The planned spec checks out.
+    let ok = engage_cmd(&[
+        "checkspec",
+        "--library",
+        "base",
+        "--spec",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(ok.status.success(), "{}", stderr(&ok));
+    assert!(stdout(&ok).contains("correctly configured"));
+    // Tamper with a typed port value (int -> string): caught.
+    let tampered = std::fs::read_to_string(&out_path)
+        .unwrap()
+        .replacen("8080", "\"oops\"", 1);
+    let bad_path = write_temp("tampered.json", &tampered);
+    let bad = engage_cmd(&[
+        "checkspec",
+        "--library",
+        "base",
+        "--spec",
+        bad_path.to_str().unwrap(),
+    ]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("error:"), "{}", stderr(&bad));
+}
+
+#[test]
+fn unknown_flags_and_commands_error() {
+    assert!(!engage_cmd(&["frobnicate"]).status.success());
+    assert!(!engage_cmd(&["plan", "--bogus"]).status.success());
+    assert!(!engage_cmd(&["plan"]).status.success()); // missing --spec
+    assert!(!engage_cmd(&[]).status.success());
+}
+
+#[test]
+fn output_file_writing() {
+    let spec = write_temp("fig2f.json", FIGURE_2);
+    let out_path = std::env::temp_dir().join("engage-cli-tests/full.json");
+    let out = engage_cmd(&[
+        "plan",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+        "-o",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert!(engage_dsl::parse_install_spec(&written).is_ok());
+}

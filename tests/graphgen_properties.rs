@@ -1,0 +1,198 @@
+//! Property-based tests for the configuration engine on randomized
+//! layered universes: the Lemma 1 hypergraph invariants, satisfiability,
+//! spec validity, and model counts.
+
+use std::fmt::Write as _;
+
+use engage_config::{graph_gen, ConfigEngine};
+use engage_model::{DepKind, PartialInstallSpec, PartialInstance, Universe};
+use proptest::prelude::*;
+
+/// A randomized layered universe:
+/// * `widths[i]` concrete alternatives per abstract layer `i`;
+/// * each alternative env-depends on the previous layer;
+/// * `extra_deps` adds (kind, from-layer, to-layer) dependencies with
+///   `to < from` so the type graph stays acyclic;
+/// * an `App` depends on the last layer.
+#[derive(Debug, Clone)]
+struct LayeredCase {
+    widths: Vec<usize>,
+    extra_deps: Vec<(bool, usize, usize)>, // (is_peer, from_layer, to_layer)
+}
+
+fn build(case: &LayeredCase) -> (Universe, PartialInstallSpec) {
+    let mut src = String::from(
+        r#"
+abstract resource "Server" {
+  config port hostname: string = "prop-host";
+  output port host: { hostname: string } = { hostname: config.hostname };
+}
+resource "PropOS 1.0" extends "Server" {}
+"#,
+    );
+    for (layer, &width) in case.widths.iter().enumerate() {
+        let _ = writeln!(
+            src,
+            "abstract resource \"L{layer}\" {{ output port p{layer}: {{ v: int }}; }}"
+        );
+        for alt in 0..width {
+            let _ = writeln!(
+                src,
+                "resource \"L{layer}-a{alt} 1.0\" extends \"L{layer}\" {{"
+            );
+            let _ = writeln!(src, "  inside \"Server\";");
+            if layer > 0 {
+                let prev = layer - 1;
+                let _ = writeln!(src, "  env \"L{prev}\" {{ input prev <- p{prev}; }}");
+                let _ = writeln!(src, "  input port prev: {{ v: int }};");
+            }
+            // Extra deps attached to alternative 0 of the `from` layer.
+            if alt == 0 {
+                for (i, &(is_peer, from, to)) in case.extra_deps.iter().enumerate() {
+                    if from == layer && to < layer {
+                        let kw = if is_peer { "peer" } else { "env" };
+                        let _ = writeln!(src, "  {kw} \"L{to}\" {{ input x{i} <- p{to}; }}");
+                        let _ = writeln!(src, "  input port x{i}: {{ v: int }};");
+                    }
+                }
+            }
+            let _ = writeln!(
+                src,
+                "  output port p{layer}: {{ v: int }} = {{ v: {} }};",
+                layer * 10 + alt
+            );
+            let _ = writeln!(src, "}}");
+        }
+    }
+    let last = case.widths.len() - 1;
+    let _ = writeln!(
+        src,
+        "resource \"App 1.0\" {{\n  inside \"Server\";\n  env \"L{last}\" {{ input top <- p{last}; }}\n  input port top: {{ v: int }};\n  output port ok: bool = true;\n}}"
+    );
+    let universe = engage_dsl::parse_universe(&src)
+        .unwrap_or_else(|e| panic!("{}\n---\n{src}", e.render(&src)));
+    let partial: PartialInstallSpec = [
+        PartialInstance::new("server", "PropOS 1.0"),
+        PartialInstance::new("app", "App 1.0").inside("server"),
+    ]
+    .into_iter()
+    .collect();
+    (universe, partial)
+}
+
+fn case_strategy() -> impl Strategy<Value = LayeredCase> {
+    (
+        proptest::collection::vec(1usize..4, 1..4),
+        proptest::collection::vec((any::<bool>(), 0usize..4, 0usize..4), 0..3),
+    )
+        .prop_map(|(widths, mut extra)| {
+            let depth = widths.len();
+            extra.retain(|&(_, from, to)| from < depth && to < from);
+            LayeredCase {
+                widths,
+                extra_deps: extra,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn layered_universes_are_well_formed(case in case_strategy()) {
+        let (u, _) = build(&case);
+        prop_assert_eq!(u.check(), Ok(()));
+        engage_model::check_declared_subtyping(&u)
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+    }
+
+    #[test]
+    fn graph_gen_satisfies_lemma_1(case in case_strategy()) {
+        let (u, partial) = build(&case);
+        let g = graph_gen(&u, &partial).unwrap();
+
+        // (i) every spec instance is a node, and every node is from the
+        // spec or reachable by dependency edges from spec nodes.
+        for inst in partial.iter() {
+            prop_assert!(g.node(inst.id()).is_some());
+        }
+        let mut reach: std::collections::BTreeSet<&engage_model::InstanceId> = g
+            .nodes().iter().filter(|n| n.from_spec()).map(|n| n.id()).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in g.edges() {
+                if reach.contains(e.source()) {
+                    for t in e.targets() {
+                        if reach.insert(t) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        for n in g.nodes() {
+            prop_assert!(
+                reach.contains(n.id()),
+                "node {} unreachable from the spec", n.id()
+            );
+        }
+
+        // (ii) every non-machine node has an inside edge.
+        for n in g.nodes() {
+            let ty = u.effective(n.key()).unwrap();
+            if ty.inside().is_some() {
+                let has_inside = g
+                    .edges_from(n.id())
+                    .any(|e| e.kind() == DepKind::Inside && e.targets().len() == 1);
+                prop_assert!(has_inside, "node {} lacks an inside edge", n.id());
+            }
+        }
+
+        // (iii) env hyperedge targets share the source's machine.
+        for e in g.edges() {
+            if e.kind() == DepKind::Environment {
+                let src_machine = g.machine_of(e.source()).unwrap();
+                for t in e.targets() {
+                    prop_assert_eq!(
+                        g.machine_of(t).unwrap(),
+                        src_machine.clone(),
+                        "env target {} off-machine", t
+                    );
+                }
+            }
+        }
+
+        // (iv) one hyperedge per dependency of every node's type.
+        for n in g.nodes() {
+            let ty = u.effective(n.key()).unwrap();
+            prop_assert_eq!(
+                g.edges_from(n.id()).count(),
+                ty.dependencies().count(),
+                "node {} edge count", n.id()
+            );
+        }
+    }
+
+    #[test]
+    fn configure_produces_a_valid_spec(case in case_strategy()) {
+        let (u, partial) = build(&case);
+        let outcome = ConfigEngine::new(&u).configure(&partial).unwrap();
+        engage_model::check_install_spec(&u, &outcome.spec)
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        // One alternative per layer + server + app.
+        prop_assert_eq!(outcome.spec.len(), 2 + case.widths.len());
+    }
+
+    #[test]
+    fn minimal_model_count_is_the_product_of_widths(case in case_strategy()) {
+        let (u, partial) = build(&case);
+        let expected: usize = case.widths.iter().product();
+        // Cap the enumeration work.
+        prop_assume!(expected <= 64);
+        let n = ConfigEngine::new(&u)
+            .count_configurations(&partial, 4096)
+            .unwrap();
+        prop_assert_eq!(n, expected);
+    }
+}

@@ -1,0 +1,177 @@
+//! Differential tests for the SAT stack: the CDCL solver, the DPLL
+//! baseline, and brute force must agree; models must satisfy their
+//! formulas; DIMACS must round-trip solver verdicts.
+
+use engage_sat::{
+    brute_force_models, count_models, dpll_solve, Cnf, ExactlyOneEncoding, Lit, SatResult, Solver,
+    Var,
+};
+
+/// Deterministic xorshift, so the test corpus is stable without `rand`.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn random_cnf(vars: u32, clauses: usize, clause_len: usize, seed: u64) -> Cnf {
+    let mut rng = XorShift(seed.max(1));
+    let mut cnf = Cnf::new();
+    let vs: Vec<Var> = (0..vars).map(|_| cnf.fresh_var()).collect();
+    for _ in 0..clauses {
+        let c: Vec<Lit> = (0..clause_len)
+            .map(|_| {
+                let v = vs[(rng.next() % vars as u64) as usize];
+                Lit::new(v, rng.next().is_multiple_of(2))
+            })
+            .collect();
+        cnf.add_clause(c);
+    }
+    cnf
+}
+
+#[test]
+fn cdcl_dpll_and_brute_force_agree_on_small_formulas() {
+    for seed in 1..=60u64 {
+        // Densities straddle the satisfiability threshold.
+        let clauses = 10 + (seed as usize % 35);
+        let cnf = random_cnf(8, clauses, 3, seed * 7919);
+        let brute = !brute_force_models(&cnf).is_empty();
+        let cdcl = Solver::from_cnf(&cnf).solve();
+        let dpll = dpll_solve(&cnf);
+        assert_eq!(
+            cdcl.is_sat(),
+            brute,
+            "cdcl disagrees with brute force (seed {seed})"
+        );
+        assert_eq!(
+            dpll.is_sat(),
+            brute,
+            "dpll disagrees with brute force (seed {seed})"
+        );
+        if let SatResult::Sat(m) = &cdcl {
+            assert!(
+                m.satisfies_all(cnf.clauses()),
+                "cdcl model invalid (seed {seed})"
+            );
+        }
+        if let SatResult::Sat(m) = &dpll {
+            assert!(
+                m.satisfies_all(cnf.clauses()),
+                "dpll model invalid (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn binary_clause_corpus() {
+    // 2-SAT formulas exercise different propagation patterns.
+    for seed in 1..=30u64 {
+        let cnf = random_cnf(10, 24, 2, seed * 104729);
+        let brute = !brute_force_models(&cnf).is_empty();
+        assert_eq!(
+            Solver::from_cnf(&cnf).solve().is_sat(),
+            brute,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn unit_heavy_corpus() {
+    for seed in 1..=20u64 {
+        let mut cnf = random_cnf(6, 10, 3, seed * 31);
+        // Add some unit clauses to force propagation chains.
+        let mut rng = XorShift(seed);
+        for _ in 0..3 {
+            let v = Var((rng.next() % 6) as u32);
+            cnf.add_clause(vec![Lit::new(v, rng.next().is_multiple_of(2))]);
+        }
+        let brute = !brute_force_models(&cnf).is_empty();
+        assert_eq!(
+            Solver::from_cnf(&cnf).solve().is_sat(),
+            brute,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn model_counts_match_brute_force_with_both_encodings() {
+    for n in 2..=6u32 {
+        for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+            let mut cnf = Cnf::new();
+            let vars: Vec<Var> = (0..n).map(|_| cnf.fresh_var()).collect();
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            cnf.add_exactly_one(&lits, enc);
+            assert_eq!(
+                count_models(&cnf, &vars, 1000),
+                n as usize,
+                "n={n} enc={enc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dimacs_preserves_verdicts() {
+    for seed in 1..=20u64 {
+        let cnf = random_cnf(9, 30, 3, seed * 65537);
+        let text = cnf.to_dimacs();
+        let back = Cnf::from_dimacs(&text).unwrap();
+        assert_eq!(
+            Solver::from_cnf(&cnf).solve().is_sat(),
+            Solver::from_cnf(&back).solve().is_sat(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn incremental_solving_is_monotone() {
+    // Adding clauses can only shrink the model set.
+    let cnf = random_cnf(8, 16, 3, 12345);
+    let vars: Vec<Var> = (0..8).map(Var).collect();
+    let before = count_models(&cnf, &vars, 10_000);
+    let mut harder = cnf.clone();
+    harder.add_clause(vec![vars[0].positive(), vars[1].negative()]);
+    let after = count_models(&harder, &vars, 10_000);
+    assert!(after <= before);
+}
+
+#[test]
+fn solver_survives_many_restarts() {
+    // A hard-ish unsat instance to push conflicts/restarts/reduce_db.
+    let cnf = engage_bench_pigeonhole(7);
+    let mut s = Solver::from_cnf(&cnf);
+    assert_eq!(s.solve(), SatResult::Unsat);
+    assert!(s.stats().conflicts > 100);
+}
+
+/// Local pigeonhole builder (kept here to avoid a dev-dependency cycle
+/// with engage-bench).
+fn engage_bench_pigeonhole(holes: u32) -> Cnf {
+    let pigeons = holes + 1;
+    let mut cnf = Cnf::new();
+    let var = |p: u32, h: u32| Var(p * holes + h);
+    cnf.ensure_vars(pigeons * holes);
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| var(p, h).positive()).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                cnf.add_clause(vec![var(p1, h).negative(), var(p2, h).negative()]);
+            }
+        }
+    }
+    cnf
+}
