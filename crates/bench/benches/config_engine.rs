@@ -1,8 +1,8 @@
-//! Criterion benchmark: configuration-engine latency (GraphGen +
+//! Benchmark: configuration-engine latency (GraphGen +
 //! constraint generation + SAT + port propagation) on the paper's three
 //! case-study stacks and on synthetic libraries of growing depth/width.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use engage_bench::{synthetic_partial, synthetic_universe};
 use engage_config::ConfigEngine;
 

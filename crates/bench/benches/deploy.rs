@@ -1,9 +1,9 @@
-//! Criterion benchmark: deployment-engine throughput (host wall-clock of
+//! Benchmark: deployment-engine throughput (host wall-clock of
 //! driving drivers against the simulated data center — the simulated
 //! *install* durations are reported by `exp_jasper_timing`, not here) and
 //! the §5.2 worst-case upgrade ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use engage_util::bench::{criterion_group, criterion_main, Criterion};
 use engage::Engage;
 use engage_model::{PartialInstallSpec, PartialInstance};
 

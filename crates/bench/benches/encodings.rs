@@ -1,8 +1,8 @@
-//! Criterion benchmark: exactly-one encoding ablation (pairwise O(n²)
+//! Benchmark: exactly-one encoding ablation (pairwise O(n²)
 //! clauses vs Sinz sequential O(n) with auxiliary variables) — the design
 //! choice DESIGN.md calls out for the §4 constraint generation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use engage_sat::{Cnf, ExactlyOneEncoding, Lit, Solver};
 
 fn build(width: usize, enc: ExactlyOneEncoding) -> Cnf {

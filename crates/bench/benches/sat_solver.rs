@@ -1,7 +1,7 @@
-//! Criterion benchmark: the CDCL solver vs the DPLL baseline
+//! Benchmark: the CDCL solver vs the DPLL baseline
 //! (the solver-ablation the paper delegates to MiniSat).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use engage_bench::{pigeonhole, random_3cnf};
 use engage_sat::{dpll_solve, Solver};
 

@@ -1,7 +1,7 @@
 //! # engage-bench
 //!
 //! Experiment harness for the Engage reproduction: one binary per paper
-//! table/figure (`src/bin/exp_*.rs`) and Criterion benchmarks
+//! table/figure (`src/bin/exp_*.rs`) and wall-clock benchmarks
 //! (`benches/`). This library holds the shared synthetic-workload
 //! generators used by the scaling benchmarks.
 
@@ -9,8 +9,7 @@
 #![forbid(unsafe_code)]
 
 use engage_model::{PartialInstallSpec, PartialInstance, Universe};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use engage_util::rand::{Rng, SeedableRng, StdRng};
 
 /// Builds a synthetic layered resource library:
 ///

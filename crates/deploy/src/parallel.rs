@@ -14,12 +14,11 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel;
 use engage_model::{
     topological_order, BasicState, DriverState, Guard, InstallSpec, InstanceId, StatePred,
 };
 use engage_sim::Monitor;
-use parking_lot::{Condvar, Mutex};
+use engage_util::sync::{channel, Condvar, Mutex};
 
 use crate::action::{service_name, ActionCtx};
 use crate::engine::{Deployment, DeploymentEngine, TimelineEntry};

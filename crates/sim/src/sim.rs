@@ -10,7 +10,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use engage_util::sync::Mutex;
 
 use crate::host::{Host, Snapshot};
 use crate::os::{HostId, HostInfo, Os};

@@ -1,0 +1,273 @@
+//! A small wall-clock benchmark harness (the `criterion` API subset the
+//! `crates/bench` benches use).
+//!
+//! Each benchmark is warmed up, then timed in batches sized so a single
+//! sample takes a few milliseconds; the report line gives the min,
+//! median, and p95 per-iteration time over the collected samples:
+//!
+//! ```text
+//! bench sat/pigeonhole/cdcl/5    min 184.2µs  median 189.0µs  p95 204.7µs  (15 samples)
+//! ```
+//!
+//! Supported surface: [`Criterion`] with `benchmark_group` /
+//! `bench_function`, [`BenchmarkGroup`] with `sample_size`,
+//! `bench_function`, `bench_with_input`, `finish`, [`BenchmarkId`]
+//! (`new`, `from_parameter`), [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. When the binary is
+//! invoked with `--test` (as `cargo test --benches` does) every
+//! benchmark body runs exactly once so the suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+
+/// An opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How long to warm up each benchmark before sampling.
+const WARMUP: Duration = Duration::from_millis(50);
+/// Target wall-clock duration of one sample batch.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Hard cap on sampling time per benchmark, so slow benchmarks finish.
+const BENCH_CAP: Duration = Duration::from_secs(3);
+
+/// The harness entry point; one per benchmark binary.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    /// Run every body exactly once (test mode) instead of measuring.
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            quick: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.default_sample_size;
+        let quick = self.quick;
+        run_benchmark(&id.into(), sample_size, quick, f);
+    }
+
+    /// Prints the closing line; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if !self.quick {
+            println!("bench: done");
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark under `group_name/id`.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(&full, samples, self.criterion.quick, f);
+    }
+
+    /// Runs one parameterized benchmark under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id.id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for criterion compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code
+/// under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    /// Mean per-iteration duration of each collected sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration timings for the report.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+        // Warmup, counting iterations to size the sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let batch = if per_iter.is_zero() {
+            1024
+        } else {
+            (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u32
+        };
+        let cap_start = Instant::now();
+        while self.samples.len() < self.sample_size && cap_start.elapsed() < BENCH_CAP {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch);
+        }
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, quick: bool, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        quick,
+        sample_size: sample_size.max(2),
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if quick {
+        println!("bench {id}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("bench {id}: no samples recorded (body never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let min = samples[0];
+    let median = samples[n / 2];
+    let p95 = samples[(n * 95 / 100).min(n - 1)];
+    println!(
+        "bench {id:<55} min {:>10}  median {:>10}  p95 {:>10}  ({n} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(p95),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style:
+/// `criterion_group!(benches, fn_a, fn_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group:
+/// `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_median_and_p95_for_a_cheap_body() {
+        let mut c = Criterion {
+            default_sample_size: 5,
+            quick: false,
+        };
+        // Smoke: must complete quickly and record samples internally.
+        c.bench_function("selftest/noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion {
+            default_sample_size: 5,
+            quick: true,
+        };
+        let mut runs = 0;
+        c.bench_function("selftest/once", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1);
+    }
+}

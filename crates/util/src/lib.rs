@@ -1,0 +1,43 @@
+//! # engage-util
+//!
+//! Pure-`std` substitutes for the external crates the workspace used to
+//! pull from crates.io. The build environment for this reproduction is
+//! hermetic — no registry access — so everything the workspace needs
+//! beyond `std` lives here. Each module replaces one dependency and
+//! implements exactly the API subset the workspace uses (not the full
+//! upstream surface):
+//!
+//! * [`rand`] replaces the `rand` crate: a [`rand::SplitMix64`] seeder,
+//!   a [`rand::Xoshiro256PlusPlus`] generator (re-exported as
+//!   [`rand::StdRng`]), and a [`rand::Rng`] trait offering `gen_range`
+//!   over integer ranges, `gen_bool`, and Fisher–Yates `shuffle`.
+//! * [`sync`] replaces `parking_lot` and `crossbeam::channel`:
+//!   a poison-free [`sync::Mutex`] whose `lock()` returns the guard
+//!   directly, a [`sync::Condvar`] with `wait`/`wait_until` taking
+//!   `&mut MutexGuard`, and [`sync::channel`] — an unbounded MPMC
+//!   channel with `unbounded`, `Sender`/`Receiver` (both `Clone`),
+//!   `send`, `recv`, `try_recv`, `try_iter`, `iter`, and
+//!   disconnect-on-last-drop semantics.
+//! * [`prop`] replaces `proptest`: seeded case generation from a
+//!   recorded choice stream (Hypothesis-style), greedy stream-level
+//!   shrinking of failing cases, strategies for integer ranges, tuples,
+//!   collections (`vec`/`btree_map`/`btree_set`), a regex-subset string
+//!   strategy, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//!   / `prop_assume!` / `prop_oneof!` macros.
+//! * [`bench`] replaces `criterion`: a wall-clock harness with warmup
+//!   and batched sampling that reports min/median/p95 per benchmark,
+//!   plus `criterion_group!` / `criterion_main!` and the
+//!   `Criterion`/`BenchmarkGroup`/`BenchmarkId`/`Bencher` types the
+//!   `crates/bench` benches drive.
+//!
+//! Everything is deterministic where the replaced crate was not: the
+//! property runner seeds its PRNG from the test name (override with
+//! `PROPTEST_SEED`), so failures reproduce across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rand;
+pub mod sync;

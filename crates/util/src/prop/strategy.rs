@@ -1,0 +1,298 @@
+//! The [`Strategy`] trait and the core combinators: `prop_map`,
+//! `prop_recursive`, boxing, unions, integer ranges, tuples, and
+//! [`any`]/[`Arbitrary`].
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use super::Source;
+
+/// A recipe for generating values of one type from a choice stream.
+///
+/// Implementations must map a lexicographically smaller stream to a
+/// "simpler" value (see the module docs) — every combinator here
+/// preserves that property, which is what makes shrinking work.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Generates one value, drawing all randomness from `source`.
+    fn generate(&self, source: &mut Source<'_>) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, map }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for
+    /// the previous depth level and returns one producing composite
+    /// values; leaves come from `self`. `depth` bounds the nesting.
+    /// The `_desired_size` and `_expected_branch_size` parameters exist
+    /// for `proptest` signature compatibility and are not used.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            // Leaves stay reachable at every level, and the choice
+            // shrinks toward them (index 0 = base).
+            strat = Union::weighted(vec![(1, base.clone()), (2, deeper)]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy behind a cheaply-cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, reference-counted [`Strategy`].
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, source: &mut Source<'_>) -> T {
+        self.0.generate(source)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy { .. }")
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, source: &mut Source<'_>) -> U {
+        (self.map)(self.source.generate(source))
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _source: &mut Source<'_>) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between strategies of one value type; what
+/// `prop_oneof!` builds. Shrinks toward the first alternative.
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Equal-weight choice between `options`. Panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs an alternative");
+        Union {
+            options: options.into_iter().map(|s| (1, s)).collect(),
+        }
+    }
+
+    /// Weighted choice; weights must not all be zero.
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            options.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+            "Union needs positive total weight"
+        );
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, source: &mut Source<'_>) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = source.draw(total - 1);
+        for (weight, strategy) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(source);
+            }
+            pick -= weight;
+        }
+        unreachable!("draw below total weight")
+    }
+}
+
+impl<T> fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Union {{ {} options }}", self.options.len())
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut Source<'_>) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}", self.start, self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = source.draw(span - 1);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut Source<'_>) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                let off = source.draw(span);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for a whole type: `any::<i64>()`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Types with a canonical full-domain strategy (the `proptest`
+/// `Arbitrary` subset).
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for `any::<bool>()`; shrinks toward `false`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, source: &mut Source<'_>) -> bool {
+        source.draw(1) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Strategy for full-domain unsigned integers; shrinks toward 0.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyUint<T>(std::marker::PhantomData<fn() -> T>);
+
+/// Strategy for full-domain signed integers. Choices are zigzag-decoded
+/// (0, −1, 1, −2, 2, …), so shrinking moves toward 0 rather than the
+/// minimum of the type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T>(std::marker::PhantomData<fn() -> T>);
+
+macro_rules! any_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for AnyUint<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut Source<'_>) -> $t {
+                source.draw(<$t>::MAX as u64) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyUint<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyUint(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+macro_rules! any_int {
+    ($($t:ty as $u:ty),* $(,)?) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut Source<'_>) -> $t {
+                let raw = source.draw(<$u>::MAX as u64) as $u;
+                let magnitude = (raw >> 1) as $t;
+                if raw & 1 == 1 { -magnitude - 1 } else { magnitude }
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+any_uint!(u8, u16, u32, u64, usize);
+any_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident $field:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, source: &mut Source<'_>) -> Self::Value {
+                ($(self.$field.generate(source),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}

@@ -1,0 +1,246 @@
+//! String strategies from a regex subset: `&str` patterns act as
+//! strategies generating matching strings, as in `proptest`.
+//!
+//! Supported syntax — the subset the workspace's tests use:
+//!
+//! * character classes `[a-z09_-]` (ranges, literals, trailing/leading
+//!   literal `-`);
+//! * escapes: `\PC` (any printable, the proptest "not control"
+//!   class), `\d`, `\w`, `\s`, and escaped metacharacters;
+//! * `.` (any printable);
+//! * literal characters;
+//! * quantifiers `{n}`, `{m,n}`, `*` (0–8), `+` (1–8), `?` after any
+//!   of the above.
+//!
+//! Generated strings shrink toward the minimum repetition counts and
+//! the first character of each class.
+
+use super::{Source, Strategy};
+
+#[derive(Debug, Clone)]
+struct Piece {
+    /// Inclusive character ranges to pick from.
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+/// Printable characters for `\PC` / `.`: ASCII printable plus a slice
+/// of Latin-1 and CJK so multibyte UTF-8 gets exercised too.
+const PRINTABLE: &[(char, char)] = &[(' ', '~'), ('¡', 'ÿ'), ('一', '十')];
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                match esc {
+                    'P' | 'p' => {
+                        // Only the proptest-style `\PC` (not control) is
+                        // supported; consume the class letter.
+                        let class = chars.next();
+                        assert!(
+                            class == Some('C'),
+                            "unsupported unicode class \\{esc}{} in pattern {pattern:?}",
+                            class.map(String::from).unwrap_or_default()
+                        );
+                        PRINTABLE.to_vec()
+                    }
+                    'd' => vec![('0', '9')],
+                    'w' => vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                    's' => vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')],
+                    other => vec![(other, other)],
+                }
+            }
+            '.' => PRINTABLE.to_vec(),
+            other => vec![(other, other)],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        pieces.push(Piece { ranges, min, max });
+    }
+    pieces
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                ranges.push((esc, esc));
+            }
+            lo => {
+                // `lo-hi` is a range unless the `-` is last in the class.
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    match ahead.peek() {
+                        Some(&']') | None => ranges.push((lo, lo)),
+                        Some(&hi) => {
+                            chars.next();
+                            chars.next();
+                            assert!(
+                                lo <= hi,
+                                "inverted class range {lo}-{hi} in pattern {pattern:?}"
+                            );
+                            ranges.push((lo, hi));
+                        }
+                    }
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    ranges
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let parse = |s: &str| {
+                        s.parse::<u32>()
+                            .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"))
+                    };
+                    return match spec.split_once(',') {
+                        Some((m, n)) => (parse(m), parse(n)),
+                        None => {
+                            let n = parse(&spec);
+                            (n, n)
+                        }
+                    };
+                }
+                spec.push(c);
+            }
+            panic!("unterminated quantifier in pattern {pattern:?}");
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_piece(piece: &Piece, source: &mut Source<'_>, out: &mut String) {
+    let count = piece.min + source.draw(u64::from(piece.max - piece.min)) as u32;
+    let total: u64 = piece
+        .ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
+    for _ in 0..count {
+        let mut idx = source.draw(total - 1);
+        for &(lo, hi) in &piece.ranges {
+            let span = hi as u64 - lo as u64 + 1;
+            if idx < span {
+                out.push(char::from_u32(lo as u32 + idx as u32).expect("valid scalar"));
+                break;
+            }
+            idx -= span;
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, source: &mut Source<'_>) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            generate_piece(piece, source, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand::{SeedableRng, StdRng};
+
+    fn sample(pattern: &'static str, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = Source::random(&mut rng);
+        pattern.generate(&mut src)
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_bounds() {
+        for seed in 0..200 {
+            let s = sample("[a-zA-Z0-9 _./:-]{0,20}", seed);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
+                || " _./:-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn identifier_pattern_shape() {
+        for seed in 0..200 {
+            let s = sample("[a-z_][a-z0-9_]{0,8}", seed);
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_');
+        }
+    }
+
+    #[test]
+    fn printable_class_and_space_tilde_range() {
+        for seed in 0..50 {
+            let s = sample("\\PC{0,200}", seed);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            let t = sample("[ -~]{0,40}", seed);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_and_bounded_quantifiers() {
+        assert_eq!(sample("[a]{3}", 1), "aaa");
+        for seed in 0..50 {
+            let s = sample("[a-f]", seed);
+            assert_eq!(s.chars().count(), 1);
+            assert!(('a'..='f').contains(&s.chars().next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn minimal_stream_gives_minimal_string() {
+        // An all-zero replay must produce min-length, first-char output.
+        let src_choices: Vec<u64> = Vec::new();
+        let mut src = Source::replay(&src_choices);
+        assert_eq!("[a-z_][a-z0-9_]{0,8}".generate(&mut src), "a");
+    }
+}

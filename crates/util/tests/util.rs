@@ -1,0 +1,215 @@
+//! Integration tests for the engage-util shims: PRNG reproducibility,
+//! MPMC channel semantics under contention, and property-harness
+//! shrinking on known-failing properties.
+
+use std::collections::BTreeSet;
+use std::thread;
+use std::time::Duration;
+
+use engage_util::prop::{self, check_property, ProptestConfig, Strategy, TestCaseError};
+use engage_util::rand::{Rng, SeedableRng, StdRng};
+use engage_util::sync::channel::{self, TryRecvError};
+
+// ---------------------------------------------------------------- PRNG
+
+#[test]
+fn prng_same_seed_same_stream_across_surfaces() {
+    let mut a = StdRng::seed_from_u64(0xDEAD_BEEF);
+    let mut b = StdRng::seed_from_u64(0xDEAD_BEEF);
+    for _ in 0..500 {
+        assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        assert_eq!(a.gen_bool(0.3), b.gen_bool(0.3));
+    }
+    let mut va: Vec<u32> = (0..100).collect();
+    let mut vb = va.clone();
+    a.shuffle(&mut va);
+    b.shuffle(&mut vb);
+    assert_eq!(va, vb);
+}
+
+#[test]
+fn prng_distribution_sanity_chi_squared() {
+    // 16 buckets, 32k draws: expectation 2048 per bucket. The chi²
+    // statistic for 15 degrees of freedom should be far below 100
+    // for anything resembling uniform output.
+    let mut rng = StdRng::seed_from_u64(12345);
+    let mut buckets = [0u64; 16];
+    let draws = 32_768u64;
+    for _ in 0..draws {
+        buckets[rng.gen_range(0..16usize)] += 1;
+    }
+    let expected = draws as f64 / 16.0;
+    let chi2: f64 = buckets
+        .iter()
+        .map(|&n| {
+            let d = n as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    assert!(chi2 < 100.0, "chi² {chi2}, buckets {buckets:?}");
+}
+
+// --------------------------------------------------------------- MPMC
+
+#[test]
+fn mpmc_eight_threads_deliver_every_message_exactly_once() {
+    let (tx, rx) = channel::unbounded::<u64>();
+    const PRODUCERS: u64 = 4;
+    const CONSUMERS: usize = 4;
+    const PER_PRODUCER: u64 = 2_000;
+
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let tx = tx.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..PER_PRODUCER {
+                tx.send(p * PER_PRODUCER + i).unwrap();
+            }
+        }));
+    }
+    drop(tx);
+
+    let mut consumers = Vec::new();
+    for _ in 0..CONSUMERS {
+        let rx = rx.clone();
+        consumers.push(thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        }));
+    }
+    drop(rx);
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut all = BTreeSet::new();
+    let mut total = 0usize;
+    for c in consumers {
+        let got = c.join().unwrap();
+        total += got.len();
+        all.extend(got);
+    }
+    assert_eq!(total, (PRODUCERS * PER_PRODUCER) as usize, "no duplicates");
+    assert_eq!(all.len(), total, "no duplicates across consumers");
+    assert_eq!(*all.iter().next().unwrap(), 0);
+    assert_eq!(*all.iter().last().unwrap(), PRODUCERS * PER_PRODUCER - 1);
+}
+
+#[test]
+fn mpmc_drop_semantics() {
+    // Dropping every sender disconnects receivers after the queue drains.
+    let (tx, rx) = channel::unbounded::<u8>();
+    tx.send(1).unwrap();
+    tx.send(2).unwrap();
+    drop(tx);
+    assert_eq!(rx.try_recv(), Ok(1));
+    assert_eq!(rx.recv(), Ok(2));
+    assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    assert!(rx.recv().is_err());
+
+    // Dropping every receiver makes sends fail and return the value.
+    let (tx, rx) = channel::unbounded::<u8>();
+    drop(rx);
+    assert_eq!(tx.send(7).unwrap_err().0, 7);
+
+    // A blocked receiver wakes up when the last sender disappears.
+    let (tx, rx) = channel::unbounded::<u8>();
+    let waiter = thread::spawn(move || rx.recv());
+    thread::sleep(Duration::from_millis(20));
+    drop(tx);
+    assert!(waiter.join().unwrap().is_err());
+}
+
+#[test]
+fn mpmc_try_iter_drains_without_blocking() {
+    let (tx, rx) = channel::unbounded::<u32>();
+    for i in 0..5 {
+        tx.send(i).unwrap();
+    }
+    let drained: Vec<u32> = rx.try_iter().collect();
+    assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    // Senders still alive: try_iter stops at Empty instead of blocking.
+    assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+}
+
+// ---------------------------------------------------------- shrinking
+
+#[test]
+fn shrinking_finds_the_boundary_integer() {
+    // Property "v < 10" over 0..1000 fails for v >= 10; the shrunk
+    // counterexample must be exactly the boundary.
+    let config = ProptestConfig::with_cases(256);
+    let strategy = (0u64..1000,);
+    let failure = check_property(&config, "boundary_integer", &strategy, |(v,)| {
+        if v < 10 {
+            Ok(())
+        } else {
+            Err(TestCaseError::fail(format!("{v} too big")))
+        }
+    })
+    .expect_err("property is false");
+    assert_eq!(failure.minimal.0, 10, "{failure:?}");
+}
+
+#[test]
+fn shrinking_minimizes_a_failing_vec() {
+    // "no element reaches 7" fails; minimal counterexample is the
+    // single-element vector [7].
+    let config = ProptestConfig::with_cases(512);
+    let strategy = (prop::collection::vec(0u32..100, 0..20),);
+    let failure = check_property(&config, "vec_minimization", &strategy, |(v,)| {
+        if v.iter().any(|&x| x >= 7) {
+            Err(TestCaseError::fail("contains a big element"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property is false");
+    assert_eq!(failure.minimal.0, vec![7], "{failure:?}");
+}
+
+#[test]
+fn shrinking_respects_prop_map_and_assume() {
+    // Rejected cases (assume) must not be treated as failures during
+    // shrinking; the minimal even failure above 100 is 102.
+    let config = ProptestConfig::with_cases(512);
+    let strategy = ((0u64..10_000).prop_map(|v| v * 2),);
+    let failure = check_property(&config, "even_boundary", &strategy, |(v,)| {
+        if v % 4 == 0 {
+            return Err(TestCaseError::reject("multiple of four"));
+        }
+        if v > 100 {
+            Err(TestCaseError::fail("too big"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property is false");
+    assert_eq!(failure.minimal.0, 102, "{failure:?}");
+}
+
+#[test]
+fn passing_property_runs_the_configured_cases() {
+    let config = ProptestConfig::with_cases(64);
+    let strategy = (0u32..100, engage_util::prop::any::<bool>());
+    let passed = check_property(&config, "always_true", &strategy, |(_, _)| Ok(()))
+        .expect("property holds");
+    assert_eq!(passed, 64);
+}
+
+#[test]
+fn panics_inside_properties_shrink_too() {
+    // A panicking body (not a prop_assert) still yields a shrunk case.
+    let config = ProptestConfig::with_cases(256);
+    let strategy = (0u64..1_000,);
+    let failure = check_property(&config, "panicking_body", &strategy, |(v,)| {
+        assert!(v < 50, "boom at {v}");
+        Ok(())
+    })
+    .expect_err("property is false");
+    assert_eq!(failure.minimal.0, 50);
+    assert!(failure.message.contains("boom"), "{}", failure.message);
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the Engage workspace.
+#
+# Everything runs with --offline: the workspace is hermetic by policy
+# (see the workspace Cargo.toml) and must build and test from a clean
+# checkout with an empty registry cache and no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+
+# Hermeticity guard: the lockfile may only contain our own path
+# packages. Any other name means a registry dependency crept back in.
+if foreign=$(grep '^name = ' Cargo.lock | grep -v '^name = "engage'); then
+    echo "error: non-workspace packages in Cargo.lock:" >&2
+    echo "$foreign" >&2
+    exit 1
+fi
+if grep -q '^source = ' Cargo.lock; then
+    echo "error: Cargo.lock references an external source (registry/git):" >&2
+    grep '^source = ' Cargo.lock >&2
+    exit 1
+fi
+
+echo "verify: OK (build + tests green, lockfile hermetic)"

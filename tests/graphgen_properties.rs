@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 
 use engage_config::{graph_gen, ConfigEngine};
 use engage_model::{DepKind, PartialInstallSpec, PartialInstance, Universe};
-use proptest::prelude::*;
+use engage_util::prop::prelude::*;
 
 /// A randomized layered universe:
 /// * `widths[i]` concrete alternatives per abstract layer `i`;
@@ -82,8 +82,8 @@ resource "PropOS 1.0" extends "Server" {}
 
 fn case_strategy() -> impl Strategy<Value = LayeredCase> {
     (
-        proptest::collection::vec(1usize..4, 1..4),
-        proptest::collection::vec((any::<bool>(), 0usize..4, 0usize..4), 0..3),
+        engage_util::prop::collection::vec(1usize..4, 1..4),
+        engage_util::prop::collection::vec((any::<bool>(), 0usize..4, 0usize..4), 0..3),
     )
         .prop_map(|(widths, mut extra)| {
             let depth = widths.len();

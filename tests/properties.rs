@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) on the core data structures and
+//! Property-based tests (engage-util prop harness) on the core data structures and
 //! invariants: version ordering, JSON/value round trips, lexer totality,
 //! exactly-one encodings, SAT-vs-brute-force, and topological ordering.
 
@@ -7,10 +7,10 @@ use engage_model::{
     topological_order, Bound, InstallSpec, ResourceInstance, Value, Version, VersionRange,
 };
 use engage_sat::{brute_force_models, Cnf, ExactlyOneEncoding, Lit, Solver, Var};
-use proptest::prelude::*;
+use engage_util::prop::prelude::*;
 
 fn version_strategy() -> impl Strategy<Value = Version> {
-    proptest::collection::vec(0u64..1000, 1..5).prop_map(Version::new)
+    engage_util::prop::collection::vec(0u64..1000, 1..5).prop_map(Version::new)
 }
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -23,7 +23,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         prop_oneof![
             // Lists are homogeneous in the model; replicate one element.
             (inner.clone(), 0usize..4).prop_map(|(v, n)| Value::List(vec![v; n])),
-            proptest::collection::btree_map("[a-z_][a-z0-9_]{0,8}", inner, 0..4)
+            engage_util::prop::collection::btree_map("[a-z_][a-z0-9_]{0,8}", inner, 0..4)
                 .prop_map(Value::Struct),
         ]
     })
@@ -111,8 +111,8 @@ proptest! {
 
     #[test]
     fn cdcl_agrees_with_brute_force(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((0u32..7, any::<bool>()), 1..4),
+        clauses in engage_util::prop::collection::vec(
+            engage_util::prop::collection::vec((0u32..7, any::<bool>()), 1..4),
             0..25
         )
     ) {
@@ -132,8 +132,8 @@ proptest! {
     #[test]
     fn topological_order_respects_every_link(
         // Random DAG: node i may link to nodes < i.
-        edges in proptest::collection::vec(
-            proptest::collection::vec(any::<bool>(), 0..8),
+        edges in engage_util::prop::collection::vec(
+            engage_util::prop::collection::vec(any::<bool>(), 0..8),
             1..9
         )
     ) {
@@ -198,9 +198,9 @@ proptest! {
 proptest! {
     #[test]
     fn upgrade_plan_is_involution_free(
-        old_ids in proptest::collection::btree_set("[a-f]", 0..6),
-        new_ids in proptest::collection::btree_set("[a-f]", 0..6),
-        bumped in proptest::collection::btree_set("[a-f]", 0..6)
+        old_ids in engage_util::prop::collection::btree_set("[a-f]", 0..6),
+        new_ids in engage_util::prop::collection::btree_set("[a-f]", 0..6),
+        bumped in engage_util::prop::collection::btree_set("[a-f]", 0..6)
     ) {
         use engage_deploy::{plan_upgrade, UpgradePlanEntry};
         let build = |ids: &std::collections::BTreeSet<String>, bump: bool| {
@@ -244,8 +244,8 @@ proptest! {
 
     #[test]
     fn dimacs_roundtrip_preserves_formulas(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((0u32..9, any::<bool>()), 1..5),
+        clauses in engage_util::prop::collection::vec(
+            engage_util::prop::collection::vec((0u32..9, any::<bool>()), 1..5),
             0..20
         )
     ) {
@@ -260,8 +260,8 @@ proptest! {
 
     #[test]
     fn assumptions_agree_with_added_units(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((0u32..6, any::<bool>()), 1..4),
+        clauses in engage_util::prop::collection::vec(
+            engage_util::prop::collection::vec((0u32..6, any::<bool>()), 1..4),
             0..16
         ),
         assumption in (0u32..6, any::<bool>())
