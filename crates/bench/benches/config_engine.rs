@@ -2,9 +2,9 @@
 //! constraint generation + SAT + port propagation) on the paper's three
 //! case-study stacks and on synthetic libraries of growing depth/width.
 
-use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use engage_bench::{synthetic_partial, synthetic_universe};
 use engage_config::ConfigEngine;
+use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn paper_stacks(c: &mut Criterion) {
     let base = engage_library::base_universe();

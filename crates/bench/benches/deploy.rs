@@ -3,9 +3,9 @@
 //! *install* durations are reported by `exp_jasper_timing`, not here) and
 //! the §5.2 worst-case upgrade ablation.
 
-use engage_util::bench::{criterion_group, criterion_main, Criterion};
 use engage::Engage;
 use engage_model::{PartialInstallSpec, PartialInstance};
+use engage_util::bench::{criterion_group, criterion_main, Criterion};
 
 fn engage_sys() -> Engage {
     Engage::new(engage_library::full_universe())

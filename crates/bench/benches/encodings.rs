@@ -2,8 +2,8 @@
 //! clauses vs Sinz sequential O(n) with auxiliary variables) — the design
 //! choice DESIGN.md calls out for the §4 constraint generation.
 
-use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use engage_sat::{Cnf, ExactlyOneEncoding, Lit, Solver};
+use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn build(width: usize, enc: ExactlyOneEncoding) -> Cnf {
     let mut cnf = Cnf::new();

@@ -1,9 +1,9 @@
 //! Benchmark: the CDCL solver vs the DPLL baseline
 //! (the solver-ablation the paper delegates to MiniSat).
 
-use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use engage_bench::{pigeonhole, random_3cnf};
 use engage_sat::{dpll_solve, Solver};
+use engage_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn random_sat(c: &mut Criterion) {
     // Under the phase-transition ratio (~4.26) so most instances are SAT.

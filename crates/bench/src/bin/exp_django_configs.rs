@@ -8,16 +8,19 @@
 //! engine; the experiment also shows SAT-based model counting for the
 //! choices the engine resolves itself.
 //!
-//! Run with: `cargo run -p engage-bench --bin exp_django_configs [--deploy]`
+//! Run with:
+//! `cargo run -p engage-bench --bin exp_django_configs [--deploy] [--metrics [FILE]] [--trace FILE]`
 
 use engage::Engage;
+use engage_bench::Reporter;
 use engage_config::ConfigEngine;
 use engage_library::DjangoConfig;
 
 fn main() {
+    let reporter = Reporter::from_args("django_configs");
     let deploy_too = std::env::args().any(|a| a == "--deploy");
     let universe = engage_library::django_universe();
-    let engine = ConfigEngine::new(&universe);
+    let engine = ConfigEngine::new(&universe).with_obs(reporter.obs());
 
     println!("== Enumerating the §6.2 configuration space ==");
     let configs = DjangoConfig::all();
@@ -46,7 +49,8 @@ fn main() {
         println!("== Deploying all 256 (slower) ==");
         let engage = Engage::new(universe.clone())
             .with_packages(engage_library::package_universe())
-            .with_registry(engage_library::driver_registry());
+            .with_registry(engage_library::driver_registry())
+            .with_obs(reporter.obs());
         let mut deployed = 0;
         for config in &configs {
             let partial = config.partial_spec("Areneae 1.0");
@@ -76,4 +80,5 @@ fn main() {
     println!(
         "(minimal-deployment choices resolved by SAT: web server x database x python = 2*4*2 = 16)"
     );
+    reporter.finish();
 }

@@ -7,16 +7,19 @@
 //! The simulated package sizes and bandwidth model regenerate the shape:
 //! downloads dominate the internet case and vanish with the cache.
 //!
-//! Run with: `cargo run -p engage-bench --bin exp_jasper_timing`
+//! Run with: `cargo run -p engage-bench --bin exp_jasper_timing [--metrics [FILE]] [--trace FILE]`
 
 use engage::Engage;
+use engage_bench::Reporter;
 use engage_sim::DownloadSource;
+use engage_util::obs::Obs;
 
-fn run(source: DownloadSource) -> (f64, f64) {
+fn run(source: DownloadSource, obs: Obs) -> (f64, f64) {
     let engage = Engage::new(engage_library::base_universe())
         .with_packages(engage_library::package_universe())
         .with_download_source(source)
-        .with_registry(engage_library::driver_registry());
+        .with_registry(engage_library::driver_registry())
+        .with_obs(obs);
     let t0 = engage.sim().now();
     let (_, deployment) = engage
         .deploy(&engage_library::jasper_partial())
@@ -28,17 +31,18 @@ fn run(source: DownloadSource) -> (f64, f64) {
 }
 
 fn main() {
+    let reporter = Reporter::from_args("jasper_timing");
     println!("== §6.1: automated JasperReports install ==");
     println!(
         "{:<14} {:>12} {:>12} {:>14}",
         "source", "ours (min)", "paper (min)", "parallel est."
     );
-    let (net, net_par) = run(DownloadSource::typical_internet());
+    let (net, net_par) = run(DownloadSource::typical_internet(), reporter.obs());
     println!(
         "{:<14} {:>12.1} {:>12} {:>11.1} min",
         "internet", net, 17, net_par
     );
-    let (cache, cache_par) = run(DownloadSource::local_cache());
+    let (cache, cache_par) = run(DownloadSource::local_cache(), reporter.obs());
     println!(
         "{:<14} {:>12.1} {:>12} {:>11.1} min",
         "local cache", cache, 5, cache_par
@@ -62,4 +66,5 @@ fn main() {
     println!("  Engage support: 3 h 56 m total (47 m types, 81 m driver, 108 m debug/test)");
     println!("  JDBC connector resource: 40 lines of types, 0 lines of driver code");
     println!("  Jasper resource: 69 lines of types + 201 lines of driver code");
+    reporter.finish();
 }

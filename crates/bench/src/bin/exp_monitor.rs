@@ -6,14 +6,17 @@
 //! stack, kills each of its services in turn, and shows every one coming
 //! back on the next monitoring cycle.
 //!
-//! Run with: `cargo run -p engage-bench --bin exp_monitor`
+//! Run with: `cargo run -p engage-bench --bin exp_monitor [--metrics [FILE]] [--trace FILE]`
 
 use engage::Engage;
+use engage_bench::Reporter;
 
 fn main() {
+    let reporter = Reporter::from_args("monitor");
     let engage = Engage::new(engage_library::django_universe())
         .with_packages(engage_library::package_universe())
-        .with_registry(engage_library::driver_registry());
+        .with_registry(engage_library::driver_registry())
+        .with_obs(reporter.obs());
     let (_, mut dep) = engage
         .deploy(&engage_library::webapp_production_partial())
         .expect("deploys");
@@ -54,4 +57,5 @@ fn main() {
         .sim()
         .count_events(|e| matches!(e, engage_sim::Event::ServiceCrashed { .. }));
     println!("event log: {crash_events} ServiceCrashed events recorded");
+    reporter.finish();
 }

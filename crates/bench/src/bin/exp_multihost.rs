@@ -11,21 +11,25 @@
 //! setting, the database will run on a separate machine") sequentially and
 //! with true parallel slaves, and reports per-node specs and makespans.
 //!
-//! Run with: `cargo run -p engage-bench --bin exp_multihost`
+//! Run with: `cargo run -p engage-bench --bin exp_multihost [--metrics [FILE]] [--trace FILE]`
 
 use engage::Engage;
+use engage_bench::Reporter;
+use engage_util::obs::Obs;
 
-fn engage_sys() -> Engage {
+fn engage_sys(obs: Obs) -> Engage {
     Engage::new(engage_library::base_universe())
         .with_packages(engage_library::package_universe())
         .with_registry(engage_library::driver_registry())
+        .with_obs(obs)
 }
 
 fn main() {
+    let reporter = Reporter::from_args("multihost");
     let partial = engage_library::openmrs_production_partial();
 
     println!("== Sequential master-only deployment ==");
-    let e = engage_sys();
+    let e = engage_sys(reporter.obs());
     let (outcome, dep) = e.deploy(&partial).expect("deploys");
     println!(
         "{} resource instances across {} machines",
@@ -46,7 +50,7 @@ fn main() {
     println!();
 
     println!("== Parallel slave deployment (one thread per machine) ==");
-    let e = engage_sys();
+    let e = engage_sys(reporter.obs());
     let (_, parallel) = e.deploy_parallel(&partial).expect("deploys");
     println!(
         "{} slaves; all drivers active: {}",
@@ -75,4 +79,5 @@ fn main() {
          ours: reproduced with {} concurrent slaves synchronizing on guard state.",
         parallel.slaves
     );
+    reporter.finish();
 }

@@ -5,14 +5,16 @@
 //! scales as the dependency structure grows: layered libraries of depth
 //! `d` with `w` alternatives per layer yield `w^d` candidate deployments.
 //!
-//! Run with: `cargo run -p engage-bench --release --bin exp_scaling`
+//! Run with:
+//! `cargo run -p engage-bench --release --bin exp_scaling [--metrics [FILE]] [--trace FILE]`
 
 use std::time::Instant;
 
-use engage_bench::{synthetic_partial, synthetic_universe};
+use engage_bench::{synthetic_partial, synthetic_universe, Reporter};
 use engage_config::ConfigEngine;
 
 fn main() {
+    let reporter = Reporter::from_args("scaling");
     println!("== Configuration-engine scaling on synthetic layered libraries ==");
     println!(
         "{:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>12} {:>12}",
@@ -59,7 +61,9 @@ fn main() {
     );
     for (depth, width) in [(3usize, 2usize), (6, 2), (3, 4), (10, 3)] {
         let u = synthetic_universe(depth, width);
-        let engine = ConfigEngine::new(&u).without_verification();
+        let engine = ConfigEngine::new(&u)
+            .without_verification()
+            .with_obs(reporter.obs());
         let outcome = engine.configure(&synthetic_partial()).expect("configures");
         let deployments = (width as u64).pow(depth as u32);
         println!(
@@ -74,4 +78,5 @@ fn main() {
          Horn — one exactly-one group per dependency), matching the paper's decision\n\
          to simply call a stock SAT solver."
     );
+    reporter.finish();
 }

@@ -10,8 +10,9 @@
 //!
 //! plus the Figure 5 hypergraph and the §4 constraints for OpenMRS.
 //!
-//! Run with: `cargo run -p engage-bench --bin exp_specs`
+//! Run with: `cargo run -p engage-bench --bin exp_specs [--metrics [FILE]] [--trace FILE]`
 
+use engage_bench::Reporter;
 use engage_config::{generate, graph_gen, ConfigEngine};
 use engage_model::{PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
@@ -26,6 +27,7 @@ struct Case {
 }
 
 fn main() {
+    let reporter = Reporter::from_args("specs");
     let cases = [
         Case {
             name: "OpenMRS (Fig. 2)",
@@ -63,6 +65,7 @@ fn main() {
             .lines()
             .count();
         let outcome = ConfigEngine::new(&case.universe)
+            .with_obs(reporter.obs())
             .configure(&case.partial)
             .expect("configures");
         let full_lines = engage_dsl::render_install_spec(&outcome.spec)
@@ -106,4 +109,5 @@ fn main() {
         constraints.cnf().num_clauses(),
     );
     println!("\nCNF: {vars} variables, {clauses} clauses");
+    reporter.finish();
 }

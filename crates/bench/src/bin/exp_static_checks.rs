@@ -7,8 +7,9 @@
 //! A catalogue of broken inputs, each caught statically with a specific
 //! error — before anything is installed.
 //!
-//! Run with: `cargo run -p engage-bench --bin exp_static_checks`
+//! Run with: `cargo run -p engage-bench --bin exp_static_checks [--metrics [FILE]] [--trace FILE]`
 
+use engage_bench::Reporter;
 use engage_config::{diagnose, ConfigEngine};
 use engage_model::{PartialInstallSpec, PartialInstance};
 use engage_sat::ExactlyOneEncoding;
@@ -27,6 +28,7 @@ fn show(title: &str, result: Result<(), String>) {
 }
 
 fn main() {
+    let reporter = Reporter::from_args("static_checks");
     // 1. Cyclic dependencies between resource types.
     show("cyclic dependencies between components", {
         let src = r#"
@@ -116,6 +118,7 @@ fn main() {
         .into_iter()
         .collect();
         ConfigEngine::new(&u)
+            .with_obs(reporter.obs())
             .configure(&partial)
             .map(|_| ())
             .map_err(|e| e.to_string())
@@ -126,6 +129,7 @@ fn main() {
         let u = engage_library::base_universe();
         let partial: PartialInstallSpec = [PartialInstance::new("j", "Java")].into_iter().collect();
         ConfigEngine::new(&u)
+            .with_obs(reporter.obs())
             .configure(&partial)
             .map(|_| ())
             .map_err(|e| e.to_string())
@@ -138,6 +142,7 @@ fn main() {
             .into_iter()
             .collect();
         ConfigEngine::new(&u)
+            .with_obs(reporter.obs())
             .configure(&partial)
             .map(|_| ())
             .map_err(|e| e.to_string())
@@ -163,4 +168,5 @@ fn main() {
         "every problem above was reported before any installation action ran —\n\
          the paper's static-checking claim, reproduced."
     );
+    reporter.finish();
 }

@@ -5,15 +5,18 @@
 //! deployed in the default single-node configuration; the table reports
 //! the resource-instance count and the outcome.
 //!
-//! Run with: `cargo run -p engage-bench --bin exp_table1`
+//! Run with: `cargo run -p engage-bench --bin exp_table1 [--metrics [FILE]] [--trace FILE]`
 
 use engage::Engage;
+use engage_bench::Reporter;
 use engage_library::{django_app_partial, table1_apps};
 
 fn main() {
+    let reporter = Reporter::from_args("table1");
     let engage = Engage::new(engage_library::django_universe())
         .with_packages(engage_library::package_universe())
-        .with_registry(engage_library::driver_registry());
+        .with_registry(engage_library::driver_registry())
+        .with_obs(reporter.obs());
     engage.check().expect("library checks");
 
     println!("== Table 1: Django applications ==");
@@ -54,4 +57,5 @@ fn main() {
         "(drivers used: the generic package/service driver plus the shared Django\n\
          application binding — none of the eight apps registered custom actions)"
     );
+    reporter.finish();
 }

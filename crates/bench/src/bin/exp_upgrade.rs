@@ -8,9 +8,10 @@
 //! application version that causes the upgrade to fail, Engage
 //! automatically rolls back to the prior application version."
 //!
-//! Run with: `cargo run -p engage-bench --bin exp_upgrade`
+//! Run with: `cargo run -p engage-bench --bin exp_upgrade [--metrics [FILE]] [--trace FILE]`
 
 use engage::Engage;
+use engage_bench::Reporter;
 use engage_model::{PartialInstallSpec, PartialInstance};
 
 fn fa_partial(version: u32) -> PartialInstallSpec {
@@ -25,9 +26,11 @@ fn fa_partial(version: u32) -> PartialInstallSpec {
 }
 
 fn main() {
+    let reporter = Reporter::from_args("upgrade");
     let engage = Engage::new(engage_library::django_universe())
         .with_packages(engage_library::package_universe())
-        .with_registry(engage_library::driver_registry());
+        .with_registry(engage_library::driver_registry())
+        .with_obs(reporter.obs());
 
     println!("== Initial deployment: FA 1 ==");
     let t0 = engage.sim().now();
@@ -111,4 +114,5 @@ fn main() {
     assert_eq!(version, "FA 1");
     assert!(dep.is_deployed());
     println!("\npaper: automatic rollback to the prior version — reproduced: yes");
+    reporter.finish();
 }

@@ -11,6 +11,9 @@
 use engage_model::{PartialInstallSpec, PartialInstance, Universe};
 use engage_util::rand::{Rng, SeedableRng, StdRng};
 
+pub mod report;
+pub use report::Reporter;
+
 /// Builds a synthetic layered resource library:
 ///
 /// * an abstract `Server` with one concrete OS;

@@ -1,0 +1,172 @@
+//! Machine-readable experiment reports.
+//!
+//! Every `exp_*` binary builds a [`Reporter`] from its command line:
+//!
+//! * `--metrics [FILE]` — after the run, write a single-object JSON
+//!   report (`BENCH_<experiment>.json` by default) with the wall-clock
+//!   and every observability counter/gauge the run accumulated;
+//! * `--trace FILE` — stream the run's span tree and events as JSON
+//!   Lines while it executes.
+//!
+//! Both flags are optional; without them the reporter hands out a
+//! disabled [`Obs`] and [`Reporter::finish`] is a no-op, so the
+//! experiment binaries print their human-readable tables exactly as
+//! before.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use engage_util::obs::{json_string, JsonlSink, Obs};
+
+/// Collects observability output for one experiment binary and writes
+/// the `BENCH_*.json`-compatible report at the end of the run.
+#[derive(Debug)]
+pub struct Reporter {
+    experiment: String,
+    obs: Obs,
+    started: Instant,
+    metrics_out: Option<PathBuf>,
+}
+
+impl Reporter {
+    /// Builds a reporter for `experiment` from the process arguments.
+    pub fn from_args(experiment: &str) -> Self {
+        Self::from_arg_list(experiment, std::env::args().skip(1))
+    }
+
+    /// Builds a reporter from an explicit argument list (tests).
+    pub fn from_arg_list(experiment: &str, args: impl IntoIterator<Item = String>) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut metrics_out = None;
+        let mut trace = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--metrics" => {
+                    let explicit = args
+                        .get(i + 1)
+                        .filter(|a| !a.starts_with('-'))
+                        .map(PathBuf::from);
+                    i += if explicit.is_some() { 2 } else { 1 };
+                    metrics_out = Some(
+                        explicit
+                            .unwrap_or_else(|| PathBuf::from(format!("BENCH_{experiment}.json"))),
+                    );
+                }
+                "--trace" => {
+                    trace = args.get(i + 1).map(PathBuf::from);
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        let obs = if metrics_out.is_some() || trace.is_some() {
+            let obs = Obs::new();
+            if let Some(path) = &trace {
+                match JsonlSink::create(path) {
+                    Ok(sink) => obs.add_sink(Arc::new(sink)),
+                    Err(e) => eprintln!("warning: --trace {}: {e}", path.display()),
+                }
+            }
+            obs
+        } else {
+            Obs::disabled()
+        };
+        Reporter {
+            experiment: experiment.to_owned(),
+            obs,
+            started: Instant::now(),
+            metrics_out,
+        }
+    }
+
+    /// The handle to thread through the run (cheap clone; disabled when
+    /// neither `--metrics` nor `--trace` was given).
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    /// Flushes metrics to the trace sink and writes the JSON report if
+    /// `--metrics` was requested. Returns the report path, if written.
+    pub fn finish(self) -> Option<PathBuf> {
+        if !self.obs.is_enabled() {
+            return None;
+        }
+        self.obs.flush_metrics();
+        let report = self.render_report();
+        let path = self.metrics_out?;
+        match std::fs::write(&path, report) {
+            Ok(()) => {
+                println!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: --metrics {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    fn render_report(&self) -> String {
+        let snapshot = self.obs.metrics();
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"experiment\":{},",
+            json_string(&self.experiment)
+        ));
+        out.push_str(&format!(
+            "\"wall_ms\":{},",
+            self.started.elapsed().as_millis()
+        ));
+        out.push_str("\"counters\":{");
+        for (i, (k, v)) in snapshot.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_string(k)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in snapshot.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_string(k)));
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_flags_means_disabled() {
+        let r = Reporter::from_arg_list("x", ["--deploy".to_owned()]);
+        assert!(!r.obs().is_enabled());
+        assert_eq!(r.finish(), None);
+    }
+
+    #[test]
+    fn metrics_flag_defaults_path_and_takes_explicit() {
+        let r = Reporter::from_arg_list("x", ["--metrics".to_owned()]);
+        assert!(r.obs().is_enabled());
+        assert_eq!(
+            r.metrics_out.as_deref().unwrap().to_str(),
+            Some("BENCH_x.json")
+        );
+        let dir = std::env::temp_dir().join("engage-report-test.json");
+        let r = Reporter::from_arg_list(
+            "x",
+            ["--metrics".to_owned(), dir.to_str().unwrap().to_owned()],
+        );
+        r.obs().counter("k").add(2);
+        let path = r.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"experiment\":\"x\""), "{body}");
+        assert!(body.contains("\"k\":2"), "{body}");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -8,6 +8,7 @@ use engage_model::{
     check_install_spec, InstallSpec, InstanceId, ModelError, PartialInstallSpec, Universe,
 };
 use engage_sat::{ExactlyOneEncoding, SatResult, Solver, SolverStats};
+use engage_util::obs::Obs;
 
 use crate::constraints::{generate, Constraints};
 use crate::graph::{graph_gen, HyperGraph};
@@ -81,6 +82,7 @@ pub struct ConfigEngine<'a> {
     universe: &'a Universe,
     encoding: ExactlyOneEncoding,
     verify: bool,
+    obs: Obs,
 }
 
 impl<'a> ConfigEngine<'a> {
@@ -90,12 +92,20 @@ impl<'a> ConfigEngine<'a> {
             universe,
             encoding: ExactlyOneEncoding::Pairwise,
             verify: true,
+            obs: Obs::disabled(),
         }
     }
 
     /// Selects the exactly-one encoding (for the encoding ablation bench).
     pub fn with_encoding(mut self, encoding: ExactlyOneEncoding) -> Self {
         self.encoding = encoding;
+        self
+    }
+
+    /// Reports phase spans and solver counters into `obs`
+    /// (builder-style). Disabled by default.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -120,30 +130,55 @@ impl<'a> ConfigEngine<'a> {
     /// [`ConfigError::Model`] for ill-formed inputs,
     /// [`ConfigError::Unsatisfiable`] when no extension exists.
     pub fn configure(&self, partial: &PartialInstallSpec) -> Result<ConfigOutcome, ConfigError> {
-        let graph = graph_gen(self.universe, partial)?;
-        let constraints = generate(&graph, self.encoding);
-        let rendered = constraints.render(&graph);
+        let _configure = self.obs.span("config.configure");
+        let graph = {
+            let _s = self.obs.span("config.graphgen");
+            graph_gen(self.universe, partial)?
+        };
+        self.obs
+            .gauge("config.graph_nodes")
+            .set(graph.nodes().len() as i64);
+        let (constraints, rendered) = {
+            let _s = self.obs.span("config.constraint_gen");
+            let constraints = generate(&graph, self.encoding);
+            let rendered = constraints.render(&graph);
+            (constraints, rendered)
+        };
+        self.obs
+            .gauge("config.cnf_vars")
+            .set(constraints.cnf().num_vars() as i64);
+        self.obs
+            .gauge("config.cnf_clauses")
+            .set(constraints.cnf().num_clauses() as i64);
         let mut solver = Solver::from_cnf(constraints.cnf());
-        let model = match solver.solve() {
-            SatResult::Sat(m) => m,
-            SatResult::Unsat => {
-                return Err(ConfigError::Unsatisfiable {
-                    constraints: rendered,
-                })
+        solver.set_obs(&self.obs);
+        let model = {
+            let _s = self.obs.span("config.solve");
+            match solver.solve() {
+                SatResult::Sat(m) => m,
+                SatResult::Unsat => {
+                    return Err(ConfigError::Unsatisfiable {
+                        constraints: rendered,
+                    })
+                }
             }
         };
-        let chosen: BTreeSet<InstanceId> = constraints
-            .vars()
-            .filter(|(_, v)| model.value(*v))
-            .map(|(id, _)| id.clone())
-            .collect();
-        // A satisfying assignment may switch on instances nothing requires
-        // (a free variable outside every triggered exactly-one group);
-        // restrict to the instances transitively required by the spec.
-        // The pruned set still satisfies every constraint: spec units stay
-        // on, and a kept source's chosen satisfier is kept with it.
-        let chosen = required_closure(&graph, &chosen);
-        let spec = crate::propagate::build_full_spec(self.universe, &graph, &chosen)?;
+        let spec = {
+            let _s = self.obs.span("config.propagate");
+            let chosen: BTreeSet<InstanceId> = constraints
+                .vars()
+                .filter(|(_, v)| model.value(*v))
+                .map(|(id, _)| id.clone())
+                .collect();
+            // A satisfying assignment may switch on instances nothing
+            // requires (a free variable outside every triggered
+            // exactly-one group); restrict to the instances transitively
+            // required by the spec. The pruned set still satisfies every
+            // constraint: spec units stay on, and a kept source's chosen
+            // satisfier is kept with it.
+            let chosen = required_closure(&graph, &chosen);
+            crate::propagate::build_full_spec(self.universe, &graph, &chosen)?
+        };
         if self.verify {
             check_install_spec(self.universe, &spec)
                 .map_err(|mut errs| ConfigError::Model(errs.remove(0)))?;

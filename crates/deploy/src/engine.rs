@@ -9,6 +9,7 @@ use engage_model::{
     topological_order, BasicState, DriverState, Guard, InstallSpec, InstanceId, StatePred, Universe,
 };
 use engage_sim::{HostId, Monitor, Os, Sim};
+use engage_util::obs::Obs;
 
 use crate::action::{service_name, ActionCtx, DriverRegistry};
 use crate::error::DeployError;
@@ -221,6 +222,8 @@ pub struct DeploymentEngine<'a> {
     universe: &'a Universe,
     registry: DriverRegistry,
     mode: ProvisionMode,
+    obs: Obs,
+    guard_timeout: Duration,
 }
 
 impl<'a> DeploymentEngine<'a> {
@@ -231,6 +234,8 @@ impl<'a> DeploymentEngine<'a> {
             universe,
             registry: DriverRegistry::new(),
             mode: ProvisionMode::Local,
+            obs: Obs::disabled(),
+            guard_timeout: crate::parallel::GUARD_TIMEOUT,
         }
     }
 
@@ -244,6 +249,31 @@ impl<'a> DeploymentEngine<'a> {
     pub fn with_mode(mut self, mode: ProvisionMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Reports deployment spans/events into `obs` (builder-style). Also
+    /// attaches `obs` to the simulated data center, so injected failures
+    /// and monitor restarts surface as events.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.sim.set_obs(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// Overrides how long a parallel slave waits for a cross-host guard
+    /// before declaring the deployment stuck (builder-style; default
+    /// 30 s). Tests use short timeouts to exercise the wedged path.
+    pub fn with_guard_timeout(mut self, timeout: Duration) -> Self {
+        self.guard_timeout = timeout;
+        self
+    }
+
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    pub(crate) fn guard_timeout(&self) -> Duration {
+        self.guard_timeout
     }
 
     /// The simulated data center.
@@ -270,6 +300,9 @@ impl<'a> DeploymentEngine<'a> {
     /// partial deployment state is lost; use [`DeploymentEngine::upgrade`]
     /// (in `crate::upgrade`) for rollback-capable changes.
     pub fn deploy(&self, spec: &InstallSpec) -> Result<Deployment, DeployError> {
+        let _span = self
+            .obs
+            .span_with("deploy.deploy", &[("instances", &spec.len().to_string())]);
         let machines = self.provision_machines(spec)?;
         let mut dep = Deployment {
             spec: spec.clone(),
@@ -406,6 +439,7 @@ impl<'a> DeploymentEngine<'a> {
             };
             self.registry.run(&action, &ctx)?;
             let end = self.sim.now();
+            self.record_transition(id, &action, &dep.states[id], &to);
             dep.timeline.push(TimelineEntry {
                 instance: id.clone(),
                 action,
@@ -415,6 +449,30 @@ impl<'a> DeploymentEngine<'a> {
             dep.states.insert(id.clone(), to);
         }
         Ok(())
+    }
+
+    /// Emits the `driver.transition` event shared by the sequential and
+    /// parallel paths, and bumps `deploy.transitions`.
+    pub(crate) fn record_transition(
+        &self,
+        id: &InstanceId,
+        action: &str,
+        from: &DriverState,
+        to: &DriverState,
+    ) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.event(
+            "driver.transition",
+            &[
+                ("instance", id.as_str()),
+                ("action", action),
+                ("from", &from.to_string()),
+                ("to", &to.to_string()),
+            ],
+        );
+        self.obs.counter("deploy.transitions").incr();
     }
 
     /// Evaluates a transition guard: `↑s` over the instances `id` links to,

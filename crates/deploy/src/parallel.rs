@@ -26,7 +26,8 @@ use crate::error::DeployError;
 
 /// How long a slave waits for a cross-host guard before declaring the
 /// deployment stuck. Generous: guards only wait on other slaves' progress.
-const GUARD_TIMEOUT: Duration = Duration::from_secs(30);
+/// Override per engine with [`DeploymentEngine::with_guard_timeout`].
+pub(crate) const GUARD_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Outcome of a parallel deployment: the deployment plus the *host*
 /// wall-clock the slaves took (the simulated install durations live in the
@@ -111,6 +112,14 @@ impl DeploymentEngine<'_> {
 
         let started = Instant::now();
         let slaves = per_host.len();
+        let parallel_span = self.obs().span_with(
+            "deploy.parallel",
+            &[
+                ("instances", &spec.len().to_string()),
+                ("slaves", &slaves.to_string()),
+            ],
+        );
+        let parent = self.obs().is_enabled().then(|| parallel_span.id());
         std::thread::scope(|scope| {
             for (host, ids) in &per_host {
                 let shared = &shared;
@@ -118,6 +127,11 @@ impl DeploymentEngine<'_> {
                 let err_tx = err_tx.clone();
                 let spec = &*spec;
                 scope.spawn(move || {
+                    let _slave_span = self.obs().span_under(
+                        "deploy.slave",
+                        parent,
+                        &[("host", &host.to_string())],
+                    );
                     for id in ids {
                         if shared.failed.load(Ordering::SeqCst) {
                             return;
@@ -131,6 +145,7 @@ impl DeploymentEngine<'_> {
                 });
             }
         });
+        drop(parallel_span);
         drop(timeline_tx);
         drop(err_tx);
         let wall = started.elapsed();
@@ -209,6 +224,7 @@ impl DeploymentEngine<'_> {
             };
             self.registry().run(&action, &ctx)?;
             let end = self.sim().now();
+            self.record_transition(id, &action, &current, &to);
             let _ = timeline_tx.send(TimelineEntry {
                 instance: id.clone(),
                 action,
@@ -241,10 +257,13 @@ impl DeploymentEngine<'_> {
                     .all(|d| states.get(d.id()) == Some(&DriverState::Basic(*s))),
             })
         };
-        let deadline = Instant::now() + GUARD_TIMEOUT;
+        let waited = Instant::now();
+        let guard_wait = self.obs().counter("deploy.guard_wait_ns");
+        let deadline = waited + self.guard_timeout();
         let mut states = shared.states.lock();
         while !holds(&states) {
             if shared.failed.load(Ordering::SeqCst) {
+                guard_wait.add(waited.elapsed().as_nanos() as u64);
                 return Err(DeployError::ActionFailed {
                     instance: id.clone(),
                     action: "wait".into(),
@@ -252,6 +271,12 @@ impl DeploymentEngine<'_> {
                 });
             }
             if shared.cond.wait_until(&mut states, deadline).timed_out() {
+                guard_wait.add(waited.elapsed().as_nanos() as u64);
+                self.obs().counter("deploy.guard_timeouts").incr();
+                self.obs().event(
+                    "deploy.guard_timeout",
+                    &[("instance", id.as_str()), ("guard", &guard.to_string())],
+                );
                 return Err(DeployError::GuardFailed {
                     instance: id.clone(),
                     action: "wait".into(),
@@ -259,6 +284,8 @@ impl DeploymentEngine<'_> {
                 });
             }
         }
+        drop(states);
+        guard_wait.add(waited.elapsed().as_nanos() as u64);
         Ok(())
     }
 }
@@ -296,6 +323,10 @@ mod tests {
 
     /// Two machines: db on one, app (peer-depending on db) on the other.
     fn two_host_spec() -> InstallSpec {
+        two_host_spec_with_db("MySQL 5.1")
+    }
+
+    fn two_host_spec_with_db(db_key: &str) -> InstallSpec {
         let mut spec = InstallSpec::new();
         for (id, host) in [
             ("app-server", "app.example.com"),
@@ -306,7 +337,7 @@ mod tests {
             s.set_output("host", Value::structure([("hostname", Value::from(host))]));
             spec.push(s).unwrap();
         }
-        let mut db = ResourceInstance::new("db", "MySQL 5.1");
+        let mut db = ResourceInstance::new("db", db_key);
         db.set_inside_link("db-server");
         db.set_config("port", Value::from(3306i64));
         db.set_output("mysql", Value::structure([("port", Value::from(3306i64))]));
@@ -371,6 +402,73 @@ mod tests {
             msg.contains("injected failure") || msg.contains("another slave failed"),
             "{msg}"
         );
+    }
+
+    /// The GUARD_TIMEOUT stuck-deployment path: wedge a cross-host guard
+    /// so the deployment deadlocks, and assert it surfaces as a clean
+    /// `DeployError::GuardFailed` instead of hanging — with the
+    /// guard-wait metrics proving the timeout actually fired.
+    #[test]
+    fn wedged_cross_host_guard_times_out_cleanly() {
+        use engage_model::{DriverSpec, ResourceType, Transition};
+        use engage_util::obs::Obs;
+        use std::time::Instant;
+
+        // A MySQL subtype whose `start` waits for its *dependents* to be
+        // active — while the app's standard-service `start` waits for its
+        // upstream (the db) to be active. Across two hosts the two slaves
+        // wait on each other forever.
+        let mut wedged = DriverSpec::new();
+        wedged.add_transition(Transition::new(
+            BasicState::Uninstalled,
+            "install",
+            Guard::always(),
+            BasicState::Inactive,
+        ));
+        wedged.add_transition(Transition::new(
+            BasicState::Inactive,
+            "start",
+            Guard::downstream(BasicState::Active),
+            BasicState::Active,
+        ));
+        let mut u = universe();
+        u.insert(
+            ResourceType::builder("WedgedSQL 5.1")
+                .extends("MySQL 5.1")
+                .driver(wedged)
+                .build(),
+        )
+        .unwrap();
+
+        let spec = two_host_spec_with_db("WedgedSQL 5.1");
+        let timeout = Duration::from_millis(200);
+        let obs = Obs::new();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u)
+            .with_obs(obs.clone())
+            .with_guard_timeout(timeout);
+        let started = Instant::now();
+        let err = e.deploy_parallel(&spec).unwrap_err();
+        let took = started.elapsed();
+
+        // A clean error, not a hang: well under the 30 s default.
+        assert!(
+            matches!(
+                err,
+                DeployError::GuardFailed { .. } | DeployError::ActionFailed { .. }
+            ),
+            "{err}"
+        );
+        assert!(took < Duration::from_secs(10), "took {took:?}");
+
+        // The metrics prove the timeout fired while a guard was waiting.
+        let m = obs.metrics();
+        assert!(m.counter("deploy.guard_timeouts") >= 1, "{m:?}");
+        assert!(
+            m.counter("deploy.guard_wait_ns") >= timeout.as_nanos() as u64,
+            "{m:?}"
+        );
+        let timeouts = obs.metrics().counter("deploy.guard_timeouts");
+        assert!(timeouts <= 2, "at most one timeout per wedged slave");
     }
 
     #[test]

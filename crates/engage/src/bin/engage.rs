@@ -14,15 +14,20 @@
 //!
 //! Options: `--library base|django|full` selects the built-in resource
 //! library (default `full`); additional `.ers` files extend it;
-//! `-o FILE` writes the output instead of printing.
+//! `-o FILE` writes the output instead of printing;
+//! `--trace FILE.jsonl` streams the span tree, driver transitions, and
+//! final metrics of the run as JSON Lines; `--metrics` appends a
+//! counter/gauge summary to the command output.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use engage::Engage;
 use engage_config::{diagnose, generate, graph_gen, ConfigEngine};
 use engage_model::{PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
+use engage_util::obs::{JsonlSink, Obs};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +50,8 @@ struct Options {
     out: Option<String>,
     parallel: bool,
     cloud: bool,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -55,6 +62,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: None,
         parallel: false,
         cloud: false,
+        trace: None,
+        metrics: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -84,6 +93,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--cloud" => {
                 opts.cloud = true;
+                i += 1;
+            }
+            "--trace" => {
+                opts.trace = Some(
+                    args.get(i + 1)
+                        .ok_or("--trace needs a JSONL file path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--metrics" => {
+                opts.metrics = true;
                 i += 1;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -145,7 +166,8 @@ fn run(args: &[String]) -> Result<String, String> {
         );
     };
     let opts = parse_options(rest)?;
-    match command.as_str() {
+    let obs = build_obs(&opts)?;
+    let mut output = match command.as_str() {
         "check" => {
             let u = load_universe(&opts)?;
             let mut problems = Vec::new();
@@ -200,6 +222,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let u = load_universe(&opts)?;
             let partial = load_spec(&opts)?;
             let outcome = ConfigEngine::new(&u)
+                .with_obs(obs.clone())
                 .configure(&partial)
                 .map_err(|e| e.to_string())?;
             emit(&opts, engage_dsl::render_install_spec(&outcome.spec))
@@ -239,7 +262,8 @@ fn run(args: &[String]) -> Result<String, String> {
             let partial = load_spec(&opts)?;
             let mut system = Engage::new(u)
                 .with_packages(engage_library::package_universe())
-                .with_registry(engage_library::driver_registry());
+                .with_registry(engage_library::driver_registry())
+                .with_obs(obs.clone());
             if opts.cloud {
                 system = system.with_cloud_provisioning();
             }
@@ -280,7 +304,35 @@ fn run(args: &[String]) -> Result<String, String> {
         other => Err(format!(
             "unknown command `{other}` (check|checkspec|print|plan|graph|dimacs|diagnose|deploy)"
         )),
+    }?;
+    // The trailing {"type":"metrics"} JSONL line, and the --metrics text.
+    obs.flush_metrics();
+    if opts.metrics {
+        let snapshot = obs.metrics();
+        let _ = writeln!(output, "== metrics ==");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(output, "counter {name} = {value}");
+        }
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(output, "gauge {name} = {value}");
+        }
     }
+    Ok(output)
+}
+
+/// Builds the run's observability handle: enabled when `--trace` or
+/// `--metrics` was given, with a JSONL sink behind `--trace`.
+fn build_obs(opts: &Options) -> Result<Obs, String> {
+    if opts.trace.is_none() && !opts.metrics {
+        return Ok(Obs::disabled());
+    }
+    let obs = Obs::new();
+    if let Some(path) = &opts.trace {
+        let sink =
+            JsonlSink::create(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        obs.add_sink(Arc::new(sink));
+    }
+    Ok(obs)
 }
 
 fn write_timeline(out: &mut String, dep: &engage_deploy::Deployment) {

@@ -49,6 +49,7 @@ use engage_deploy::{DeployError, Deployment, DeploymentEngine, DriverRegistry, P
 use engage_model::{BasicState, InstallSpec, InstanceId, ModelError, PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
 use engage_sim::{DownloadSource, PackageUniverse, RestartRecord, Sim};
+use engage_util::obs::Obs;
 
 pub use engage_config::ConfigEngine as RawConfigEngine;
 pub use engage_deploy::{UpgradeReport, UpgradeStrategy};
@@ -102,6 +103,8 @@ pub struct Engage {
     sim: Sim,
     encoding: ExactlyOneEncoding,
     mode: ProvisionMode,
+    obs: Obs,
+    guard_timeout: Option<std::time::Duration>,
 }
 
 impl Engage {
@@ -114,7 +117,24 @@ impl Engage {
             sim: Sim::new(DownloadSource::local_cache()),
             encoding: ExactlyOneEncoding::Pairwise,
             mode: ProvisionMode::Local,
+            obs: Obs::disabled(),
+            guard_timeout: None,
         }
+    }
+
+    /// Reports the whole pipeline — configuration phases, solver
+    /// counters, driver transitions, simulator events — into `obs`
+    /// (builder-style). Disabled by default.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.sim.set_obs(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle (disabled unless [`Engage::with_obs`]
+    /// was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Replaces the simulated data center (builder-style).
@@ -157,6 +177,13 @@ impl Engage {
         self
     }
 
+    /// How long parallel slaves wait on a cross-host guard before
+    /// declaring the deployment stuck (builder-style; default 30 s).
+    pub fn with_guard_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.guard_timeout = Some(timeout);
+        self
+    }
+
     /// The resource universe.
     pub fn universe(&self) -> &Universe {
         &self.universe
@@ -187,6 +214,7 @@ impl Engage {
     pub fn plan(&self, partial: &PartialInstallSpec) -> Result<ConfigOutcome, EngageError> {
         Ok(ConfigEngine::new(&self.universe)
             .with_encoding(self.encoding)
+            .with_obs(self.obs.clone())
             .configure(partial)?)
     }
 
@@ -351,9 +379,14 @@ impl Engage {
     }
 
     fn engine(&self) -> DeploymentEngine<'_> {
-        DeploymentEngine::new(self.sim.clone(), &self.universe)
+        let mut engine = DeploymentEngine::new(self.sim.clone(), &self.universe)
             .with_registry(self.registry.clone())
             .with_mode(self.mode)
+            .with_obs(self.obs.clone());
+        if let Some(timeout) = self.guard_timeout {
+            engine = engine.with_guard_timeout(timeout);
+        }
+        engine
     }
 }
 

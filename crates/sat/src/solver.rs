@@ -7,6 +7,7 @@
 
 use crate::cnf::Cnf;
 use crate::types::{Clause, LBool, Lit, Model, Var};
+use engage_util::obs::{Counter, Obs};
 
 /// Result of a satisfiability query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +57,19 @@ struct ClauseData {
 
 type ClauseRef = usize;
 
+/// Pre-resolved live counters mirroring [`SolverStats`] into an
+/// [`Obs`]. Handles are resolved once in [`Solver::set_obs`], so the
+/// hot loops pay one relaxed atomic add per increment (or a no-op
+/// branch when observability is disabled).
+#[derive(Debug, Clone, Default)]
+struct LiveCounters {
+    decisions: Counter,
+    propagations: Counter,
+    conflicts: Counter,
+    restarts: Counter,
+    learnt_clauses: Counter,
+}
+
 /// The CDCL solver.
 ///
 /// # Examples
@@ -90,6 +104,7 @@ pub struct Solver {
     cla_inc: f64,
     unsat: bool,
     stats: SolverStats,
+    live: LiveCounters,
     seen: Vec<bool>,
 }
 
@@ -122,8 +137,23 @@ impl Solver {
             cla_inc: 1.0,
             unsat: false,
             stats: SolverStats::default(),
+            live: LiveCounters::default(),
             seen: Vec::new(),
         }
+    }
+
+    /// Mirrors search statistics into `obs` as live counters
+    /// (`sat.decisions`, `sat.propagations`, `sat.conflicts`,
+    /// `sat.restarts`, `sat.learnt_clauses`), updated at the same sites
+    /// that feed [`SolverStats`].
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.live = LiveCounters {
+            decisions: obs.counter("sat.decisions"),
+            propagations: obs.counter("sat.propagations"),
+            conflicts: obs.counter("sat.conflicts"),
+            restarts: obs.counter("sat.restarts"),
+            learnt_clauses: obs.counter("sat.learnt_clauses"),
+        };
     }
 
     /// Builds a solver preloaded with a formula.
@@ -246,6 +276,7 @@ impl Solver {
             match self.propagate() {
                 Some(confl) => {
                     self.stats.conflicts += 1;
+                    self.live.conflicts.incr();
                     conflicts_since_restart += 1;
                     if self.decision_level() == 0 {
                         self.unsat = true;
@@ -260,6 +291,7 @@ impl Solver {
                 None => {
                     if conflicts_since_restart >= restart_budget {
                         self.stats.restarts += 1;
+                        self.live.restarts.incr();
                         conflicts_since_restart = 0;
                         restart_idx += 1;
                         restart_budget = RESTART_BASE * luby(restart_idx);
@@ -303,6 +335,7 @@ impl Solver {
                         }
                         Some(v) => {
                             self.stats.decisions += 1;
+                            self.live.decisions.incr();
                             self.trail_lim.push(self.trail.len());
                             let lit = Lit::new(v, self.phase[v.index()]);
                             self.enqueue(lit, None);
@@ -342,6 +375,7 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            self.live.propagations.incr();
             let false_lit = !p;
             let mut idx = 0;
             let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
@@ -504,6 +538,7 @@ impl Solver {
                     activity: self.cla_inc,
                 });
                 self.stats.learnt_clauses += 1;
+                self.live.learnt_clauses.incr();
                 self.enqueue(asserting, Some(cref));
             }
         }

@@ -77,6 +77,7 @@ impl Monitor {
     /// Propagates simulation errors (e.g. the port was stolen while the
     /// service was down).
     pub fn tick(&mut self, sim: &Sim) -> Result<Vec<RestartRecord>, SimError> {
+        let obs = sim.obs();
         let mut performed = Vec::new();
         for w in &self.watches {
             if !sim.service_running(w.host, &w.service) {
@@ -86,6 +87,11 @@ impl Monitor {
                     service: w.service.clone(),
                     at: sim.now(),
                 };
+                obs.event(
+                    "sim.monitor_restart",
+                    &[("service", &w.service), ("host", &w.host.to_string())],
+                );
+                obs.counter("sim.monitor_restarts").incr();
                 performed.push(rec.clone());
                 self.restarts.push(rec);
             }

@@ -10,6 +10,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+use engage_util::obs::Obs;
 use engage_util::sync::Mutex;
 
 use crate::host::{Host, Snapshot};
@@ -106,6 +107,8 @@ struct SimState {
     next_pid: u32,
     /// package name → remaining injected install failures.
     install_failures: BTreeMap<String, u32>,
+    /// Observability handle; disabled unless [`Sim::set_obs`] is called.
+    obs: Obs,
 }
 
 /// The simulated data center. Cheap to clone (shared state).
@@ -146,6 +149,18 @@ impl Sim {
     /// The configured download source.
     pub fn download_source(&self) -> DownloadSource {
         self.source
+    }
+
+    /// Attaches an observability handle: injected failures and monitor
+    /// restarts are reported as structured events. Shared by every clone
+    /// of this data center.
+    pub fn set_obs(&self, obs: Obs) {
+        self.state.lock().obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> Obs {
+        self.state.lock().obs.clone()
     }
 
     /// The package universe.
@@ -217,6 +232,9 @@ impl Sim {
         if let Some(n) = st.install_failures.get_mut(package) {
             if *n > 0 {
                 *n -= 1;
+                st.obs
+                    .event("sim.injected_failure", &[("package", package)]);
+                st.obs.counter("sim.injected_failures").incr();
                 return Err(SimError::new(format!(
                     "injected failure installing `{package}`"
                 )));

@@ -95,7 +95,9 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark under `group_name/id`.
     pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
         let full = format!("{}/{}", self.name, id.into());
-        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
         run_benchmark(&full, samples, self.criterion.quick, f);
     }
 

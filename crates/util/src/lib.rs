@@ -24,6 +24,11 @@
 //!   collections (`vec`/`btree_map`/`btree_set`), a regex-subset string
 //!   strategy, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
 //!   / `prop_assume!` / `prop_oneof!` macros.
+//! * [`obs`] is native to this workspace (it replaces nothing): a
+//!   structured observability layer — hierarchical monotonic-clock
+//!   spans, atomic counters/gauges, a structured event log, and
+//!   pluggable sinks (in-memory for tests, JSON Lines for tools) — that
+//!   every pipeline stage reports into.
 //! * [`bench`] replaces `criterion`: a wall-clock harness with warmup
 //!   and batched sampling that reports min/median/p95 per benchmark,
 //!   plus `criterion_group!` / `criterion_main!` and the
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod obs;
 pub mod prop;
 pub mod rand;
 pub mod sync;

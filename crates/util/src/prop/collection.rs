@@ -73,11 +73,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// Ordered maps with `size` entries drawn from the key and value
 /// strategies. Duplicate keys collapse, so the final size can fall
 /// below the drawn size (the `proptest` behavior).
-pub fn btree_map<K, V>(
-    keys: K,
-    values: V,
-    size: impl Into<SizeRange>,
-) -> BTreeMapStrategy<K, V>
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
 where
     K: Strategy,
     K::Value: Ord,

@@ -185,12 +185,7 @@ impl<V: fmt::Debug> fmt::Display for PropertyFailure<V> {
             "property failed: {}\nminimal failing input: {:#?}\n\
              ({} cases passed before failure, {} shrink iterations, \
              seed {} — rerun with PROPTEST_SEED={})",
-            self.message,
-            self.minimal,
-            self.cases_passed,
-            self.shrink_iters,
-            self.seed,
-            self.seed
+            self.message, self.minimal, self.cases_passed, self.shrink_iters, self.seed, self.seed
         )
     }
 }
@@ -366,7 +361,10 @@ fn candidates(best: &[u64]) -> Vec<Vec<u64>> {
             let earlier: Vec<usize> = if n <= 40 {
                 (0..start).collect()
             } else {
-                [0, start.saturating_sub(1)].into_iter().take(start).collect()
+                [0, start.saturating_sub(1)]
+                    .into_iter()
+                    .take(start)
+                    .collect()
             };
             for j in earlier {
                 if best[j] > 0 {
@@ -409,7 +407,9 @@ pub mod prelude {
     pub use super::{
         any, Arbitrary, BoxedStrategy, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
@@ -489,7 +489,9 @@ macro_rules! prop_assert_ne {
         let (left, right) = (&$left, &$right);
         $crate::prop_assert!(
             *left != *right,
-            "assertion failed: `{:?}` != `{:?}`", left, right
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
         );
     }};
 }
@@ -500,9 +502,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !($cond) {
-            return ::core::result::Result::Err(
-                $crate::prop::TestCaseError::reject(stringify!($cond)),
-            );
+            return ::core::result::Result::Err($crate::prop::TestCaseError::reject(stringify!(
+                $cond
+            )));
         }
     };
 }

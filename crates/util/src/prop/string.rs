@@ -200,8 +200,9 @@ mod tests {
         for seed in 0..200 {
             let s = sample("[a-zA-Z0-9 _./:-]{0,20}", seed);
             assert!(s.len() <= 20);
-            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
-                || " _./:-".contains(c)));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _./:-".contains(c)));
         }
     }
 

@@ -37,10 +37,7 @@ impl<T> Mutex<T> {
 
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        let guard = self
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         MutexGuard { inner: Some(guard) }
     }
 
@@ -54,9 +51,7 @@ impl<T> Mutex<T> {
     /// Returns a mutable reference to the value without locking (the
     /// exclusive borrow is proof of unique access).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 

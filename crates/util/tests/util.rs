@@ -195,8 +195,8 @@ fn shrinking_respects_prop_map_and_assume() {
 fn passing_property_runs_the_configured_cases() {
     let config = ProptestConfig::with_cases(64);
     let strategy = (0u32..100, engage_util::prop::any::<bool>());
-    let passed = check_property(&config, "always_true", &strategy, |(_, _)| Ok(()))
-        .expect("property holds");
+    let passed =
+        check_property(&config, "always_true", &strategy, |(_, _)| Ok(())).expect("property holds");
     assert_eq!(passed, 64);
 }
 

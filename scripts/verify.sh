@@ -10,6 +10,10 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 
+# Style and lint gates (both offline; clippy warnings are errors).
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 # Hermeticity guard: the lockfile may only contain our own path
 # packages. Any other name means a registry dependency crept back in.
 if foreign=$(grep '^name = ' Cargo.lock | grep -v '^name = "engage'); then
@@ -23,4 +27,27 @@ if grep -q '^source = ' Cargo.lock; then
     exit 1
 fi
 
-echo "verify: OK (build + tests green, lockfile hermetic)"
+# Observability smoke test: one experiment binary must emit well-formed
+# JSONL trace output and a BENCH_*.json metrics report.
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run -q --release --offline -p engage-bench --bin exp_multihost -- \
+    --metrics "$obs_tmp/BENCH_multihost.json" --trace "$obs_tmp/trace.jsonl" \
+    > /dev/null
+for needle in '"type":"span_start"' '"type":"span_end"' \
+    '"name":"config.solve"' '"name":"deploy.slave"' \
+    '"name":"driver.transition"' '"type":"metrics"'; do
+    if ! grep -q "$needle" "$obs_tmp/trace.jsonl"; then
+        echo "error: $needle missing from --trace output" >&2
+        exit 1
+    fi
+done
+# Every trace line is a JSON object; the metrics report names the run.
+if grep -cv '^{.*}$' "$obs_tmp/trace.jsonl" | grep -qv '^0$'; then
+    echo "error: non-JSON line in --trace output" >&2
+    exit 1
+fi
+grep -q '"experiment":"multihost"' "$obs_tmp/BENCH_multihost.json"
+grep -q '"counters":{' "$obs_tmp/BENCH_multihost.json"
+
+echo "verify: OK (build + tests + fmt + clippy green, lockfile hermetic, obs smoke passed)"

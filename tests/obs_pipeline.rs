@@ -1,0 +1,204 @@
+//! End-to-end observability: deploying the Figure-2 OpenMRS stack must
+//! emit a span tree matching the paper's pipeline order — GraphGen (§3)
+//! before constraint generation and solving (§4) before propagation
+//! (§3.3) before any driver runs an action (§5).
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Duration;
+
+use engage::Engage;
+use engage_util::obs::{MemorySink, Obs, Record};
+
+fn deployed_sink() -> Arc<MemorySink> {
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new().with_sink(sink.clone());
+    let engage = Engage::new(engage_library::base_universe())
+        .with_packages(engage_library::package_universe())
+        .with_registry(engage_library::driver_registry())
+        .with_obs(obs);
+    let (_, deployment) = engage
+        .deploy(&engage_library::openmrs_partial())
+        .expect("openmrs deploys");
+    assert!(deployment.is_deployed());
+    sink
+}
+
+/// Start time of the named span (its `SpanStart` record must exist).
+fn span_start(records: &[Record], name: &str) -> Duration {
+    records
+        .iter()
+        .find_map(|r| match r {
+            Record::SpanStart { name: n, at, .. } if n == name => Some(*at),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no span_start for {name}"))
+}
+
+#[test]
+fn span_tree_matches_pipeline_order() {
+    let sink = deployed_sink();
+    let records = sink.records();
+
+    let graphgen = span_start(&records, "config.graphgen");
+    let constraints = span_start(&records, "config.constraint_gen");
+    let solve = span_start(&records, "config.solve");
+    let propagate = span_start(&records, "config.propagate");
+    let deploy = span_start(&records, "deploy.deploy");
+
+    let first_transition = records
+        .iter()
+        .find_map(|r| match r {
+            Record::Event { name, at, .. } if name == "driver.transition" => Some(*at),
+            _ => None,
+        })
+        .expect("at least one driver transition");
+
+    assert!(graphgen <= constraints, "graphgen before constraint-gen");
+    assert!(constraints <= solve, "constraint-gen before solve");
+    assert!(solve <= propagate, "solve before propagate");
+    assert!(propagate <= deploy, "configuration before deployment");
+    assert!(
+        propagate <= first_transition,
+        "no driver runs before the config pipeline finished"
+    );
+}
+
+#[test]
+fn config_phases_nest_under_the_configure_span() {
+    let sink = deployed_sink();
+    let spans = sink.finished_spans();
+    let configure = spans
+        .iter()
+        .find(|s| s.name == "config.configure")
+        .expect("outer configure span");
+    for phase in [
+        "config.graphgen",
+        "config.constraint_gen",
+        "config.solve",
+        "config.propagate",
+    ] {
+        let s = spans
+            .iter()
+            .find(|s| s.name == phase)
+            .unwrap_or_else(|| panic!("missing {phase} span"));
+        assert_eq!(s.parent, Some(configure.id), "{phase} nests in configure");
+        assert!(s.elapsed <= configure.elapsed, "{phase} fits in configure");
+    }
+}
+
+#[test]
+fn every_driver_transition_is_recorded() {
+    let sink = deployed_sink();
+    let transitions = sink.events_named("driver.transition");
+    // OpenMRS Figure 2: server + tomcat + openmrs + java all reach Active;
+    // each instance needs at least one install/start action.
+    assert!(
+        transitions.len() >= 4,
+        "expected one transition per instance at minimum, got {}",
+        transitions.len()
+    );
+    for t in &transitions {
+        let Record::Event { fields, .. } = t else {
+            unreachable!()
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        for key in ["instance", "action", "from", "to"] {
+            assert!(keys.contains(&key), "transition missing field {key}");
+        }
+    }
+    // Metrics agree with the event stream.
+    let sink2 = deployed_sink();
+    assert_eq!(
+        sink2.events_named("driver.transition").len(),
+        transitions.len(),
+        "deployment is deterministic"
+    );
+}
+
+#[test]
+fn gauges_report_graph_and_cnf_sizes() {
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new().with_sink(sink.clone());
+    let engage = Engage::new(engage_library::base_universe()).with_obs(obs.clone());
+    engage
+        .plan(&engage_library::openmrs_partial())
+        .expect("plans");
+    let m = obs.metrics();
+    assert!(m.gauge("config.graph_nodes") > 0);
+    assert!(m.gauge("config.cnf_vars") > 0);
+    assert!(m.gauge("config.cnf_clauses") > 0);
+}
+
+// ------------------------------------------------- CLI acceptance test
+
+const FIGURE_2: &str = r#"[
+  { "id": "server", "key": "Mac-OSX 10.6",
+    "config_port": { "hostname": "localhost", "os_user_name": "root" } },
+  { "id": "tomcat", "key": "Tomcat 6.0.18", "inside": { "id": "server" } },
+  { "id": "openmrs", "key": "OpenMRS 1.8", "inside": { "id": "tomcat" } }
+]"#;
+
+/// The ISSUE acceptance criterion: `engage --trace out.jsonl deploy ...`
+/// produces a span tree covering all four config phases and every driver
+/// transition.
+#[test]
+fn cli_trace_covers_phases_and_transitions() {
+    let dir = std::env::temp_dir().join("engage-obs-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec: PathBuf = dir.join("fig2.json");
+    std::fs::write(&spec, FIGURE_2).unwrap();
+    let trace = dir.join("out.jsonl");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_engage"))
+        .args([
+            "deploy",
+            "--library",
+            "base",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+        ])
+        .output()
+        .expect("engage binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== metrics =="), "{stdout}");
+    assert!(stdout.contains("counter deploy.transitions ="), "{stdout}");
+    assert!(stdout.contains("counter sat.decisions ="), "{stdout}");
+
+    let body = std::fs::read_to_string(&trace).unwrap();
+    assert!(body.contains("\"type\":\"span_start\",\"id\""), "{body}");
+    for phase in [
+        "config.graphgen",
+        "config.constraint_gen",
+        "config.solve",
+        "config.propagate",
+    ] {
+        assert!(
+            body.contains(&format!("\"name\":\"{phase}\"")),
+            "missing {phase}"
+        );
+    }
+    let transition_lines = body
+        .lines()
+        .filter(|l| l.contains("\"name\":\"driver.transition\""))
+        .count();
+    assert!(transition_lines >= 4, "transitions in trace: {body}");
+    // The transition count in the final metrics line matches the events.
+    let metrics_line = body
+        .lines()
+        .find(|l| l.contains("\"type\":\"metrics\""))
+        .expect("metrics flushed at exit");
+    assert!(
+        metrics_line.contains(&format!("\"deploy.transitions\":{transition_lines}")),
+        "{metrics_line}"
+    );
+}

@@ -6,6 +6,8 @@ use engage_sat::{
     brute_force_models, count_models, dpll_solve, Cnf, ExactlyOneEncoding, Lit, SatResult, Solver,
     Var,
 };
+use engage_util::obs::Obs;
+use engage_util::rand::{Rng, SeedableRng, StdRng};
 
 /// Deterministic xorshift, so the test corpus is stable without `rand`.
 struct XorShift(u64);
@@ -154,6 +156,100 @@ fn solver_survives_many_restarts() {
     let mut s = Solver::from_cnf(&cnf);
     assert_eq!(s.solve(), SatResult::Unsat);
     assert!(s.stats().conflicts > 100);
+}
+
+/// Random k-CNF via the repo's own seeded RNG (`engage_util::rand`), so
+/// this sweep and the bench generators share one reproducible stream.
+fn seeded_cnf(rng: &mut StdRng, vars: u32, clauses: usize, clause_len: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    let vs: Vec<Var> = (0..vars).map(|_| cnf.fresh_var()).collect();
+    for _ in 0..clauses {
+        let c: Vec<Lit> = (0..clause_len)
+            .map(|_| {
+                let v = vs[rng.gen_range(0..vars as usize)];
+                Lit::new(v, rng.gen_range(0..2u32) == 0)
+            })
+            .collect();
+        cnf.add_clause(c);
+    }
+    cnf
+}
+
+#[test]
+fn seeded_sweep_cdcl_vs_dpll_with_live_counters() {
+    // The satellite sweep: bigger formulas than the brute-force corpus
+    // (DPLL is the oracle), and on every instance the solver's live
+    // observability counters must equal the `SolverStats` it returns.
+    let mut rng = StdRng::seed_from_u64(0xE76A6E);
+    for round in 0..40 {
+        let vars = rng.gen_range(8..=16u32);
+        // Densities straddle the ~4.27 3-SAT threshold.
+        let clauses = (vars as usize * rng.gen_range(30..=55u32) as usize) / 10;
+        let cnf = seeded_cnf(&mut rng, vars, clauses, 3);
+
+        let obs = Obs::new();
+        let mut solver = Solver::from_cnf(&cnf);
+        solver.set_obs(&obs);
+        // Loading the CNF can already propagate degenerate unit clauses
+        // (e.g. a random 3-clause whose literals coincide), before the
+        // live counters attach — compare against the delta from here.
+        let base = solver.stats();
+        let cdcl = solver.solve();
+        let dpll = dpll_solve(&cnf);
+        assert_eq!(
+            cdcl.is_sat(),
+            dpll.is_sat(),
+            "cdcl and dpll disagree (round {round}, {vars} vars, {clauses} clauses)"
+        );
+        if let SatResult::Sat(m) = &cdcl {
+            assert!(m.satisfies_all(cnf.clauses()), "round {round}");
+        }
+
+        let stats = solver.stats();
+        let m = obs.metrics();
+        assert_eq!(
+            m.counter("sat.decisions"),
+            stats.decisions - base.decisions,
+            "round {round}"
+        );
+        assert_eq!(
+            m.counter("sat.propagations"),
+            stats.propagations - base.propagations,
+            "round {round}"
+        );
+        assert_eq!(
+            m.counter("sat.conflicts"),
+            stats.conflicts - base.conflicts,
+            "round {round}"
+        );
+        assert_eq!(
+            m.counter("sat.restarts"),
+            stats.restarts - base.restarts,
+            "round {round}"
+        );
+        assert_eq!(
+            m.counter("sat.learnt_clauses"),
+            stats.learnt_clauses - base.learnt_clauses,
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn live_counters_accumulate_across_solves_on_one_obs() {
+    // Two solvers sharing one Obs: the counters are a sum, while each
+    // solver's stats are its own — the metrics must equal the total.
+    let mut rng = StdRng::seed_from_u64(99);
+    let obs = Obs::new();
+    let mut total = 0;
+    for _ in 0..3 {
+        let cnf = seeded_cnf(&mut rng, 10, 42, 3);
+        let mut solver = Solver::from_cnf(&cnf);
+        solver.set_obs(&obs);
+        solver.solve();
+        total += solver.stats().decisions;
+    }
+    assert_eq!(obs.metrics().counter("sat.decisions"), total);
 }
 
 /// Local pigeonhole builder (kept here to avoid a dev-dependency cycle
