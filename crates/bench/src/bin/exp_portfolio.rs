@@ -1,0 +1,161 @@
+//! Experiment: portfolio and incremental SAT for reconfiguration
+//! (beyond the paper; see `docs/solver-modes.md`).
+//!
+//! Two claims are measured:
+//!
+//! 1. **Portfolio racing** — on a suite of hard instances, racing four
+//!    diversified CDCL configurations (first winner cancels the rest)
+//!    beats one default solver in median wall-clock, even on a single
+//!    core: the win comes from configuration diversity (e.g. a
+//!    polarity-biased instance is trivial for a phase-`true` worker and
+//!    expensive for the default phase-`false` solver), not parallelism.
+//! 2. **Incremental reconfiguration** — re-solving a mutated partial
+//!    spec through a live [`engage_config::ConfigSession`] (cached
+//!    hypergraph + constraints, spec instances as assumptions, learnt
+//!    clauses kept) is at least 2× faster than a fresh configure.
+//!
+//! Run with:
+//! `cargo run -p engage-bench --release --bin exp_portfolio [--metrics [FILE]] [--trace FILE]`
+
+use std::time::Instant;
+
+use engage_bench::{pigeonhole, planted_3cnf, random_3cnf, Reporter};
+use engage_config::{ConfigEngine, ConfigSession, SolverMode};
+use engage_model::{PartialInstallSpec, PartialInstance};
+use engage_sat::{Cnf, PortfolioSolver, Solver};
+
+/// Median of a sample in microseconds.
+fn median_us(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let reporter = Reporter::from_args("portfolio");
+    let obs = reporter.obs();
+
+    println!("== Portfolio racing: serial vs portfolio:4, per instance ==");
+    println!("(single-core machine: wins come from diversified solver");
+    println!(" configurations, not parallel hardware)");
+    let suite: Vec<(&str, Cnf)> = vec![
+        ("planted-160", planted_3cnf(160, 688, 11)),
+        ("planted-180", planted_3cnf(180, 774, 12)),
+        ("planted-200", planted_3cnf(200, 860, 13)),
+        ("planted-220", planted_3cnf(220, 946, 14)),
+        ("planted-240", planted_3cnf(240, 1032, 15)),
+        ("pigeonhole-7", pigeonhole(7)),
+        ("random-40", random_3cnf(40, 171, 16)),
+    ];
+    println!(
+        "{:<14} {:>12} {:>14} {:>8} {:>7}",
+        "instance", "serial", "portfolio:4", "winner", "sat"
+    );
+    let mut serial_us = Vec::new();
+    let mut portfolio_us = Vec::new();
+    for (name, cnf) in &suite {
+        let t = Instant::now();
+        let serial = Solver::from_cnf(cnf).solve();
+        let s_us = t.elapsed().as_micros();
+        let t = Instant::now();
+        let mut portfolio = PortfolioSolver::new(4);
+        portfolio.set_obs(&obs);
+        let outcome = portfolio.solve(cnf);
+        let p_us = t.elapsed().as_micros();
+        assert_eq!(
+            serial.is_sat(),
+            outcome.result.is_sat(),
+            "{name}: modes disagree"
+        );
+        println!(
+            "{name:<14} {:>9} µs {:>11} µs {:>8} {:>7}",
+            s_us,
+            p_us,
+            outcome.winner,
+            serial.is_sat()
+        );
+        serial_us.push(s_us);
+        portfolio_us.push(p_us);
+    }
+    let serial_median = median_us(&mut serial_us);
+    let portfolio_median = median_us(&mut portfolio_us);
+    println!(
+        "median: serial {serial_median} µs, portfolio:4 {portfolio_median} µs ({:.2}x)",
+        serial_median as f64 / portfolio_median as f64
+    );
+    obs.gauge("bench.portfolio.serial_median_us")
+        .set(serial_median as i64);
+    obs.gauge("bench.portfolio.portfolio4_median_us")
+        .set(portfolio_median as i64);
+    assert!(
+        portfolio_median <= serial_median,
+        "portfolio:4 median ({portfolio_median} µs) must not exceed serial ({serial_median} µs)"
+    );
+
+    println!("\n== Incremental reconfiguration: fresh configure vs reconfigure ==");
+    println!("(one-instance spec mutation — the server's hostname — per round;");
+    println!(" full pipeline including the static re-check)");
+    println!(
+        "{:<18} {:>12} {:>14} {:>9}",
+        "universe", "fresh", "reconfigure", "speedup"
+    );
+    let mut headline_speedup = 0.0f64;
+    for (depth, width) in [(32usize, 2usize), (64, 2), (4, 16), (8, 8)] {
+        let u = engage_bench::synthetic_universe(depth, width);
+        let partial = |host: &str| -> PartialInstallSpec {
+            [
+                PartialInstance::new("server", "BenchOS 1.0").config("hostname", host),
+                PartialInstance::new("app", "App 1.0").inside("server"),
+            ]
+            .into_iter()
+            .collect()
+        };
+        let fresh_engine = ConfigEngine::new(&u);
+        let engine = ConfigEngine::new(&u)
+            .with_solver_mode(SolverMode::Incremental)
+            .with_obs(obs.clone());
+        let mut session = ConfigSession::new();
+        // Warm both paths, then measure mutation rounds.
+        fresh_engine.configure(&partial("warm")).unwrap();
+        engine.reconfigure(&mut session, &partial("warm")).unwrap();
+        let mut fresh = Vec::new();
+        let mut reconf = Vec::new();
+        for round in 0..7 {
+            let p = partial(&format!("host-{round}.example.com"));
+            let t = Instant::now();
+            let a = fresh_engine.configure(&p).unwrap();
+            fresh.push(t.elapsed().as_micros());
+            let t = Instant::now();
+            let b = engine.reconfigure(&mut session, &p).unwrap();
+            reconf.push(t.elapsed().as_micros());
+            assert!(b.reused_structure, "shape-preserving edit reuses the graph");
+            assert!(b.reused_solver, "identical CNF reuses the live solver");
+            assert_eq!(a.spec.len(), b.spec.len(), "outcomes agree");
+        }
+        let fresh_median = median_us(&mut fresh);
+        let reconf_median = median_us(&mut reconf);
+        let speedup = fresh_median as f64 / reconf_median as f64;
+        println!(
+            "depth {depth:>2} width {width:>2} {:>9} µs {:>11} µs {speedup:>8.2}x",
+            fresh_median, reconf_median
+        );
+        if (depth, width) == (64, 2) {
+            headline_speedup = speedup;
+            obs.gauge("bench.incremental.fresh_median_us")
+                .set(fresh_median as i64);
+            obs.gauge("bench.incremental.reconfigure_median_us")
+                .set(reconf_median as i64);
+            obs.gauge("bench.incremental.speedup_x100")
+                .set((speedup * 100.0) as i64);
+        }
+    }
+    assert!(
+        headline_speedup >= 2.0,
+        "incremental reconfigure must be >= 2x faster than fresh configure \
+         (measured {headline_speedup:.2}x)"
+    );
+    println!(
+        "\nheadline (depth 64, width 2): reconfigure is {headline_speedup:.2}x faster \
+         than a fresh configure"
+    );
+    reporter.finish();
+}

@@ -80,12 +80,51 @@ pub fn generate(g: &HyperGraph, encoding: ExactlyOneEncoding) -> Constraints {
             cnf.add_unit(vars[n.id()].positive());
         }
     }
+    add_edge_constraints(g, &mut cnf, &vars, encoding);
+    Constraints { cnf, vars }
+}
+
+/// Generates only the *structural* constraints — constraint family 2
+/// (the hyperedge exactly-one implications) without the family-1 spec
+/// unit clauses, which are returned separately as literals.
+///
+/// This is the incremental-solving split: the structural CNF depends
+/// only on the hypergraph shape, so a reconfiguration whose graph is
+/// unchanged can hand the same formula to a live solver and pass the
+/// spec literals as *assumptions*, keeping every clause the solver has
+/// learned. Variable numbering (node vars first, then encoding
+/// auxiliaries) is identical to [`generate`]'s, since unit clauses
+/// allocate no variables.
+pub fn generate_structural(
+    g: &HyperGraph,
+    encoding: ExactlyOneEncoding,
+) -> (Constraints, Vec<Lit>) {
+    let mut cnf = Cnf::new();
+    let mut vars = BTreeMap::new();
+    for n in g.nodes() {
+        vars.insert(n.id().clone(), cnf.fresh_var());
+    }
+    let spec_lits: Vec<Lit> = g
+        .nodes()
+        .iter()
+        .filter(|n| n.from_spec())
+        .map(|n| vars[n.id()].positive())
+        .collect();
+    add_edge_constraints(g, &mut cnf, &vars, encoding);
+    (Constraints { cnf, vars }, spec_lits)
+}
+
+fn add_edge_constraints(
+    g: &HyperGraph,
+    cnf: &mut Cnf,
+    vars: &BTreeMap<InstanceId, Var>,
+    encoding: ExactlyOneEncoding,
+) {
     for e in g.edges() {
         let guard = vars[e.source()].negative();
         let targets: Vec<Lit> = e.targets().iter().map(|t| vars[t].positive()).collect();
-        add_implied_exactly_one(&mut cnf, guard, &targets, encoding);
+        add_implied_exactly_one(cnf, guard, &targets, encoding);
     }
-    Constraints { cnf, vars }
 }
 
 /// Adds `¬guard → ⊕ lits`, i.e. every clause of the exactly-one encoding is
@@ -180,6 +219,38 @@ mod tests {
         assert_eq!(counts[0], counts[1]);
         // Exactly 2 deployments: JDK-based and JRE-based.
         assert_eq!(counts[0], 2);
+    }
+
+    #[test]
+    fn structural_plus_assumptions_matches_full_generate() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+            let full = generate(&g, enc);
+            let (structural, spec_lits) = generate_structural(&g, enc);
+            // Identical variable universe and node↔var mapping.
+            assert_eq!(full.cnf().num_vars(), structural.cnf().num_vars(), "{enc}");
+            assert!(full
+                .vars()
+                .zip(structural.vars())
+                .all(|((ida, va), (idb, vb))| ida == idb && va == vb));
+            // Unit clauses are exactly the difference in clause count.
+            assert_eq!(
+                full.cnf().num_clauses(),
+                structural.cnf().num_clauses() + spec_lits.len(),
+                "{enc}"
+            );
+            // Solving structural CNF under the spec assumptions agrees
+            // with the full formula and honors every spec literal.
+            let mut s = Solver::from_cnf(structural.cnf());
+            let r = s.solve_with_assumptions(&spec_lits);
+            let m = r.model().expect("satisfiable under spec assumptions");
+            for &l in &spec_lits {
+                assert!(m.satisfies(l), "{enc}: spec literal {l} off");
+            }
+            assert!(m.satisfies_all(structural.cnf().clauses()));
+            assert!(Solver::from_cnf(full.cnf()).solve().is_sat());
+        }
     }
 
     #[test]

@@ -5,13 +5,152 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use engage_model::{
-    check_install_spec, InstallSpec, InstanceId, ModelError, PartialInstallSpec, Universe,
+    check_install_spec, InstallSpec, InstanceId, ModelError, PartialInstallSpec, ResourceKey,
+    Universe,
 };
-use engage_sat::{ExactlyOneEncoding, SatResult, Solver, SolverStats};
+use engage_sat::{
+    ExactlyOneEncoding, IncrementalSession, PortfolioSolver, SatResult, Solver, SolverStats,
+};
 use engage_util::obs::Obs;
 
-use crate::constraints::{generate, Constraints};
+use crate::constraints::{generate, generate_structural, Constraints};
 use crate::graph::{graph_gen, HyperGraph};
+
+/// How the engine discharges the SAT query at the heart of
+/// [`ConfigEngine::configure`]. See `docs/solver-modes.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// One CDCL solver, built fresh per configure call (the paper's
+    /// MiniSat setup).
+    #[default]
+    Serial,
+    /// Race `workers` diversified CDCL solvers; first winner cancels
+    /// the rest. Verdict is deterministic, stats are not.
+    Portfolio {
+        /// Number of racing workers (clamped to at least 1).
+        workers: usize,
+    },
+    /// Keep a solver alive across [`ConfigEngine::reconfigure`] calls:
+    /// spec instances become assumptions, learnt clauses carry over
+    /// whenever the structural constraints are unchanged.
+    Incremental,
+}
+
+impl fmt::Display for SolverMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverMode::Serial => write!(f, "serial"),
+            SolverMode::Portfolio { workers } => write!(f, "portfolio:{workers}"),
+            SolverMode::Incremental => write!(f, "incremental"),
+        }
+    }
+}
+
+impl std::str::FromStr for SolverMode {
+    type Err = String;
+
+    /// Parses `serial`, `incremental`, `portfolio` (4 workers), or
+    /// `portfolio:N`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "serial" => Ok(SolverMode::Serial),
+            "incremental" => Ok(SolverMode::Incremental),
+            "portfolio" => Ok(SolverMode::Portfolio { workers: 4 }),
+            _ => {
+                if let Some(n) = s.strip_prefix("portfolio:") {
+                    let workers: usize = n
+                        .parse()
+                        .map_err(|_| format!("bad portfolio worker count `{n}`"))?;
+                    if workers == 0 {
+                        return Err("portfolio needs at least 1 worker".into());
+                    }
+                    Ok(SolverMode::Portfolio { workers })
+                } else {
+                    Err(format!(
+                        "unknown solver mode `{s}` (expected serial, portfolio[:N], incremental)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Solver state carried across [`ConfigEngine::reconfigure`] calls in
+/// [`SolverMode::Incremental`]: a live [`IncrementalSession`] keyed on
+/// the structural CNF, plus the last run's hypergraph and constraints,
+/// reused wholesale when the partial spec's *shape* — ids, keys, inside
+/// links — is unchanged (config-value edits keep the shape). Cheap to
+/// create; a fresh session simply makes the first solve a rebuild.
+///
+/// A session caches state derived from one universe and encoding; it
+/// revalidates both on every use and rebuilds on mismatch.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigSession {
+    sat: IncrementalSession,
+    structure: Option<CachedStructure>,
+}
+
+/// The shape of a partial spec: everything GraphGen's output depends on
+/// besides the universe (config values are carried as data, not shape).
+type SpecShape = Vec<(InstanceId, ResourceKey, Option<InstanceId>)>;
+
+fn spec_shape(partial: &PartialInstallSpec) -> SpecShape {
+    partial
+        .iter()
+        .map(|i| (i.id().clone(), i.key().clone(), i.inside_link().cloned()))
+        .collect()
+}
+
+/// GraphGen + constraint-generation output cached across reconfigures.
+#[derive(Debug, Clone)]
+struct CachedStructure {
+    shape: SpecShape,
+    universe_types: usize,
+    encoding: ExactlyOneEncoding,
+    graph: HyperGraph,
+    constraints: Constraints,
+    rendered: String,
+    spec_lits: Vec<engage_sat::Lit>,
+}
+
+impl ConfigSession {
+    /// Empty session; the first solve through it builds from scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the live solver and the cached structure; the next
+    /// reconfigure rebuilds both.
+    pub fn reset(&mut self) {
+        self.sat.reset();
+        self.structure = None;
+    }
+
+    /// Returns the cached graph/constraints for `partial` if the shape
+    /// (and the engine's universe/encoding) still match, with the
+    /// graph's config overrides refreshed from the new partial spec.
+    fn structure_for(
+        &self,
+        engine: &ConfigEngine<'_>,
+        partial: &PartialInstallSpec,
+    ) -> Option<(HyperGraph, Constraints, String, Vec<engage_sat::Lit>)> {
+        let c = self.structure.as_ref()?;
+        if c.shape != spec_shape(partial)
+            || c.universe_types != engine.universe.len()
+            || c.encoding != engine.encoding
+        {
+            return None;
+        }
+        let mut graph = c.graph.clone();
+        graph.refresh_config_overrides(partial);
+        Some((
+            graph,
+            c.constraints.clone(),
+            c.rendered.clone(),
+            c.spec_lits.clone(),
+        ))
+    }
+}
 
 /// Error produced by the configuration engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,8 +206,19 @@ pub struct ConfigOutcome {
     pub constraints_rendered: String,
     /// CNF size: (variables, clauses).
     pub cnf_size: (u32, usize),
-    /// SAT-solver statistics.
+    /// SAT-solver statistics. Serial/incremental stats are
+    /// deterministic; under [`SolverMode::Portfolio`] these are the
+    /// race winner's and vary run to run.
     pub solver_stats: SolverStats,
+    /// Whether an incremental session's live solver (and its learnt
+    /// clauses) was reused instead of rebuilt. Always `false` outside
+    /// [`ConfigEngine::reconfigure`] in [`SolverMode::Incremental`].
+    pub reused_solver: bool,
+    /// Whether the session's cached hypergraph and constraints were
+    /// reused (same spec shape), skipping GraphGen and constraint
+    /// generation entirely. Implies nothing about `reused_solver`; both
+    /// are `false` outside incremental reconfiguration.
+    pub reused_structure: bool,
 }
 
 /// The constraint-based configuration engine.
@@ -83,6 +233,7 @@ pub struct ConfigEngine<'a> {
     encoding: ExactlyOneEncoding,
     verify: bool,
     obs: Obs,
+    solver_mode: SolverMode,
 }
 
 impl<'a> ConfigEngine<'a> {
@@ -93,6 +244,7 @@ impl<'a> ConfigEngine<'a> {
             encoding: ExactlyOneEncoding::Pairwise,
             verify: true,
             obs: Obs::disabled(),
+            solver_mode: SolverMode::Serial,
         }
     }
 
@@ -100,6 +252,18 @@ impl<'a> ConfigEngine<'a> {
     pub fn with_encoding(mut self, encoding: ExactlyOneEncoding) -> Self {
         self.encoding = encoding;
         self
+    }
+
+    /// Selects how the SAT query is discharged (builder-style). Serial
+    /// by default; see [`SolverMode`].
+    pub fn with_solver_mode(mut self, mode: SolverMode) -> Self {
+        self.solver_mode = mode;
+        self
+    }
+
+    /// The engine's solver mode.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.solver_mode
     }
 
     /// Reports phase spans and solver counters into `obs`
@@ -125,42 +289,117 @@ impl<'a> ConfigEngine<'a> {
     /// Computes a full installation specification extending `partial`
     /// (§4: GraphGen → constraint generation → SAT → port propagation).
     ///
+    /// In [`SolverMode::Incremental`] this builds a throwaway session;
+    /// to actually amortize solver state across calls, hold a
+    /// [`ConfigSession`] and use [`ConfigEngine::reconfigure`].
+    ///
     /// # Errors
     ///
     /// [`ConfigError::Model`] for ill-formed inputs,
     /// [`ConfigError::Unsatisfiable`] when no extension exists.
     pub fn configure(&self, partial: &PartialInstallSpec) -> Result<ConfigOutcome, ConfigError> {
+        self.configure_inner(partial, None)
+    }
+
+    /// [`ConfigEngine::configure`] with solver state carried in
+    /// `session`. In [`SolverMode::Incremental`] the session's live
+    /// solver — learnt clauses, activities, phases — is reused whenever
+    /// the structural constraints (the hypergraph shape) are unchanged,
+    /// which is the common case for small edits to a partial spec: the
+    /// spec instances enter as assumptions, not clauses. Other modes
+    /// ignore the session and behave exactly like `configure`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConfigEngine::configure`].
+    pub fn reconfigure(
+        &self,
+        session: &mut ConfigSession,
+        partial: &PartialInstallSpec,
+    ) -> Result<ConfigOutcome, ConfigError> {
+        self.configure_inner(partial, Some(session))
+    }
+
+    fn configure_inner(
+        &self,
+        partial: &PartialInstallSpec,
+        mut session: Option<&mut ConfigSession>,
+    ) -> Result<ConfigOutcome, ConfigError> {
         let _configure = self.obs.span("config.configure");
-        let graph = {
-            let _s = self.obs.span("config.graphgen");
-            graph_gen(self.universe, partial)?
+        let incremental = self.solver_mode == SolverMode::Incremental;
+        // An incremental session may hold the previous run's graph and
+        // constraints; a shape-preserving spec edit (config values only)
+        // reuses them and skips GraphGen + constraint generation.
+        let cached = if incremental {
+            session
+                .as_deref()
+                .and_then(|s| s.structure_for(self, partial))
+        } else {
+            None
+        };
+        let reused_structure = cached.is_some();
+        let (graph, constraints, rendered, spec_lits) = match cached {
+            Some((graph, constraints, rendered, lits)) => {
+                self.obs.counter("config.structure_reuses").incr();
+                (graph, constraints, rendered, Some(lits))
+            }
+            None => {
+                let graph = {
+                    let _s = self.obs.span("config.graphgen");
+                    graph_gen(self.universe, partial)?
+                };
+                // Incremental mode splits off the spec units as assumption
+                // literals; the other modes solve the full formula.
+                let (constraints, spec_lits) = {
+                    let _s = self.obs.span("config.constraint_gen");
+                    match self.solver_mode {
+                        SolverMode::Incremental => {
+                            let (c, lits) = generate_structural(&graph, self.encoding);
+                            (c, Some(lits))
+                        }
+                        _ => (generate(&graph, self.encoding), None),
+                    }
+                };
+                let rendered = constraints.render(&graph);
+                if incremental {
+                    if let (Some(s), Some(lits)) = (session.as_deref_mut(), spec_lits.as_ref()) {
+                        s.structure = Some(CachedStructure {
+                            shape: spec_shape(partial),
+                            universe_types: self.universe.len(),
+                            encoding: self.encoding,
+                            graph: graph.clone(),
+                            constraints: constraints.clone(),
+                            rendered: rendered.clone(),
+                            spec_lits: lits.clone(),
+                        });
+                    }
+                }
+                (graph, constraints, rendered, spec_lits)
+            }
         };
         self.obs
             .gauge("config.graph_nodes")
             .set(graph.nodes().len() as i64);
-        let (constraints, rendered) = {
-            let _s = self.obs.span("config.constraint_gen");
-            let constraints = generate(&graph, self.encoding);
-            let rendered = constraints.render(&graph);
-            (constraints, rendered)
-        };
+        // Count spec literals as the unit clauses they stand for, so
+        // cnf_size is comparable across solver modes.
+        let logical_clauses =
+            constraints.cnf().num_clauses() + spec_lits.as_ref().map_or(0, Vec::len);
         self.obs
             .gauge("config.cnf_vars")
             .set(constraints.cnf().num_vars() as i64);
         self.obs
             .gauge("config.cnf_clauses")
-            .set(constraints.cnf().num_clauses() as i64);
-        let mut solver = Solver::from_cnf(constraints.cnf());
-        solver.set_obs(&self.obs);
-        let model = {
+            .set(logical_clauses as i64);
+        let solved = {
             let _s = self.obs.span("config.solve");
-            match solver.solve() {
-                SatResult::Sat(m) => m,
-                SatResult::Unsat => {
-                    return Err(ConfigError::Unsatisfiable {
-                        constraints: rendered,
-                    })
-                }
+            self.solve_by_mode(&constraints, spec_lits.as_deref(), session)
+        };
+        let (model, solver_stats, reused_solver) = match solved {
+            (SatResult::Sat(m), stats, reused) => (m, stats, reused),
+            (SatResult::Unsat, ..) => {
+                return Err(ConfigError::Unsatisfiable {
+                    constraints: rendered,
+                })
             }
         };
         let spec = {
@@ -185,14 +424,52 @@ impl<'a> ConfigEngine<'a> {
         }
         Ok(ConfigOutcome {
             spec,
-            cnf_size: (
-                constraints.cnf().num_vars(),
-                constraints.cnf().num_clauses(),
-            ),
+            cnf_size: (constraints.cnf().num_vars(), logical_clauses),
             constraints_rendered: rendered,
-            solver_stats: solver.stats(),
+            solver_stats,
+            reused_solver,
+            reused_structure,
             graph,
         })
+    }
+
+    /// Discharges the SAT query per the engine's mode, returning the
+    /// verdict, the stats of whichever solver answered, and whether a
+    /// session solver was reused.
+    fn solve_by_mode(
+        &self,
+        constraints: &Constraints,
+        spec_lits: Option<&[engage_sat::Lit]>,
+        session: Option<&mut ConfigSession>,
+    ) -> (SatResult, SolverStats, bool) {
+        match self.solver_mode {
+            SolverMode::Serial => {
+                let mut solver = Solver::from_cnf(constraints.cnf());
+                solver.set_obs(&self.obs);
+                let result = solver.solve();
+                (result, solver.stats(), false)
+            }
+            SolverMode::Portfolio { workers } => {
+                let mut portfolio = PortfolioSolver::new(workers);
+                portfolio.set_obs(&self.obs);
+                let outcome = portfolio.solve(constraints.cnf());
+                (outcome.result, outcome.stats, false)
+            }
+            SolverMode::Incremental => {
+                let lits = spec_lits.expect("incremental mode generates spec literals");
+                let mut scratch;
+                let sat = match session {
+                    Some(s) => &mut s.sat,
+                    None => {
+                        scratch = IncrementalSession::default();
+                        &mut scratch
+                    }
+                };
+                sat.set_obs(&self.obs);
+                let s = sat.solve(constraints.cnf(), lits);
+                (s.result, s.stats, s.reused)
+            }
+        }
     }
 
     /// Counts the distinct *minimal* deployments extending `partial` —
@@ -342,6 +619,104 @@ mod tests {
         // expressed. Fall back: verify satisfiable baseline to keep this
         // case honest.
         assert!(engine.configure(&figure_2()).is_ok());
+    }
+
+    #[test]
+    fn solver_modes_agree_on_openmrs() {
+        let u = openmrs_universe();
+        let serial = ConfigEngine::new(&u).configure(&figure_2()).unwrap();
+        for mode in [
+            SolverMode::Portfolio { workers: 1 },
+            SolverMode::Portfolio { workers: 4 },
+            SolverMode::Incremental,
+        ] {
+            let out = ConfigEngine::new(&u)
+                .with_solver_mode(mode)
+                .configure(&figure_2())
+                .unwrap();
+            assert_eq!(out.spec.len(), serial.spec.len(), "{mode}");
+            assert_eq!(out.cnf_size, serial.cnf_size, "{mode}");
+            assert!(!out.reused_solver, "{mode}: no session to reuse");
+        }
+    }
+
+    #[test]
+    fn reconfigure_reuses_session_for_same_shape() {
+        let u = openmrs_universe();
+        let engine = ConfigEngine::new(&u).with_solver_mode(SolverMode::Incremental);
+        let mut session = ConfigSession::new();
+        let first = engine.reconfigure(&mut session, &figure_2()).unwrap();
+        assert!(!first.reused_solver, "first solve builds");
+        assert!(!first.reused_structure, "first run generates the graph");
+        let second = engine.reconfigure(&mut session, &figure_2()).unwrap();
+        assert!(second.reused_solver, "same structural CNF: solver kept");
+        assert!(second.reused_structure, "same shape: graph kept");
+        assert_eq!(second.spec.len(), first.spec.len());
+        // Serial mode ignores the session entirely.
+        let serial = ConfigEngine::new(&u);
+        let out = serial.reconfigure(&mut session, &figure_2()).unwrap();
+        assert!(!out.reused_solver);
+        assert!(!out.reused_structure);
+    }
+
+    #[test]
+    fn reconfigure_config_value_mutation_keeps_structure_and_updates_spec() {
+        // Editing a config value keeps the spec's shape, so both the
+        // structure cache and the live solver are reused — and the new
+        // value must still land in the produced full spec.
+        let u = openmrs_universe();
+        let engine = ConfigEngine::new(&u).with_solver_mode(SolverMode::Incremental);
+        let mut session = ConfigSession::new();
+        engine.reconfigure(&mut session, &figure_2()).unwrap();
+
+        let mutated: PartialInstallSpec = [
+            PartialInstance::new("server", "Mac-OSX 10.6")
+                .config("hostname", "prod.example.com")
+                .config("os_user_name", "root"),
+            PartialInstance::new("tomcat", "Tomcat 6.0.18").inside("server"),
+            PartialInstance::new("openmrs", "OpenMRS 1.8").inside("tomcat"),
+        ]
+        .into_iter()
+        .collect();
+        let out = engine.reconfigure(&mut session, &mutated).unwrap();
+        assert!(out.reused_structure, "config edit preserves the shape");
+        assert!(out.reused_solver, "identical CNF keeps the solver");
+        let server = out.spec.get(&"server".into()).unwrap();
+        assert_eq!(
+            server.config().get("hostname"),
+            Some(&engage_model::Value::from("prod.example.com")),
+            "refreshed config override must reach the full spec"
+        );
+
+        // A shape change (different key for one instance) must rebuild.
+        let reshaped: PartialInstallSpec = [
+            PartialInstance::new("server", "Mac-OSX 10.6"),
+            PartialInstance::new("tomcat", "Tomcat 6.0.18").inside("server"),
+        ]
+        .into_iter()
+        .collect();
+        let out = engine.reconfigure(&mut session, &reshaped).unwrap();
+        assert!(!out.reused_structure, "shape changed: GraphGen reruns");
+    }
+
+    #[test]
+    fn solver_mode_parses_and_displays() {
+        use std::str::FromStr;
+        for (text, mode) in [
+            ("serial", SolverMode::Serial),
+            ("incremental", SolverMode::Incremental),
+            ("portfolio", SolverMode::Portfolio { workers: 4 }),
+            ("portfolio:8", SolverMode::Portfolio { workers: 8 }),
+        ] {
+            assert_eq!(SolverMode::from_str(text).unwrap(), mode);
+        }
+        assert_eq!(
+            SolverMode::Portfolio { workers: 2 }.to_string(),
+            "portfolio:2"
+        );
+        assert!(SolverMode::from_str("portfolio:0").is_err());
+        assert!(SolverMode::from_str("portfolio:x").is_err());
+        assert!(SolverMode::from_str("dpll").is_err());
     }
 
     #[test]

@@ -156,6 +156,21 @@ impl HyperGraph {
         }
         out
     }
+
+    /// Replaces the config overrides of every spec node with the values
+    /// from `partial`. Two partial specs with the same shape — ids, keys,
+    /// and inside links — generate identical graphs up to these override
+    /// maps, so the incremental session's structure cache brings a stored
+    /// graph up to date by refreshing them instead of rerunning GraphGen.
+    pub(crate) fn refresh_config_overrides(&mut self, partial: &PartialInstallSpec) {
+        for node in &mut self.nodes {
+            if node.from_spec {
+                if let Some(inst) = partial.get(node.id()) {
+                    node.config_overrides = inst.config_overrides().clone();
+                }
+            }
+        }
+    }
 }
 
 /// Runs GraphGen over a partial install specification (§4, Lemma 1).

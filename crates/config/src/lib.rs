@@ -52,8 +52,8 @@ mod engine;
 mod graph;
 mod propagate;
 
-pub use constraints::{generate, Constraints};
+pub use constraints::{generate, generate_structural, Constraints};
 pub use diagnose::{diagnose, ConstraintGroup, Diagnosis};
-pub use engine::{ConfigEngine, ConfigError, ConfigOutcome};
+pub use engine::{ConfigEngine, ConfigError, ConfigOutcome, ConfigSession, SolverMode};
 pub use graph::{edge_for, graph_gen, HyperEdge, HyperGraph, Node};
 pub use propagate::build_full_spec;

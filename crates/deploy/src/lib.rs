@@ -65,4 +65,4 @@ pub use discovery::{discover_all, discover_machine};
 pub use engine::{os_for_key, Deployment, DeploymentEngine, ProvisionMode, TimelineEntry};
 pub use error::DeployError;
 pub use parallel::ParallelOutcome;
-pub use upgrade::{plan_upgrade, UpgradePlanEntry, UpgradeReport, UpgradeStrategy};
+pub use upgrade::{plan_upgrade, ReplanInfo, UpgradePlanEntry, UpgradeReport, UpgradeStrategy};

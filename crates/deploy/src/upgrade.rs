@@ -47,6 +47,21 @@ pub enum UpgradeStrategy {
     Incremental,
 }
 
+/// How the configuration re-solve that produced the new spec went.
+/// Attached by the `engage` facade (which owns the config engine and
+/// its incremental solver session); the deployment engine itself only
+/// consumes full specs and leaves this `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplanInfo {
+    /// Whether a live incremental solver (with its learnt clauses) was
+    /// reused for the re-solve instead of rebuilt.
+    pub reused_solver: bool,
+    /// SAT decisions during the re-solve.
+    pub decisions: u64,
+    /// SAT conflicts during the re-solve.
+    pub conflicts: u64,
+}
+
 /// Outcome of a successful upgrade.
 #[derive(Debug, Clone)]
 pub struct UpgradeReport {
@@ -59,6 +74,10 @@ pub struct UpgradeReport {
     /// How many instances were stopped/started by the upgrade (everything,
     /// for the worst-case strategy).
     pub touched: usize,
+    /// Configuration re-solve details when the upgrade was driven from a
+    /// partial spec through the facade; `None` for direct full-spec
+    /// upgrades.
+    pub replan: Option<ReplanInfo>,
 }
 
 /// Computes the instance-level diff between two specs.
@@ -135,6 +154,7 @@ impl DeploymentEngine<'_> {
                 took: self.sim().now() - t0,
                 worst_case: strategy == UpgradeStrategy::WorstCase,
                 touched,
+                replan: None,
             }),
             Err(cause) => {
                 // Rollback: restore machine state, then reactivate the old

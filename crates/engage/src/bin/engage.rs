@@ -17,14 +17,16 @@
 //! `-o FILE` writes the output instead of printing;
 //! `--trace FILE.jsonl` streams the span tree, driver transitions, and
 //! final metrics of the run as JSON Lines; `--metrics` appends a
-//! counter/gauge summary to the command output.
+//! counter/gauge summary to the command output;
+//! `--solver serial|portfolio[:N]|incremental` selects the SAT solving
+//! strategy used by `plan` and `deploy` (see docs/solver-modes.md).
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use engage::Engage;
-use engage_config::{diagnose, generate, graph_gen, ConfigEngine};
+use engage_config::{diagnose, generate, graph_gen, ConfigEngine, SolverMode};
 use engage_model::{PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
 use engage_util::obs::{JsonlSink, Obs};
@@ -52,6 +54,7 @@ struct Options {
     cloud: bool,
     trace: Option<String>,
     metrics: bool,
+    solver: SolverMode,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -64,6 +67,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cloud: false,
         trace: None,
         metrics: false,
+        solver: SolverMode::Serial,
     };
     let mut i = 0;
     while i < args.len() {
@@ -106,6 +110,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--metrics" => {
                 opts.metrics = true;
                 i += 1;
+            }
+            "--solver" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--solver needs a mode (serial|portfolio[:N]|incremental)")?;
+                opts.solver = value.parse()?;
+                i += 2;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => {
@@ -222,6 +233,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let u = load_universe(&opts)?;
             let partial = load_spec(&opts)?;
             let outcome = ConfigEngine::new(&u)
+                .with_solver_mode(opts.solver)
                 .with_obs(obs.clone())
                 .configure(&partial)
                 .map_err(|e| e.to_string())?;
@@ -263,6 +275,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut system = Engage::new(u)
                 .with_packages(engage_library::package_universe())
                 .with_registry(engage_library::driver_registry())
+                .with_solver_mode(opts.solver)
                 .with_obs(obs.clone());
             if opts.cloud {
                 system = system.with_cloud_provisioning();

@@ -44,14 +44,18 @@
 
 use std::fmt;
 
-use engage_config::{ConfigEngine, ConfigError, ConfigOutcome};
-use engage_deploy::{DeployError, Deployment, DeploymentEngine, DriverRegistry, ProvisionMode};
+use engage_config::{ConfigEngine, ConfigError, ConfigOutcome, ConfigSession};
+use engage_deploy::{
+    DeployError, Deployment, DeploymentEngine, DriverRegistry, ProvisionMode, ReplanInfo,
+};
 use engage_model::{BasicState, InstallSpec, InstanceId, ModelError, PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
 use engage_sim::{DownloadSource, PackageUniverse, RestartRecord, Sim};
 use engage_util::obs::Obs;
+use engage_util::sync::Mutex;
 
 pub use engage_config::ConfigEngine as RawConfigEngine;
+pub use engage_config::SolverMode;
 pub use engage_deploy::{UpgradeReport, UpgradeStrategy};
 
 /// Top-level error: configuration or deployment.
@@ -96,7 +100,7 @@ impl From<DeployError> for EngageError {
 
 /// The Engage system: a universe of resource types, a driver registry, and
 /// a (simulated) data center to deploy into.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engage {
     universe: Universe,
     registry: DriverRegistry,
@@ -105,6 +109,28 @@ pub struct Engage {
     mode: ProvisionMode,
     obs: Obs,
     guard_timeout: Option<std::time::Duration>,
+    solver_mode: SolverMode,
+    /// Live solver state for [`SolverMode::Incremental`], shared by
+    /// every `plan`/`upgrade` on this instance. Interior mutability
+    /// keeps the planning API `&self`; a `Mutex` (not `RefCell`) keeps
+    /// `Engage: Sync`.
+    session: Mutex<ConfigSession>,
+}
+
+impl Clone for Engage {
+    fn clone(&self) -> Self {
+        Engage {
+            universe: self.universe.clone(),
+            registry: self.registry.clone(),
+            sim: self.sim.clone(),
+            encoding: self.encoding,
+            mode: self.mode,
+            obs: self.obs.clone(),
+            guard_timeout: self.guard_timeout,
+            solver_mode: self.solver_mode,
+            session: Mutex::new(self.session.lock().clone()),
+        }
+    }
 }
 
 impl Engage {
@@ -119,6 +145,8 @@ impl Engage {
             mode: ProvisionMode::Local,
             obs: Obs::disabled(),
             guard_timeout: None,
+            solver_mode: SolverMode::Serial,
+            session: Mutex::new(ConfigSession::new()),
         }
     }
 
@@ -170,6 +198,22 @@ impl Engage {
         self
     }
 
+    /// Selects how the configuration engine discharges its SAT query
+    /// (builder-style; serial by default). In
+    /// [`SolverMode::Incremental`] the instance keeps a solver session
+    /// alive across `plan`/`deploy`/`upgrade` calls, so repeated
+    /// planning against the same universe reuses learnt clauses. See
+    /// `docs/solver-modes.md`.
+    pub fn with_solver_mode(mut self, mode: SolverMode) -> Self {
+        self.solver_mode = mode;
+        self
+    }
+
+    /// The configured solver mode.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.solver_mode
+    }
+
     /// Provisions machines from the simulated cloud instead of declaring
     /// local ones (builder-style).
     pub fn with_cloud_provisioning(mut self) -> Self {
@@ -212,10 +256,16 @@ impl Engage {
     ///
     /// Ill-formed input or unsatisfiable constraints.
     pub fn plan(&self, partial: &PartialInstallSpec) -> Result<ConfigOutcome, EngageError> {
-        Ok(ConfigEngine::new(&self.universe)
+        let engine = ConfigEngine::new(&self.universe)
             .with_encoding(self.encoding)
-            .with_obs(self.obs.clone())
-            .configure(partial)?)
+            .with_solver_mode(self.solver_mode)
+            .with_obs(self.obs.clone());
+        if self.solver_mode == SolverMode::Incremental {
+            let mut session = self.session.lock();
+            Ok(engine.reconfigure(&mut session, partial)?)
+        } else {
+            Ok(engine.configure(partial)?)
+        }
     }
 
     /// Deploys an already-computed full installation specification.
@@ -331,9 +381,15 @@ impl Engage {
         strategy: UpgradeStrategy,
     ) -> Result<UpgradeReport, EngageError> {
         let outcome = self.plan(new_partial)?;
-        Ok(self
+        let mut report = self
             .engine()
-            .upgrade_with(deployment, &outcome.spec, strategy)?)
+            .upgrade_with(deployment, &outcome.spec, strategy)?;
+        report.replan = Some(ReplanInfo {
+            reused_solver: outcome.reused_solver,
+            decisions: outcome.solver_stats.decisions,
+            conflicts: outcome.solver_stats.conflicts,
+        });
+        Ok(report)
     }
 
     /// Driver states of every instance ("users can view the status ... of
@@ -457,6 +513,39 @@ mod tests {
         let status = e.status(&dep);
         assert_eq!(status.len(), dep.spec().len());
         assert!(status.iter().all(|(_, s)| s == "active"));
+    }
+
+    #[test]
+    fn solver_modes_plan_identically() {
+        let serial = engage().plan(&engage_library::openmrs_partial()).unwrap();
+        for mode in [
+            SolverMode::Portfolio { workers: 2 },
+            SolverMode::Incremental,
+        ] {
+            let e = engage().with_solver_mode(mode);
+            let out = e.plan(&engage_library::openmrs_partial()).unwrap();
+            assert_eq!(out.spec.len(), serial.spec.len(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn incremental_facade_reuses_session_across_plans() {
+        let e = engage().with_solver_mode(SolverMode::Incremental);
+        let first = e.plan(&engage_library::openmrs_partial()).unwrap();
+        assert!(!first.reused_solver);
+        let second = e.plan(&engage_library::openmrs_partial()).unwrap();
+        assert!(second.reused_solver, "same spec shape: session solver kept");
+    }
+
+    #[test]
+    fn upgrade_report_carries_replan_info() {
+        let e = engage().with_solver_mode(SolverMode::Incremental);
+        let (_, mut dep) = e.deploy(&engage_library::openmrs_partial()).unwrap();
+        let report = e
+            .upgrade(&mut dep, &engage_library::openmrs_partial())
+            .unwrap();
+        let replan = report.replan.expect("facade upgrades attach replan info");
+        assert!(replan.reused_solver, "deploy's plan warmed the session");
     }
 
     #[test]

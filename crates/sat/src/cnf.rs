@@ -2,7 +2,36 @@
 
 use std::fmt;
 
-use crate::types::{Clause, Lit, Var};
+use crate::types::{Clause, Lit, Model, Var};
+
+/// Checks `model` against `cnf`, returning the first violated clause if
+/// any. `Ok(())` means every clause has at least one true literal — the
+/// shared oracle of the differential test harness (a solver's SAT answer
+/// is only trusted once its model passes this check).
+///
+/// A model shorter than `cnf.num_vars()` is rejected rather than padded:
+/// a truncated model usually means the solver and formula disagree about
+/// the variable universe, which is exactly the bug class this guards.
+///
+/// # Errors
+///
+/// Returns the index and contents of the first unsatisfied clause, or a
+/// description of the variable-count mismatch.
+pub fn verify_model(cnf: &Cnf, model: &Model) -> Result<(), String> {
+    if (model.len() as u32) < cnf.num_vars() {
+        return Err(format!(
+            "model covers {} variables but the formula has {}",
+            model.len(),
+            cnf.num_vars()
+        ));
+    }
+    for (i, clause) in cnf.clauses().iter().enumerate() {
+        if !clause.iter().any(|&l| model.satisfies(l)) {
+            return Err(format!("clause {i} unsatisfied: {clause:?}"));
+        }
+    }
+    Ok(())
+}
 
 /// A CNF formula: a number of variables and a set of clauses.
 ///

@@ -1,0 +1,223 @@
+//! Portfolio SAT solving: race diversified CDCL workers, first one
+//! home wins.
+//!
+//! Each worker is a full [`Solver`] over the same formula but with a
+//! different [`SolverConfig`] — seed, Luby restart scale, polarity
+//! heuristic, decision randomization — so their strengths complement
+//! each other: an instance that strands one strategy in a barren part
+//! of the search space often falls quickly to another. The first worker
+//! to finish sets a shared stop flag; the rest observe it at their next
+//! propagation round and exit without a result.
+//!
+//! The SAT/UNSAT *verdict* is deterministic (every worker is sound and
+//! complete, so all agree); the *winner* — and therefore the returned
+//! model and statistics — is a race and may differ run to run. See
+//! `docs/solver-modes.md`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::cnf::Cnf;
+use crate::solver::{SatResult, Solver, SolverConfig, SolverStats};
+use crate::types::Lit;
+use engage_util::obs::{Counter, Obs};
+
+/// Races N diversified CDCL workers over a formula.
+///
+/// # Examples
+///
+/// ```
+/// use engage_sat::{Cnf, PortfolioSolver};
+/// let mut f = Cnf::new();
+/// let a = f.fresh_var();
+/// f.add_unit(a.positive());
+/// let outcome = PortfolioSolver::new(4).solve(&f);
+/// assert!(outcome.result.is_sat());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PortfolioSolver {
+    workers: usize,
+    races: Counter,
+    worker_count: Counter,
+    canceled: Counter,
+}
+
+/// What a portfolio race produced.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The verdict (deterministic) and, if SAT, the winner's model.
+    pub result: SatResult,
+    /// Index of the winning worker (nondeterministic under racing).
+    pub winner: usize,
+    /// The winning worker's configuration.
+    pub winner_config: SolverConfig,
+    /// The winning worker's search statistics.
+    pub stats: SolverStats,
+    /// Workers that completed with their own result (≥ 1; more than one
+    /// when a second worker finished before observing the stop flag).
+    pub finished_workers: usize,
+    /// Workers that observed the stop flag and exited without a result.
+    pub canceled_workers: usize,
+    /// Wall-clock time from race start to the last worker exiting.
+    pub wall: Duration,
+}
+
+struct WorkerReport {
+    worker: usize,
+    result: Option<SatResult>,
+    stats: SolverStats,
+    config: SolverConfig,
+}
+
+impl PortfolioSolver {
+    /// A portfolio of `workers` solvers (at least one). Worker 0 runs
+    /// the default [`SolverConfig`], so `PortfolioSolver::new(1)`
+    /// explores exactly like a serial [`Solver`].
+    pub fn new(workers: usize) -> Self {
+        PortfolioSolver {
+            workers: workers.max(1),
+            races: Counter::default(),
+            worker_count: Counter::default(),
+            canceled: Counter::default(),
+        }
+    }
+
+    /// Number of workers raced per solve.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Emits `sat.portfolio.races`, `sat.portfolio.workers`, and
+    /// `sat.portfolio.canceled_workers` counters into `obs`.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.races = obs.counter("sat.portfolio.races");
+        self.worker_count = obs.counter("sat.portfolio.workers");
+        self.canceled = obs.counter("sat.portfolio.canceled_workers");
+    }
+
+    /// Races the workers on `cnf` with no assumptions.
+    pub fn solve(&self, cnf: &Cnf) -> PortfolioOutcome {
+        self.solve_with_assumptions(cnf, &[])
+    }
+
+    /// Races the workers on `cnf` under `assumptions` (each worker gets
+    /// the same assumptions; see [`Solver::solve_with_assumptions`]).
+    pub fn solve_with_assumptions(&self, cnf: &Cnf, assumptions: &[Lit]) -> PortfolioOutcome {
+        let start = Instant::now();
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = engage_util::sync::channel::unbounded::<WorkerReport>();
+        std::thread::scope(|scope| {
+            for worker in 0..self.workers {
+                let tx = tx.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let config = SolverConfig::diversified(worker);
+                    let mut solver = Solver::from_cnf_with(cnf, config.clone());
+                    let result = solver.solve_cancellable(assumptions, stop);
+                    if result.is_some() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    let _ = tx.send(WorkerReport {
+                        worker,
+                        result,
+                        stats: solver.stats(),
+                        config,
+                    });
+                });
+            }
+        });
+        drop(tx);
+        let reports: Vec<WorkerReport> = rx.iter().collect();
+        let wall = start.elapsed();
+        let canceled_workers = reports.iter().filter(|r| r.result.is_none()).count();
+        let finished_workers = reports.len() - canceled_workers;
+        // First completed report in channel order is the race winner.
+        let win = reports
+            .into_iter()
+            .find(|r| r.result.is_some())
+            .expect("no worker was canceled without a winner setting the flag");
+        self.races.incr();
+        self.worker_count.add(self.workers as u64);
+        self.canceled.add(canceled_workers as u64);
+        PortfolioOutcome {
+            result: win.result.expect("winner carries a result"),
+            winner: win.worker,
+            winner_config: win.config,
+            stats: win.stats,
+            finished_workers,
+            canceled_workers,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::verify_model;
+    use crate::types::Var;
+
+    fn chain_cnf(n: u32) -> Cnf {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..n).map(|_| cnf.fresh_var()).collect();
+        cnf.add_unit(vars[0].positive());
+        for w in vars.windows(2) {
+            cnf.add_clause(vec![w[0].negative(), w[1].positive()]);
+        }
+        cnf
+    }
+
+    #[test]
+    fn portfolio_agrees_with_serial_on_sat() {
+        let cnf = chain_cnf(12);
+        for n in [1, 2, 4] {
+            let outcome = PortfolioSolver::new(n).solve(&cnf);
+            assert!(outcome.result.is_sat(), "workers={n}");
+            verify_model(&cnf, outcome.result.model().unwrap()).unwrap();
+            assert_eq!(
+                outcome.finished_workers + outcome.canceled_workers,
+                n,
+                "workers={n}: every worker must report"
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_agrees_with_serial_on_unsat() {
+        let mut cnf = chain_cnf(6);
+        cnf.add_unit(Var(5).negative());
+        let outcome = PortfolioSolver::new(4).solve(&cnf);
+        assert_eq!(outcome.result, SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_reach_every_worker() {
+        // (a | b): assuming !a forces b in whichever worker wins.
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(vec![a.positive(), b.positive()]);
+        let outcome = PortfolioSolver::new(3).solve_with_assumptions(&cnf, &[a.negative()]);
+        let m = outcome.result.model().unwrap();
+        assert!(!m.value(a));
+        assert!(m.value(b));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let p = PortfolioSolver::new(0);
+        assert_eq!(p.workers(), 1);
+        assert!(p.solve(&chain_cnf(3)).result.is_sat());
+    }
+
+    #[test]
+    fn metrics_count_races_and_cancellations() {
+        let obs = Obs::new();
+        let mut p = PortfolioSolver::new(2);
+        p.set_obs(&obs);
+        p.solve(&chain_cnf(8));
+        let snap = obs.metrics();
+        assert_eq!(snap.counter("sat.portfolio.races"), 1);
+        assert_eq!(snap.counter("sat.portfolio.workers"), 2);
+    }
+}

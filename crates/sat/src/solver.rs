@@ -5,9 +5,12 @@
 //! VSIDS variable activities with exponential decay, phase saving, Luby
 //! restarts, and activity-based learnt-clause database reduction.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::cnf::Cnf;
 use crate::types::{Clause, LBool, Lit, Model, Var};
 use engage_util::obs::{Counter, Obs};
+use engage_util::rand::{Rng, SeedableRng, StdRng};
 
 /// Result of a satisfiability query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +19,73 @@ pub enum SatResult {
     Sat(Model),
     /// Unsatisfiable.
     Unsat,
+}
+
+/// How a worker initializes the saved phase of fresh variables — the
+/// polarity heuristic knob of the portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhaseInit {
+    /// Branch false first (MiniSat's default; ours too).
+    #[default]
+    False,
+    /// Branch true first.
+    True,
+    /// Seeded random initial phase per variable.
+    Random,
+}
+
+/// Search-strategy knobs, used by [`crate::PortfolioSolver`] to
+/// diversify its workers. [`SolverConfig::default`] reproduces the
+/// solver's historical behavior exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Seed for phase randomization and random decisions.
+    pub seed: u64,
+    /// Luby restart unit (conflicts before the first restart).
+    pub restart_base: u64,
+    /// Initial saved phase of fresh variables.
+    pub phase_init: PhaseInit,
+    /// Percentage (0–100) of decisions that pick a random unassigned
+    /// variable instead of the top-activity one.
+    pub random_decision_pct: u8,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            seed: 0,
+            restart_base: 100,
+            phase_init: PhaseInit::False,
+            random_decision_pct: 0,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The portfolio schedule: worker 0 is the default configuration
+    /// (so a 1-worker portfolio behaves exactly like a serial solve);
+    /// later workers vary the restart scale, polarity heuristic, and
+    /// decision randomization so their strengths complement each other.
+    pub fn diversified(worker: usize) -> Self {
+        if worker == 0 {
+            return SolverConfig::default();
+        }
+        let restart_scales = [100u64, 50, 300, 25, 150, 700, 60, 200];
+        SolverConfig {
+            seed: 0x9E3779B97F4A7C15u64.wrapping_mul(worker as u64 + 1),
+            restart_base: restart_scales[worker % restart_scales.len()],
+            phase_init: match worker % 3 {
+                0 => PhaseInit::Random,
+                1 => PhaseInit::True,
+                _ => PhaseInit::Random,
+            },
+            random_decision_pct: match worker % 4 {
+                1 => 0,
+                2 => 2,
+                _ => 5,
+            },
+        }
+    }
 }
 
 impl SatResult {
@@ -106,6 +176,8 @@ pub struct Solver {
     stats: SolverStats,
     live: LiveCounters,
     seen: Vec<bool>,
+    config: SolverConfig,
+    rng: StdRng,
 }
 
 impl Default for Solver {
@@ -116,11 +188,17 @@ impl Default for Solver {
 
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
-const RESTART_BASE: u64 = 100;
 
 impl Solver {
-    /// Empty solver.
+    /// Empty solver with the default configuration.
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Empty solver with explicit search-strategy knobs. The config is
+    /// fixed for the solver's lifetime: [`PhaseInit`] applies to
+    /// variables allocated *after* construction.
+    pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             clauses: Vec::new(),
             watches: Vec::new(),
@@ -139,6 +217,8 @@ impl Solver {
             stats: SolverStats::default(),
             live: LiveCounters::default(),
             seen: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
         }
     }
 
@@ -158,7 +238,12 @@ impl Solver {
 
     /// Builds a solver preloaded with a formula.
     pub fn from_cnf(cnf: &Cnf) -> Self {
-        let mut s = Solver::new();
+        Self::from_cnf_with(cnf, SolverConfig::default())
+    }
+
+    /// Builds a configured solver preloaded with a formula.
+    pub fn from_cnf_with(cnf: &Cnf, config: SolverConfig) -> Self {
+        let mut s = Solver::with_config(config);
         while s.num_vars() < cnf.num_vars() as usize {
             s.new_var();
         }
@@ -171,11 +256,16 @@ impl Solver {
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
+        let initial_phase = match self.config.phase_init {
+            PhaseInit::False => false,
+            PhaseInit::True => true,
+            PhaseInit::Random => self.rng.gen_bool(0.5),
+        };
         self.assigns.push(LBool::Undef);
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
-        self.phase.push(false);
+        self.phase.push(initial_phase);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -191,6 +281,18 @@ impl Solver {
     /// Search statistics so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// The search-strategy configuration this solver was built with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Learnt clauses currently in the database (survivors of
+    /// [`reduce_db`](Self::solve) reductions) — the payload an
+    /// incremental session carries between solves.
+    pub fn learnt_clause_count(&self) -> usize {
+        self.learnt_count()
     }
 
     /// Adds a clause. May be called between [`Solver::solve`] calls for
@@ -255,24 +357,78 @@ impl Solver {
     ///
     /// Panics if an assumption references an unallocated variable.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.search(assumptions, None)
+            .expect("search without a stop flag cannot be canceled")
+    }
+
+    /// Like [`Solver::solve_with_assumptions`], but aborts as soon as
+    /// `stop` is observed `true` (checked once per propagation round, so
+    /// per conflict and per decision). Returns `None` when canceled; the
+    /// solver is left at the root level and remains usable — learnt
+    /// clauses from the aborted search are kept.
+    ///
+    /// This is the worker interface of [`crate::PortfolioSolver`]: the
+    /// first worker to finish sets the shared flag and the rest exit
+    /// promptly without a result.
+    pub fn solve_cancellable(
+        &mut self,
+        assumptions: &[Lit],
+        stop: &AtomicBool,
+    ) -> Option<SatResult> {
+        self.search(assumptions, Some(stop))
+    }
+
+    /// The single entry point for every solve variant. All exits —
+    /// SAT, UNSAT, assumption conflict, cancellation — funnel through
+    /// the cleanup below, so no search can leave assumption levels,
+    /// stale queue positions, or seen-flags behind on the solver.
+    fn search(&mut self, assumptions: &[Lit], stop: Option<&AtomicBool>) -> Option<SatResult> {
         for a in assumptions {
             assert!(
                 a.var().index() < self.num_vars(),
                 "assumption {a} references an unallocated variable"
             );
         }
+        let result = self.search_inner(assumptions, stop);
+        // Single-exit cleanup: return to the root level regardless of
+        // which exit path fired, and check the invariants a reusable
+        // solver must satisfy.
+        self.backtrack_to(0);
+        debug_assert!(self.trail_lim.is_empty(), "assumption levels left behind");
+        debug_assert!(self.qhead <= self.trail.len(), "queue head past trail");
+        debug_assert!(
+            self.trail.iter().all(|l| self.level[l.var().index()] == 0),
+            "non-root assignment survived cleanup"
+        );
+        debug_assert!(
+            self.seen.iter().all(|&s| !s),
+            "seen flags left set by conflict analysis"
+        );
+        result
+    }
+
+    fn search_inner(
+        &mut self,
+        assumptions: &[Lit],
+        stop: Option<&AtomicBool>,
+    ) -> Option<SatResult> {
         if self.unsat {
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         if self.propagate().is_some() {
             self.unsat = true;
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         let mut conflicts_since_restart: u64 = 0;
         let mut restart_idx: u64 = 0;
-        let mut restart_budget = RESTART_BASE * luby(restart_idx);
+        let mut restart_budget = self.config.restart_base * luby(restart_idx);
         let mut max_learnts = (self.clauses.len() / 3).max(1000);
         loop {
+            if let Some(flag) = stop {
+                if flag.load(Ordering::Relaxed) {
+                    return None;
+                }
+            }
             match self.propagate() {
                 Some(confl) => {
                     self.stats.conflicts += 1;
@@ -280,7 +436,7 @@ impl Solver {
                     conflicts_since_restart += 1;
                     if self.decision_level() == 0 {
                         self.unsat = true;
-                        return SatResult::Unsat;
+                        return Some(SatResult::Unsat);
                     }
                     let (learnt, back_level) = self.analyze(confl);
                     self.backtrack_to(back_level);
@@ -294,7 +450,7 @@ impl Solver {
                         self.live.restarts.incr();
                         conflicts_since_restart = 0;
                         restart_idx += 1;
-                        restart_budget = RESTART_BASE * luby(restart_idx);
+                        restart_budget = self.config.restart_base * luby(restart_idx);
                         self.backtrack_to(0);
                         continue;
                     }
@@ -314,8 +470,7 @@ impl Solver {
                             LBool::False => {
                                 // Conflicts with the current (level ≤ now)
                                 // state: unsatisfiable under assumptions.
-                                self.backtrack_to(0);
-                                return SatResult::Unsat;
+                                return Some(SatResult::Unsat);
                             }
                             LBool::Undef => {
                                 self.trail_lim.push(self.trail.len());
@@ -329,9 +484,7 @@ impl Solver {
                             let model = Model::new(
                                 self.assigns.iter().map(|&a| a == LBool::True).collect(),
                             );
-                            // Leave the solver reusable.
-                            self.backtrack_to(0);
-                            return SatResult::Sat(model);
+                            return Some(SatResult::Sat(model));
                         }
                         Some(v) => {
                             self.stats.decisions += 1;
@@ -562,6 +715,23 @@ impl Solver {
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
+        // Occasional random decisions (portfolio diversification knob):
+        // the heap keeps its entry for the chosen variable, which later
+        // pops skip as assigned.
+        if self.config.random_decision_pct > 0
+            && self.num_vars() > 0
+            && self.rng.gen_range(0u32..100) < u32::from(self.config.random_decision_pct)
+        {
+            let n = self.num_vars();
+            let start = self.rng.gen_range(0..n);
+            for off in 0..n {
+                let v = Var(((start + off) % n) as u32);
+                if self.assigns[v.index()] == LBool::Undef {
+                    return Some(v);
+                }
+            }
+            return None;
+        }
         while let Some((act_bits, v)) = self.heap.pop() {
             if self.assigns[v.index()] != LBool::Undef {
                 continue;

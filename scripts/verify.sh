@@ -10,6 +10,12 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 
+# Solver-mode differential sweep at CI depth: 64 seeded instances across
+# serial, portfolio:{1,2,4,8}, and incremental must agree everywhere
+# (the default in-tree sweep uses 16 seeds; see docs/solver-modes.md).
+ENGAGE_SAT_SWEEP_SEEDS=64 \
+    cargo test -q --offline --release -p engage --test sat_portfolio_differential
+
 # Style and lint gates (both offline; clippy warnings are errors).
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -50,4 +56,18 @@ fi
 grep -q '"experiment":"multihost"' "$obs_tmp/BENCH_multihost.json"
 grep -q '"counters":{' "$obs_tmp/BENCH_multihost.json"
 
-echo "verify: OK (build + tests + fmt + clippy green, lockfile hermetic, obs smoke passed)"
+# Solver-mode smoke test: planning the OpenMRS example under a portfolio
+# race must succeed, report the race in --metrics, and produce the same
+# plan as the serial default.
+plan_portfolio=$(cargo run -q --release --offline --bin engage -- \
+    plan --spec examples/openmrs_figure2.json --solver portfolio:4 --metrics)
+plan_serial=$(cargo run -q --release --offline --bin engage -- \
+    plan --spec examples/openmrs_figure2.json)
+echo "$plan_portfolio" | grep -q 'counter sat.portfolio.races = 1'
+echo "$plan_portfolio" | grep -q 'counter sat.portfolio.workers = 4'
+if [ "$(echo "$plan_portfolio" | sed '/== metrics ==/,$d')" != "$plan_serial" ]; then
+    echo "error: portfolio:4 plan differs from the serial plan" >&2
+    exit 1
+fi
+
+echo "verify: OK (build + tests + fmt + clippy green, lockfile hermetic, obs + solver smoke passed)"

@@ -248,6 +248,60 @@ fn unknown_flags_and_commands_error() {
 }
 
 #[test]
+fn solver_modes_plan_the_same_spec() {
+    let spec = write_temp("fig2h.json", FIGURE_2);
+    let path = spec.to_str().unwrap();
+    let serial = engage_cmd(&["plan", "--library", "base", "--spec", path]);
+    assert!(serial.status.success(), "{}", stderr(&serial));
+    for mode in ["serial", "portfolio:2", "portfolio", "incremental"] {
+        let out = engage_cmd(&[
+            "plan",
+            "--library",
+            "base",
+            "--spec",
+            path,
+            "--solver",
+            mode,
+        ]);
+        assert!(out.status.success(), "--solver {mode}: {}", stderr(&out));
+        assert_eq!(stdout(&out), stdout(&serial), "--solver {mode} diverged");
+    }
+}
+
+#[test]
+fn solver_mode_flag_rejects_bad_values() {
+    let spec = write_temp("fig2i.json", FIGURE_2);
+    let path = spec.to_str().unwrap();
+    for bad in ["turbo", "portfolio:0", "portfolio:x", ""] {
+        let out = engage_cmd(&["plan", "--spec", path, "--solver", bad]);
+        assert!(!out.status.success(), "--solver {bad:?} should fail");
+    }
+    // Missing value is also an error.
+    let out = engage_cmd(&["plan", "--spec", path, "--solver"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn deploy_accepts_solver_flag() {
+    let spec = write_temp("fig2j.json", FIGURE_2);
+    let out = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--solver",
+        "portfolio:4",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("status openmrs: active"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
 fn output_file_writing() {
     let spec = write_temp("fig2f.json", FIGURE_2);
     let out_path = std::env::temp_dir().join("engage-cli-tests/full.json");

@@ -4,7 +4,7 @@
 
 use std::fmt::Write as _;
 
-use engage_config::{graph_gen, ConfigEngine};
+use engage_config::{graph_gen, ConfigEngine, ConfigSession, SolverMode};
 use engage_model::{DepKind, PartialInstallSpec, PartialInstance, Universe};
 use engage_util::prop::prelude::*;
 
@@ -182,6 +182,48 @@ proptest! {
             .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
         // One alternative per layer + server + app.
         prop_assert_eq!(outcome.spec.len(), 2 + case.widths.len());
+    }
+
+    #[test]
+    fn incremental_reconfigure_matches_fresh_configure_after_mutation(case in case_strategy()) {
+        // Configure, then mutate one user-chosen instance (re-pin the last
+        // layer to a different alternative) and reconfigure over the same
+        // incremental session. The outcome must match a fresh configure of
+        // the mutated spec: same spec size, valid, and the mutation honored.
+        let (u, _) = build(&case);
+        let last = case.widths.len() - 1;
+        let pinned = |alt: usize| -> PartialInstallSpec {
+            let key = format!("L{last}-a{alt} 1.0");
+            [
+                PartialInstance::new("server", "PropOS 1.0"),
+                PartialInstance::new("app", "App 1.0").inside("server"),
+                PartialInstance::new("pin", key.as_str()).inside("server"),
+            ]
+            .into_iter()
+            .collect()
+        };
+        let mutated_alt = case.widths[last] - 1;
+
+        let engine = ConfigEngine::new(&u).with_solver_mode(SolverMode::Incremental);
+        let mut session = ConfigSession::new();
+        let first = engine.reconfigure(&mut session, &pinned(0)).unwrap();
+        // The pin doubles as the app's env target on its layer, so the
+        // deployed set is server + app + one alternative per layer.
+        prop_assert_eq!(first.spec.len(), 2 + case.widths.len());
+        let outcome = engine.reconfigure(&mut session, &pinned(mutated_alt)).unwrap();
+
+        let fresh = ConfigEngine::new(&u).configure(&pinned(mutated_alt)).unwrap();
+        prop_assert_eq!(outcome.spec.len(), fresh.spec.len());
+        engage_model::check_install_spec(&u, &outcome.spec)
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        let pin_id: engage_model::InstanceId = "pin".into();
+        let pin = outcome.spec.iter().find(|i| i.id() == &pin_id)
+            .expect("pinned instance deployed");
+        prop_assert_eq!(pin.key().to_string(), format!("L{last}-a{mutated_alt} 1.0"));
+
+        // The unmutated spec re-solves over the same session too.
+        let again = engine.reconfigure(&mut session, &pinned(0)).unwrap();
+        prop_assert_eq!(again.spec.len(), first.spec.len());
     }
 
     #[test]

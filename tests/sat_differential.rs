@@ -3,8 +3,8 @@
 //! formulas; DIMACS must round-trip solver verdicts.
 
 use engage_sat::{
-    brute_force_models, count_models, dpll_solve, Cnf, ExactlyOneEncoding, Lit, SatResult, Solver,
-    Var,
+    brute_force_models, count_models, dpll_solve, verify_model, Cnf, ExactlyOneEncoding, Lit,
+    SatResult, Solver, Var,
 };
 use engage_util::obs::Obs;
 use engage_util::rand::{Rng, SeedableRng, StdRng};
@@ -59,16 +59,14 @@ fn cdcl_dpll_and_brute_force_agree_on_small_formulas() {
             "dpll disagrees with brute force (seed {seed})"
         );
         if let SatResult::Sat(m) = &cdcl {
-            assert!(
-                m.satisfies_all(cnf.clauses()),
-                "cdcl model invalid (seed {seed})"
-            );
+            if let Err(e) = verify_model(&cnf, m) {
+                panic!("cdcl model invalid (seed {seed}): {e}");
+            }
         }
         if let SatResult::Sat(m) = &dpll {
-            assert!(
-                m.satisfies_all(cnf.clauses()),
-                "dpll model invalid (seed {seed})"
-            );
+            if let Err(e) = verify_model(&cnf, m) {
+                panic!("dpll model invalid (seed {seed}): {e}");
+            }
         }
     }
 }
@@ -202,7 +200,9 @@ fn seeded_sweep_cdcl_vs_dpll_with_live_counters() {
             "cdcl and dpll disagree (round {round}, {vars} vars, {clauses} clauses)"
         );
         if let SatResult::Sat(m) = &cdcl {
-            assert!(m.satisfies_all(cnf.clauses()), "round {round}");
+            if let Err(e) = verify_model(&cnf, m) {
+                panic!("round {round}: {e}");
+            }
         }
 
         let stats = solver.stats();

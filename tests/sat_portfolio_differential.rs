@@ -1,0 +1,211 @@
+//! Differential tests for the portfolio and incremental solving layers:
+//! every solver mode must return the same SAT/UNSAT verdict as the serial
+//! CDCL solver on a seeded random-CNF sweep, every SAT model must verify
+//! against its formula, and first-winner cancellation must actually stop
+//! the losing workers.
+//!
+//! The sweep size defaults to a quick 16 instances; CI sets
+//! `ENGAGE_SAT_SWEEP_SEEDS` (e.g. 64) for the full differential run.
+
+use std::time::{Duration, Instant};
+
+use engage_sat::{
+    verify_model, Cnf, IncrementalSession, Lit, PortfolioSolver, SatResult, Solver, Var,
+};
+use engage_util::rand::{Rng, SeedableRng, StdRng};
+
+/// Random k-CNF over the repo's seeded RNG — the same generator shape as
+/// `tests/sat_differential.rs`, so both sweeps draw from one reproducible
+/// family of instances.
+fn seeded_cnf(rng: &mut StdRng, vars: u32, clauses: usize, clause_len: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    let vs: Vec<Var> = (0..vars).map(|_| cnf.fresh_var()).collect();
+    for _ in 0..clauses {
+        let c: Vec<Lit> = (0..clause_len)
+            .map(|_| {
+                let v = vs[rng.gen_range(0..vars as usize)];
+                Lit::new(v, rng.gen_range(0..2u32) == 0)
+            })
+            .collect();
+        cnf.add_clause(c);
+    }
+    cnf
+}
+
+/// Number of instances in the sweep: `ENGAGE_SAT_SWEEP_SEEDS` if set,
+/// else a quick default for local `cargo test`.
+fn sweep_seeds() -> u64 {
+    std::env::var("ENGAGE_SAT_SWEEP_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+#[test]
+fn portfolio_and_incremental_agree_with_serial_on_seeded_sweep() {
+    let seeds = sweep_seeds();
+    let mut disagreements = Vec::new();
+    for seed in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ (seed.wrapping_mul(0x9E3779B97F4A7C15)));
+        let vars = rng.gen_range(8..=16u32);
+        // Densities straddle the ~4.27 3-SAT threshold so the sweep mixes
+        // SAT and UNSAT instances.
+        let clauses = (vars as usize * rng.gen_range(30..=55u32) as usize) / 10;
+        let cnf = seeded_cnf(&mut rng, vars, clauses, 3);
+
+        let serial = Solver::from_cnf(&cnf).solve();
+        if let SatResult::Sat(m) = &serial {
+            if let Err(e) = verify_model(&cnf, m) {
+                panic!("serial model invalid (seed {seed}): {e}");
+            }
+        }
+
+        for workers in [1usize, 2, 4, 8] {
+            let outcome = PortfolioSolver::new(workers).solve(&cnf);
+            if outcome.result.is_sat() != serial.is_sat() {
+                disagreements.push(format!(
+                    "seed {seed}: portfolio:{workers} said {}, serial said {}",
+                    outcome.result.is_sat(),
+                    serial.is_sat()
+                ));
+                continue;
+            }
+            if let SatResult::Sat(m) = &outcome.result {
+                if let Err(e) = verify_model(&cnf, m) {
+                    panic!("portfolio:{workers} model invalid (seed {seed}): {e}");
+                }
+            }
+            assert_eq!(
+                outcome.finished_workers + outcome.canceled_workers,
+                workers,
+                "seed {seed}: portfolio:{workers} lost a worker report"
+            );
+        }
+
+        let mut session = IncrementalSession::new();
+        let inc = session.solve(&cnf, &[]);
+        if inc.result.is_sat() != serial.is_sat() {
+            disagreements.push(format!(
+                "seed {seed}: incremental said {}, serial said {}",
+                inc.result.is_sat(),
+                serial.is_sat()
+            ));
+        } else if let SatResult::Sat(m) = &inc.result {
+            if let Err(e) = verify_model(&cnf, m) {
+                panic!("incremental model invalid (seed {seed}): {e}");
+            }
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "{} disagreement(s) across {seeds} instances:\n{}",
+        disagreements.len(),
+        disagreements.join("\n")
+    );
+}
+
+#[test]
+fn portfolio_verdict_is_deterministic_across_runs() {
+    // The winning worker and its stats may differ run to run; the verdict
+    // (and, for this formula, the fact of satisfiability) may not.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let cnf = seeded_cnf(&mut rng, 12, 46, 3);
+    let first = PortfolioSolver::new(4).solve(&cnf).result.is_sat();
+    for _ in 0..5 {
+        assert_eq!(PortfolioSolver::new(4).solve(&cnf).result.is_sat(), first);
+    }
+}
+
+#[test]
+fn incremental_session_agrees_under_changing_assumptions() {
+    // Flip assumption sets over one session; a fresh solver per call is
+    // the oracle. Learned clauses carried across calls must never change
+    // a verdict.
+    let mut rng = StdRng::seed_from_u64(0xA55);
+    let cnf = seeded_cnf(&mut rng, 14, 50, 3);
+    let vs: Vec<Var> = (0..14).map(Var).collect();
+    let mut session = IncrementalSession::new();
+    for round in 0..12 {
+        let a = vs[rng.gen_range(0..vs.len())];
+        let b = vs[rng.gen_range(0..vs.len())];
+        let assumptions = vec![
+            Lit::new(a, rng.gen_bool(0.5)),
+            Lit::new(b, rng.gen_bool(0.5)),
+        ];
+        let inc = session.solve(&cnf, &assumptions);
+        let oracle = Solver::from_cnf(&cnf).solve_with_assumptions(&assumptions);
+        assert_eq!(
+            inc.result.is_sat(),
+            oracle.is_sat(),
+            "round {round}, assumptions {assumptions:?}"
+        );
+        if let SatResult::Sat(m) = &inc.result {
+            if let Err(e) = verify_model(&cnf, m) {
+                panic!("round {round}: {e}");
+            }
+            for lit in &assumptions {
+                assert_eq!(
+                    m.value(lit.var()),
+                    lit.is_positive(),
+                    "round {round}: assumption {lit:?} not honored"
+                );
+            }
+        }
+        if round > 0 {
+            assert!(inc.reused, "round {round} should reuse the session solver");
+        }
+    }
+}
+
+/// Pigeonhole formula: `holes + 1` pigeons into `holes` holes, provably
+/// UNSAT and exponentially hard for resolution — every worker needs real
+/// search time, so cancellation is observable.
+fn pigeonhole(holes: u32) -> Cnf {
+    let pigeons = holes + 1;
+    let mut cnf = Cnf::new();
+    let var = |p: u32, h: u32| Var(p * holes + h);
+    cnf.ensure_vars(pigeons * holes);
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| var(p, h).positive()).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                cnf.add_clause(vec![var(p1, h).negative(), var(p2, h).negative()]);
+            }
+        }
+    }
+    cnf
+}
+
+#[test]
+fn first_winner_cancels_the_losing_workers() {
+    // A hard UNSAT instance: no worker finishes instantly, so exactly one
+    // worker reaches a verdict and the other seven must observe the stop
+    // flag mid-search and bail out with `None`.
+    let cnf = pigeonhole(7);
+
+    let t0 = Instant::now();
+    let serial = Solver::from_cnf(&cnf).solve();
+    let serial_wall = t0.elapsed();
+    assert_eq!(serial, SatResult::Unsat);
+
+    let t1 = Instant::now();
+    let outcome = PortfolioSolver::new(8).solve(&cnf);
+    let portfolio_wall = t1.elapsed();
+
+    assert_eq!(outcome.result, SatResult::Unsat);
+    assert_eq!(outcome.finished_workers, 1, "exactly one worker decides");
+    assert_eq!(outcome.canceled_workers, 7, "seven workers must cancel");
+
+    // Promptness, on a monotonic clock with no sleeps: worker 0 runs the
+    // default configuration, so the first finisher needs at most about one
+    // serial solve of work, and the eight workers time-share the machine
+    // until the flag flips. A worker that ignored the flag would run its
+    // own full (diversified, often slower) search to completion instead.
+    assert!(
+        portfolio_wall <= serial_wall * 10 + Duration::from_secs(2),
+        "portfolio took {portfolio_wall:?} vs serial {serial_wall:?}: \
+         losing workers did not exit promptly"
+    );
+}
