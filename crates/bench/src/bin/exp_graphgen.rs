@@ -1,0 +1,122 @@
+//! Experiment: indexed GraphGen vs the naive scan-based oracle.
+//!
+//! The front half of the pipeline (§4's hypergraph generation) used to
+//! be quadratic-plus: every universe query re-derived its answer and
+//! every worklist step scanned the whole node list. The indexed path
+//! (`UniverseIndex` + hash/handle-indexed `HyperGraph`) makes each step
+//! near-constant. This experiment measures both on the same synthetic
+//! workloads, checks the outputs are *identical* (the naive path is the
+//! oracle), and asserts the headline claim: **≥10x median GraphGen
+//! speedup at 2k+ instances**.
+//!
+//! Run with:
+//! `cargo run -p engage-bench --release --bin exp_graphgen [--smoke] [--metrics [FILE]] [--trace FILE]`
+//!
+//! `--smoke` runs small sizes only (no 10x assertion) for CI.
+
+use std::time::Instant;
+
+use engage_bench::{graphgen_partial, graphgen_universe, Reporter};
+use engage_config::{graph_gen_indexed, graph_gen_naive};
+use engage_model::UniverseIndex;
+
+/// Median of a sample in microseconds.
+fn median_us(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reporter = Reporter::from_args("graphgen");
+    let obs = reporter.obs();
+
+    // services × width × chain_depth fixed; machines is the scaling
+    // knob. Nodes ≈ machines × (2 + services × width).
+    let (services, width, chain_depth) = if smoke { (4, 4, 3) } else { (25, 8, 6) };
+    let machines: &[usize] = if smoke { &[1, 2] } else { &[2, 4, 10] };
+    let reps = if smoke { 2 } else { 3 };
+
+    println!("== GraphGen: naive (scan-based oracle) vs indexed ==");
+    println!("(universe: {services} service families × {width}-wide frontiers,");
+    println!(" {chain_depth}-deep abstract chains, version-range lib family)");
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>12} {:>9}",
+        "machines", "nodes", "naive", "indexed", "idx build", "speedup"
+    );
+
+    let universe = graphgen_universe(services, width, chain_depth);
+    let mut headline: Option<(usize, f64)> = None;
+    for &m in machines {
+        let partial = graphgen_partial(m);
+
+        // The index is built once per universe (exactly what
+        // ConfigEngine::new does) and reused across runs; its one-time
+        // build cost is reported in its own column.
+        let t = Instant::now();
+        let index = UniverseIndex::new(&universe);
+        let index_build_us = t.elapsed().as_micros();
+
+        // Oracle check first: the two paths must produce identical
+        // hypergraphs before their timings mean anything.
+        let naive_graph = graph_gen_naive(&universe, &partial).expect("naive GraphGen succeeds");
+        let indexed_graph = graph_gen_indexed(&index, &partial).expect("indexed GraphGen succeeds");
+        assert_eq!(
+            naive_graph, indexed_graph,
+            "indexed GraphGen diverged from the oracle at {m} machines"
+        );
+        let nodes = indexed_graph.nodes().len();
+
+        let mut naive_us = Vec::with_capacity(reps);
+        let mut indexed_us = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            let g = graph_gen_naive(&universe, &partial).expect("naive GraphGen succeeds");
+            naive_us.push(t.elapsed().as_micros());
+            assert_eq!(g.nodes().len(), nodes);
+
+            let t = Instant::now();
+            let g = graph_gen_indexed(&index, &partial).expect("indexed GraphGen succeeds");
+            indexed_us.push(t.elapsed().as_micros());
+            assert_eq!(g.nodes().len(), nodes);
+        }
+        let naive_median = median_us(&mut naive_us);
+        let indexed_median = median_us(&mut indexed_us).max(1);
+        let speedup = naive_median as f64 / indexed_median as f64;
+        println!(
+            "{m:<10} {nodes:>7} {naive_median:>9} µs {indexed_median:>9} µs {index_build_us:>9} µs {speedup:>8.1}x"
+        );
+        obs.gauge(&format!("bench.graphgen.m{m}.nodes"))
+            .set(nodes as i64);
+        obs.gauge(&format!("bench.graphgen.m{m}.naive_median_us"))
+            .set(naive_median as i64);
+        obs.gauge(&format!("bench.graphgen.m{m}.indexed_median_us"))
+            .set(indexed_median as i64);
+        obs.gauge(&format!("bench.graphgen.m{m}.index_build_us"))
+            .set(index_build_us as i64);
+        obs.gauge(&format!("bench.graphgen.m{m}.speedup_x100"))
+            .set((speedup * 100.0) as i64);
+        if nodes >= 2000 {
+            headline = Some((nodes, speedup));
+        }
+    }
+
+    if smoke {
+        println!("\nsmoke mode: sizes are small, no speedup threshold enforced");
+    } else {
+        let (nodes, speedup) = headline.expect("full mode reaches a >= 2000-node size");
+        obs.gauge("bench.graphgen.headline_nodes").set(nodes as i64);
+        obs.gauge("bench.graphgen.headline_speedup_x100")
+            .set((speedup * 100.0) as i64);
+        assert!(
+            speedup >= 10.0,
+            "indexed GraphGen must be >= 10x faster than the naive path at \
+             {nodes} nodes (measured {speedup:.1}x)"
+        );
+        println!(
+            "\nheadline: at {nodes} instances, indexed GraphGen is {speedup:.1}x \
+             faster than the scan-based path (threshold 10x)"
+        );
+    }
+    reporter.finish();
+}

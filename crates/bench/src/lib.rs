@@ -8,7 +8,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use engage_model::{PartialInstallSpec, PartialInstance, Universe};
+use engage_model::{
+    DepKind, DepTarget, Dependency, PartialInstallSpec, PartialInstance, ResourceType, Universe,
+    VersionRange,
+};
 use engage_util::rand::{Rng, SeedableRng, StdRng};
 
 pub mod report;
@@ -82,6 +85,107 @@ pub fn synthetic_partial() -> PartialInstallSpec {
     ]
     .into_iter()
     .collect()
+}
+
+/// Builds the GraphGen scaling workload: a resource library stressing
+/// every universe query the worklist makes, constructed with the typed
+/// builders (no DSL parse) so thousands of types stay cheap to set up.
+///
+/// * an abstract `BenchServer` machine with one concrete OS;
+/// * `services` service families; family `s` is an abstract `Svc<s>`
+///   under a `chain_depth`-deep chain of abstract mid types (deep
+///   `extends` chains for the subtype/effective caches), with `width`
+///   concrete `Svc<s>-impl<w> 1.0` leaves at the bottom (wide concrete
+///   frontiers), each inside `BenchServer` and env-depending on the
+///   *next* family — so one app instance cascades into
+///   `services × width` nodes per machine;
+/// * `width` concrete `BenchLib <w>.0.0` versions (the version-range
+///   table);
+/// * a `BenchApp 1.0` that env-depends on `Svc0` and peer-depends on a
+///   `BenchLib` version range.
+pub fn graphgen_universe(services: usize, width: usize, chain_depth: usize) -> Universe {
+    let mut u = Universe::new();
+    u.insert(ResourceType::builder("BenchServer").abstract_type().build())
+        .expect("fresh universe");
+    u.insert(
+        ResourceType::builder("BenchOS 1.0")
+            .extends("BenchServer")
+            .build(),
+    )
+    .expect("unique key");
+    let inside_server = || Dependency::on(DepKind::Inside, "BenchServer", vec![]);
+    for s in 0..services {
+        u.insert(
+            ResourceType::builder(format!("Svc{s}").as_str())
+                .abstract_type()
+                .build(),
+        )
+        .expect("unique key");
+        let mut parent = format!("Svc{s}");
+        for d in 0..chain_depth {
+            let mid = format!("Svc{s}-mid{d}");
+            u.insert(
+                ResourceType::builder(mid.as_str())
+                    .abstract_type()
+                    .extends(parent.as_str())
+                    .build(),
+            )
+            .expect("unique key");
+            parent = mid;
+        }
+        for w in 0..width {
+            let mut b = ResourceType::builder(format!("Svc{s}-impl{w} 1.0").as_str())
+                .extends(parent.as_str())
+                .inside(inside_server());
+            if s + 1 < services {
+                b = b.dependency(Dependency::on(
+                    DepKind::Environment,
+                    format!("Svc{}", s + 1).as_str(),
+                    vec![],
+                ));
+            }
+            u.insert(b.build()).expect("unique key");
+        }
+    }
+    for w in 0..width {
+        u.insert(
+            ResourceType::builder(format!("BenchLib {}.0.0", w + 1).as_str())
+                .inside(inside_server())
+                .build(),
+        )
+        .expect("unique key");
+    }
+    u.insert(
+        ResourceType::builder("BenchApp 1.0")
+            .inside(inside_server())
+            .dependency(Dependency::on(DepKind::Environment, "Svc0", vec![]))
+            .dependency(Dependency::new(
+                DepKind::Peer,
+                vec![DepTarget::Range {
+                    name: "BenchLib".into(),
+                    range: VersionRange::any(),
+                }],
+                vec![],
+            ))
+            .build(),
+    )
+    .expect("unique key");
+    u
+}
+
+/// The partial spec driving [`graphgen_universe`]: `machines` servers,
+/// one app on each. GraphGen expands this to roughly
+/// `machines × (2 + services × width)` nodes.
+pub fn graphgen_partial(machines: usize) -> PartialInstallSpec {
+    (0..machines)
+        .flat_map(|m| {
+            [
+                PartialInstance::new(format!("server{m}"), "BenchOS 1.0"),
+                PartialInstance::new(format!("app{m}"), "BenchApp 1.0")
+                    .inside(format!("server{m}")),
+            ]
+        })
+        .collect()
 }
 
 /// A reproducible random 3-CNF formula with `vars` variables and
@@ -171,6 +275,18 @@ mod tests {
             .count_configurations(&synthetic_partial(), 1000)
             .unwrap();
         assert_eq!(n, 8); // 2^3 independent layer choices
+    }
+
+    #[test]
+    fn graphgen_workload_expands_and_matches_oracle() {
+        let u = graphgen_universe(3, 4, 2);
+        let partial = graphgen_partial(2);
+        let indexed = engage_config::graph_gen(&u, &partial).unwrap();
+        let naive = engage_config::graph_gen_naive(&u, &partial).unwrap();
+        assert_eq!(indexed, naive);
+        // Per machine: server + app + services×width cascade; libs are
+        // peer-shared so one set total.
+        assert_eq!(indexed.nodes().len(), 2 * (2 + 3 * 4) + 4);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use engage_model::{
     check_install_spec, InstallSpec, InstanceId, ModelError, PartialInstallSpec, ResourceKey,
-    Universe,
+    Universe, UniverseIndex,
 };
 use engage_sat::{
     ExactlyOneEncoding, IncrementalSession, PortfolioSolver, SatResult, Solver, SolverStats,
@@ -14,7 +15,7 @@ use engage_sat::{
 use engage_util::obs::Obs;
 
 use crate::constraints::{generate, generate_structural, Constraints};
-use crate::graph::{graph_gen, HyperGraph};
+use crate::graph::{graph_gen_indexed, HyperGraph};
 
 /// How the engine discharges the SAT query at the heart of
 /// [`ConfigEngine::configure`]. See `docs/solver-modes.md`.
@@ -230,6 +231,10 @@ pub struct ConfigOutcome {
 #[derive(Debug, Clone)]
 pub struct ConfigEngine<'a> {
     universe: &'a Universe,
+    /// Query index over `universe`, built once at engine construction and
+    /// shared by every configure/reconfigure through this engine (clones
+    /// share it too). GraphGen runs against this, not the raw universe.
+    index: Arc<UniverseIndex>,
     encoding: ExactlyOneEncoding,
     verify: bool,
     obs: Obs,
@@ -238,9 +243,12 @@ pub struct ConfigEngine<'a> {
 
 impl<'a> ConfigEngine<'a> {
     /// Creates an engine with the default (pairwise) exactly-one encoding.
+    /// Builds the [`UniverseIndex`] eagerly — one pass over the universe —
+    /// so repeated configure calls pay only O(1)–O(answer) query costs.
     pub fn new(universe: &'a Universe) -> Self {
         ConfigEngine {
             universe,
+            index: Arc::new(UniverseIndex::new(universe)),
             encoding: ExactlyOneEncoding::Pairwise,
             verify: true,
             obs: Obs::disabled(),
@@ -284,6 +292,36 @@ impl<'a> ConfigEngine<'a> {
     /// The universe the engine configures against.
     pub fn universe(&self) -> &Universe {
         self.universe
+    }
+
+    /// The engine's shared [`UniverseIndex`] (for callers that want to
+    /// run indexed queries or GraphGen themselves).
+    pub fn index(&self) -> &Arc<UniverseIndex> {
+        &self.index
+    }
+
+    /// Pushes the index's size and cumulative lookup counters into the
+    /// engine's obs sink as `universe.index.*` gauges.
+    fn report_index_stats(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let stats = self.index.stats();
+        self.obs
+            .gauge("universe.index.types")
+            .set(stats.types as i64);
+        self.obs
+            .gauge("universe.index.effective_lookups")
+            .set(stats.effective_lookups as i64);
+        self.obs
+            .gauge("universe.index.frontier_lookups")
+            .set(stats.frontier_lookups as i64);
+        self.obs
+            .gauge("universe.index.subtype_queries")
+            .set(stats.subtype_queries as i64);
+        self.obs
+            .gauge("universe.index.expand_queries")
+            .set(stats.expand_queries as i64);
     }
 
     /// Computes a full installation specification extending `partial`
@@ -346,8 +384,16 @@ impl<'a> ConfigEngine<'a> {
             None => {
                 let graph = {
                     let _s = self.obs.span("config.graphgen");
-                    graph_gen(self.universe, partial)?
+                    graph_gen_indexed(&self.index, partial)?
                 };
+                self.obs.counter("config.graphgen.runs").incr();
+                self.obs
+                    .gauge("config.graphgen.nodes")
+                    .set(graph.nodes().len() as i64);
+                self.obs
+                    .gauge("config.graphgen.edges")
+                    .set(graph.edges().len() as i64);
+                self.report_index_stats();
                 // Incremental mode splits off the spec units as assumption
                 // literals; the other modes solve the full formula.
                 let (constraints, spec_lits) = {
@@ -487,7 +533,7 @@ impl<'a> ConfigEngine<'a> {
         partial: &PartialInstallSpec,
         limit: usize,
     ) -> Result<usize, ConfigError> {
-        let graph = graph_gen(self.universe, partial)?;
+        let graph = graph_gen_indexed(&self.index, partial)?;
         let constraints: Constraints = generate(&graph, self.encoding);
         let ids: Vec<InstanceId> = constraints.vars().map(|(id, _)| id.clone()).collect();
         let mut minimal = 0usize;

@@ -4,12 +4,30 @@
 //! and constructs a directed resource instance graph whose nodes are
 //! resource instances, and whose hyperedges represent dependencies between
 //! resource instances."
+//!
+//! Two implementations are kept side by side:
+//!
+//! * [`graph_gen_indexed`] — the production path. It runs over a
+//!   prebuilt [`UniverseIndex`] (memoized effective types, cached
+//!   frontiers, O(1) subtype tests) and a [`HyperGraph`] whose node
+//!   lookups, machine resolution and candidate matching are all
+//!   hash/handle-indexed, making each worklist step near-constant.
+//! * [`graph_gen_naive`] — the original scan-based algorithm, retained
+//!   verbatim as a differential-testing oracle (every lookup is a linear
+//!   scan over `Universe` / the node list, as in the seed
+//!   implementation). `tests/graphgen_properties.rs` proves the two
+//!   produce identical hypergraphs; `exp_graphgen` measures the gap.
+//!
+//! [`graph_gen`] is the convenience wrapper: build an index, run the
+//! indexed path.
 
-use std::collections::BTreeMap;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use engage_model::{
-    DepKind, InstanceId, ModelError, PartialInstallSpec, ResourceKey, Universe, Value,
+    DepKind, InstanceId, ModelError, PartialInstallSpec, ResourceKey, Universe, UniverseIndex,
+    Value,
 };
 
 /// A node of the resource-instance hypergraph: a (potential) resource
@@ -89,11 +107,42 @@ impl HyperEdge {
     }
 }
 
+/// Memoized machine of a node (`machine[h]` for node handle `h`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MachineMemo {
+    /// Not computed yet — `machine_of` falls back to walking inside links.
+    Unresolved,
+    /// The walk does not terminate at a machine (dangling link or an
+    /// inside cycle).
+    NoMachine,
+    /// Handle of the machine node at the top of the inside chain.
+    Machine(u32),
+}
+
 /// The directed resource-instance hypergraph of §4 (Figure 5).
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Nodes are stored densely and addressed by `u32` handles internally;
+/// an id→handle hash index makes [`HyperGraph::node`] O(1), a per-node
+/// memo makes [`HyperGraph::machine_of`] O(1) once
+/// [`HyperGraph::resolve_machines`] has run (GraphGen runs it), and a
+/// per-source edge index backs [`HyperGraph::edges_from`]. Equality
+/// compares nodes and edges only — the indexes are derived data.
+#[derive(Debug, Clone, Default)]
 pub struct HyperGraph {
     nodes: Vec<Node>,
     edges: Vec<HyperEdge>,
+    /// Instance id → node handle.
+    id_index: HashMap<InstanceId, u32>,
+    /// Node handle → memoized machine.
+    machine: Vec<MachineMemo>,
+    /// Node handle → indexes into `edges` with that source.
+    edges_by_source: Vec<Vec<u32>>,
+}
+
+impl PartialEq for HyperGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.edges == other.edges
+    }
 }
 
 impl HyperGraph {
@@ -107,29 +156,105 @@ impl HyperGraph {
         &self.edges
     }
 
-    /// Node lookup by id.
+    /// Node lookup by id (hash index; O(1)).
     pub fn node(&self, id: &InstanceId) -> Option<&Node> {
-        self.nodes.iter().find(|n| n.id() == id)
+        self.id_index.get(id).map(|&h| &self.nodes[h as usize])
     }
 
-    /// The machine a node lives on, by walking inside links. A node with no
-    /// container is its own machine.
+    /// The machine a node lives on. A node with no container is its own
+    /// machine. O(1) when the memo is resolved (GraphGen resolves it);
+    /// otherwise falls back to walking inside links with a cycle guard.
     pub fn machine_of(&self, id: &InstanceId) -> Option<InstanceId> {
-        let mut cur = self.node(id)?;
-        let mut hops = 0;
-        while let Some(parent) = cur.inside() {
-            cur = self.node(parent)?;
-            hops += 1;
-            if hops > self.nodes.len() {
-                return None;
+        let h = *self.id_index.get(id)?;
+        match self.machine[h as usize] {
+            MachineMemo::Machine(m) => Some(self.nodes[m as usize].id.clone()),
+            MachineMemo::NoMachine => None,
+            MachineMemo::Unresolved => {
+                let mut cur = &self.nodes[h as usize];
+                let mut hops = 0;
+                while let Some(parent) = cur.inside() {
+                    cur = self.node(parent)?;
+                    hops += 1;
+                    if hops > self.nodes.len() {
+                        return None;
+                    }
+                }
+                Some(cur.id().clone())
             }
         }
-        Some(cur.id().clone())
     }
 
-    /// Edges whose source is `id`.
-    pub fn edges_from<'a>(&'a self, id: &'a InstanceId) -> impl Iterator<Item = &'a HyperEdge> {
-        self.edges.iter().filter(move |e| e.source() == id)
+    /// Edges whose source is `id` (per-source index; O(answer)).
+    pub fn edges_from(&self, id: &InstanceId) -> impl Iterator<Item = &HyperEdge> {
+        let idxs: &[u32] = self
+            .id_index
+            .get(id)
+            .map(|&h| self.edges_by_source[h as usize].as_slice())
+            .unwrap_or(&[]);
+        idxs.iter().map(|&i| &self.edges[i as usize])
+    }
+
+    /// Appends a node, maintaining the id and machine indexes; returns
+    /// its dense handle.
+    fn push_node(&mut self, node: Node) -> u32 {
+        let h = self.nodes.len() as u32;
+        self.id_index.insert(node.id.clone(), h);
+        self.nodes.push(node);
+        self.machine.push(MachineMemo::Unresolved);
+        self.edges_by_source.push(Vec::new());
+        h
+    }
+
+    /// Appends an edge, maintaining the per-source index.
+    fn push_edge(&mut self, edge: HyperEdge) {
+        let i = self.edges.len() as u32;
+        if let Some(&h) = self.id_index.get(&edge.source) {
+            self.edges_by_source[h as usize].push(i);
+        }
+        self.edges.push(edge);
+    }
+
+    /// Memoized machine handle of node `h` (only meaningful after
+    /// [`HyperGraph::resolve_machines`]).
+    fn machine_handle(&self, h: u32) -> Option<u32> {
+        match self.machine[h as usize] {
+            MachineMemo::Machine(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Resolves the machine memo for every node in one pass: each inside
+    /// chain is walked once and the answer shared by the whole path
+    /// (dangling links and inside cycles resolve to "no machine").
+    fn resolve_machines(&mut self) {
+        for start in 0..self.nodes.len() {
+            if self.machine[start] != MachineMemo::Unresolved {
+                continue;
+            }
+            let mut path: Vec<u32> = vec![start as u32];
+            let answer = loop {
+                let cur = *path.last().expect("path is non-empty") as usize;
+                match &self.nodes[cur].inside {
+                    None => break MachineMemo::Machine(cur as u32),
+                    Some(parent) => match self.id_index.get(parent) {
+                        None => break MachineMemo::NoMachine,
+                        Some(&ph) => match self.machine[ph as usize] {
+                            MachineMemo::Machine(m) => break MachineMemo::Machine(m),
+                            MachineMemo::NoMachine => break MachineMemo::NoMachine,
+                            MachineMemo::Unresolved => {
+                                if path.contains(&ph) {
+                                    break MachineMemo::NoMachine;
+                                }
+                                path.push(ph);
+                            }
+                        },
+                    },
+                }
+            };
+            for h in path {
+                self.machine[h as usize] = answer;
+            }
+        }
     }
 
     /// Renders the graph in a compact text form (the Figure 5 view):
@@ -173,14 +298,59 @@ impl HyperGraph {
     }
 }
 
+/// First-match candidate index for the worklist's node-reuse rule:
+/// "match an existing node of the target type (or a declared subtype)".
+/// Buckets hold the *lowest* node handle per type key — equivalent to the
+/// naive first-in-creation-order scan.
+#[derive(Default)]
+struct Candidates {
+    /// Type key → first node handle with that key (any machine) — the
+    /// peer-dependency pool.
+    any: HashMap<ResourceKey, u32>,
+    /// Type key → machine handle → first node handle — the
+    /// environment-dependency (same machine) pool.
+    by_machine: HashMap<ResourceKey, HashMap<u32, u32>>,
+}
+
+impl Candidates {
+    fn insert(&mut self, key: &ResourceKey, machine: Option<u32>, h: u32) {
+        self.any.entry(key.clone()).or_insert(h);
+        if let Some(m) = machine {
+            self.by_machine
+                .entry(key.clone())
+                .or_default()
+                .entry(m)
+                .or_insert(h);
+        }
+    }
+
+    /// First (lowest-handle) node whose type is `key` or a declared
+    /// subtype of it, optionally restricted to one machine. The subtype
+    /// set comes from the index's preorder slice, so the probe is
+    /// O(|subtree|) hash lookups, independent of graph size.
+    fn first_match(
+        &self,
+        index: &UniverseIndex,
+        key: &ResourceKey,
+        machine: Option<u32>,
+    ) -> Option<u32> {
+        let desc = index.desc_or_self(key);
+        match machine {
+            Some(m) => desc
+                .iter()
+                .filter_map(|tk| self.by_machine.get(tk)?.get(&m).copied())
+                .min(),
+            None => desc.iter().filter_map(|tk| self.any.get(tk).copied()).min(),
+        }
+    }
+}
+
 /// Runs GraphGen over a partial install specification (§4, Lemma 1).
 ///
-/// For every partial instance a node is created; the worklist then chases
-/// dependencies: each disjunct of an environment dependency is matched to
-/// an existing same-machine node (declared-subtype match) or a fresh node
-/// on the same machine; peer dependencies match any machine but new nodes
-/// are conservatively assumed to live on the same machine (§4). The system
-/// "does not generate new machines automatically".
+/// Builds a [`UniverseIndex`] and delegates to [`graph_gen_indexed`];
+/// callers that run GraphGen repeatedly over one universe (the
+/// configuration engine does) should build the index once and call the
+/// indexed entry point directly.
 ///
 /// # Errors
 ///
@@ -191,34 +361,58 @@ pub fn graph_gen(
     universe: &Universe,
     partial: &PartialInstallSpec,
 ) -> Result<HyperGraph, ModelError> {
+    graph_gen_indexed(&UniverseIndex::new(universe), partial)
+}
+
+/// The index-backed GraphGen (§4): identical semantics to
+/// [`graph_gen_naive`] — property-tested in
+/// `tests/graphgen_properties.rs` — with near-constant worklist steps.
+///
+/// For every partial instance a node is created; the worklist then chases
+/// dependencies: each disjunct of an environment dependency is matched to
+/// an existing same-machine node (declared-subtype match) or a fresh node
+/// on the same machine; peer dependencies match any machine but new nodes
+/// are conservatively assumed to live on the same machine (§4). The system
+/// "does not generate new machines automatically".
+///
+/// # Errors
+///
+/// As [`graph_gen`].
+pub fn graph_gen_indexed(
+    index: &UniverseIndex,
+    partial: &PartialInstallSpec,
+) -> Result<HyperGraph, ModelError> {
     let mut g = HyperGraph::default();
-    let mut worklist: Vec<InstanceId> = Vec::new();
+    let mut worklist: Vec<u32> = Vec::new();
     let mut fresh_counter: BTreeMap<String, usize> = BTreeMap::new();
 
     // Seed with the partial spec ("for every resource instance in the
-    // partial install specification, we create a node").
+    // partial install specification, we create a node"), keeping each
+    // instance's effective type for the validation pass below instead of
+    // recomputing it.
+    let mut spec_tys = Vec::new();
     for inst in partial.iter() {
-        let ty = universe.effective(inst.key())?;
+        let ty = index.effective(inst.key())?;
         if ty.is_abstract() {
             return Err(ModelError::AbstractInstantiation {
                 key: inst.key().clone(),
                 instance: inst.id().to_string(),
             });
         }
-        g.nodes.push(Node {
+        let h = g.push_node(Node {
             id: inst.id().clone(),
             key: inst.key().clone(),
             from_spec: true,
             inside: inst.inside_link().cloned(),
             config_overrides: inst.config_overrides().clone(),
         });
-        worklist.push(inst.id().clone());
+        worklist.push(h);
+        spec_tys.push(ty);
     }
 
     // Validate spec-level inside links early ("we assume that the partial
     // installation specification resolves inside dependencies").
-    for inst in partial.iter() {
-        let ty = universe.effective(inst.key())?;
+    for (inst, ty) in partial.iter().zip(&spec_tys) {
         match (ty.inside(), inst.inside_link()) {
             (None, None) => {}
             (None, Some(link)) => {
@@ -246,6 +440,201 @@ pub fn graph_gen(
                     ),
                 })?;
                 let referrer = format!("instance `{}`", inst.id());
+                let targets = index.expand_targets(dep, &referrer)?;
+                let ok = targets
+                    .iter()
+                    .any(|t| index.is_declared_subtype(node.key(), t));
+                if !ok {
+                    return Err(ModelError::SpecError {
+                        detail: format!(
+                            "inside link of `{}` points at `{link}` (`{}`), which satisfies \
+                             none of {dep}",
+                            inst.id(),
+                            node.key()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Spec inside links may point forward, so machines are resolved in
+    // one pass now that all spec nodes exist; every node GraphGen adds
+    // below gets its machine memo filled at creation.
+    g.resolve_machines();
+    let mut candidates = Candidates::default();
+    for (h, node) in g.nodes.iter().enumerate() {
+        candidates.insert(&node.key, g.machine_handle(h as u32), h as u32);
+    }
+
+    // Expansion memo: (source type key, dep index) → concrete target
+    // keys. Safe to share across instances because the expansion only
+    // depends on the type, and the referrer string only appears in
+    // errors, which abort GraphGen at first occurrence.
+    let mut expanded: HashMap<(ResourceKey, usize), Vec<ResourceKey>> = HashMap::new();
+
+    // Worklist processing.
+    while let Some(h) = worklist.pop() {
+        let id = g.nodes[h as usize].id.clone();
+        let src_key = g.nodes[h as usize].key.clone();
+        let inside_link = g.nodes[h as usize].inside.clone();
+        let ty = index.effective(&src_key)?;
+        let mm = g.machine_handle(h).ok_or_else(|| ModelError::SpecError {
+            detail: format!("cannot determine the machine of `{id}`"),
+        })?;
+
+        for (dep_index, dep) in ty.dependencies().enumerate() {
+            match dep.kind() {
+                DepKind::Inside => {
+                    let target = inside_link.clone().ok_or_else(|| ModelError::SpecError {
+                        detail: format!("instance `{id}` has an inside dependency but no link"),
+                    })?;
+                    g.push_edge(HyperEdge {
+                        source: id.clone(),
+                        kind: DepKind::Inside,
+                        dep_index,
+                        targets: vec![target],
+                    });
+                }
+                DepKind::Environment | DepKind::Peer => {
+                    let keys = match expanded.entry((src_key.clone(), dep_index)) {
+                        Entry::Occupied(e) => e.into_mut(),
+                        Entry::Vacant(e) => {
+                            let referrer = format!("instance `{id}`");
+                            e.insert(index.expand_targets(dep, &referrer)?)
+                        }
+                    };
+                    let same_machine = match dep.kind() {
+                        DepKind::Environment => Some(mm),
+                        _ => None,
+                    };
+                    let mut targets = Vec::with_capacity(keys.len());
+                    for key in keys.iter() {
+                        let found = candidates.first_match(index, key, same_machine);
+                        let target_id = match found {
+                            Some(n) => g.nodes[n as usize].id.clone(),
+                            None => {
+                                let new_id =
+                                    fresh_id(&mut fresh_counter, key, |id| g.node(id).is_some());
+                                let new_ty = index.effective(key)?;
+                                let inside = if new_ty.is_machine() {
+                                    None
+                                } else {
+                                    // New instances live on the dependent's
+                                    // machine (conservative, §4).
+                                    Some(g.nodes[mm as usize].id.clone())
+                                };
+                                let is_machine = inside.is_none();
+                                let nh = g.push_node(Node {
+                                    id: new_id.clone(),
+                                    key: key.clone(),
+                                    from_spec: false,
+                                    inside,
+                                    config_overrides: BTreeMap::new(),
+                                });
+                                g.machine[nh as usize] =
+                                    MachineMemo::Machine(if is_machine { nh } else { mm });
+                                candidates.insert(key, g.machine_handle(nh), nh);
+                                worklist.push(nh);
+                                new_id
+                            }
+                        };
+                        targets.push(target_id);
+                    }
+                    g.push_edge(HyperEdge {
+                        source: id.clone(),
+                        kind: dep.kind(),
+                        dep_index,
+                        targets,
+                    });
+                }
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The original scan-based GraphGen, retained as a differential-testing
+/// oracle: every universe query re-derives its answer and every node
+/// lookup is a linear scan, exactly as in the pre-index implementation.
+/// Do not use outside tests and benchmarks.
+///
+/// # Errors
+///
+/// As [`graph_gen`].
+pub fn graph_gen_naive(
+    universe: &Universe,
+    partial: &PartialInstallSpec,
+) -> Result<HyperGraph, ModelError> {
+    /// Linear node lookup (the oracle must not benefit from the id index).
+    fn naive_node<'a>(g: &'a HyperGraph, id: &InstanceId) -> Option<&'a Node> {
+        g.nodes.iter().find(|n| n.id() == id)
+    }
+    /// Inside-link walk with linear lookups and a hop guard.
+    fn naive_machine_of(g: &HyperGraph, id: &InstanceId) -> Option<InstanceId> {
+        let mut cur = naive_node(g, id)?;
+        let mut hops = 0;
+        while let Some(parent) = cur.inside() {
+            cur = naive_node(g, parent)?;
+            hops += 1;
+            if hops > g.nodes.len() {
+                return None;
+            }
+        }
+        Some(cur.id().clone())
+    }
+
+    let mut g = HyperGraph::default();
+    let mut worklist: Vec<InstanceId> = Vec::new();
+    let mut fresh_counter: BTreeMap<String, usize> = BTreeMap::new();
+
+    for inst in partial.iter() {
+        let ty = universe.effective(inst.key())?;
+        if ty.is_abstract() {
+            return Err(ModelError::AbstractInstantiation {
+                key: inst.key().clone(),
+                instance: inst.id().to_string(),
+            });
+        }
+        g.push_node(Node {
+            id: inst.id().clone(),
+            key: inst.key().clone(),
+            from_spec: true,
+            inside: inst.inside_link().cloned(),
+            config_overrides: inst.config_overrides().clone(),
+        });
+        worklist.push(inst.id().clone());
+    }
+
+    for inst in partial.iter() {
+        let ty = universe.effective(inst.key())?;
+        match (ty.inside(), inst.inside_link()) {
+            (None, None) => {}
+            (None, Some(link)) => {
+                return Err(ModelError::SpecError {
+                    detail: format!(
+                        "machine instance `{}` declares an inside link to `{link}`",
+                        inst.id()
+                    ),
+                })
+            }
+            (Some(_), None) => {
+                return Err(ModelError::SpecError {
+                    detail: format!(
+                        "instance `{}` must resolve its inside dependency in the partial spec \
+                         (Engage does not generate new machines automatically)",
+                        inst.id()
+                    ),
+                })
+            }
+            (Some(dep), Some(link)) => {
+                let node = naive_node(&g, link).ok_or_else(|| ModelError::SpecError {
+                    detail: format!(
+                        "inside link of `{}` points at `{link}`, which is not in the partial spec",
+                        inst.id()
+                    ),
+                })?;
+                let referrer = format!("instance `{}`", inst.id());
                 let targets = universe.expand_targets(dep, &referrer)?;
                 let ok = targets
                     .iter()
@@ -264,12 +653,13 @@ pub fn graph_gen(
         }
     }
 
-    // Worklist processing.
     while let Some(id) = worklist.pop() {
-        let node = g.node(&id).expect("worklist ids are in the graph").clone();
+        let node = naive_node(&g, &id)
+            .expect("worklist ids are in the graph")
+            .clone();
         let ty = universe.effective(node.key())?;
         let referrer = format!("instance `{id}`");
-        let my_machine = g.machine_of(&id).ok_or_else(|| ModelError::SpecError {
+        let my_machine = naive_machine_of(&g, &id).ok_or_else(|| ModelError::SpecError {
             detail: format!("cannot determine the machine of `{id}`"),
         })?;
 
@@ -282,7 +672,7 @@ pub fn graph_gen(
                         .ok_or_else(|| ModelError::SpecError {
                             detail: format!("instance `{id}` has an inside dependency but no link"),
                         })?;
-                    g.edges.push(HyperEdge {
+                    g.push_edge(HyperEdge {
                         source: id.clone(),
                         kind: DepKind::Inside,
                         dep_index,
@@ -301,7 +691,7 @@ pub fn graph_gen(
                             }
                             match dep.kind() {
                                 DepKind::Environment => {
-                                    g.machine_of(n.id()) == Some(my_machine.clone())
+                                    naive_machine_of(&g, n.id()) == Some(my_machine.clone())
                                 }
                                 _ => true,
                             }
@@ -309,16 +699,16 @@ pub fn graph_gen(
                         let target_id = match found {
                             Some(n) => n.id().clone(),
                             None => {
-                                let new_id = fresh_id(&g, &mut fresh_counter, key, &my_machine);
+                                let new_id = fresh_id(&mut fresh_counter, key, |id| {
+                                    naive_node(&g, id).is_some()
+                                });
                                 let new_ty = universe.effective(key)?;
                                 let inside = if new_ty.is_machine() {
                                     None
                                 } else {
-                                    // New instances live on the dependent's
-                                    // machine (conservative, §4).
                                     Some(my_machine.clone())
                                 };
-                                g.nodes.push(Node {
+                                g.push_node(Node {
                                     id: new_id.clone(),
                                     key: key.clone(),
                                     from_spec: false,
@@ -331,7 +721,7 @@ pub fn graph_gen(
                         };
                         targets.push(target_id);
                     }
-                    g.edges.push(HyperEdge {
+                    g.push_edge(HyperEdge {
                         source: id.clone(),
                         kind: dep.kind(),
                         dep_index,
@@ -345,11 +735,11 @@ pub fn graph_gen(
 }
 
 /// Generates a readable fresh instance id like `jdk-1.6` or `mysql-5.1-2`.
+/// `exists` reports whether an id is already taken in the graph.
 fn fresh_id(
-    g: &HyperGraph,
     counter: &mut BTreeMap<String, usize>,
     key: &ResourceKey,
-    _machine: &InstanceId,
+    exists: impl Fn(&InstanceId) -> bool,
 ) -> InstanceId {
     let base: String = key
         .to_string()
@@ -372,7 +762,7 @@ fn fresh_id(
         };
         *n += 1;
         let id = InstanceId::new(candidate);
-        if g.node(&id).is_none() {
+        if !exists(&id) {
             return id;
         }
     }
@@ -384,9 +774,7 @@ pub fn edge_for<'a>(
     source: &InstanceId,
     dep_index: usize,
 ) -> Option<&'a HyperEdge> {
-    g.edges
-        .iter()
-        .find(|e| e.source() == source && e.dep_index() == dep_index)
+    g.edges_from(source).find(|e| e.dep_index() == dep_index)
 }
 
 #[cfg(test)]
@@ -596,6 +984,35 @@ pub(crate) mod tests {
                 assert_eq!(g.machine_of(n.id()).unwrap().as_str(), "server");
             }
         }
+    }
+
+    #[test]
+    fn indexed_and_naive_agree_on_figure_2() {
+        let u = openmrs_universe();
+        let indexed = graph_gen(&u, &figure_2()).unwrap();
+        let naive = graph_gen_naive(&u, &figure_2()).unwrap();
+        assert_eq!(indexed, naive);
+        assert_eq!(indexed.render(), naive.render());
+        // The machine memo on the indexed path agrees with the oracle's
+        // per-call walk.
+        for n in indexed.nodes() {
+            assert_eq!(indexed.machine_of(n.id()), naive.machine_of(n.id()));
+        }
+    }
+
+    #[test]
+    fn indexed_and_naive_agree_on_errors() {
+        let u = openmrs_universe();
+        let bad: PartialInstallSpec = [
+            PartialInstance::new("server", "Mac-OSX 10.6"),
+            PartialInstance::new("openmrs", "OpenMRS 1.8").inside("server"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            graph_gen(&u, &bad).unwrap_err(),
+            graph_gen_naive(&u, &bad).unwrap_err()
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod deps;
 mod driver;
 mod error;
 mod expr;
+mod index;
 mod instance;
 mod key;
 mod ports;
@@ -58,6 +59,7 @@ pub use deps::{DepKind, DepTarget, Dependency, PortMapping};
 pub use driver::{BasicState, DriverSpec, DriverState, Guard, StatePred, Transition};
 pub use error::ModelError;
 pub use expr::{EvalEnv, EvalError, Expr, Namespace, TypeEnv};
+pub use index::{IndexStats, UniverseIndex};
 pub use instance::{
     InstallSpec, InstanceId, PartialInstallSpec, PartialInstance, ResourceInstance,
 };

@@ -56,6 +56,20 @@ fi
 grep -q '"experiment":"multihost"' "$obs_tmp/BENCH_multihost.json"
 grep -q '"counters":{' "$obs_tmp/BENCH_multihost.json"
 
+# GraphGen smoke test: the indexed path must stay oracle-identical and
+# the experiment must report per-size medians. --smoke keeps sizes small
+# (the binary itself asserts naive/indexed hypergraph equality per size;
+# the 10x headline bar is only enforced in full-size runs).
+cargo run -q --release --offline -p engage-bench --bin exp_graphgen -- \
+    --smoke --metrics "$obs_tmp/BENCH_graphgen.json" > /dev/null
+grep -q '"experiment":"graphgen"' "$obs_tmp/BENCH_graphgen.json"
+grep -q '"bench.graphgen.m2.indexed_median_us"' "$obs_tmp/BENCH_graphgen.json"
+
+# Oracle-equivalence sweep: the GraphGen property tests (indexed vs
+# naive hypergraph equality, UniverseIndex vs Universe answers) at CI
+# depth.
+cargo test -q --offline --release -p engage --test graphgen_properties
+
 # Solver-mode smoke test: planning the OpenMRS example under a portfolio
 # race must succeed, report the race in --metrics, and produce the same
 # plan as the serial default.

@@ -4,8 +4,10 @@
 
 use std::fmt::Write as _;
 
-use engage_config::{graph_gen, ConfigEngine, ConfigSession, SolverMode};
-use engage_model::{DepKind, PartialInstallSpec, PartialInstance, Universe};
+use engage_config::{
+    graph_gen, graph_gen_indexed, graph_gen_naive, ConfigEngine, ConfigSession, SolverMode,
+};
+use engage_model::{DepKind, PartialInstallSpec, PartialInstance, Universe, UniverseIndex};
 use engage_util::prop::prelude::*;
 
 /// A randomized layered universe:
@@ -95,6 +97,20 @@ fn case_strategy() -> impl Strategy<Value = LayeredCase> {
         })
 }
 
+/// A multi-machine variant of the layered partial spec: `machines`
+/// servers, one app on each (exercises the per-machine candidate pools
+/// of the indexed GraphGen).
+fn multi_partial(machines: usize) -> PartialInstallSpec {
+    (0..machines)
+        .flat_map(|m| {
+            [
+                PartialInstance::new(format!("server{m}"), "PropOS 1.0"),
+                PartialInstance::new(format!("app{m}"), "App 1.0").inside(format!("server{m}")),
+            ]
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -171,6 +187,77 @@ proptest! {
                 ty.dependencies().count(),
                 "node {} edge count", n.id()
             );
+        }
+    }
+
+    #[test]
+    fn indexed_graph_gen_matches_naive_oracle(
+        case in case_strategy(),
+        machines in 1usize..=3,
+    ) {
+        // The retained scan-based implementation is the oracle: the
+        // index-backed GraphGen must produce a hypergraph with identical
+        // nodes (ids, keys, inside links, overrides — in order) and
+        // identical hyperedges, across random universes and multi-machine
+        // specs.
+        let (u, _) = build(&case);
+        let partial = multi_partial(machines);
+        let index = UniverseIndex::new(&u);
+        let indexed = graph_gen_indexed(&index, &partial).unwrap();
+        let naive = graph_gen_naive(&u, &partial).unwrap();
+        prop_assert_eq!(&indexed, &naive);
+        prop_assert_eq!(indexed.render(), naive.render());
+        // Derived queries agree too: machine resolution on both paths.
+        for n in indexed.nodes() {
+            prop_assert_eq!(indexed.machine_of(n.id()), naive.machine_of(n.id()));
+        }
+        // The wrapper is the indexed path.
+        prop_assert_eq!(&graph_gen(&u, &partial).unwrap(), &indexed);
+    }
+
+    #[test]
+    fn universe_index_answers_match_universe(case in case_strategy()) {
+        let (u, _) = build(&case);
+        let index = UniverseIndex::new(&u);
+        prop_assert_eq!(index.len(), u.len());
+        let keys: Vec<_> = u.keys().cloned().collect();
+        for key in &keys {
+            prop_assert_eq!(
+                index.effective(key).cloned(),
+                u.effective(key),
+                "effective({})", key
+            );
+            prop_assert_eq!(
+                index.effective_driver(key).cloned(),
+                u.effective_driver(key),
+                "effective_driver({})", key
+            );
+            prop_assert_eq!(
+                index.concrete_frontier(key).map(<[_]>::to_vec),
+                u.concrete_frontier(key),
+                "concrete_frontier({})", key
+            );
+            let kids: Vec<_> = index.children(key).cloned().collect();
+            let expected: Vec<_> = u.children(key).iter().map(|t| t.key().clone()).collect();
+            prop_assert_eq!(kids, expected, "children({})", key);
+            for other in &keys {
+                prop_assert_eq!(
+                    index.is_declared_subtype(key, other),
+                    u.is_declared_subtype(key, other),
+                    "{} <: {}", key, other
+                );
+            }
+            // Dependency expansion (frontiers + version ranges) agrees on
+            // every dependency in the universe.
+            if let Ok(ty) = u.effective(key) {
+                for dep in ty.dependencies() {
+                    prop_assert_eq!(
+                        index.expand_targets(dep, "prop"),
+                        u.expand_targets(dep, "prop"),
+                        "expand_targets({}, {})", key, dep
+                    );
+                }
+            }
         }
     }
 
