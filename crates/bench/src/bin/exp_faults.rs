@@ -1,0 +1,212 @@
+//! Experiment: fault-tolerant deployment (retry/backoff, rollback).
+//!
+//! Deploys a 20-service stack against a simulated data center that
+//! injects transient install/start faults with a configurable
+//! probability, and measures how often the deployment converges with
+//! and without the retry policy. A second section injects *permanent*
+//! faults and checks that the automatic rollback always leaves the
+//! hosts clean.
+//!
+//! Run with: `cargo run -p engage-bench --bin exp_faults
+//! [--smoke] [--metrics [FILE]] [--trace FILE]`
+//!
+//! `--smoke` shrinks the trial count for CI; the seeds stay fixed, so
+//! both modes are fully deterministic.
+
+use engage_bench::Reporter;
+use engage_deploy::{DeploymentEngine, RetryPolicy};
+use engage_model::{InstallSpec, ResourceInstance, Universe, Value};
+use engage_sim::{DownloadSource, FaultPlan, Sim};
+use engage_util::obs::Obs;
+
+/// Distinct service resources in the stack: with the host's own
+/// install/start this makes 42 faultable operations per deployment.
+const SERVICES: usize = 20;
+
+/// Transient fault probabilities swept by the experiment.
+const RATES: &[f64] = &[0.0, 0.1, 0.2, 0.3];
+
+/// Retry budget used in the "with retries" arm.
+const RETRIES: u32 = 6;
+
+fn universe_and_spec() -> (Universe, InstallSpec) {
+    let mut src = String::from(
+        r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Ubuntu 10.10" extends "Server" {}
+        "#,
+    );
+    for i in 0..SERVICES {
+        src.push_str(&format!(
+            r#"
+            resource "Svc{i:02} 1.0" {{
+              inside "Server";
+              config port port: int = {port};
+              output port svc: {{ port: int }} = {{ port: config.port }};
+              driver service;
+            }}
+            "#,
+            port = 9000 + i,
+        ));
+    }
+    let u = engage_dsl::parse_universe(&src).expect("generated universe parses");
+
+    let mut spec = InstallSpec::new();
+    let mut server = ResourceInstance::new("server", "Ubuntu 10.10");
+    server.set_config("hostname", Value::from("localhost"));
+    server.set_output(
+        "host",
+        Value::structure([("hostname", Value::from("localhost"))]),
+    );
+    spec.push(server).expect("server instance");
+    for i in 0..SERVICES {
+        let mut svc =
+            ResourceInstance::new(format!("svc{i:02}"), format!("Svc{i:02} 1.0").as_str());
+        svc.set_inside_link("server");
+        svc.set_config("port", Value::from(9000 + i as i64));
+        svc.set_output(
+            "svc",
+            Value::structure([("port", Value::from(9000 + i as i64))]),
+        );
+        spec.push(svc).expect("service instance");
+    }
+    (u, spec)
+}
+
+/// One deployment attempt under a transient fault plan. Returns whether
+/// it converged.
+fn trial(u: &Universe, spec: &InstallSpec, rate: f64, retries: u32, seed: u64, obs: &Obs) -> bool {
+    let sim = Sim::new(DownloadSource::local_cache());
+    if rate > 0.0 {
+        sim.set_fault_plan(
+            FaultPlan::new(seed)
+                .with_install_faults(rate, 1.0)
+                .with_start_faults(rate, 1.0),
+        );
+    }
+    let engine = DeploymentEngine::new(sim, u)
+        .with_obs(obs.clone())
+        .with_retry_policy(RetryPolicy::new(retries).with_seed(seed));
+    engine.deploy(spec).is_ok()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let trials: u64 = if smoke { 8 } else { 40 };
+    let reporter = Reporter::from_args("faults");
+    let report_obs = reporter.obs();
+    let (u, spec) = universe_and_spec();
+
+    println!("== Transient faults: convergence with and without retries ==");
+    println!(
+        "{} services, {} trials per cell, retry budget {}",
+        SERVICES, trials, RETRIES
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>16}",
+        "fault rate", "no-retry ok", "retries ok", "retries", "backoff (sim ms)"
+    );
+    let mut rate20_with_retries = 0.0;
+    for (ri, &rate) in RATES.iter().enumerate() {
+        // A fresh enabled Obs per cell so the retry/backoff counters
+        // are per-cell deltas, not run-wide accumulations.
+        let cell_obs = Obs::new();
+        let mut ok_plain = 0u64;
+        let mut ok_retry = 0u64;
+        for t in 0..trials {
+            // Same fault-plan seed for both arms: a paired comparison.
+            let seed = 0xEB00 + (ri as u64) * 1000 + t;
+            if trial(&u, &spec, rate, 1, seed, &cell_obs) {
+                ok_plain += 1;
+            }
+            if trial(&u, &spec, rate, RETRIES, seed, &cell_obs) {
+                ok_retry += 1;
+            }
+        }
+        let pct = |n: u64| 100.0 * n as f64 / trials as f64;
+        let retries_used = cell_obs.metrics().counter("deploy.retries");
+        let backoff_ns = cell_obs.metrics().counter("deploy.backoff_wait_ns");
+        println!(
+            "{:<12} {:>13.1}% {:>13.1}% {:>12} {:>16}",
+            format!("{:.0}%", rate * 100.0),
+            pct(ok_plain),
+            pct(ok_retry),
+            retries_used,
+            backoff_ns / 1_000_000,
+        );
+        let tag = format!("bench.faults.r{:02}", (rate * 100.0) as u64);
+        report_obs
+            .gauge(&format!("{tag}.success_pct_noretry"))
+            .set(pct(ok_plain) as i64);
+        report_obs
+            .gauge(&format!("{tag}.success_pct_retries"))
+            .set(pct(ok_retry) as i64);
+        report_obs
+            .gauge(&format!("{tag}.retries_total"))
+            .set(retries_used as i64);
+        report_obs
+            .gauge(&format!("{tag}.backoff_wait_ms"))
+            .set((backoff_ns / 1_000_000) as i64);
+        if (rate - 0.2).abs() < 1e-9 {
+            rate20_with_retries = pct(ok_retry);
+        }
+    }
+    assert!(
+        rate20_with_retries >= 95.0,
+        "retry policy must hold >=95% convergence at a 20% transient rate, got {rate20_with_retries:.1}%"
+    );
+    println!();
+
+    println!("== Permanent faults: automatic rollback leaves hosts clean ==");
+    let rollback_trials = if smoke { 4 } else { 10 };
+    let mut clean = 0u64;
+    for t in 0..rollback_trials {
+        let sim = Sim::new(DownloadSource::local_cache());
+        // All-permanent faults: every injected failure is fatal.
+        sim.set_fault_plan(
+            FaultPlan::new(0xDEAD + t)
+                .with_install_faults(0.15, 0.0)
+                .with_start_faults(0.15, 0.0),
+        );
+        let engine = DeploymentEngine::new(sim.clone(), &u)
+            .with_obs(report_obs.clone())
+            .with_retry_policy(RetryPolicy::new(RETRIES).with_seed(t))
+            .with_auto_rollback(true);
+        match engine.deploy_with_recovery(&spec) {
+            Ok(_) => clean += 1, // the dice never came up: nothing to roll back
+            Err(failure) => {
+                assert_eq!(
+                    failure.rolled_back,
+                    Some(true),
+                    "rollback must run and complete: {:?}",
+                    failure.error
+                );
+                for host in sim.hosts() {
+                    for i in 0..SERVICES {
+                        assert!(
+                            !sim.has_package(host, &format!("svc{i:02}-1.0")),
+                            "host {host:?} still has svc{i:02} installed after rollback"
+                        );
+                        assert!(
+                            !sim.service_running(host, &format!("svc{i:02}")),
+                            "host {host:?} still runs svc{i:02} after rollback"
+                        );
+                    }
+                }
+                clean += 1;
+            }
+        }
+    }
+    println!(
+        "{clean}/{rollback_trials} permanent-fault deployments ended with clean hosts (failed runs rolled back)"
+    );
+    assert_eq!(clean, rollback_trials, "every run must end clean");
+    report_obs
+        .gauge("bench.faults.rollback_clean_runs")
+        .set(clean as i64);
+
+    reporter.finish();
+}

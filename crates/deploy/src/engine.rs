@@ -3,6 +3,8 @@
 //! order, and integrates the process monitor.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use engage_model::{
@@ -12,7 +14,57 @@ use engage_sim::{HostId, Monitor, Os, Sim};
 use engage_util::obs::Obs;
 
 use crate::action::{service_name, ActionCtx, DriverRegistry};
-use crate::error::DeployError;
+use crate::error::{DeployError, DeployFailure};
+use crate::journal::{parse_driver_state, parse_os, DeployJournal, JournalRecord};
+use crate::retry::RetryPolicy;
+
+/// How an interrupted deployment's journal is brought back to life by
+/// [`DeploymentEngine::resume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeMode {
+    /// The simulated data center survived the crash (only the engine
+    /// died): verify the journaled hosts still exist and trust the
+    /// journaled states.
+    Attach,
+    /// Everything is fresh (a new process reading the journal file):
+    /// re-provision the journaled machines and re-execute every
+    /// committed action — safe because the generic actions are
+    /// idempotent.
+    Replay,
+}
+
+/// A chaos kill-point: trips once `after` transitions have committed,
+/// making the engine die with [`DeployError::EngineKilled`] before the
+/// next one — a simulated crash *between* transitions, exactly where the
+/// write-ahead journal must carry the run.
+#[derive(Debug)]
+pub(crate) struct KillSwitch {
+    after: u64,
+    committed: AtomicU64,
+}
+
+impl KillSwitch {
+    fn new(after: u64) -> Self {
+        KillSwitch {
+            after,
+            committed: AtomicU64::new(0),
+        }
+    }
+
+    /// Errors if the engine is already dead (called before every
+    /// transition).
+    pub(crate) fn check(&self) -> Result<(), DeployError> {
+        let committed = self.committed.load(Ordering::SeqCst);
+        if committed >= self.after {
+            return Err(DeployError::EngineKilled { after: committed });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn on_commit(&self) {
+        self.committed.fetch_add(1, Ordering::SeqCst);
+    }
+}
 
 /// Where machine instances come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -224,6 +276,16 @@ pub struct DeploymentEngine<'a> {
     mode: ProvisionMode,
     obs: Obs,
     guard_timeout: Duration,
+    retry: RetryPolicy,
+    journal: Option<DeployJournal>,
+    rollback_on_failure: bool,
+    kill: Option<Arc<KillSwitch>>,
+    /// Teardown-guard relaxation, used only while rolling back a partial
+    /// deployment: a guard asking for `inactive` also accepts
+    /// `uninstalled` (the dependent is *more* stopped than required —
+    /// exact-state matching would wedge the rollback of a stack whose
+    /// lower layers never got installed).
+    relaxed_guards: bool,
 }
 
 impl<'a> DeploymentEngine<'a> {
@@ -236,6 +298,11 @@ impl<'a> DeploymentEngine<'a> {
             mode: ProvisionMode::Local,
             obs: Obs::disabled(),
             guard_timeout: crate::parallel::GUARD_TIMEOUT,
+            retry: RetryPolicy::none(),
+            journal: None,
+            rollback_on_failure: false,
+            kill: None,
+            relaxed_guards: false,
         }
     }
 
@@ -268,6 +335,56 @@ impl<'a> DeploymentEngine<'a> {
         self
     }
 
+    /// Applies a [`RetryPolicy`] to every driver transition
+    /// (builder-style; default: one attempt, no retries). Transient
+    /// failures are retried with seeded exponential backoff; the waits
+    /// advance the *simulated* clock, so they cost no host wall-clock
+    /// and do not eat into the parallel guard timeout.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches a write-ahead [`DeployJournal`] (builder-style): machine
+    /// provisioning and every attempted/committed transition are logged,
+    /// enabling [`DeploymentEngine::resume`] after a crash.
+    pub fn with_journal(mut self, journal: DeployJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Enables automatic rollback (builder-style): when a deployment
+    /// fails permanently, `deploy_with_recovery` drives every partially
+    /// deployed instance back to `uninstalled` in reverse dependency
+    /// order before returning. Not triggered by engine kills — a crashed
+    /// engine cannot clean up; that is what the journal is for.
+    pub fn with_auto_rollback(mut self, on: bool) -> Self {
+        self.rollback_on_failure = on;
+        self
+    }
+
+    /// Arms a chaos kill-point (builder-style): the engine dies with
+    /// [`DeployError::EngineKilled`] once `after` transitions have
+    /// committed, before running the next one.
+    pub fn with_kill_point(mut self, after: u64) -> Self {
+        self.kill = Some(Arc::new(KillSwitch::new(after)));
+        self
+    }
+
+    /// The attached retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&DeployJournal> {
+        self.journal.as_ref()
+    }
+
+    pub(crate) fn kill_switch(&self) -> Option<&Arc<KillSwitch>> {
+        self.kill.as_ref()
+    }
+
     pub(crate) fn obs(&self) -> &Obs {
         &self.obs
     }
@@ -286,24 +403,46 @@ impl<'a> DeploymentEngine<'a> {
         self.universe
     }
 
-    pub(crate) fn registry(&self) -> &DriverRegistry {
-        &self.registry
-    }
-
     /// Deploys a full installation specification: provisions machines,
     /// then drives every instance's driver to `active` in dependency order
     /// and registers running services with the monitor.
     ///
     /// # Errors
     ///
-    /// Provisioning, pathing, guard, or action failures. On failure the
-    /// partial deployment state is lost; use [`DeploymentEngine::upgrade`]
-    /// (in `crate::upgrade`) for rollback-capable changes.
+    /// Provisioning, pathing, guard, or action failures. This wrapper
+    /// drops the partial-deployment report; use
+    /// [`DeploymentEngine::deploy_with_recovery`] to keep it (completed
+    /// timeline, per-instance states, auto-rollback).
     pub fn deploy(&self, spec: &InstallSpec) -> Result<Deployment, DeployError> {
+        self.deploy_with_recovery(spec).map_err(|f| f.error)
+    }
+
+    /// Deploys like [`DeploymentEngine::deploy`], but a failure returns a
+    /// [`DeployFailure`] carrying the partial deployment state — the
+    /// transitions that completed, every driver's state at the moment of
+    /// failure — and, when [`DeploymentEngine::with_auto_rollback`] is
+    /// enabled and the failure is not an engine kill, rolls the partial
+    /// deployment back to `uninstalled` in reverse dependency order.
+    ///
+    /// # Errors
+    ///
+    /// Provisioning, pathing, guard, or action failures, boxed with the
+    /// recovery report.
+    pub fn deploy_with_recovery(
+        &self,
+        spec: &InstallSpec,
+    ) -> Result<Deployment, Box<DeployFailure>> {
         let _span = self
             .obs
             .span_with("deploy.deploy", &[("instances", &spec.len().to_string())]);
-        let machines = self.provision_machines(spec)?;
+        let machines = self.provision_machines(spec).map_err(|error| {
+            Box::new(DeployFailure {
+                error,
+                completed: Vec::new(),
+                states: BTreeMap::new(),
+                rolled_back: None,
+            })
+        })?;
         let mut dep = Deployment {
             spec: spec.clone(),
             states: spec
@@ -314,9 +453,79 @@ impl<'a> DeploymentEngine<'a> {
             timeline: Vec::new(),
             monitor: Monitor::new(),
         };
-        self.activate_all(&mut dep)?;
-        // Register every running service with the monitor (the monit
-        // plugin's post-deploy configuration generation, §5.2).
+        match self.activate_all(&mut dep) {
+            Ok(()) => {
+                self.register_services(&mut dep);
+                Ok(dep)
+            }
+            Err(error) => Err(self.recover(dep, error)),
+        }
+    }
+
+    /// Builds the failure report for a partial deployment, running the
+    /// automatic rollback when enabled (shared by the sequential and
+    /// parallel paths).
+    pub(crate) fn recover(&self, mut dep: Deployment, error: DeployError) -> Box<DeployFailure> {
+        let completed = dep.timeline.clone();
+        let states = dep.states.clone();
+        let rolled_back =
+            if self.rollback_on_failure && !matches!(error, DeployError::EngineKilled { .. }) {
+                Some(self.rollback_partial(&mut dep))
+            } else {
+                None
+            };
+        Box::new(DeployFailure {
+            error,
+            completed,
+            states,
+            rolled_back,
+        })
+    }
+
+    /// Drives every instance of a partial deployment back to
+    /// `uninstalled` in reverse dependency order (the journal-powered
+    /// automatic rollback). Best-effort: returns whether every instance
+    /// ended clean. Retries still apply; the kill switch does not (a
+    /// rollback must not die at the kill-point that just fired).
+    pub(crate) fn rollback_partial(&self, dep: &mut Deployment) -> bool {
+        self.obs.counter("deploy.rollbacks").incr();
+        let quiet = DeploymentEngine {
+            kill: None,
+            relaxed_guards: true,
+            ..self.clone()
+        };
+        let Some(order) = topological_order(&dep.spec) else {
+            return false;
+        };
+        let mut clean = true;
+        // Two phases, like `uninstall_all`: stop whatever is running in
+        // reverse dependency order, then uninstall in reverse order —
+        // skipping instances the failure left uninstalled.
+        for id in order.iter().rev() {
+            if dep.states[id] == DriverState::Basic(BasicState::Active)
+                && quiet.drive_to(dep, id, BasicState::Inactive).is_err()
+            {
+                clean = false;
+            }
+        }
+        for id in order.iter().rev() {
+            if dep.states[id] != DriverState::Basic(BasicState::Uninstalled)
+                && quiet.drive_to(dep, id, BasicState::Uninstalled).is_err()
+            {
+                clean = false;
+            }
+        }
+        clean
+            && dep
+                .states
+                .values()
+                .all(|s| s == &DriverState::Basic(BasicState::Uninstalled))
+    }
+
+    /// Registers every running service with the monitor (the monit
+    /// plugin's post-deploy configuration generation, §5.2). Shared by
+    /// the sequential, parallel, and resume paths.
+    pub(crate) fn register_services(&self, dep: &mut Deployment) {
         for inst in dep.spec.iter() {
             let Some(host) = dep.host_of(inst.id()) else {
                 continue;
@@ -327,6 +536,149 @@ impl<'a> DeploymentEngine<'a> {
                 dep.monitor.watch(host, name, port);
             }
         }
+    }
+
+    /// Resumes an interrupted deployment from its journal: rebuilds the
+    /// machine map and driver states from the journaled records, then
+    /// drives the remaining instances to `active` — completed instances
+    /// are no-ops, the in-flight one (a trailing `Attempt` with no
+    /// `Commit`) is re-driven from its last committed state.
+    ///
+    /// With [`ResumeMode::Attach`] the surviving simulated data center is
+    /// trusted; with [`ResumeMode::Replay`] machines are re-provisioned
+    /// and committed actions re-executed (idempotently) into a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::ResumeFailed`] when the journal does not match the
+    /// spec or the data center, plus the usual deployment failures while
+    /// finishing the run.
+    pub fn resume(
+        &self,
+        spec: &InstallSpec,
+        records: &[JournalRecord],
+        mode: ResumeMode,
+    ) -> Result<Deployment, DeployError> {
+        let _span = self
+            .obs
+            .span_with("deploy.resume", &[("records", &records.len().to_string())]);
+        let resume_failed = |detail: String| DeployError::ResumeFailed { detail };
+        let mut machines = BTreeMap::new();
+        let mut dep = Deployment {
+            spec: spec.clone(),
+            states: spec
+                .iter()
+                .map(|i| (i.id().clone(), DriverState::Basic(BasicState::Uninstalled)))
+                .collect(),
+            machines: BTreeMap::new(),
+            timeline: Vec::new(),
+            monitor: Monitor::new(),
+        };
+        for record in records {
+            match record {
+                JournalRecord::Provisioned {
+                    instance,
+                    host,
+                    hostname,
+                    os,
+                } => {
+                    if spec.get(instance).is_none() {
+                        return Err(resume_failed(format!(
+                            "journaled machine `{instance}` is not in the spec"
+                        )));
+                    }
+                    match mode {
+                        ResumeMode::Attach => {
+                            if self.sim.host_info(*host).is_none() {
+                                return Err(resume_failed(format!(
+                                    "journaled {host} no longer exists in the data center"
+                                )));
+                            }
+                        }
+                        ResumeMode::Replay => {
+                            let os = parse_os(os).ok_or_else(|| {
+                                resume_failed(format!("unknown journaled OS `{os}`"))
+                            })?;
+                            let fresh = match self.mode {
+                                ProvisionMode::Local => self.sim.provision_local(hostname, os),
+                                ProvisionMode::Cloud => self.sim.provision_cloud(hostname, os),
+                            };
+                            if fresh != *host {
+                                return Err(resume_failed(format!(
+                                    "replay provisioned {fresh} where the journal expects {host} \
+                                     (data center is not fresh)"
+                                )));
+                            }
+                        }
+                    }
+                    machines.insert(instance.clone(), *host);
+                }
+                JournalRecord::Attempt { .. } => {
+                    // Write-ahead marker: an Attempt without a matching
+                    // Commit is the in-flight transition — nothing to
+                    // restore, activate_all re-drives it below.
+                }
+                JournalRecord::Commit {
+                    instance,
+                    action,
+                    from,
+                    to,
+                    start_ns,
+                    end_ns,
+                } => {
+                    let inst = spec.get(instance).ok_or_else(|| {
+                        resume_failed(format!(
+                            "journaled instance `{instance}` is not in the spec"
+                        ))
+                    })?;
+                    dep.machines = machines.clone();
+                    let host = dep.host_of(instance).ok_or_else(|| {
+                        resume_failed(format!("no journaled machine for instance `{instance}`"))
+                    })?;
+                    if dep.states.get(instance) != Some(&parse_driver_state(from)) {
+                        return Err(resume_failed(format!(
+                            "journal commit of `{action}` on `{instance}` expects state `{from}`, \
+                             but the journal left it elsewhere"
+                        )));
+                    }
+                    if matches!(mode, ResumeMode::Replay) {
+                        let ctx = ActionCtx {
+                            sim: &self.sim,
+                            host,
+                            instance: inst,
+                        };
+                        self.registry.run(action, &ctx)?;
+                    }
+                    dep.states.insert(instance.clone(), parse_driver_state(to));
+                    dep.timeline.push(TimelineEntry {
+                        instance: instance.clone(),
+                        action: action.clone(),
+                        start: Duration::from_nanos(*start_ns),
+                        end: Duration::from_nanos(*end_ns),
+                    });
+                }
+            }
+        }
+        // Machines the crash happened too early to journal: provision
+        // them now, exactly as an uninterrupted run would have.
+        for inst in spec.iter() {
+            if inst.inside_link().is_none() && !machines.contains_key(inst.id()) {
+                machines.insert(inst.id().clone(), self.provision_one(inst));
+            }
+        }
+        dep.machines = machines;
+        self.obs.counter("deploy.resumes").incr();
+        if self.obs.is_enabled() {
+            self.obs.event(
+                "deploy.resume",
+                &[
+                    ("records", &records.len().to_string()),
+                    ("restored", &dep.timeline.len().to_string()),
+                ],
+            );
+        }
+        self.activate_all(&mut dep)?;
+        self.register_services(&mut dep);
         Ok(dep)
     }
 
@@ -419,6 +771,9 @@ impl<'a> DeploymentEngine<'a> {
             instance: id.clone(),
         })?;
         for (action, to) in path {
+            if let Some(kill) = &self.kill {
+                kill.check()?;
+            }
             let guard = driver
                 .transition(&dep.states[id], &action)
                 .expect("path transitions exist")
@@ -437,9 +792,10 @@ impl<'a> DeploymentEngine<'a> {
                 host,
                 instance: &inst,
             };
-            self.registry.run(&action, &ctx)?;
+            self.run_action(&ctx, id, &action)?;
             let end = self.sim.now();
             self.record_transition(id, &action, &dep.states[id], &to);
+            self.commit_transition(id, &action, &dep.states[id], &to, start, end);
             dep.timeline.push(TimelineEntry {
                 instance: id.clone(),
                 action,
@@ -449,6 +805,79 @@ impl<'a> DeploymentEngine<'a> {
             dep.states.insert(id.clone(), to);
         }
         Ok(())
+    }
+
+    /// Runs one driver action under the engine's retry policy: transient
+    /// failures back off (seeded jitter, simulated-clock waits) and
+    /// retry up to the policy's attempt budget; permanent failures and
+    /// exhausted budgets propagate. Each attempt is journaled
+    /// write-ahead.
+    pub(crate) fn run_action(
+        &self,
+        ctx: &ActionCtx<'_>,
+        id: &InstanceId,
+        action: &str,
+    ) -> Result<(), DeployError> {
+        let mut attempt = 1u32;
+        loop {
+            if let Some(journal) = &self.journal {
+                journal.append(JournalRecord::Attempt {
+                    instance: id.clone(),
+                    action: action.to_owned(),
+                    attempt,
+                });
+            }
+            match self.registry.run(action, ctx) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts() => {
+                    let wait = self.retry.backoff(id.as_str(), action, attempt);
+                    self.obs.counter("deploy.retries").incr();
+                    self.obs
+                        .counter("deploy.backoff_wait_ns")
+                        .add(wait.as_nanos() as u64);
+                    if self.obs.is_enabled() {
+                        self.obs.event(
+                            "deploy.retry",
+                            &[
+                                ("instance", id.as_str()),
+                                ("action", action),
+                                ("attempt", &attempt.to_string()),
+                                ("wait_ns", &wait.as_nanos().to_string()),
+                            ],
+                        );
+                    }
+                    self.sim.advance(wait);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Journals a committed transition and advances the kill switch
+    /// (shared by the sequential and parallel paths).
+    pub(crate) fn commit_transition(
+        &self,
+        id: &InstanceId,
+        action: &str,
+        from: &DriverState,
+        to: &DriverState,
+        start: Duration,
+        end: Duration,
+    ) {
+        if let Some(journal) = &self.journal {
+            journal.append(JournalRecord::Commit {
+                instance: id.clone(),
+                action: action.to_owned(),
+                from: from.to_string(),
+                to: to.to_string(),
+                start_ns: start.as_nanos() as u64,
+                end_ns: end.as_nanos() as u64,
+            });
+        }
+        if let Some(kill) = &self.kill {
+            kill.on_commit();
+        }
     }
 
     /// Emits the `driver.transition` event shared by the sequential and
@@ -476,17 +905,24 @@ impl<'a> DeploymentEngine<'a> {
     }
 
     /// Evaluates a transition guard: `↑s` over the instances `id` links to,
-    /// `↓s` over the instances linking to `id`.
+    /// `↓s` over the instances linking to `id`. Under rollback's relaxed
+    /// mode, a required `inactive` is also satisfied by `uninstalled`.
     fn guard_holds(&self, dep: &Deployment, id: &InstanceId, guard: &Guard) -> bool {
         let inst = dep.spec.get(id).expect("caller checked");
+        let matches = |actual: Option<&DriverState>, required: &BasicState| {
+            if actual == Some(&DriverState::Basic(*required)) {
+                return true;
+            }
+            self.relaxed_guards
+                && *required == BasicState::Inactive
+                && actual == Some(&DriverState::Basic(BasicState::Uninstalled))
+        };
         guard.preds().iter().all(|p| match p {
-            StatePred::Upstream(s) => inst
-                .links()
-                .all(|l| dep.states.get(l) == Some(&DriverState::Basic(*s))),
+            StatePred::Upstream(s) => inst.links().all(|l| matches(dep.states.get(l), s)),
             StatePred::Downstream(s) => dep
                 .spec
                 .dependents_of(id)
-                .all(|d| dep.states.get(d.id()) == Some(&DriverState::Basic(*s))),
+                .all(|d| matches(dep.states.get(d.id()), s)),
         })
     }
 
@@ -511,20 +947,33 @@ impl<'a> DeploymentEngine<'a> {
             if inst.inside_link().is_some() {
                 continue;
             }
-            let os = os_for_key(inst.key()).unwrap_or(Os::Ubuntu1010);
-            let hostname = inst
-                .config()
-                .get("hostname")
-                .and_then(engage_model::Value::as_str)
-                .unwrap_or(inst.id().as_str())
-                .to_owned();
-            let host = match self.mode {
-                ProvisionMode::Local => self.sim.provision_local(&hostname, os),
-                ProvisionMode::Cloud => self.sim.provision_cloud(&hostname, os),
-            };
-            machines.insert(inst.id().clone(), host);
+            machines.insert(inst.id().clone(), self.provision_one(inst));
         }
         Ok(machines)
+    }
+
+    /// Provisions one machine instance and journals the mapping.
+    fn provision_one(&self, inst: &engage_model::ResourceInstance) -> HostId {
+        let os = os_for_key(inst.key()).unwrap_or(Os::Ubuntu1010);
+        let hostname = inst
+            .config()
+            .get("hostname")
+            .and_then(engage_model::Value::as_str)
+            .unwrap_or(inst.id().as_str())
+            .to_owned();
+        let host = match self.mode {
+            ProvisionMode::Local => self.sim.provision_local(&hostname, os),
+            ProvisionMode::Cloud => self.sim.provision_cloud(&hostname, os),
+        };
+        if let Some(journal) = &self.journal {
+            journal.append(JournalRecord::Provisioned {
+                instance: inst.id().clone(),
+                host,
+                hostname,
+                os: os.resource_key().to_owned(),
+            });
+        }
+        host
     }
 }
 
@@ -757,6 +1206,88 @@ mod tests {
             sim.count_events(|ev| matches!(ev, engage_sim::Event::Provisioned { cloud: true, .. })),
             1
         );
+    }
+
+    #[test]
+    fn retries_recover_from_transient_faults() {
+        use engage_util::obs::Obs;
+        let (u, spec) = fixture();
+        let sim = Sim::new(DownloadSource::local_cache());
+        sim.inject_install_failure("mysql-5.1", 2);
+        let obs = Obs::new();
+        let e = DeploymentEngine::new(sim, &u)
+            .with_obs(obs.clone())
+            .with_retry_policy(crate::RetryPolicy::new(3));
+        let dep = e.deploy(&spec).unwrap();
+        assert!(dep.is_deployed());
+        let m = obs.metrics();
+        assert_eq!(m.counter("deploy.retries"), 2);
+        assert!(m.counter("deploy.backoff_wait_ns") > 0);
+    }
+
+    #[test]
+    fn no_retry_by_default_keeps_single_shot_semantics() {
+        let (u, spec) = fixture();
+        let sim = Sim::new(DownloadSource::local_cache());
+        sim.inject_install_failure("mysql-5.1", 1);
+        let e = DeploymentEngine::new(sim, &u);
+        assert!(e.deploy(&spec).is_err());
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        use engage_sim::{FaultKind, FaultOp};
+        let (u, spec) = fixture();
+        let sim = Sim::new(DownloadSource::local_cache());
+        sim.inject_fault(FaultOp::Install, "mysql-5.1", 1, FaultKind::Permanent);
+        let e =
+            DeploymentEngine::new(sim.clone(), &u).with_retry_policy(crate::RetryPolicy::new(5));
+        let err = e.deploy(&spec).unwrap_err();
+        assert!(!err.is_transient(), "{err}");
+        // One charge injected, one consumed: no retry burned the rest.
+        assert!(sim
+            .install_package(engage_sim::HostId(0), "mysql-5.1")
+            .is_ok());
+    }
+
+    #[test]
+    fn kill_point_trips_and_journal_resumes_in_place() {
+        let (u, spec) = fixture();
+        let journal = crate::DeployJournal::in_memory();
+        let e = engine(&u).with_journal(journal.clone()).with_kill_point(3);
+        let failure = e.deploy_with_recovery(&spec).unwrap_err();
+        assert!(matches!(
+            failure.error,
+            DeployError::EngineKilled { after: 3 }
+        ));
+        assert_eq!(failure.completed.len(), 3);
+        assert!(failure.rolled_back.is_none(), "kills do not roll back");
+
+        // Resume on the surviving data center with a fresh engine.
+        let resumed = DeploymentEngine::new(e.sim().clone(), &u)
+            .resume(&spec, &journal.records(), ResumeMode::Attach)
+            .unwrap();
+        assert!(resumed.is_deployed());
+
+        // Identical to an uninterrupted run.
+        let uninterrupted = engine(&u).deploy(&spec).unwrap();
+        assert_eq!(resumed.states, uninterrupted.states);
+    }
+
+    #[test]
+    fn auto_rollback_leaves_hosts_clean_on_permanent_failure() {
+        use engage_sim::{FaultKind, FaultOp};
+        let (u, spec) = fixture();
+        let sim = Sim::new(DownloadSource::local_cache());
+        // The app's start always fails; mysql is already active by then.
+        sim.inject_fault(FaultOp::Start, "app", 9, FaultKind::Permanent);
+        let e = DeploymentEngine::new(sim.clone(), &u).with_auto_rollback(true);
+        let failure = e.deploy_with_recovery(&spec).unwrap_err();
+        assert_eq!(failure.rolled_back, Some(true), "{:?}", failure.error);
+        let host = HostId(0);
+        assert!(!sim.has_package(host, "mysql-5.1"));
+        assert!(!sim.has_package(host, "app-1.0"));
+        assert!(!sim.service_running(host, "mysql"));
     }
 
     #[test]

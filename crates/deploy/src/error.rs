@@ -1,9 +1,12 @@
 //! Deployment-engine errors.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-use engage_model::{InstanceId, ModelError};
+use engage_model::{DriverState, InstanceId, ModelError};
 use engage_sim::SimError;
+
+use crate::engine::TimelineEntry;
 
 /// Error from deploying, managing, or upgrading an application stack.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +59,30 @@ pub enum DeployError {
         /// The underlying failure that triggered the rollback.
         cause: String,
     },
+    /// The engine was killed at a chaos kill-point between transitions
+    /// (simulated crash; see `DeploymentEngine::with_kill_point`).
+    EngineKilled {
+        /// How many transitions had committed when the engine died.
+        after: u64,
+    },
+    /// A journal could not be resumed.
+    ResumeFailed {
+        /// Why.
+        detail: String,
+    },
+}
+
+impl DeployError {
+    /// Whether the failure is transient — retrying the same transition
+    /// may succeed. Only simulated-operation faults carry transience;
+    /// structural errors (no path, guard violations, bad specs) and
+    /// engine kills are always permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DeployError::Sim(e) => e.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for DeployError {
@@ -89,11 +116,52 @@ impl fmt::Display for DeployError {
             DeployError::UpgradeRolledBack { cause } => {
                 write!(f, "upgrade failed and was rolled back: {cause}")
             }
+            DeployError::EngineKilled { after } => {
+                write!(f, "engine killed after {after} committed transitions")
+            }
+            DeployError::ResumeFailed { detail } => {
+                write!(f, "cannot resume from journal: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for DeployError {}
+
+/// A deployment failure that keeps the partial state instead of dropping
+/// it: what had completed, where every driver stood, and whether the
+/// automatic rollback ran — the structured report the CLI prints and the
+/// material `resume` works from.
+///
+/// Returned (boxed — it is much larger than the happy path) by
+/// `DeploymentEngine::deploy_with_recovery` and
+/// `deploy_parallel_with_recovery`.
+#[derive(Debug, Clone)]
+pub struct DeployFailure {
+    /// The underlying error.
+    pub error: DeployError,
+    /// Driver transitions that completed before the failure, in order.
+    pub completed: Vec<TimelineEntry>,
+    /// Driver states at the moment of failure (before any rollback).
+    pub states: BTreeMap<InstanceId, DriverState>,
+    /// `None` if rollback was not attempted (disabled, or the engine was
+    /// killed); `Some(clean)` when it ran, with `clean` true iff every
+    /// instance reached `uninstalled`.
+    pub rolled_back: Option<bool>,
+}
+
+impl fmt::Display for DeployFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} transitions completed)",
+            self.error,
+            self.completed.len()
+        )
+    }
+}
+
+impl std::error::Error for DeployFailure {}
 
 impl From<SimError> for DeployError {
     fn from(e: SimError) -> Self {

@@ -1,0 +1,480 @@
+//! The write-ahead deployment journal: every attempted and committed
+//! driver transition, durable enough to resume a crashed run.
+//!
+//! The engine appends an [`JournalRecord::Attempt`] *before* running an
+//! action and a [`JournalRecord::Commit`] after it succeeds, so a journal
+//! that ends in an `Attempt` with no matching `Commit` pinpoints the
+//! in-flight transition at the moment of the crash. Machine provisioning
+//! is journaled too ([`JournalRecord::Provisioned`]), which lets
+//! [`DeploymentEngine::resume`](crate::DeploymentEngine::resume) rebuild
+//! the instance→host map — either attaching to the surviving simulated
+//! data center or replaying into a fresh one.
+//!
+//! Sinks are pluggable, mirroring the obs layer: [`DeployJournal::in_memory`]
+//! for tests, [`DeployJournal::jsonl_create`] for a durable JSON Lines
+//! file (flushed after every record — it is a write-ahead log).
+
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use engage_model::{BasicState, DriverState, InstanceId};
+use engage_sim::{HostId, Os};
+use engage_util::obs::json_string;
+use engage_util::sync::Mutex;
+
+/// One journaled fact about a deployment in progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A machine instance was mapped to a (possibly freshly provisioned)
+    /// simulated host.
+    Provisioned {
+        /// The machine instance.
+        instance: InstanceId,
+        /// The host it landed on.
+        host: HostId,
+        /// The hostname used at provisioning time.
+        hostname: String,
+        /// The OS, as its resource key (e.g. `Ubuntu 10.10`).
+        os: String,
+    },
+    /// The engine is about to run a driver action (write-ahead: logged
+    /// *before* the action executes).
+    Attempt {
+        /// The instance acted on.
+        instance: InstanceId,
+        /// The action name.
+        action: String,
+        /// 1-based attempt number (retries increment it).
+        attempt: u32,
+    },
+    /// A driver action succeeded and the instance's state advanced.
+    Commit {
+        /// The instance acted on.
+        instance: InstanceId,
+        /// The action name.
+        action: String,
+        /// State before, rendered (`uninstalled` / `inactive` / `active`
+        /// or a custom state name).
+        from: String,
+        /// State after, rendered.
+        to: String,
+        /// Simulated start time, nanoseconds.
+        start_ns: u64,
+        /// Simulated end time, nanoseconds.
+        end_ns: u64,
+    },
+}
+
+impl JournalRecord {
+    fn to_json(&self) -> String {
+        match self {
+            JournalRecord::Provisioned {
+                instance,
+                host,
+                hostname,
+                os,
+            } => format!(
+                "{{\"type\":\"provisioned\",\"instance\":{},\"host\":{},\"hostname\":{},\"os\":{}}}",
+                json_string(instance.as_str()),
+                host.0,
+                json_string(hostname),
+                json_string(os)
+            ),
+            JournalRecord::Attempt {
+                instance,
+                action,
+                attempt,
+            } => format!(
+                "{{\"type\":\"attempt\",\"instance\":{},\"action\":{},\"attempt\":{}}}",
+                json_string(instance.as_str()),
+                json_string(action),
+                attempt
+            ),
+            JournalRecord::Commit {
+                instance,
+                action,
+                from,
+                to,
+                start_ns,
+                end_ns,
+            } => format!(
+                "{{\"type\":\"commit\",\"instance\":{},\"action\":{},\"from\":{},\"to\":{},\"start_ns\":{},\"end_ns\":{}}}",
+                json_string(instance.as_str()),
+                json_string(action),
+                json_string(from),
+                json_string(to),
+                start_ns,
+                end_ns
+            ),
+        }
+    }
+
+    fn from_json(line: &str) -> Result<Self, JournalError> {
+        let fields = parse_flat_object(line)?;
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| JournalError::new(format!("missing field `{k}` in `{line}`")))
+        };
+        let get_str = |k: &str| match get(k)? {
+            JsonValue::Str(s) => Ok(s),
+            _ => Err(JournalError::new(format!("field `{k}` is not a string"))),
+        };
+        let get_num = |k: &str| match get(k)? {
+            JsonValue::Num(n) => Ok(n),
+            _ => Err(JournalError::new(format!("field `{k}` is not a number"))),
+        };
+        match get_str("type")?.as_str() {
+            "provisioned" => Ok(JournalRecord::Provisioned {
+                instance: InstanceId::new(get_str("instance")?),
+                host: HostId(
+                    u32::try_from(get_num("host")?)
+                        .map_err(|_| JournalError::new("host id out of range"))?,
+                ),
+                hostname: get_str("hostname")?,
+                os: get_str("os")?,
+            }),
+            "attempt" => Ok(JournalRecord::Attempt {
+                instance: InstanceId::new(get_str("instance")?),
+                action: get_str("action")?,
+                attempt: u32::try_from(get_num("attempt")?)
+                    .map_err(|_| JournalError::new("attempt out of range"))?,
+            }),
+            "commit" => Ok(JournalRecord::Commit {
+                instance: InstanceId::new(get_str("instance")?),
+                action: get_str("action")?,
+                from: get_str("from")?,
+                to: get_str("to")?,
+                start_ns: get_num("start_ns")?,
+                end_ns: get_num("end_ns")?,
+            }),
+            other => Err(JournalError::new(format!("unknown record type `{other}`"))),
+        }
+    }
+}
+
+/// Parses a rendered driver state back into a [`DriverState`].
+pub fn parse_driver_state(s: &str) -> DriverState {
+    match s {
+        "uninstalled" => DriverState::Basic(BasicState::Uninstalled),
+        "inactive" => DriverState::Basic(BasicState::Inactive),
+        "active" => DriverState::Basic(BasicState::Active),
+        other => DriverState::Custom(other.to_owned()),
+    }
+}
+
+/// Parses an OS resource key (as journaled) back into an [`Os`].
+pub fn parse_os(key: &str) -> Option<Os> {
+    Os::all().into_iter().find(|os| os.resource_key() == key)
+}
+
+/// A malformed or unreadable journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    what: String,
+}
+
+impl JournalError {
+    fn new(what: impl Into<String>) -> Self {
+        JournalError { what: what.into() }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal error: {}", self.what)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+enum JournalSink {
+    Memory(Mutex<Vec<JournalRecord>>),
+    Jsonl {
+        path: PathBuf,
+        writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    },
+}
+
+/// The write-ahead deployment journal. Cheap to clone (shared sink);
+/// attach one with
+/// [`DeploymentEngine::with_journal`](crate::DeploymentEngine::with_journal).
+#[derive(Clone)]
+pub struct DeployJournal {
+    sink: Arc<JournalSink>,
+}
+
+impl fmt::Debug for DeployJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.sink {
+            JournalSink::Memory(v) => f
+                .debug_struct("DeployJournal")
+                .field("sink", &"memory")
+                .field("records", &v.lock().len())
+                .finish(),
+            JournalSink::Jsonl { path, .. } => f
+                .debug_struct("DeployJournal")
+                .field("sink", &"jsonl")
+                .field("path", path)
+                .finish(),
+        }
+    }
+}
+
+impl DeployJournal {
+    /// A journal kept in memory (tests, and the default for
+    /// resumable-in-process deployments).
+    pub fn in_memory() -> Self {
+        DeployJournal {
+            sink: Arc::new(JournalSink::Memory(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// A journal writing JSON Lines to a freshly created/truncated file,
+    /// flushed after every record.
+    ///
+    /// # Errors
+    ///
+    /// File creation failures.
+    pub fn jsonl_create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_owned();
+        let file = std::fs::File::create(&path)?;
+        Ok(DeployJournal {
+            sink: Arc::new(JournalSink::Jsonl {
+                path,
+                writer: Mutex::new(std::io::BufWriter::new(file)),
+            }),
+        })
+    }
+
+    /// Appends one record (and, for file sinks, flushes it — this is a
+    /// write-ahead log, so durability beats throughput). I/O errors are
+    /// swallowed: a failing journal never takes the deployment down.
+    pub fn append(&self, record: JournalRecord) {
+        match &*self.sink {
+            JournalSink::Memory(v) => v.lock().push(record),
+            JournalSink::Jsonl { writer, .. } => {
+                let mut w = writer.lock();
+                let _ = writeln!(w, "{}", record.to_json());
+                let _ = w.flush();
+            }
+        }
+    }
+
+    /// The records so far (memory sinks only; file sinks return the path
+    /// via [`DeployJournal::path`] and are read back with
+    /// [`load_jsonl`]).
+    pub fn records(&self) -> Vec<JournalRecord> {
+        match &*self.sink {
+            JournalSink::Memory(v) => v.lock().clone(),
+            JournalSink::Jsonl { path, .. } => load_jsonl(path).unwrap_or_default(),
+        }
+    }
+
+    /// The backing file, if this is a JSONL journal.
+    pub fn path(&self) -> Option<&Path> {
+        match &*self.sink {
+            JournalSink::Memory(_) => None,
+            JournalSink::Jsonl { path, .. } => Some(path),
+        }
+    }
+}
+
+/// Reads a JSONL journal file back into records.
+///
+/// # Errors
+///
+/// I/O failures or malformed lines.
+pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Vec<JournalRecord>, JournalError> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| JournalError::new(format!("reading {}: {e}", path.as_ref().display())))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(JournalRecord::from_json)
+        .collect()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(u64),
+}
+
+/// Parses one flat JSON object (`{"k":"v","n":3}`) — exactly the shape
+/// [`JournalRecord::to_json`] emits; nested values are rejected.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, JournalError> {
+    let bad = |what: &str| JournalError::new(format!("{what} in `{line}`"));
+    let mut chars = line.trim().chars().peekable();
+    if chars.next() != Some('{') {
+        return Err(bad("expected `{`"));
+    }
+    let mut fields = Vec::new();
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') => {
+                chars.next();
+            }
+            Some('"') => {}
+            _ => return Err(bad("expected `\"`, `,` or `}`")),
+        }
+        if chars.peek() != Some(&'"') {
+            continue;
+        }
+        let key = parse_json_string(&mut chars).ok_or_else(|| bad("bad key"))?;
+        if chars.next() != Some(':') {
+            return Err(bad("expected `:`"));
+        }
+        let value = match chars.peek() {
+            Some('"') => {
+                JsonValue::Str(parse_json_string(&mut chars).ok_or_else(|| bad("bad string"))?)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut n = 0u64;
+                while let Some(c) = chars.peek() {
+                    let Some(d) = c.to_digit(10) else { break };
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(u64::from(d)))
+                        .ok_or_else(|| bad("number overflow"))?;
+                    chars.next();
+                }
+                JsonValue::Num(n)
+            }
+            _ => return Err(bad("unsupported value")),
+        };
+        fields.push((key, value));
+    }
+    Ok(fields)
+}
+
+/// Parses a JSON string literal (cursor on the opening quote), undoing
+/// the escapes [`json_string`] produces.
+fn parse_json_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next() != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let n = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(n)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Provisioned {
+                instance: InstanceId::new("server"),
+                host: HostId(0),
+                hostname: "db.example.com".into(),
+                os: "Ubuntu 10.10".into(),
+            },
+            JournalRecord::Attempt {
+                instance: InstanceId::new("db"),
+                action: "install".into(),
+                attempt: 1,
+            },
+            JournalRecord::Commit {
+                instance: InstanceId::new("db"),
+                action: "install".into(),
+                from: "uninstalled".into(),
+                to: "inactive".into(),
+                start_ns: 0,
+                end_ns: 1_500_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for rec in samples() {
+            let line = rec.to_json();
+            assert_eq!(JournalRecord::from_json(&line).unwrap(), rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_roundtrip() {
+        let rec = JournalRecord::Attempt {
+            instance: InstanceId::new("we\"ird\\name\n"),
+            action: "inst\tall".into(),
+            attempt: 3,
+        };
+        assert_eq!(JournalRecord::from_json(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let j = DeployJournal::in_memory();
+        for rec in samples() {
+            j.append(rec);
+        }
+        assert_eq!(j.records(), samples());
+        assert_eq!(j.path(), None);
+        // Clones share the sink.
+        let j2 = j.clone();
+        j2.append(samples().remove(1));
+        assert_eq!(j.records().len(), 4);
+    }
+
+    #[test]
+    fn jsonl_sink_roundtrips_through_file() {
+        let path =
+            std::env::temp_dir().join(format!("engage-journal-{}.jsonl", std::process::id()));
+        let j = DeployJournal::jsonl_create(&path).unwrap();
+        for rec in samples() {
+            j.append(rec);
+        }
+        assert_eq!(load_jsonl(&path).unwrap(), samples());
+        assert_eq!(j.records(), samples());
+        assert_eq!(j.path(), Some(path.as_path()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(JournalRecord::from_json("not json").is_err());
+        assert!(JournalRecord::from_json("{\"type\":\"bogus\"}").is_err());
+        assert!(JournalRecord::from_json("{\"type\":\"attempt\",\"instance\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn state_parse_helpers() {
+        assert_eq!(
+            parse_driver_state("active"),
+            DriverState::Basic(BasicState::Active)
+        );
+        assert_eq!(
+            parse_driver_state("weird"),
+            DriverState::Custom("weird".into())
+        );
+        assert_eq!(parse_os("Ubuntu 10.10"), Some(Os::Ubuntu1010));
+        assert_eq!(parse_os("BeOS"), None);
+    }
+}

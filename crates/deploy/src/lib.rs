@@ -55,14 +55,22 @@ mod action;
 mod discovery;
 mod engine;
 mod error;
+mod journal;
 mod parallel;
+mod retry;
 mod upgrade;
 
 pub use action::{
     generic_action, package_name, service_name, ActionCtx, ActionFn, DriverBinding, DriverRegistry,
 };
 pub use discovery::{discover_all, discover_machine};
-pub use engine::{os_for_key, Deployment, DeploymentEngine, ProvisionMode, TimelineEntry};
-pub use error::DeployError;
+pub use engine::{
+    os_for_key, Deployment, DeploymentEngine, ProvisionMode, ResumeMode, TimelineEntry,
+};
+pub use error::{DeployError, DeployFailure};
+pub use journal::{
+    load_jsonl, parse_driver_state, parse_os, DeployJournal, JournalError, JournalRecord,
+};
 pub use parallel::ParallelOutcome;
+pub use retry::RetryPolicy;
 pub use upgrade::{plan_upgrade, ReplanInfo, UpgradePlanEntry, UpgradeReport, UpgradeStrategy};

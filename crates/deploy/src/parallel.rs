@@ -20,9 +20,9 @@ use engage_model::{
 use engage_sim::Monitor;
 use engage_util::sync::{channel, Condvar, Mutex};
 
-use crate::action::{service_name, ActionCtx};
+use crate::action::ActionCtx;
 use crate::engine::{Deployment, DeploymentEngine, TimelineEntry};
-use crate::error::DeployError;
+use crate::error::{DeployError, DeployFailure};
 
 /// How long a slave waits for a cross-host guard before declaring the
 /// deployment stuck. Generous: guards only wait on other slaves' progress.
@@ -71,14 +71,42 @@ impl DeploymentEngine<'_> {
     /// The same failures as sequential deployment, plus
     /// [`DeployError::GuardFailed`] if the deployment deadlocks (a guard
     /// stays false for 30 s of host time — impossible for well-formed
-    /// specs).
+    /// specs). This wrapper drops the partial-deployment report; use
+    /// [`DeploymentEngine::deploy_parallel_with_recovery`] to keep it.
     pub fn deploy_parallel(&self, spec: &InstallSpec) -> Result<ParallelOutcome, DeployError> {
-        let machines = self.provision_machines(spec)?;
-        let order = topological_order(spec).ok_or(DeployError::Model(
-            engage_model::ModelError::SpecError {
+        self.deploy_parallel_with_recovery(spec)
+            .map_err(|f| f.error)
+    }
+
+    /// Parallel deployment with the same recovery semantics as
+    /// [`DeploymentEngine::deploy_with_recovery`]: a failure returns the
+    /// partial state assembled from every slave's progress (preferring
+    /// an engine kill over secondary "another slave failed" noise), and
+    /// auto-rollback — when enabled and the engine was not killed —
+    /// unwinds it sequentially in reverse dependency order.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeploymentEngine::deploy_parallel`], boxed with the recovery
+    /// report.
+    pub fn deploy_parallel_with_recovery(
+        &self,
+        spec: &InstallSpec,
+    ) -> Result<ParallelOutcome, Box<DeployFailure>> {
+        let fail_early = |error: DeployError| {
+            Box::new(DeployFailure {
+                error,
+                completed: Vec::new(),
+                states: BTreeMap::new(),
+                rolled_back: None,
+            })
+        };
+        let machines = self.provision_machines(spec).map_err(fail_early)?;
+        let order = topological_order(spec)
+            .ok_or(DeployError::Model(engage_model::ModelError::SpecError {
                 detail: "instance dependency graph has a cycle".into(),
-            },
-        ))?;
+            }))
+            .map_err(fail_early)?;
 
         // Per-node specifications, preserving global topological order.
         let dep_for_hosts = Deployment {
@@ -94,7 +122,8 @@ impl DeploymentEngine<'_> {
                 .host_of(id)
                 .ok_or_else(|| DeployError::NoMachine {
                     instance: id.clone(),
-                })?;
+                })
+                .map_err(fail_early)?;
             per_host.entry(host).or_default().push(id.clone());
         }
 
@@ -150,9 +179,7 @@ impl DeploymentEngine<'_> {
         drop(err_tx);
         let wall = started.elapsed();
 
-        if let Ok(e) = err_rx.try_recv() {
-            return Err(e);
-        }
+        let errors: Vec<DeployError> = err_rx.try_iter().collect();
 
         let mut timeline: Vec<TimelineEntry> = timeline_rx.try_iter().collect();
         timeline.sort_by_key(|t| (t.start, t.instance.clone()));
@@ -163,17 +190,19 @@ impl DeploymentEngine<'_> {
             timeline,
             monitor: Monitor::new(),
         };
-        // Register services with the monitor, as the sequential path does.
-        for inst in deployment.spec.iter() {
-            let Some(host) = deployment.host_of(inst.id()) else {
-                continue;
-            };
-            let name = service_name(inst.key());
-            if self.sim().service_running(host, &name) {
-                let port = self.sim().service_state(host, &name).and_then(|s| s.port);
-                deployment.monitor.watch(host, name, port);
-            }
+        if !errors.is_empty() {
+            // Prefer the engine kill: the secondary errors are just the
+            // other slaves noticing ("another slave failed").
+            let error = errors
+                .iter()
+                .find(|e| matches!(e, DeployError::EngineKilled { .. }))
+                .or_else(|| errors.first())
+                .cloned()
+                .expect("non-empty");
+            return Err(self.recover(deployment, error));
         }
+        // Register services with the monitor, as the sequential path does.
+        self.register_services(&mut deployment);
         Ok(ParallelOutcome {
             deployment,
             wall,
@@ -199,6 +228,9 @@ impl DeploymentEngine<'_> {
             if current == DriverState::Basic(BasicState::Active) {
                 return Ok(());
             }
+            if let Some(kill) = self.kill_switch() {
+                kill.check()?;
+            }
             let path = crate::engine::find_path(
                 &driver,
                 &current,
@@ -222,9 +254,10 @@ impl DeploymentEngine<'_> {
                 host,
                 instance: inst,
             };
-            self.registry().run(&action, &ctx)?;
+            self.run_action(&ctx, id, &action)?;
             let end = self.sim().now();
             self.record_transition(id, &action, &current, &to);
+            self.commit_transition(id, &action, &current, &to, start, end);
             let _ = timeline_tx.send(TimelineEntry {
                 instance: id.clone(),
                 action,

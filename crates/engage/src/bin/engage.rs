@@ -20,15 +20,29 @@
 //! counter/gauge summary to the command output;
 //! `--solver serial|portfolio[:N]|incremental` selects the SAT solving
 //! strategy used by `plan` and `deploy` (see docs/solver-modes.md).
+//!
+//! Robustness options for `deploy` (see docs/robustness.md):
+//! `--retries N` retries transient driver-action failures up to `N`
+//! attempts with exponential backoff (`--retry-seed S` seeds the
+//! jitter); `--journal FILE.jsonl` writes a write-ahead transition
+//! journal; `--resume FILE.jsonl` resumes an interrupted deployment
+//! from its journal; `--rollback` uninstalls everything automatically
+//! when a deployment fails permanently; `--guard-timeout-ms T` bounds
+//! how long a parallel slave waits for cross-host guards;
+//! `--kill-after N` kills the engine after `N` committed transitions
+//! (chaos testing); `--chaos P[:SEED]` injects transient install/start
+//! faults with probability `P` per operation.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use engage::Engage;
+use engage::{load_jsonl, DeployFailure, DeployJournal, Engage, ResumeMode, RetryPolicy};
 use engage_config::{diagnose, generate, graph_gen, ConfigEngine, SolverMode};
 use engage_model::{PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
+use engage_sim::FaultPlan;
 use engage_util::obs::{JsonlSink, Obs};
 
 fn main() -> ExitCode {
@@ -55,6 +69,14 @@ struct Options {
     trace: Option<String>,
     metrics: bool,
     solver: SolverMode,
+    retries: u32,
+    retry_seed: Option<u64>,
+    journal: Option<String>,
+    resume: Option<String>,
+    rollback: bool,
+    guard_timeout_ms: Option<u64>,
+    kill_after: Option<u64>,
+    chaos: Option<(f64, u64)>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -68,6 +90,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace: None,
         metrics: false,
         solver: SolverMode::Serial,
+        retries: 1,
+        retry_seed: None,
+        journal: None,
+        resume: None,
+        rollback: false,
+        guard_timeout_ms: None,
+        kill_after: None,
+        chaos: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -116,6 +146,84 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .get(i + 1)
                     .ok_or("--solver needs a mode (serial|portfolio[:N]|incremental)")?;
                 opts.solver = value.parse()?;
+                i += 2;
+            }
+            "--retries" => {
+                let value = args.get(i + 1).ok_or("--retries needs an attempt count")?;
+                opts.retries = value
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--retries `{value}` is not a positive integer"))?;
+                i += 2;
+            }
+            "--retry-seed" => {
+                let value = args.get(i + 1).ok_or("--retry-seed needs an integer")?;
+                opts.retry_seed = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--retry-seed `{value}` is not an integer"))?,
+                );
+                i += 2;
+            }
+            "--journal" => {
+                opts.journal = Some(
+                    args.get(i + 1)
+                        .ok_or("--journal needs a JSONL file path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--resume" => {
+                opts.resume = Some(
+                    args.get(i + 1)
+                        .ok_or("--resume needs a journal JSONL file path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--rollback" => {
+                opts.rollback = true;
+                i += 1;
+            }
+            "--guard-timeout-ms" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--guard-timeout-ms needs a duration in milliseconds")?;
+                opts.guard_timeout_ms = Some(value.parse::<u64>().map_err(|_| {
+                    format!("--guard-timeout-ms `{value}` is not a whole number of milliseconds")
+                })?);
+                i += 2;
+            }
+            "--kill-after" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--kill-after needs a transition count")?;
+                opts.kill_after = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--kill-after `{value}` is not an integer"))?,
+                );
+                i += 2;
+            }
+            "--chaos" => {
+                let value = args.get(i + 1).ok_or("--chaos needs RATE[:SEED]")?;
+                let (rate, seed) = match value.split_once(':') {
+                    Some((rate, seed)) => (
+                        rate,
+                        seed.parse::<u64>()
+                            .map_err(|_| format!("--chaos seed `{seed}` is not an integer"))?,
+                    ),
+                    None => (value.as_str(), 0),
+                };
+                let probability = rate
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| {
+                        format!("--chaos rate `{rate}` is not a probability in [0, 1]")
+                    })?;
+                opts.chaos = Some((probability, seed));
                 i += 2;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -272,6 +380,12 @@ fn run(args: &[String]) -> Result<String, String> {
         "deploy" => {
             let u = load_universe(&opts)?;
             let partial = load_spec(&opts)?;
+            // Load resume records before (re)creating the journal so
+            // `--resume J --journal J` continues the same file safely.
+            let resume_records = match &opts.resume {
+                Some(path) => Some(load_jsonl(path).map_err(|e| e.to_string())?),
+                None => None,
+            };
             let mut system = Engage::new(u)
                 .with_packages(engage_library::package_universe())
                 .with_registry(engage_library::driver_registry())
@@ -280,11 +394,56 @@ fn run(args: &[String]) -> Result<String, String> {
             if opts.cloud {
                 system = system.with_cloud_provisioning();
             }
+            if let Some(ms) = opts.guard_timeout_ms {
+                system = system.with_guard_timeout(Duration::from_millis(ms));
+            }
+            if opts.retries > 1 {
+                let mut retry = RetryPolicy::new(opts.retries);
+                if let Some(seed) = opts.retry_seed {
+                    retry = retry.with_seed(seed);
+                }
+                system = system.with_retry_policy(retry);
+            }
+            if let Some(path) = &opts.journal {
+                let journal =
+                    DeployJournal::jsonl_create(path).map_err(|e| format!("{path}: {e}"))?;
+                system = system.with_journal(journal);
+            }
+            if opts.rollback {
+                system = system.with_auto_rollback();
+            }
+            if let Some(after) = opts.kill_after {
+                system = system.with_kill_point(after);
+            }
+            if let Some((probability, seed)) = opts.chaos {
+                system.sim().set_fault_plan(
+                    FaultPlan::new(seed)
+                        .with_install_faults(probability, 1.0)
+                        .with_start_faults(probability, 1.0),
+                );
+            }
+            // Planning is deterministic, so a resumed run re-plans the
+            // same full spec the journalled run deployed.
+            let outcome = system.plan(&partial).map_err(|e| e.to_string())?;
             let mut out = String::new();
-            if opts.parallel {
-                let (outcome, parallel) = system
-                    .deploy_parallel(&partial)
+            if let Some(records) = &resume_records {
+                let deployment = system
+                    .resume_spec(&outcome.spec, records, ResumeMode::Replay)
                     .map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "resumed deployment of {} instances from {} journal record(s)",
+                    outcome.spec.len(),
+                    records.len()
+                );
+                write_timeline(&mut out, &deployment);
+                for (id, state) in system.status(&deployment) {
+                    let _ = writeln!(out, "status {id}: {state}");
+                }
+            } else if opts.parallel {
+                let parallel = system
+                    .deploy_parallel_spec_with_recovery(&outcome.spec)
+                    .map_err(|failure| render_failure(&failure))?;
                 let _ = writeln!(
                     out,
                     "deployed {} instances on {} machine(s) with {} parallel slave(s)",
@@ -300,7 +459,9 @@ fn run(args: &[String]) -> Result<String, String> {
                     parallel.deployment.sequential_duration().as_secs_f64() / 60.0
                 );
             } else {
-                let (outcome, deployment) = system.deploy(&partial).map_err(|e| e.to_string())?;
+                let deployment = system
+                    .deploy_spec_with_recovery(&outcome.spec)
+                    .map_err(|failure| render_failure(&failure))?;
                 let _ = writeln!(
                     out,
                     "deployed {} instances on {} machine(s)",
@@ -352,4 +513,35 @@ fn write_timeline(out: &mut String, dep: &engage_deploy::Deployment) {
     for t in dep.timeline() {
         let _ = writeln!(out, "t={:>6.0?} {:<10} {}", t.start, t.action, t.instance);
     }
+}
+
+/// Renders the structured failure report printed to stderr when a
+/// deployment fails: the error, every transition that had completed,
+/// where each driver stood, and whether the automatic rollback ran.
+fn render_failure(failure: &DeployFailure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "deployment failed: {}", failure.error);
+    let _ = writeln!(out, "completed transitions ({}):", failure.completed.len());
+    if failure.completed.is_empty() {
+        let _ = writeln!(out, "  (none)");
+    }
+    for t in &failure.completed {
+        let _ = writeln!(out, "  t={:>6.0?} {:<10} {}", t.start, t.action, t.instance);
+    }
+    let _ = writeln!(out, "driver states at failure:");
+    for (id, state) in &failure.states {
+        let _ = writeln!(out, "  {id}: {state}");
+    }
+    match failure.rolled_back {
+        None => {
+            let _ = write!(out, "rollback: not attempted");
+        }
+        Some(true) => {
+            let _ = write!(out, "rollback: completed, all hosts clean");
+        }
+        Some(false) => {
+            let _ = write!(out, "rollback: attempted but residue remains");
+        }
+    }
+    out
 }

@@ -56,7 +56,10 @@ use engage_util::sync::Mutex;
 
 pub use engage_config::ConfigEngine as RawConfigEngine;
 pub use engage_config::SolverMode;
-pub use engage_deploy::{UpgradeReport, UpgradeStrategy};
+pub use engage_deploy::{
+    load_jsonl, DeployFailure, DeployJournal, JournalRecord, ResumeMode, RetryPolicy,
+    UpgradeReport, UpgradeStrategy,
+};
 
 /// Top-level error: configuration or deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +112,10 @@ pub struct Engage {
     mode: ProvisionMode,
     obs: Obs,
     guard_timeout: Option<std::time::Duration>,
+    retry: RetryPolicy,
+    journal: Option<DeployJournal>,
+    auto_rollback: bool,
+    kill_point: Option<u64>,
     solver_mode: SolverMode,
     /// Live solver state for [`SolverMode::Incremental`], shared by
     /// every `plan`/`upgrade` on this instance. Interior mutability
@@ -127,6 +134,10 @@ impl Clone for Engage {
             mode: self.mode,
             obs: self.obs.clone(),
             guard_timeout: self.guard_timeout,
+            retry: self.retry.clone(),
+            journal: self.journal.clone(),
+            auto_rollback: self.auto_rollback,
+            kill_point: self.kill_point,
             solver_mode: self.solver_mode,
             session: Mutex::new(self.session.lock().clone()),
         }
@@ -145,6 +156,10 @@ impl Engage {
             mode: ProvisionMode::Local,
             obs: Obs::disabled(),
             guard_timeout: None,
+            retry: RetryPolicy::none(),
+            journal: None,
+            auto_rollback: false,
+            kill_point: None,
             solver_mode: SolverMode::Serial,
             session: Mutex::new(ConfigSession::new()),
         }
@@ -228,6 +243,38 @@ impl Engage {
         self
     }
 
+    /// Applies a [`RetryPolicy`] to every driver transition
+    /// (builder-style; default: single attempt). Transient faults are
+    /// retried with seeded exponential backoff on the simulated clock.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches a write-ahead [`DeployJournal`] to every deployment this
+    /// instance runs (builder-style), enabling [`Engage::resume_spec`]
+    /// after a crash.
+    pub fn with_journal(mut self, journal: DeployJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Enables automatic rollback of partial deployments on permanent
+    /// failure (builder-style; see
+    /// [`DeploymentEngine::with_auto_rollback`]).
+    pub fn with_auto_rollback(mut self) -> Self {
+        self.auto_rollback = true;
+        self
+    }
+
+    /// Arms a chaos kill-point (builder-style): deployments die with
+    /// [`DeployError::EngineKilled`] after `after` committed
+    /// transitions.
+    pub fn with_kill_point(mut self, after: u64) -> Self {
+        self.kill_point = Some(after);
+        self
+    }
+
     /// The resource universe.
     pub fn universe(&self) -> &Universe {
         &self.universe
@@ -277,6 +324,37 @@ impl Engage {
         Ok(self.engine().deploy(spec)?)
     }
 
+    /// Deploys a full specification, keeping the recovery report on
+    /// failure: completed transitions, per-instance states, and the
+    /// auto-rollback outcome (see
+    /// [`DeploymentEngine::deploy_with_recovery`]).
+    ///
+    /// # Errors
+    ///
+    /// Deployment failures, boxed with the recovery report.
+    pub fn deploy_spec_with_recovery(
+        &self,
+        spec: &InstallSpec,
+    ) -> Result<Deployment, Box<DeployFailure>> {
+        self.engine().deploy_with_recovery(spec)
+    }
+
+    /// Resumes an interrupted deployment from its journal records (see
+    /// [`DeploymentEngine::resume`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::ResumeFailed`] on journal/spec mismatch, plus the
+    /// usual deployment failures while finishing the run.
+    pub fn resume_spec(
+        &self,
+        spec: &InstallSpec,
+        records: &[JournalRecord],
+        mode: ResumeMode,
+    ) -> Result<Deployment, EngageError> {
+        Ok(self.engine().resume(spec, records, mode)?)
+    }
+
     /// Plans and deploys in one step.
     ///
     /// # Errors
@@ -305,6 +383,20 @@ impl Engage {
         let outcome = self.plan(partial)?;
         let parallel = self.engine().deploy_parallel(&outcome.spec)?;
         Ok((outcome, parallel))
+    }
+
+    /// Deploys a full specification with one slave per machine, keeping
+    /// the recovery report on failure (see
+    /// [`DeploymentEngine::deploy_parallel_with_recovery`]).
+    ///
+    /// # Errors
+    ///
+    /// Deployment failures, boxed with the recovery report.
+    pub fn deploy_parallel_spec_with_recovery(
+        &self,
+        spec: &InstallSpec,
+    ) -> Result<engage_deploy::ParallelOutcome, Box<DeployFailure>> {
+        self.engine().deploy_parallel_with_recovery(spec)
     }
 
     /// When `partial` has no full installation specification, explains why:
@@ -438,9 +530,17 @@ impl Engage {
         let mut engine = DeploymentEngine::new(self.sim.clone(), &self.universe)
             .with_registry(self.registry.clone())
             .with_mode(self.mode)
-            .with_obs(self.obs.clone());
+            .with_obs(self.obs.clone())
+            .with_retry_policy(self.retry.clone())
+            .with_auto_rollback(self.auto_rollback);
         if let Some(timeout) = self.guard_timeout {
             engine = engine.with_guard_timeout(timeout);
+        }
+        if let Some(journal) = &self.journal {
+            engine = engine.with_journal(journal.clone());
+        }
+        if let Some(after) = self.kill_point {
+            engine = engine.with_kill_point(after);
         }
         engine
     }

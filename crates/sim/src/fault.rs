@@ -1,0 +1,177 @@
+//! Seeded probabilistic fault injection — the chaos side of the simulated
+//! data center.
+//!
+//! The deterministic `inject_*_failure` knobs on [`Sim`](crate::Sim) are
+//! good for pinpoint tests ("the next install of `fa-2` fails"), but
+//! robustness work needs *statistical* failure models: every install has
+//! a 20% chance of a transient fault, one in ten faults is permanent,
+//! and the whole storm must replay bit-for-bit from a seed. A
+//! [`FaultPlan`] describes that model; [`Sim::set_fault_plan`]
+//! (crate::Sim::set_fault_plan) arms it.
+//!
+//! Transient faults fail the one operation that drew them — a retry
+//! re-rolls the dice. Permanent faults are *sticky*: once an operation
+//! on a name draws a permanent fault, every repeat of that operation
+//! fails permanently too, so retry policies classify them correctly.
+
+use std::fmt;
+
+/// How long a fault lasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The fault clears by itself: retrying the operation may succeed.
+    Transient,
+    /// The fault is terminal: the operation will never succeed.
+    Permanent,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
+/// The simulated operations a fault can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultOp {
+    /// Package installation (`Sim::install_package`).
+    Install,
+    /// Service start (`Sim::start_service`).
+    Start,
+    /// Service stop (`Sim::stop_service`).
+    Stop,
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOp::Install => write!(f, "install"),
+            FaultOp::Start => write!(f, "start"),
+            FaultOp::Stop => write!(f, "stop"),
+        }
+    }
+}
+
+/// Failure statistics for one operation kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRate {
+    /// Probability in `[0, 1]` that one operation draws a fault.
+    pub probability: f64,
+    /// Share in `[0, 1]` of drawn faults that are transient (the rest
+    /// are permanent and sticky).
+    pub transient_share: f64,
+}
+
+/// A seeded probabilistic failure model over the whole data center.
+///
+/// # Examples
+///
+/// ```
+/// use engage_sim::{DownloadSource, FaultPlan, Os, Sim};
+/// // 50% of installs fail transiently; starts and stops are reliable.
+/// let sim = Sim::new(DownloadSource::local_cache());
+/// sim.set_fault_plan(FaultPlan::new(42).with_install_faults(0.5, 1.0));
+/// let h = sim.provision_local("h", Os::Ubuntu1010);
+/// let outcomes: Vec<bool> = (0..8)
+///     .map(|i| sim.install_package(h, &format!("pkg-{i}")).is_ok())
+///     .collect();
+/// // Seeded: the same plan always produces the same storm.
+/// let sim2 = Sim::new(DownloadSource::local_cache());
+/// sim2.set_fault_plan(FaultPlan::new(42).with_install_faults(0.5, 1.0));
+/// let h2 = sim2.provision_local("h", Os::Ubuntu1010);
+/// let outcomes2: Vec<bool> = (0..8)
+///     .map(|i| sim2.install_package(h2, &format!("pkg-{i}")).is_ok())
+///     .collect();
+/// assert_eq!(outcomes, outcomes2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    install: Option<FaultRate>,
+    start: Option<FaultRate>,
+    stop: Option<FaultRate>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: only seeds the chaos RNG (used by
+    /// [`Sim::crash_storm`](crate::Sim::crash_storm)).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            install: None,
+            start: None,
+            stop: None,
+        }
+    }
+
+    /// Makes installs fail with `probability`; `transient_share` of the
+    /// faults are transient, the rest permanent (builder-style).
+    pub fn with_install_faults(mut self, probability: f64, transient_share: f64) -> Self {
+        self.install = Some(FaultRate {
+            probability,
+            transient_share,
+        });
+        self
+    }
+
+    /// Makes service starts fail with `probability` (builder-style).
+    pub fn with_start_faults(mut self, probability: f64, transient_share: f64) -> Self {
+        self.start = Some(FaultRate {
+            probability,
+            transient_share,
+        });
+        self
+    }
+
+    /// Makes service stops fail with `probability` (builder-style).
+    pub fn with_stop_faults(mut self, probability: f64, transient_share: f64) -> Self {
+        self.stop = Some(FaultRate {
+            probability,
+            transient_share,
+        });
+        self
+    }
+
+    /// The seed the chaos RNG is (re)initialized with when this plan is
+    /// armed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The failure statistics for one operation kind, if any.
+    pub fn rate(&self, op: FaultOp) -> Option<FaultRate> {
+        match op {
+            FaultOp::Install => self.install,
+            FaultOp::Start => self.start,
+            FaultOp::Stop => self.stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_rates_per_op() {
+        let plan = FaultPlan::new(7)
+            .with_install_faults(0.2, 0.9)
+            .with_stop_faults(0.1, 0.0);
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.rate(FaultOp::Install).unwrap().probability, 0.2);
+        assert_eq!(plan.rate(FaultOp::Start), None);
+        assert_eq!(plan.rate(FaultOp::Stop).unwrap().transient_share, 0.0);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(FaultKind::Transient.to_string(), "transient");
+        assert_eq!(FaultKind::Permanent.to_string(), "permanent");
+        assert_eq!(FaultOp::Install.to_string(), "install");
+        assert_eq!(FaultOp::Start.to_string(), "start");
+        assert_eq!(FaultOp::Stop.to_string(), "stop");
+    }
+}

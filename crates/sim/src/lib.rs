@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fault;
 mod host;
 mod monitor;
 mod os;
 mod pkg;
 mod sim;
 
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRate};
 pub use host::{Host, Service, Snapshot};
 pub use monitor::{Monitor, RestartRecord, WatchEntry};
 pub use os::{HostId, HostInfo, Os};

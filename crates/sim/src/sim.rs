@@ -5,14 +5,16 @@
 //! the paper deploys to (§5.2, §6); drivers in `engage-deploy` effect all
 //! their changes through this API.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
 use engage_util::obs::Obs;
+use engage_util::rand::{Rng, SplitMix64};
 use engage_util::sync::Mutex;
 
+use crate::fault::{FaultKind, FaultOp, FaultPlan};
 use crate::host::{Host, Snapshot};
 use crate::os::{HostId, HostInfo, Os};
 use crate::pkg::{DownloadSource, PackageUniverse};
@@ -21,11 +23,29 @@ use crate::pkg::{DownloadSource, PackageUniverse};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimError {
     what: String,
+    transient: bool,
 }
 
 impl SimError {
     pub(crate) fn new(what: impl Into<String>) -> Self {
-        SimError { what: what.into() }
+        SimError {
+            what: what.into(),
+            transient: false,
+        }
+    }
+
+    pub(crate) fn transient(what: impl Into<String>) -> Self {
+        SimError {
+            what: what.into(),
+            transient: true,
+        }
+    }
+
+    /// Whether retrying the failed operation may succeed (transient
+    /// fault) or is pointless (permanent fault — the default for real
+    /// errors like unknown hosts and port conflicts).
+    pub fn is_transient(&self) -> bool {
+        self.transient
     }
 }
 
@@ -98,17 +118,89 @@ pub enum Event {
     },
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SimState {
     hosts: BTreeMap<HostId, Host>,
     events: Vec<Event>,
     clock: Duration,
     next_host: u32,
     next_pid: u32,
-    /// package name → remaining injected install failures.
-    install_failures: BTreeMap<String, u32>,
+    /// (operation, name) → remaining injected failure count and kind.
+    injected: BTreeMap<(FaultOp, String), (u32, FaultKind)>,
+    /// Probabilistic chaos model, if armed ([`Sim::set_fault_plan`]).
+    fault_plan: Option<FaultPlan>,
+    /// Chaos RNG; reseeded whenever a plan is armed.
+    fault_rng: SplitMix64,
+    /// (operation, name) pairs that drew a permanent plan fault: they
+    /// fail forever so retries cannot accidentally clear them.
+    sticky_faults: BTreeSet<(FaultOp, String)>,
     /// Observability handle; disabled unless [`Sim::set_obs`] is called.
     obs: Obs,
+}
+
+impl Default for SimState {
+    fn default() -> Self {
+        SimState {
+            hosts: BTreeMap::new(),
+            events: Vec::new(),
+            clock: Duration::ZERO,
+            next_host: 0,
+            next_pid: 0,
+            injected: BTreeMap::new(),
+            fault_plan: None,
+            fault_rng: SplitMix64::new(0),
+            sticky_faults: BTreeSet::new(),
+            obs: Obs::default(),
+        }
+    }
+}
+
+impl SimState {
+    /// Decides whether `op` on `name` faults right now, consuming one
+    /// injected-failure charge or rolling the armed [`FaultPlan`]'s dice.
+    /// `verb` reads as "installing"/"starting"/"stopping" in the message.
+    fn fault_check(&mut self, op: FaultOp, name: &str, verb: &str) -> Result<(), SimError> {
+        let kind = if self.sticky_faults.contains(&(op, name.to_owned())) {
+            Some(FaultKind::Permanent)
+        } else if let Some((n, kind)) = self.injected.get_mut(&(op, name.to_owned())) {
+            if *n > 0 {
+                *n -= 1;
+                Some(*kind)
+            } else {
+                None
+            }
+        } else if let Some(rate) = self.fault_plan.as_ref().and_then(|p| p.rate(op)) {
+            if self.fault_rng.gen_bool(rate.probability) {
+                if self.fault_rng.gen_bool(rate.transient_share) {
+                    Some(FaultKind::Transient)
+                } else {
+                    self.sticky_faults.insert((op, name.to_owned()));
+                    Some(FaultKind::Permanent)
+                }
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        match kind {
+            None => Ok(()),
+            Some(kind) => {
+                let op_s = op.to_string();
+                let kind_s = kind.to_string();
+                self.obs.event(
+                    "sim.injected_failure",
+                    &[("name", name), ("op", &op_s), ("kind", &kind_s)],
+                );
+                self.obs.counter("sim.injected_failures").incr();
+                let msg = format!("injected failure {verb} `{name}` ({kind})");
+                Err(match kind {
+                    FaultKind::Transient => SimError::transient(msg),
+                    FaultKind::Permanent => SimError::new(msg),
+                })
+            }
+        }
+    }
 }
 
 /// The simulated data center. Cheap to clone (shared state).
@@ -226,20 +318,11 @@ impl Sim {
     /// # Errors
     ///
     /// Unknown host, or an injected failure
-    /// ([`Sim::inject_install_failure`]).
+    /// ([`Sim::inject_install_failure`], [`Sim::inject_fault`], or an
+    /// armed [`FaultPlan`]).
     pub fn install_package(&self, host: HostId, package: &str) -> Result<Duration, SimError> {
         let mut st = self.state.lock();
-        if let Some(n) = st.install_failures.get_mut(package) {
-            if *n > 0 {
-                *n -= 1;
-                st.obs
-                    .event("sim.injected_failure", &[("package", package)]);
-                st.obs.counter("sim.injected_failures").incr();
-                return Err(SimError::new(format!(
-                    "injected failure installing `{package}`"
-                )));
-            }
-        }
+        st.fault_check(FaultOp::Install, package, "installing")?;
         let h = st
             .hosts
             .get(&host)
@@ -295,12 +378,66 @@ impl Sim {
     }
 
     /// Makes the next `count` installs of `package` fail (failure
-    /// injection for upgrade/rollback tests).
+    /// injection for upgrade/rollback tests). Equivalent to
+    /// [`Sim::inject_fault`] with [`FaultOp::Install`] and
+    /// [`FaultKind::Transient`].
     pub fn inject_install_failure(&self, package: &str, count: u32) {
+        self.inject_fault(FaultOp::Install, package, count, FaultKind::Transient);
+    }
+
+    /// Makes the next `count` occurrences of `op` on `name` (a package
+    /// for installs, a service for start/stop) fail with the given kind.
+    pub fn inject_fault(&self, op: FaultOp, name: &str, count: u32, kind: FaultKind) {
         self.state
             .lock()
-            .install_failures
-            .insert(package.to_owned(), count);
+            .injected
+            .insert((op, name.to_owned()), (count, kind));
+    }
+
+    /// Arms a probabilistic [`FaultPlan`] and reseeds the chaos RNG from
+    /// its seed. Replaces any previous plan; sticky permanent faults
+    /// from the old plan are cleared.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut st = self.state.lock();
+        st.fault_rng = SplitMix64::new(plan.seed());
+        st.sticky_faults.clear();
+        st.fault_plan = Some(plan);
+    }
+
+    /// Disarms the probabilistic fault plan (targeted injections and
+    /// sticky faults already drawn stay in force).
+    pub fn clear_fault_plan(&self) {
+        self.state.lock().fault_plan = None;
+    }
+
+    /// Crashes each currently-running service independently with
+    /// `probability`, drawn from the chaos RNG (seed it via
+    /// [`Sim::set_fault_plan`]). Returns the victims — what a monitor
+    /// then has to notice and repair.
+    pub fn crash_storm(&self, probability: f64) -> Vec<(HostId, String)> {
+        let mut st = self.state.lock();
+        let mut victims = Vec::new();
+        let hosts: Vec<HostId> = st.hosts.keys().copied().collect();
+        for host in hosts {
+            let running: Vec<String> = st.hosts[&host]
+                .services()
+                .filter(|(_, s)| s.running)
+                .map(|(n, _)| n.to_owned())
+                .collect();
+            for service in running {
+                if st.fault_rng.gen_bool(probability) {
+                    let h = st.hosts.get_mut(&host).expect("host listed above");
+                    if h.crash_service(&service).is_ok() {
+                        st.events.push(Event::ServiceCrashed {
+                            host,
+                            service: service.clone(),
+                        });
+                        victims.push((host, service));
+                    }
+                }
+            }
+        }
+        victims
     }
 
     // ----- files -----
@@ -335,7 +472,8 @@ impl Sim {
     ///
     /// # Errors
     ///
-    /// Unknown host, already-running service, or port conflict.
+    /// Unknown host, already-running service, port conflict, or an
+    /// injected failure ([`Sim::inject_fault`] / [`FaultPlan`]).
     pub fn start_service(
         &self,
         host: HostId,
@@ -343,6 +481,7 @@ impl Sim {
         port: Option<u16>,
     ) -> Result<(), SimError> {
         let mut st = self.state.lock();
+        st.fault_check(FaultOp::Start, service, "starting")?;
         st.next_pid += 1;
         let pid = st.next_pid;
         let h = st
@@ -362,9 +501,11 @@ impl Sim {
     ///
     /// # Errors
     ///
-    /// Unknown host or service not running.
+    /// Unknown host, service not running, or an injected failure
+    /// ([`Sim::inject_fault`] / [`FaultPlan`]).
     pub fn stop_service(&self, host: HostId, service: &str) -> Result<(), SimError> {
         let mut st = self.state.lock();
+        st.fault_check(FaultOp::Stop, service, "stopping")?;
         let h = st
             .hosts
             .get_mut(&host)
@@ -531,6 +672,69 @@ mod tests {
         assert!(s.install_package(h, "bad-pkg").is_err());
         assert!(s.install_package(h, "bad-pkg").is_err());
         assert!(s.install_package(h, "bad-pkg").is_ok());
+    }
+
+    #[test]
+    fn install_failures_are_transient_by_default() {
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        s.inject_install_failure("bad-pkg", 1);
+        let err = s.install_package(h, "bad-pkg").unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(err.to_string().contains("injected failure"), "{err}");
+        // Real errors stay permanent.
+        let err = s.install_package(HostId(99), "x").unwrap_err();
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn start_and_stop_faults_fire() {
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        s.inject_fault(FaultOp::Start, "web", 1, FaultKind::Transient);
+        let err = s.start_service(h, "web", Some(80)).unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.to_string().contains("starting `web`"), "{err}");
+        s.start_service(h, "web", Some(80)).unwrap();
+        s.inject_fault(FaultOp::Stop, "web", 1, FaultKind::Permanent);
+        let err = s.stop_service(h, "web").unwrap_err();
+        assert!(!err.is_transient());
+        assert!(s.service_running(h, "web"));
+        s.stop_service(h, "web").unwrap();
+    }
+
+    #[test]
+    fn fault_plan_is_seeded_and_permanent_faults_stick() {
+        // All installs fault; every fault is permanent, so retrying the
+        // same package keeps failing while a fresh name re-rolls.
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        s.set_fault_plan(FaultPlan::new(1).with_install_faults(1.0, 0.0));
+        for _ in 0..3 {
+            let err = s.install_package(h, "pkg").unwrap_err();
+            assert!(!err.is_transient());
+        }
+        s.clear_fault_plan();
+        // Sticky faults outlive the plan.
+        assert!(s.install_package(h, "pkg").is_err());
+        assert!(s.install_package(h, "other").is_ok());
+    }
+
+    #[test]
+    fn crash_storm_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let s = sim();
+            let h = s.provision_local("h", Os::Ubuntu1010);
+            for i in 0..8 {
+                s.start_service(h, &format!("svc-{i}"), None).unwrap();
+            }
+            s.set_fault_plan(FaultPlan::new(seed));
+            s.crash_storm(0.5)
+        };
+        let a = run(9);
+        assert_eq!(a, run(9));
+        assert!(!a.is_empty());
+        assert!(a.len() < 8, "p=0.5 should spare someone at this seed");
     }
 
     #[test]

@@ -84,4 +84,19 @@ if [ "$(echo "$plan_portfolio" | sed '/== metrics ==/,$d')" != "$plan_serial" ];
     exit 1
 fi
 
-echo "verify: OK (build + tests + fmt + clippy green, lockfile hermetic, obs + solver smoke passed)"
+# Fault-tolerance smoke test: the fixed-seed chaos sweep must show the
+# retry policy holding >=95% convergence at a 20% transient rate (the
+# binary asserts this itself) and the all-permanent section rolling
+# every failed run back clean.
+cargo run -q --release --offline -p engage-bench --bin exp_faults -- \
+    --smoke --metrics "$obs_tmp/BENCH_faults.json" > "$obs_tmp/faults.txt"
+grep -q '"experiment":"faults"' "$obs_tmp/BENCH_faults.json"
+grep -q '"bench.faults.r20.success_pct_retries":100' "$obs_tmp/BENCH_faults.json"
+grep -q 'permanent-fault deployments ended with clean hosts' "$obs_tmp/faults.txt"
+
+# Crash-recovery property sweep: resume-after-kill must equal the
+# uninterrupted run at every seeded kill point, plus the journal,
+# chaos-convergence, and rollback integration tests.
+cargo test -q --offline --release -p engage --test robustness
+
+echo "verify: OK (build + tests + fmt + clippy green, lockfile hermetic, obs + solver + faults smoke passed)"

@@ -302,6 +302,149 @@ fn deploy_accepts_solver_flag() {
 }
 
 #[test]
+fn deploy_kill_after_reports_structured_failure_and_resumes() {
+    let spec = write_temp("fig2k.json", FIGURE_2);
+    let journal = std::env::temp_dir().join("engage-cli-tests/kill.jsonl");
+    std::fs::remove_file(&journal).ok();
+    let killed = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--kill-after",
+        "3",
+    ]);
+    assert!(!killed.status.success());
+    let report = stderr(&killed);
+    assert!(
+        report.contains("engine killed after 3 committed transitions"),
+        "{report}"
+    );
+    assert!(report.contains("completed transitions (3):"), "{report}");
+    assert!(report.contains("install"), "{report}");
+    assert!(report.contains("driver states at failure:"), "{report}");
+    assert!(report.contains("rollback: not attempted"), "{report}");
+
+    // The journal survives the crash and powers a resumed deployment.
+    let resumed = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--resume",
+        journal.to_str().unwrap(),
+    ]);
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    let text = stdout(&resumed);
+    assert!(text.contains("resumed deployment"), "{text}");
+    assert!(text.contains("status openmrs: active"), "{text}");
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn deploy_guard_timeout_flag() {
+    let spec = write_temp("fig2l.json", FIGURE_2);
+    let path = spec.to_str().unwrap();
+    let ok = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        path,
+        "--parallel",
+        "--guard-timeout-ms",
+        "5000",
+    ]);
+    assert!(ok.status.success(), "{}", stderr(&ok));
+    let bad = engage_cmd(&["deploy", "--spec", path, "--guard-timeout-ms", "soon"]);
+    assert!(!bad.status.success());
+    assert!(
+        stderr(&bad).contains("not a whole number of milliseconds"),
+        "{}",
+        stderr(&bad)
+    );
+    // Missing value is also rejected.
+    assert!(
+        !engage_cmd(&["deploy", "--spec", path, "--guard-timeout-ms"])
+            .status
+            .success()
+    );
+}
+
+#[test]
+fn deploy_chaos_fails_without_retries_and_converges_with_them() {
+    let spec = write_temp("fig2m.json", FIGURE_2);
+    let path = spec.to_str().unwrap();
+    // Pinned seed: with this fault plan the bare deploy dies on an
+    // injected transient fault...
+    let bare = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        path,
+        "--chaos",
+        "0.3:3",
+    ]);
+    assert!(!bare.status.success());
+    assert!(
+        stderr(&bare).contains("injected failure"),
+        "{}",
+        stderr(&bare)
+    );
+    // ...and the retry policy absorbs the same faults.
+    let retried = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        path,
+        "--chaos",
+        "0.3:3",
+        "--retries",
+        "8",
+    ]);
+    assert!(retried.status.success(), "{}", stderr(&retried));
+    assert!(
+        stdout(&retried).contains("status openmrs: active"),
+        "{}",
+        stdout(&retried)
+    );
+    // Bad chaos rates are rejected up front.
+    for bad in ["1.5", "-0.1", "x", "0.2:y"] {
+        let out = engage_cmd(&["deploy", "--spec", path, "--chaos", bad]);
+        assert!(!out.status.success(), "--chaos {bad:?} should fail");
+    }
+}
+
+#[test]
+fn deploy_rollback_flag_cleans_up_after_permanent_failure() {
+    let spec = write_temp("fig2n.json", FIGURE_2);
+    // Without --retries a single injected fault is fatal, which is
+    // exactly what --rollback exists to clean up after.
+    let out = engage_cmd(&[
+        "deploy",
+        "--library",
+        "base",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--chaos",
+        "0.3:3",
+        "--rollback",
+    ]);
+    assert!(!out.status.success());
+    let report = stderr(&out);
+    assert!(
+        report.contains("rollback: completed, all hosts clean"),
+        "{report}"
+    );
+}
+
+#[test]
 fn output_file_writing() {
     let spec = write_temp("fig2f.json", FIGURE_2);
     let out_path = std::env::temp_dir().join("engage-cli-tests/full.json");
