@@ -17,6 +17,7 @@ use crate::action::{service_name, ActionCtx, DriverRegistry};
 use crate::error::{DeployError, DeployFailure};
 use crate::journal::{parse_driver_state, parse_os, DeployJournal, JournalRecord};
 use crate::retry::RetryPolicy;
+use crate::schedule::SchedulerStrategy;
 
 /// How an interrupted deployment's journal is brought back to life by
 /// [`DeploymentEngine::resume`].
@@ -286,6 +287,16 @@ pub struct DeploymentEngine<'a> {
     /// exact-state matching would wedge the rollback of a stack whose
     /// lower layers never got installed).
     relaxed_guards: bool,
+    strategy: SchedulerStrategy,
+    workers: Option<usize>,
+    /// Global progress epoch: bumped on every committed transition and
+    /// every retry-backoff simulated-clock advance. Legacy slaves use it
+    /// to make their wall-clock guard deadlines progress-aware — a guard
+    /// wait only times out after `guard_timeout` with *no* global
+    /// progress, so one host's heavy retry backoff (which advances the
+    /// simulated clock, not the wall clock) cannot spuriously trip
+    /// `GuardFailed` on another.
+    progress: Arc<AtomicU64>,
 }
 
 impl<'a> DeploymentEngine<'a> {
@@ -303,6 +314,9 @@ impl<'a> DeploymentEngine<'a> {
             rollback_on_failure: false,
             kill: None,
             relaxed_guards: false,
+            strategy: SchedulerStrategy::default(),
+            workers: None,
+            progress: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -371,6 +385,23 @@ impl<'a> DeploymentEngine<'a> {
         self
     }
 
+    /// Selects the parallel scheduler (builder-style; default
+    /// [`SchedulerStrategy::Wavefront`]). The legacy
+    /// [`SchedulerStrategy::Slaves`] engine is kept as a differential
+    /// oracle.
+    pub fn with_scheduler(mut self, strategy: SchedulerStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the wavefront scheduler's worker count (builder-style;
+    /// default: one worker per machine, capped at 8). Ignored by the
+    /// legacy slave engine, which always runs one slave per machine.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
     /// The attached retry policy.
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.retry
@@ -391,6 +422,19 @@ impl<'a> DeploymentEngine<'a> {
 
     pub(crate) fn guard_timeout(&self) -> Duration {
         self.guard_timeout
+    }
+
+    pub(crate) fn strategy(&self) -> SchedulerStrategy {
+        self.strategy
+    }
+
+    pub(crate) fn workers(&self) -> Option<usize> {
+        self.workers
+    }
+
+    /// The global progress epoch (see the field's docs).
+    pub(crate) fn progress_epoch(&self) -> &Arc<AtomicU64> {
+        &self.progress
     }
 
     /// The simulated data center.
@@ -847,6 +891,7 @@ impl<'a> DeploymentEngine<'a> {
                         );
                     }
                     self.sim.advance(wait);
+                    self.progress.fetch_add(1, Ordering::Release);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -878,6 +923,7 @@ impl<'a> DeploymentEngine<'a> {
         if let Some(kill) = &self.kill {
             kill.on_commit();
         }
+        self.progress.fetch_add(1, Ordering::Release);
     }
 
     /// Emits the `driver.transition` event shared by the sequential and

@@ -286,16 +286,34 @@ impl DeployJournal {
 
 /// Reads a JSONL journal file back into records.
 ///
+/// A malformed *final* line is tolerated with a warning: an engine that
+/// crashed mid-append leaves a truncated trailing record, and the
+/// write-ahead discipline makes dropping it safe (the action it described
+/// was never confirmed complete). Corruption anywhere else still fails
+/// the load — that is not a crash signature, it is a damaged journal.
+///
 /// # Errors
 ///
-/// I/O failures or malformed lines.
+/// I/O failures or malformed non-final lines.
 pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Vec<JournalRecord>, JournalError> {
     let text = std::fs::read_to_string(path.as_ref())
         .map_err(|e| JournalError::new(format!("reading {}: {e}", path.as_ref().display())))?;
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(JournalRecord::from_json)
-        .collect()
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match JournalRecord::from_json(line) {
+            Ok(record) => records.push(record),
+            Err(e) if i + 1 == lines.len() => {
+                eprintln!(
+                    "warning: {}: skipping truncated trailing journal record ({e})",
+                    path.as_ref().display()
+                );
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(records)
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -462,6 +480,37 @@ mod tests {
         assert!(JournalRecord::from_json("not json").is_err());
         assert!(JournalRecord::from_json("{\"type\":\"bogus\"}").is_err());
         assert!(JournalRecord::from_json("{\"type\":\"attempt\",\"instance\":\"x\"}").is_err());
+    }
+
+    /// Regression (crash mid-write): a journal truncated at *every* byte
+    /// offset of its last record must still load, yielding exactly the
+    /// fully-written prefix — the torn trailing record is skipped.
+    #[test]
+    fn truncated_trailing_record_is_skipped_at_every_offset() {
+        let full: String = samples().iter().map(|r| r.to_json() + "\n").collect();
+        let prefix = samples()[..samples().len() - 1].to_vec();
+        let last_start = full.trim_end().rfind('\n').unwrap() + 1;
+        let path = std::env::temp_dir().join(format!(
+            "engage-journal-truncated-{}.jsonl",
+            std::process::id()
+        ));
+        for cut in last_start..full.len() {
+            std::fs::write(&path, &full.as_bytes()[..cut]).unwrap();
+            let loaded = load_jsonl(&path).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            if cut == full.len() - 1 {
+                // Only the trailing newline is missing: the last record
+                // is intact and must be recovered in full.
+                assert_eq!(loaded, samples(), "cut at {cut}");
+            } else {
+                assert_eq!(loaded, prefix, "cut at {cut}");
+            }
+        }
+        // Corruption on a *non*-final line is still an error.
+        let mut torn_middle = full.clone();
+        torn_middle.replace_range(last_start - 2..last_start - 1, "");
+        std::fs::write(&path, &torn_middle).unwrap();
+        assert!(load_jsonl(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod error;
 mod journal;
 mod parallel;
 mod retry;
+mod schedule;
 mod upgrade;
 
 pub use action::{
@@ -73,4 +74,5 @@ pub use journal::{
 };
 pub use parallel::ParallelOutcome;
 pub use retry::RetryPolicy;
+pub use schedule::SchedulerStrategy;
 pub use upgrade::{plan_upgrade, ReplanInfo, UpgradePlanEntry, UpgradeReport, UpgradeStrategy};

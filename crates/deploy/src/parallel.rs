@@ -1,4 +1,5 @@
-//! Parallel multi-host deployment — the §5.2 master/slave architecture.
+//! Parallel multi-host deployment — the §5.2 master/slave architecture,
+//! executed by a wavefront DAG scheduler.
 //!
 //! "We can break the overall install specification into per-node
 //! specifications and run a slave instance of Engage on each target host.
@@ -6,9 +7,17 @@
 //! deployments can run in parallel when the slaves have no
 //! inter-dependencies."
 //!
-//! One OS thread plays each slave; cross-host ordering is enforced the
-//! same way the sequential engine does it — by the driver guards — with
-//! slaves blocking on a shared state table until their guards hold.
+//! Two engines implement this contract:
+//!
+//! * [`SchedulerStrategy::Wavefront`] (default) — the whole deployment is
+//!   compiled into an explicit transition DAG and executed as topological
+//!   wavefronts on a work-stealing pool (see [`crate::schedule`]'s module
+//!   docs). Guards become reverse-dependency counters released with O(1)
+//!   decrements, so the engine scales to tens of thousands of hosts.
+//! * [`SchedulerStrategy::Slaves`] — the legacy engine: one OS thread per
+//!   target host, cross-host ordering enforced by slaves blocking on a
+//!   shared state table until their guards hold. Kept as a differential
+//!   oracle for the wavefront scheduler.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,6 +32,7 @@ use engage_util::sync::{channel, Condvar, Mutex};
 use crate::action::ActionCtx;
 use crate::engine::{Deployment, DeploymentEngine, TimelineEntry};
 use crate::error::{DeployError, DeployFailure};
+use crate::schedule::{build_dag, execute_wavefront, SchedulerStrategy};
 
 /// How long a slave waits for a cross-host guard before declaring the
 /// deployment stuck. Generous: guards only wait on other slaves' progress.
@@ -30,15 +40,16 @@ use crate::error::{DeployError, DeployFailure};
 pub(crate) const GUARD_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Outcome of a parallel deployment: the deployment plus the *host*
-/// wall-clock the slaves took (the simulated install durations live in the
-/// deployment's timeline, as usual).
+/// wall-clock the workers took (the simulated install durations live in
+/// the deployment's timeline, as usual).
 #[derive(Debug)]
 pub struct ParallelOutcome {
     /// The resulting deployment (all drivers `active`).
     pub deployment: Deployment,
-    /// Real (host) wall-clock spent in the slave threads.
+    /// Real (host) wall-clock spent in the worker threads.
     pub wall: Duration,
-    /// Number of slave threads (machines) used.
+    /// Degree of parallelism used: wavefront worker threads, or slave
+    /// threads (one per machine) under the legacy engine.
     pub slaves: usize,
 }
 
@@ -69,9 +80,11 @@ impl DeploymentEngine<'_> {
     /// # Errors
     ///
     /// The same failures as sequential deployment, plus
-    /// [`DeployError::GuardFailed`] if the deployment deadlocks (a guard
-    /// stays false for 30 s of host time — impossible for well-formed
-    /// specs). This wrapper drops the partial-deployment report; use
+    /// [`DeployError::GuardFailed`] if the deployment would deadlock on
+    /// its guards — detected statically (and instantly) by the wavefront
+    /// scheduler, or by a guard staying false for 30 s of host time
+    /// without global progress under the legacy slave engine. This
+    /// wrapper drops the partial-deployment report; use
     /// [`DeploymentEngine::deploy_parallel_with_recovery`] to keep it.
     pub fn deploy_parallel(&self, spec: &InstallSpec) -> Result<ParallelOutcome, DeployError> {
         self.deploy_parallel_with_recovery(spec)
@@ -90,6 +103,89 @@ impl DeploymentEngine<'_> {
     /// As [`DeploymentEngine::deploy_parallel`], boxed with the recovery
     /// report.
     pub fn deploy_parallel_with_recovery(
+        &self,
+        spec: &InstallSpec,
+    ) -> Result<ParallelOutcome, Box<DeployFailure>> {
+        match self.strategy() {
+            SchedulerStrategy::Wavefront => self.deploy_wavefront_with_recovery(spec),
+            SchedulerStrategy::Slaves => self.deploy_slaves_with_recovery(spec),
+        }
+    }
+
+    /// The wavefront path: compile the transition DAG, execute it on a
+    /// work-stealing pool, then recover exactly like the legacy engine.
+    fn deploy_wavefront_with_recovery(
+        &self,
+        spec: &InstallSpec,
+    ) -> Result<ParallelOutcome, Box<DeployFailure>> {
+        let machines = self.provision_machines(spec).map_err(|error| {
+            Box::new(DeployFailure {
+                error,
+                completed: Vec::new(),
+                states: BTreeMap::new(),
+                rolled_back: None,
+            })
+        })?;
+        let start_states: BTreeMap<InstanceId, DriverState> = spec
+            .iter()
+            .map(|i| (i.id().clone(), DriverState::Basic(BasicState::Uninstalled)))
+            .collect();
+        let workers = self
+            .workers()
+            .unwrap_or_else(|| machines.len().clamp(1, 8))
+            .max(1);
+
+        let started = Instant::now();
+        let parallel_span = self.obs().span_with(
+            "deploy.parallel",
+            &[
+                ("instances", &spec.len().to_string()),
+                ("slaves", &workers.to_string()),
+            ],
+        );
+        let dag = match build_dag(self.universe(), spec, &start_states, BasicState::Active) {
+            Ok(dag) => dag,
+            Err(error) => {
+                // A static compile error — unreachable target, or a
+                // guard cycle / never-entered state that would wedge the
+                // legacy engine until its timeout. Nothing ran.
+                drop(parallel_span);
+                let deployment = Deployment {
+                    spec: spec.clone(),
+                    states: start_states,
+                    machines,
+                    timeline: Vec::new(),
+                    monitor: Monitor::new(),
+                };
+                return Err(self.recover(deployment, error));
+            }
+        };
+        let run = execute_wavefront(self, spec, &machines, &start_states, &dag, workers);
+        drop(parallel_span);
+        let wall = started.elapsed();
+
+        let mut deployment = Deployment {
+            spec: spec.clone(),
+            states: run.states,
+            machines,
+            timeline: run.timeline,
+            monitor: Monitor::new(),
+        };
+        if let Some(error) = run.error {
+            return Err(self.recover(deployment, error));
+        }
+        self.register_services(&mut deployment);
+        Ok(ParallelOutcome {
+            deployment,
+            wall,
+            slaves: workers,
+        })
+    }
+
+    /// The legacy §5.2 engine: one slave thread per machine, condvar
+    /// guard waits. Kept behind [`SchedulerStrategy::Slaves`] as a
+    /// differential oracle for the wavefront scheduler.
+    fn deploy_slaves_with_recovery(
         &self,
         spec: &InstallSpec,
     ) -> Result<ParallelOutcome, Box<DeployFailure>> {
@@ -269,6 +365,21 @@ impl DeploymentEngine<'_> {
     }
 
     /// Blocks until `guard` holds over the shared state table.
+    ///
+    /// `deploy.guard_wait_ns` accumulates only the time actually spent
+    /// *blocked* in condvar waits — lock acquisition, predicate
+    /// evaluation, and the no-wait fast path contribute nothing (the
+    /// historical bug was adding the wall-clock elapsed since function
+    /// entry on every exit branch, overcounting the metric).
+    ///
+    /// The timeout deadline is progress-aware: it is armed lazily at the
+    /// first wait, and a deadline that expires while *global* progress
+    /// happened since it was armed (a committed transition or a
+    /// retry-backoff simulated-clock advance anywhere in the deployment)
+    /// is re-armed instead of failing. A guard therefore only times out
+    /// after `guard_timeout` of host time with no deployment-wide
+    /// progress at all — one slave's heavy retry backoff can no longer
+    /// spuriously trip `GuardFailed` on another.
     fn wait_for_guard(
         &self,
         spec: &InstallSpec,
@@ -290,21 +401,37 @@ impl DeploymentEngine<'_> {
                     .all(|d| states.get(d.id()) == Some(&DriverState::Basic(*s))),
             })
         };
-        let waited = Instant::now();
         let guard_wait = self.obs().counter("deploy.guard_wait_ns");
-        let deadline = waited + self.guard_timeout();
+        let timeout = self.guard_timeout();
+        let epoch = self.progress_epoch();
+        let mut seen_epoch = epoch.load(Ordering::Acquire);
+        let mut deadline: Option<Instant> = None;
+        let mut waited_ns: u64 = 0;
         let mut states = shared.states.lock();
         while !holds(&states) {
             if shared.failed.load(Ordering::SeqCst) {
-                guard_wait.add(waited.elapsed().as_nanos() as u64);
+                if waited_ns > 0 {
+                    guard_wait.add(waited_ns);
+                }
                 return Err(DeployError::ActionFailed {
                     instance: id.clone(),
                     action: "wait".into(),
                     detail: "another slave failed".into(),
                 });
             }
-            if shared.cond.wait_until(&mut states, deadline).timed_out() {
-                guard_wait.add(waited.elapsed().as_nanos() as u64);
+            let armed = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+            let blocked = Instant::now();
+            let timed_out = shared.cond.wait_until(&mut states, armed).timed_out();
+            waited_ns += blocked.elapsed().as_nanos() as u64;
+            if timed_out {
+                let now_epoch = epoch.load(Ordering::Acquire);
+                if now_epoch != seen_epoch {
+                    // Someone, somewhere, made progress: re-arm.
+                    seen_epoch = now_epoch;
+                    deadline = Some(Instant::now() + timeout);
+                    continue;
+                }
+                guard_wait.add(waited_ns);
                 self.obs().counter("deploy.guard_timeouts").incr();
                 self.obs().event(
                     "deploy.guard_timeout",
@@ -318,7 +445,9 @@ impl DeploymentEngine<'_> {
             }
         }
         drop(states);
-        guard_wait.add(waited.elapsed().as_nanos() as u64);
+        if waited_ns > 0 {
+            guard_wait.add(waited_ns);
+        }
         Ok(())
     }
 }
@@ -476,7 +605,10 @@ mod tests {
         let spec = two_host_spec_with_db("WedgedSQL 5.1");
         let timeout = Duration::from_millis(200);
         let obs = Obs::new();
+        // Pinned to the legacy slave engine: the wavefront scheduler
+        // rejects this wedge statically, before any guard ever waits.
         let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u)
+            .with_scheduler(SchedulerStrategy::Slaves)
             .with_obs(obs.clone())
             .with_guard_timeout(timeout);
         let started = Instant::now();
@@ -494,10 +626,13 @@ mod tests {
         assert!(took < Duration::from_secs(10), "took {took:?}");
 
         // The metrics prove the timeout fired while a guard was waiting.
+        // The counter sums only actually-blocked condvar segments, so
+        // wake-up processing gaps may subtract a sliver from the full
+        // timeout — accept 90 %.
         let m = obs.metrics();
         assert!(m.counter("deploy.guard_timeouts") >= 1, "{m:?}");
         assert!(
-            m.counter("deploy.guard_wait_ns") >= timeout.as_nanos() as u64,
+            m.counter("deploy.guard_wait_ns") >= timeout.as_nanos() as u64 * 9 / 10,
             "{m:?}"
         );
         let timeouts = obs.metrics().counter("deploy.guard_timeouts");
@@ -521,5 +656,202 @@ mod tests {
         let outcome = e.deploy_parallel(&spec).unwrap();
         assert_eq!(outcome.slaves, 1);
         assert!(outcome.deployment.is_deployed());
+    }
+
+    fn shared_with_states(spec: &InstallSpec, states: &[(&str, DriverState)]) -> SharedState {
+        let mut map: BTreeMap<InstanceId, DriverState> = spec
+            .iter()
+            .map(|i| (i.id().clone(), DriverState::Basic(BasicState::Uninstalled)))
+            .collect();
+        for (id, s) in states {
+            map.insert((*id).into(), s.clone());
+        }
+        SharedState {
+            states: Mutex::new(map),
+            cond: Condvar::new(),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Regression (guard-wait accounting): a guard that already holds
+    /// must contribute exactly zero to `deploy.guard_wait_ns`. The
+    /// historical bug added the wall-clock elapsed since function entry
+    /// (lock acquisition + predicate evaluation) on every exit branch,
+    /// so even wait-free guards inflated the metric.
+    #[test]
+    fn guard_wait_metric_is_zero_without_blocking() {
+        use engage_util::obs::Obs;
+        let u = universe();
+        let spec = two_host_spec();
+        let obs = Obs::new();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u)
+            .with_obs(obs.clone());
+        // The app's `start` guard (upstream active) already holds.
+        let shared = shared_with_states(
+            &spec,
+            &[
+                ("app-server", DriverState::Basic(BasicState::Active)),
+                ("db", DriverState::Basic(BasicState::Active)),
+            ],
+        );
+        let guard = Guard::upstream(BasicState::Active);
+        e.wait_for_guard(&spec, &"app".into(), &guard, &shared)
+            .unwrap();
+        assert_eq!(obs.metrics().counter("deploy.guard_wait_ns"), 0);
+    }
+
+    /// Regression (guard-wait accounting): the metric must track the
+    /// actual blocked duration — bounded below by the time until the
+    /// guard became true and above by the wall-clock of the whole call.
+    #[test]
+    fn guard_wait_metric_matches_blocked_duration() {
+        use engage_util::obs::Obs;
+        use std::time::Instant;
+        let u = universe();
+        let spec = two_host_spec();
+        let obs = Obs::new();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u)
+            .with_obs(obs.clone());
+        let shared = shared_with_states(&spec, &[]);
+        let guard = Guard::upstream(BasicState::Active);
+        let block = Duration::from_millis(100);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Half-way wake-up that leaves the guard false, then the
+                // release: the metric must span both blocked segments.
+                std::thread::sleep(block / 2);
+                shared.set(&"app-server".into(), DriverState::Basic(BasicState::Active));
+                std::thread::sleep(block / 2);
+                shared.set(&"db".into(), DriverState::Basic(BasicState::Active));
+            });
+            e.wait_for_guard(&spec, &"app".into(), &guard, &shared)
+                .unwrap();
+        });
+        let elapsed = started.elapsed();
+        let waited = obs.metrics().counter("deploy.guard_wait_ns");
+        assert!(
+            waited >= block.as_nanos() as u64 * 9 / 10,
+            "undercounted: {waited} < {}",
+            block.as_nanos()
+        );
+        assert!(
+            waited <= elapsed.as_nanos() as u64,
+            "overcounted: {waited} > {}",
+            elapsed.as_nanos()
+        );
+    }
+
+    /// Regression (wall-clock vs. simulated-clock race): one slave's
+    /// retry backoff advances the *simulated* clock while its peer's
+    /// guard deadline runs on `Instant::now()`. With slow transient
+    /// retries on the db host exceeding the peer's 100 ms guard timeout,
+    /// the app's guard wait must re-arm on global progress instead of
+    /// spuriously tripping `GuardFailed`.
+    #[test]
+    fn retry_backoff_does_not_trip_peer_guard_timeout() {
+        use crate::action::{generic_action, DriverBinding, DriverRegistry};
+        use crate::retry::RetryPolicy;
+        use engage_sim::{FaultKind, FaultOp};
+        use engage_util::obs::Obs;
+
+        let u = universe();
+        let spec = two_host_spec();
+        let sim = Sim::new(DownloadSource::local_cache());
+        // Three transient start failures + a slow (real wall-clock)
+        // start action: the db slave holds its peer up for ~4 × 60 ms,
+        // far past the 100 ms guard timeout.
+        sim.inject_fault(FaultOp::Start, "mysql", 3, FaultKind::Transient);
+        let registry = DriverRegistry::new().bind(
+            "MySQL 5.1",
+            DriverBinding::new().action("start", |ctx: &ActionCtx<'_>| {
+                std::thread::sleep(Duration::from_millis(60));
+                generic_action("start", ctx)
+            }),
+        );
+        let obs = Obs::new();
+        let e = DeploymentEngine::new(sim, &u)
+            .with_scheduler(SchedulerStrategy::Slaves)
+            .with_registry(registry)
+            .with_retry_policy(RetryPolicy::new(4))
+            .with_guard_timeout(Duration::from_millis(100))
+            .with_obs(obs.clone());
+        let outcome = e.deploy_parallel(&spec).unwrap();
+        assert!(outcome.deployment.is_deployed());
+        let m = obs.metrics();
+        assert_eq!(m.counter("deploy.retries"), 3, "{m:?}");
+        assert_eq!(
+            m.counter("deploy.guard_timeouts"),
+            0,
+            "peer guard spuriously timed out: {m:?}"
+        );
+    }
+
+    /// The same wedged topology the legacy engine times out on is
+    /// rejected *statically* by the wavefront scheduler — instantly, with
+    /// no guard ever waiting.
+    #[test]
+    fn wavefront_detects_wedged_guards_statically() {
+        use engage_model::{DriverSpec, ResourceType, Transition};
+        use engage_util::obs::Obs;
+        use std::time::Instant;
+
+        let mut wedged = DriverSpec::new();
+        wedged.add_transition(Transition::new(
+            BasicState::Uninstalled,
+            "install",
+            Guard::always(),
+            BasicState::Inactive,
+        ));
+        wedged.add_transition(Transition::new(
+            BasicState::Inactive,
+            "start",
+            Guard::downstream(BasicState::Active),
+            BasicState::Active,
+        ));
+        let mut u = universe();
+        u.insert(
+            ResourceType::builder("WedgedSQL 5.1")
+                .extends("MySQL 5.1")
+                .driver(wedged)
+                .build(),
+        )
+        .unwrap();
+        let spec = two_host_spec_with_db("WedgedSQL 5.1");
+        let obs = Obs::new();
+        let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u)
+            .with_obs(obs.clone());
+        let started = Instant::now();
+        let err = e.deploy_parallel(&spec).unwrap_err();
+        assert!(matches!(err, DeployError::GuardFailed { .. }), "{err}");
+        // Static rejection: no timeout waited for, no guard ever blocked.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        let m = obs.metrics();
+        assert_eq!(m.counter("deploy.guard_timeouts"), 0, "{m:?}");
+        assert_eq!(m.counter("deploy.guard_wait_ns"), 0, "{m:?}");
+    }
+
+    /// The wavefront scheduler and the legacy slave engine must agree on
+    /// final driver states and service effects at every worker count.
+    #[test]
+    fn wavefront_matches_legacy_slaves() {
+        let u = universe();
+        let spec = two_host_spec();
+        let legacy_engine = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u)
+            .with_scheduler(SchedulerStrategy::Slaves);
+        let legacy = legacy_engine.deploy_parallel(&spec).unwrap().deployment;
+        for workers in [1usize, 2, 4, 8] {
+            let e = DeploymentEngine::new(Sim::new(DownloadSource::local_cache()), &u)
+                .with_workers(workers);
+            let outcome = e.deploy_parallel(&spec).unwrap();
+            assert_eq!(outcome.slaves, workers);
+            for inst in spec.iter() {
+                assert_eq!(
+                    legacy.state(inst.id()),
+                    outcome.deployment.state(inst.id()),
+                    "workers={workers}"
+                );
+            }
+        }
     }
 }

@@ -29,6 +29,8 @@
 //! from its journal; `--rollback` uninstalls everything automatically
 //! when a deployment fails permanently; `--guard-timeout-ms T` bounds
 //! how long a parallel slave waits for cross-host guards;
+//! `--scheduler wavefront|slaves` picks the parallel engine (default:
+//! the wavefront DAG scheduler) and `--workers N` its worker count;
 //! `--kill-after N` kills the engine after `N` committed transitions
 //! (chaos testing); `--chaos P[:SEED]` injects transient install/start
 //! faults with probability `P` per operation.
@@ -38,7 +40,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use engage::{load_jsonl, DeployFailure, DeployJournal, Engage, ResumeMode, RetryPolicy};
+use engage::{
+    load_jsonl, DeployFailure, DeployJournal, Engage, ResumeMode, RetryPolicy, SchedulerStrategy,
+};
 use engage_config::{diagnose, generate, graph_gen, ConfigEngine, SolverMode};
 use engage_model::{PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
@@ -77,6 +81,8 @@ struct Options {
     guard_timeout_ms: Option<u64>,
     kill_after: Option<u64>,
     chaos: Option<(f64, u64)>,
+    scheduler: Option<SchedulerStrategy>,
+    workers: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -98,6 +104,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         guard_timeout_ms: None,
         kill_after: None,
         chaos: None,
+        scheduler: None,
+        workers: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -193,6 +201,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.guard_timeout_ms = Some(value.parse::<u64>().map_err(|_| {
                     format!("--guard-timeout-ms `{value}` is not a whole number of milliseconds")
                 })?);
+                i += 2;
+            }
+            "--scheduler" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--scheduler needs `wavefront` or `slaves`")?;
+                opts.scheduler = Some(match value.as_str() {
+                    "wavefront" => SchedulerStrategy::Wavefront,
+                    "slaves" => SchedulerStrategy::Slaves,
+                    other => return Err(format!("--scheduler `{other}` is not a scheduler")),
+                });
+                i += 2;
+            }
+            "--workers" => {
+                let value = args.get(i + 1).ok_or("--workers needs a thread count")?;
+                let workers = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--workers `{value}` is not an integer"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                opts.workers = Some(workers);
                 i += 2;
             }
             "--kill-after" => {
@@ -414,6 +444,12 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             if let Some(after) = opts.kill_after {
                 system = system.with_kill_point(after);
+            }
+            if let Some(strategy) = opts.scheduler {
+                system = system.with_scheduler(strategy);
+            }
+            if let Some(workers) = opts.workers {
+                system = system.with_workers(workers);
             }
             if let Some((probability, seed)) = opts.chaos {
                 system.sim().set_fault_plan(

@@ -58,7 +58,7 @@ pub use engage_config::ConfigEngine as RawConfigEngine;
 pub use engage_config::SolverMode;
 pub use engage_deploy::{
     load_jsonl, DeployFailure, DeployJournal, JournalRecord, ResumeMode, RetryPolicy,
-    UpgradeReport, UpgradeStrategy,
+    SchedulerStrategy, UpgradeReport, UpgradeStrategy,
 };
 
 /// Top-level error: configuration or deployment.
@@ -116,6 +116,8 @@ pub struct Engage {
     journal: Option<DeployJournal>,
     auto_rollback: bool,
     kill_point: Option<u64>,
+    scheduler: SchedulerStrategy,
+    workers: Option<usize>,
     solver_mode: SolverMode,
     /// Live solver state for [`SolverMode::Incremental`], shared by
     /// every `plan`/`upgrade` on this instance. Interior mutability
@@ -138,6 +140,8 @@ impl Clone for Engage {
             journal: self.journal.clone(),
             auto_rollback: self.auto_rollback,
             kill_point: self.kill_point,
+            scheduler: self.scheduler,
+            workers: self.workers,
             solver_mode: self.solver_mode,
             session: Mutex::new(self.session.lock().clone()),
         }
@@ -160,6 +164,8 @@ impl Engage {
             journal: None,
             auto_rollback: false,
             kill_point: None,
+            scheduler: SchedulerStrategy::default(),
+            workers: None,
             solver_mode: SolverMode::Serial,
             session: Mutex::new(ConfigSession::new()),
         }
@@ -272,6 +278,20 @@ impl Engage {
     /// transitions.
     pub fn with_kill_point(mut self, after: u64) -> Self {
         self.kill_point = Some(after);
+        self
+    }
+
+    /// Selects the parallel deployment scheduler (builder-style; default
+    /// [`SchedulerStrategy::Wavefront`]).
+    pub fn with_scheduler(mut self, strategy: SchedulerStrategy) -> Self {
+        self.scheduler = strategy;
+        self
+    }
+
+    /// Overrides the wavefront scheduler's worker count (builder-style;
+    /// default: one worker per machine, capped at 8).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
         self
     }
 
@@ -532,7 +552,11 @@ impl Engage {
             .with_mode(self.mode)
             .with_obs(self.obs.clone())
             .with_retry_policy(self.retry.clone())
-            .with_auto_rollback(self.auto_rollback);
+            .with_auto_rollback(self.auto_rollback)
+            .with_scheduler(self.scheduler);
+        if let Some(workers) = self.workers {
+            engine = engine.with_workers(workers);
+        }
         if let Some(timeout) = self.guard_timeout {
             engine = engine.with_guard_timeout(timeout);
         }

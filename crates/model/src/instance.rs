@@ -4,7 +4,7 @@
 //! concrete values to its configuration ports and by replacing dependency
 //! constraints with directional links to other resource instances."
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::key::ResourceKey;
@@ -175,9 +175,20 @@ impl ResourceInstance {
 /// spec.push(tomcat).unwrap();
 /// assert_eq!(spec.machine_of(&"tomcat".into()).unwrap().as_str(), "server");
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct InstallSpec {
     instances: Vec<ResourceInstance>,
+    /// id → position in `instances`; ids are immutable once pushed, so
+    /// the index stays valid across `get_mut`.
+    index: HashMap<InstanceId, usize>,
+}
+
+impl PartialEq for InstallSpec {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived from `instances`; comparing it too would
+        // only repeat the work.
+        self.instances == other.instances
+    }
 }
 
 impl InstallSpec {
@@ -186,16 +197,19 @@ impl InstallSpec {
         Self::default()
     }
 
-    /// Appends an instance.
+    /// Appends an instance. O(1) amortized: the id index makes duplicate
+    /// detection a hash probe instead of a scan (bulk construction of an
+    /// N-instance spec used to be O(N²)).
     ///
     /// # Errors
     ///
     /// Returns the instance back if its id is already taken.
     #[allow(clippy::result_large_err)]
     pub fn push(&mut self, inst: ResourceInstance) -> Result<(), ResourceInstance> {
-        if self.get(inst.id()).is_some() {
+        if self.index.contains_key(inst.id()) {
             return Err(inst);
         }
+        self.index.insert(inst.id().clone(), self.instances.len());
         self.instances.push(inst);
         Ok(())
     }
@@ -210,14 +224,14 @@ impl InstallSpec {
         self.instances.is_empty()
     }
 
-    /// Instance by id.
+    /// Instance by id (O(1) via the id index).
     pub fn get(&self, id: &InstanceId) -> Option<&ResourceInstance> {
-        self.instances.iter().find(|i| i.id() == id)
+        self.index.get(id).map(|&ix| &self.instances[ix])
     }
 
-    /// Mutable instance by id.
+    /// Mutable instance by id (O(1) via the id index).
     pub fn get_mut(&mut self, id: &InstanceId) -> Option<&mut ResourceInstance> {
-        self.instances.iter_mut().find(|i| i.id() == id)
+        self.index.get(id).map(|&ix| &mut self.instances[ix])
     }
 
     /// Iterates instances in order.

@@ -7,12 +7,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use engage_util::obs::Obs;
 use engage_util::rand::{Rng, SplitMix64};
-use engage_util::sync::Mutex;
+use engage_util::sync::{Mutex, RwLock};
 
 use crate::fault::{FaultKind, FaultOp, FaultPlan};
 use crate::host::{Host, Snapshot};
@@ -118,13 +119,11 @@ pub enum Event {
     },
 }
 
+/// Failure-injection state, guarded by one mutex off the hot path
+/// ([`Shared::faults`]); operations skip it entirely unless
+/// [`Shared::faults_armed`] is set.
 #[derive(Debug)]
-struct SimState {
-    hosts: BTreeMap<HostId, Host>,
-    events: Vec<Event>,
-    clock: Duration,
-    next_host: u32,
-    next_pid: u32,
+struct Faults {
     /// (operation, name) → remaining injected failure count and kind.
     injected: BTreeMap<(FaultOp, String), (u32, FaultKind)>,
     /// Probabilistic chaos model, if armed ([`Sim::set_fault_plan`]).
@@ -134,32 +133,24 @@ struct SimState {
     /// (operation, name) pairs that drew a permanent plan fault: they
     /// fail forever so retries cannot accidentally clear them.
     sticky_faults: BTreeSet<(FaultOp, String)>,
-    /// Observability handle; disabled unless [`Sim::set_obs`] is called.
-    obs: Obs,
 }
 
-impl Default for SimState {
+impl Default for Faults {
     fn default() -> Self {
-        SimState {
-            hosts: BTreeMap::new(),
-            events: Vec::new(),
-            clock: Duration::ZERO,
-            next_host: 0,
-            next_pid: 0,
+        Faults {
             injected: BTreeMap::new(),
             fault_plan: None,
             fault_rng: SplitMix64::new(0),
             sticky_faults: BTreeSet::new(),
-            obs: Obs::default(),
         }
     }
 }
 
-impl SimState {
+impl Faults {
     /// Decides whether `op` on `name` faults right now, consuming one
     /// injected-failure charge or rolling the armed [`FaultPlan`]'s dice.
     /// `verb` reads as "installing"/"starting"/"stopping" in the message.
-    fn fault_check(&mut self, op: FaultOp, name: &str, verb: &str) -> Result<(), SimError> {
+    fn check(&mut self, obs: &Obs, op: FaultOp, name: &str, verb: &str) -> Result<(), SimError> {
         let kind = if self.sticky_faults.contains(&(op, name.to_owned())) {
             Some(FaultKind::Permanent)
         } else if let Some((n, kind)) = self.injected.get_mut(&(op, name.to_owned())) {
@@ -188,11 +179,11 @@ impl SimState {
             Some(kind) => {
                 let op_s = op.to_string();
                 let kind_s = kind.to_string();
-                self.obs.event(
+                obs.event(
                     "sim.injected_failure",
                     &[("name", name), ("op", &op_s), ("kind", &kind_s)],
                 );
-                self.obs.counter("sim.injected_failures").incr();
+                obs.counter("sim.injected_failures").incr();
                 let msg = format!("injected failure {verb} `{name}` ({kind})");
                 Err(match kind {
                     FaultKind::Transient => SimError::transient(msg),
@@ -201,6 +192,33 @@ impl SimState {
             }
         }
     }
+}
+
+/// The shared data-center state behind every [`Sim`] clone.
+///
+/// Host state lives in a **flat arena**: `HostId`s are dense sequential
+/// indexes into a vector, each slot independently locked, so operations
+/// on distinct hosts proceed in parallel (the legacy layout funneled
+/// every operation — and every parallel deploy slave — through one
+/// global mutex over a `BTreeMap`). The clock and pid counter are plain
+/// atomics; failure injection is fenced by `faults_armed` so the common
+/// no-chaos case pays one relaxed load.
+#[derive(Debug, Default)]
+struct Shared {
+    /// Dense host arena: `hosts[id.0]` is host `id`. Grows under the
+    /// write lock (provisioning); all per-host work takes the read lock
+    /// plus the slot's own mutex.
+    hosts: RwLock<Vec<Mutex<Host>>>,
+    events: Mutex<Vec<Event>>,
+    /// Simulated clock, in nanoseconds.
+    clock_ns: AtomicU64,
+    next_pid: AtomicU32,
+    /// Set once any fault source is armed; checked before taking
+    /// [`Shared::faults`].
+    faults_armed: AtomicBool,
+    faults: Mutex<Faults>,
+    /// Observability handle; disabled unless [`Sim::set_obs`] is called.
+    obs: Mutex<Obs>,
 }
 
 /// The simulated data center. Cheap to clone (shared state).
@@ -217,7 +235,7 @@ impl SimState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Sim {
-    state: Arc<Mutex<SimState>>,
+    shared: Arc<Shared>,
     packages: Arc<PackageUniverse>,
     source: DownloadSource,
 }
@@ -232,7 +250,7 @@ impl Sim {
     /// Creates a data center with a package universe.
     pub fn with_packages(packages: PackageUniverse, source: DownloadSource) -> Self {
         Sim {
-            state: Arc::new(Mutex::new(SimState::default())),
+            shared: Arc::new(Shared::default()),
             packages: Arc::new(packages),
             source,
         }
@@ -247,17 +265,52 @@ impl Sim {
     /// restarts are reported as structured events. Shared by every clone
     /// of this data center.
     pub fn set_obs(&self, obs: Obs) {
-        self.state.lock().obs = obs;
+        *self.shared.obs.lock() = obs;
     }
 
     /// The attached observability handle (disabled by default).
     pub fn obs(&self) -> Obs {
-        self.state.lock().obs.clone()
+        self.shared.obs.lock().clone()
     }
 
     /// The package universe.
     pub fn packages(&self) -> &PackageUniverse {
         &self.packages
+    }
+
+    fn unknown_host(host: HostId) -> SimError {
+        SimError::new(format!("unknown host {host}"))
+    }
+
+    /// Runs `f` with shared access to a host's slot.
+    fn with_host<R>(&self, host: HostId, f: impl FnOnce(&Host) -> R) -> Option<R> {
+        let arena = self.shared.hosts.read();
+        let slot = arena.get(host.0 as usize)?;
+        let out = f(&slot.lock());
+        Some(out)
+    }
+
+    /// Runs `f` with exclusive access to a host's slot. Only the slot's
+    /// own mutex is exclusive; other hosts stay fully concurrent.
+    fn with_host_mut<R>(&self, host: HostId, f: impl FnOnce(&mut Host) -> R) -> Option<R> {
+        let arena = self.shared.hosts.read();
+        let slot = arena.get(host.0 as usize)?;
+        let out = f(&mut slot.lock());
+        Some(out)
+    }
+
+    /// One relaxed load on the no-fault fast path; the faults mutex is
+    /// only taken once some fault source has been armed.
+    fn fault_check(&self, op: FaultOp, name: &str, verb: &str) -> Result<(), SimError> {
+        if !self.shared.faults_armed.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let obs = self.obs();
+        self.shared.faults.lock().check(&obs, op, name, verb)
+    }
+
+    fn push_event(&self, event: Event) {
+        self.shared.events.lock().push(event);
     }
 
     // ----- provisioning (§5.2) -----
@@ -276,11 +329,10 @@ impl Sim {
     }
 
     fn provision(&self, hostname: &str, os: Os, cloud: bool) -> HostId {
-        let mut st = self.state.lock();
-        let id = HostId(st.next_host);
-        st.next_host += 1;
-        st.hosts.insert(id, Host::new(id, hostname, os));
-        st.events.push(Event::Provisioned {
+        let mut arena = self.shared.hosts.write();
+        let id = HostId(arena.len() as u32);
+        arena.push(Mutex::new(Host::new(id, hostname, os)));
+        self.push_event(Event::Provisioned {
             host: id,
             os,
             cloud,
@@ -290,24 +342,27 @@ impl Sim {
 
     /// Host facts, as the provisioning tools discover them.
     pub fn host_info(&self, id: HostId) -> Option<HostInfo> {
-        self.state.lock().hosts.get(&id).map(|h| h.info().clone())
+        self.with_host(id, |h| h.info().clone())
     }
 
     /// All hosts.
     pub fn hosts(&self) -> Vec<HostId> {
-        self.state.lock().hosts.keys().copied().collect()
+        let n = self.shared.hosts.read().len();
+        (0..n as u32).map(HostId).collect()
     }
 
     // ----- clock -----
 
     /// Current simulated time.
     pub fn now(&self) -> Duration {
-        self.state.lock().clock
+        Duration::from_nanos(self.shared.clock_ns.load(Ordering::Acquire))
     }
 
     /// Advances the simulated clock.
     pub fn advance(&self, d: Duration) {
-        self.state.lock().clock += d;
+        self.shared
+            .clock_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::AcqRel);
     }
 
     // ----- packages -----
@@ -321,22 +376,22 @@ impl Sim {
     /// ([`Sim::inject_install_failure`], [`Sim::inject_fault`], or an
     /// armed [`FaultPlan`]).
     pub fn install_package(&self, host: HostId, package: &str) -> Result<Duration, SimError> {
-        let mut st = self.state.lock();
-        st.fault_check(FaultOp::Install, package, "installing")?;
-        let h = st
-            .hosts
-            .get(&host)
-            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
+        self.fault_check(FaultOp::Install, package, "installing")?;
+        let arena = self.shared.hosts.read();
+        let slot = arena
+            .get(host.0 as usize)
+            .ok_or_else(|| Self::unknown_host(host))?;
+        let mut h = slot.lock();
         if h.has_package(package) {
             let took = Duration::from_millis(50);
-            st.clock += took;
+            self.advance(took);
             return Ok(took);
         }
         let took = self.packages.install_duration(package, &self.source);
-        st.clock += took;
-        let h = st.hosts.get_mut(&host).expect("checked above");
         h.add_package(package);
-        st.events.push(Event::PackageInstalled {
+        drop(h);
+        self.advance(took);
+        self.push_event(Event::PackageInstalled {
             host,
             package: package.to_owned(),
             took,
@@ -350,18 +405,16 @@ impl Sim {
     ///
     /// Unknown host or package not installed.
     pub fn remove_package(&self, host: HostId, package: &str) -> Result<(), SimError> {
-        let mut st = self.state.lock();
-        let h = st
-            .hosts
-            .get_mut(&host)
-            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
-        if !h.remove_package(package) {
+        let removed = self
+            .with_host_mut(host, |h| h.remove_package(package))
+            .ok_or_else(|| Self::unknown_host(host))?;
+        if !removed {
             return Err(SimError::new(format!(
                 "package `{package}` is not installed on {host}"
             )));
         }
-        st.clock += Duration::from_secs(2);
-        st.events.push(Event::PackageRemoved {
+        self.advance(Duration::from_secs(2));
+        self.push_event(Event::PackageRemoved {
             host,
             package: package.to_owned(),
         });
@@ -370,11 +423,8 @@ impl Sim {
 
     /// Whether a package is installed.
     pub fn has_package(&self, host: HostId, package: &str) -> bool {
-        self.state
-            .lock()
-            .hosts
-            .get(&host)
-            .is_some_and(|h| h.has_package(package))
+        self.with_host(host, |h| h.has_package(package))
+            .unwrap_or(false)
     }
 
     /// Makes the next `count` installs of `package` fail (failure
@@ -388,26 +438,30 @@ impl Sim {
     /// Makes the next `count` occurrences of `op` on `name` (a package
     /// for installs, a service for start/stop) fail with the given kind.
     pub fn inject_fault(&self, op: FaultOp, name: &str, count: u32, kind: FaultKind) {
-        self.state
+        self.shared
+            .faults
             .lock()
             .injected
             .insert((op, name.to_owned()), (count, kind));
+        self.shared.faults_armed.store(true, Ordering::Release);
     }
 
     /// Arms a probabilistic [`FaultPlan`] and reseeds the chaos RNG from
     /// its seed. Replaces any previous plan; sticky permanent faults
     /// from the old plan are cleared.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
-        let mut st = self.state.lock();
-        st.fault_rng = SplitMix64::new(plan.seed());
-        st.sticky_faults.clear();
-        st.fault_plan = Some(plan);
+        let mut faults = self.shared.faults.lock();
+        faults.fault_rng = SplitMix64::new(plan.seed());
+        faults.sticky_faults.clear();
+        faults.fault_plan = Some(plan);
+        drop(faults);
+        self.shared.faults_armed.store(true, Ordering::Release);
     }
 
     /// Disarms the probabilistic fault plan (targeted injections and
     /// sticky faults already drawn stay in force).
     pub fn clear_fault_plan(&self) {
-        self.state.lock().fault_plan = None;
+        self.shared.faults.lock().fault_plan = None;
     }
 
     /// Crashes each currently-running service independently with
@@ -415,25 +469,24 @@ impl Sim {
     /// [`Sim::set_fault_plan`]). Returns the victims — what a monitor
     /// then has to notice and repair.
     pub fn crash_storm(&self, probability: f64) -> Vec<(HostId, String)> {
-        let mut st = self.state.lock();
         let mut victims = Vec::new();
-        let hosts: Vec<HostId> = st.hosts.keys().copied().collect();
-        for host in hosts {
-            let running: Vec<String> = st.hosts[&host]
+        let arena = self.shared.hosts.read();
+        let mut faults = self.shared.faults.lock();
+        for (i, slot) in arena.iter().enumerate() {
+            let host = HostId(i as u32);
+            let mut h = slot.lock();
+            let running: Vec<String> = h
                 .services()
                 .filter(|(_, s)| s.running)
                 .map(|(n, _)| n.to_owned())
                 .collect();
             for service in running {
-                if st.fault_rng.gen_bool(probability) {
-                    let h = st.hosts.get_mut(&host).expect("host listed above");
-                    if h.crash_service(&service).is_ok() {
-                        st.events.push(Event::ServiceCrashed {
-                            host,
-                            service: service.clone(),
-                        });
-                        victims.push((host, service));
-                    }
+                if faults.fault_rng.gen_bool(probability) && h.crash_service(&service).is_ok() {
+                    self.push_event(Event::ServiceCrashed {
+                        host,
+                        service: service.clone(),
+                    });
+                    victims.push((host, service));
                 }
             }
         }
@@ -448,22 +501,14 @@ impl Sim {
     ///
     /// Unknown host.
     pub fn write_file(&self, host: HostId, path: &str, content: &str) -> Result<(), SimError> {
-        let mut st = self.state.lock();
-        let h = st
-            .hosts
-            .get_mut(&host)
-            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
-        h.write_file(path, content);
-        Ok(())
+        self.with_host_mut(host, |h| h.write_file(path, content))
+            .ok_or_else(|| Self::unknown_host(host))
     }
 
     /// Reads a file.
     pub fn read_file(&self, host: HostId, path: &str) -> Option<String> {
-        self.state
-            .lock()
-            .hosts
-            .get(&host)
-            .and_then(|h| h.file(path).map(str::to_owned))
+        self.with_host(host, |h| h.file(path).map(str::to_owned))
+            .flatten()
     }
 
     // ----- services -----
@@ -480,17 +525,13 @@ impl Sim {
         service: &str,
         port: Option<u16>,
     ) -> Result<(), SimError> {
-        let mut st = self.state.lock();
-        st.fault_check(FaultOp::Start, service, "starting")?;
-        st.next_pid += 1;
-        let pid = st.next_pid;
-        let h = st
-            .hosts
-            .get_mut(&host)
-            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
-        h.start_service(service, port, pid).map_err(SimError::new)?;
-        st.clock += Duration::from_secs(3); // daemon startup
-        st.events.push(Event::ServiceStarted {
+        self.fault_check(FaultOp::Start, service, "starting")?;
+        let pid = self.shared.next_pid.fetch_add(1, Ordering::AcqRel) + 1;
+        self.with_host_mut(host, |h| h.start_service(service, port, pid))
+            .ok_or_else(|| Self::unknown_host(host))?
+            .map_err(SimError::new)?;
+        self.advance(Duration::from_secs(3)); // daemon startup
+        self.push_event(Event::ServiceStarted {
             host,
             service: service.to_owned(),
         });
@@ -504,15 +545,12 @@ impl Sim {
     /// Unknown host, service not running, or an injected failure
     /// ([`Sim::inject_fault`] / [`FaultPlan`]).
     pub fn stop_service(&self, host: HostId, service: &str) -> Result<(), SimError> {
-        let mut st = self.state.lock();
-        st.fault_check(FaultOp::Stop, service, "stopping")?;
-        let h = st
-            .hosts
-            .get_mut(&host)
-            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
-        h.stop_service(service).map_err(SimError::new)?;
-        st.clock += Duration::from_secs(1);
-        st.events.push(Event::ServiceStopped {
+        self.fault_check(FaultOp::Stop, service, "stopping")?;
+        self.with_host_mut(host, |h| h.stop_service(service))
+            .ok_or_else(|| Self::unknown_host(host))?
+            .map_err(SimError::new)?;
+        self.advance(Duration::from_secs(1));
+        self.push_event(Event::ServiceStopped {
             host,
             service: service.to_owned(),
         });
@@ -521,20 +559,13 @@ impl Sim {
 
     /// Whether a service is running.
     pub fn service_running(&self, host: HostId, service: &str) -> bool {
-        self.state
-            .lock()
-            .hosts
-            .get(&host)
-            .is_some_and(|h| h.service_running(service))
+        self.with_host(host, |h| h.service_running(service))
+            .unwrap_or(false)
     }
 
     /// Whether a TCP port is free on a host.
     pub fn port_free(&self, host: HostId, port: u16) -> bool {
-        self.state
-            .lock()
-            .hosts
-            .get(&host)
-            .is_some_and(|h| h.port_free(port))
+        self.with_host(host, |h| h.port_free(port)).unwrap_or(false)
     }
 
     /// Kills a running service process (failure injection; what monit then
@@ -544,13 +575,10 @@ impl Sim {
     ///
     /// Unknown host or service not running.
     pub fn crash_service(&self, host: HostId, service: &str) -> Result<(), SimError> {
-        let mut st = self.state.lock();
-        let h = st
-            .hosts
-            .get_mut(&host)
-            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?;
-        h.crash_service(service).map_err(SimError::new)?;
-        st.events.push(Event::ServiceCrashed {
+        self.with_host_mut(host, |h| h.crash_service(service))
+            .ok_or_else(|| Self::unknown_host(host))?
+            .map_err(SimError::new)?;
+        self.push_event(Event::ServiceCrashed {
             host,
             service: service.to_owned(),
         });
@@ -559,20 +587,13 @@ impl Sim {
 
     /// Per-service state snapshot (pid, port, crash/start counters).
     pub fn service_state(&self, host: HostId, service: &str) -> Option<crate::host::Service> {
-        self.state
-            .lock()
-            .hosts
-            .get(&host)
-            .and_then(|h| h.service(service).cloned())
+        self.with_host(host, |h| h.service(service).cloned())
+            .flatten()
     }
 
     /// Names of all services ever started on a host.
     pub fn services_on(&self, host: HostId) -> Vec<String> {
-        self.state
-            .lock()
-            .hosts
-            .get(&host)
-            .map(|h| h.services().map(|(n, _)| n.to_owned()).collect())
+        self.with_host(host, |h| h.services().map(|(n, _)| n.to_owned()).collect())
             .unwrap_or_default()
     }
 
@@ -584,14 +605,11 @@ impl Sim {
     ///
     /// Unknown host.
     pub fn snapshot(&self, host: HostId) -> Result<Snapshot, SimError> {
-        let mut st = self.state.lock();
-        let h = st
-            .hosts
-            .get(&host)
-            .ok_or_else(|| SimError::new(format!("unknown host {host}")))?
-            .clone();
-        st.clock += Duration::from_secs(10);
-        st.events.push(Event::SnapshotTaken { host });
+        let h = self
+            .with_host(host, Host::clone)
+            .ok_or_else(|| Self::unknown_host(host))?;
+        self.advance(Duration::from_secs(10));
+        self.push_event(Event::SnapshotTaken { host });
         Ok(Snapshot { host: h })
     }
 
@@ -601,14 +619,11 @@ impl Sim {
     ///
     /// The snapshot's host no longer exists.
     pub fn restore(&self, snap: &Snapshot) -> Result<(), SimError> {
-        let mut st = self.state.lock();
         let id = snap.host.info().id;
-        if !st.hosts.contains_key(&id) {
-            return Err(SimError::new(format!("unknown host {id}")));
-        }
-        st.hosts.insert(id, snap.host.clone());
-        st.clock += Duration::from_secs(15);
-        st.events.push(Event::Restored { host: id });
+        self.with_host_mut(id, |h| *h = snap.host.clone())
+            .ok_or_else(|| Self::unknown_host(id))?;
+        self.advance(Duration::from_secs(15));
+        self.push_event(Event::Restored { host: id });
         Ok(())
     }
 
@@ -616,12 +631,12 @@ impl Sim {
 
     /// A copy of the event log.
     pub fn events(&self) -> Vec<Event> {
-        self.state.lock().events.clone()
+        self.shared.events.lock().clone()
     }
 
     /// Number of events matching a predicate.
     pub fn count_events(&self, pred: impl Fn(&Event) -> bool) -> usize {
-        self.state.lock().events.iter().filter(|e| pred(e)).count()
+        self.shared.events.lock().iter().filter(|e| pred(e)).count()
     }
 }
 

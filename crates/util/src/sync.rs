@@ -6,6 +6,8 @@
 //! * [`Mutex`] — `lock()` returns the guard directly (no poison
 //!   `Result`); a panicking slave thread must not wedge the whole
 //!   deployment, so poisoned locks are recovered transparently.
+//! * [`RwLock`] — `read()` / `write()` return guards directly; backs
+//!   the simulator's flat host arena.
 //! * [`Condvar`] — `wait` / `wait_until` take `&mut MutexGuard` (the
 //!   `parking_lot` calling convention) and `wait_until` reports timeout
 //!   via [`WaitTimeoutResult::timed_out`].
@@ -73,6 +75,49 @@ impl<T> std::ops::Deref for MutexGuard<'_, T> {
 impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A reader-writer lock whose `read()` / `write()` return guards
+/// directly (no poison `Result`), mirroring [`Mutex`].
+///
+/// Used by the simulator's host arena: provisioning (rare) takes the
+/// write lock to grow the arena, while every per-host operation takes
+/// the read lock and then a per-host mutex, so operations on distinct
+/// hosts never contend.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference to the value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 

@@ -99,4 +99,17 @@ grep -q 'permanent-fault deployments ended with clean hosts' "$obs_tmp/faults.tx
 # chaos-convergence, and rollback integration tests.
 cargo test -q --offline --release -p engage --test robustness
 
+# Wavefront scheduler smoke test: the megadeploy estate (smoke size)
+# must deploy identically under the sequential oracle and the wavefront
+# scheduler at workers {1,2,4,8}. The >=3x speedup bar at 10k instances
+# is asserted by the binary in full (non --smoke) runs only.
+cargo run -q --release --offline -p engage-bench --bin exp_megadeploy -- \
+    --smoke --metrics "$obs_tmp/BENCH_megadeploy.json" > /dev/null
+grep -q '"experiment":"megadeploy"' "$obs_tmp/BENCH_megadeploy.json"
+
+# Scheduler-equivalence sweep at CI depth: wavefront == sequential ==
+# legacy slaves over random topologies, worker counts, and fault plans.
+ENGAGE_SCHED_SWEEP_SEEDS=8 \
+    cargo test -q --offline --release -p engage --test scheduler_equivalence
+
 echo "verify: OK (build + tests + fmt + clippy green, lockfile hermetic, obs + solver + faults smoke passed)"

@@ -1,0 +1,230 @@
+//! Seeded property sweep: the wavefront DAG scheduler must be
+//! observationally equivalent to the sequential engine and the legacy
+//! slave engine — identical final driver states, identical per-instance
+//! action sequences, identical running services — across random
+//! universes, worker counts {1, 2, 4, 8}, and fault plans.
+//!
+//! Seed depth is controlled by `ENGAGE_SCHED_SWEEP_SEEDS` (default 4).
+
+use std::collections::BTreeMap;
+
+use engage_deploy::{service_name, Deployment, DeploymentEngine, RetryPolicy, SchedulerStrategy};
+use engage_model::{DriverState, InstallSpec, InstanceId, ResourceInstance, Universe, Value};
+use engage_sim::{DownloadSource, FaultKind, FaultOp, FaultPlan, Sim};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const MAX_SERVICES: usize = 8;
+
+/// Deterministic 64-bit LCG (std-only, no external RNG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xDA94_2042_E4DD_58B5)
+            | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn universe() -> Universe {
+    let mut dsl = String::from(
+        r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Ubuntu 10.10" extends "Server" {}
+        "#,
+    );
+    for i in 0..MAX_SERVICES {
+        dsl.push_str(&format!(
+            "resource \"Svc{i} 1\" {{ inside \"Server\"; output port p: int = 1; driver service; }}\n"
+        ));
+    }
+    engage_dsl::parse_universe(&dsl).unwrap()
+}
+
+/// A random deployment topology: 2–3 machines, 5–8 services spread over
+/// them, forward-only random peer edges (always a DAG).
+fn random_spec(seed: u64) -> InstallSpec {
+    let mut rng = Lcg::new(seed);
+    let machines = 2 + rng.below(2) as usize;
+    let services = 5 + rng.below((MAX_SERVICES - 4) as u64) as usize;
+    let mut spec = InstallSpec::new();
+    for m in 0..machines {
+        let mut inst = ResourceInstance::new(format!("m{m}"), "Ubuntu 10.10");
+        inst.set_config("hostname", Value::from(format!("host{m}")));
+        inst.set_output(
+            "host",
+            Value::structure([("hostname", Value::from(format!("host{m}")))]),
+        );
+        spec.push(inst).unwrap();
+    }
+    for i in 0..services {
+        let mut inst = ResourceInstance::new(format!("s{i}"), format!("Svc{i} 1").as_str());
+        inst.set_inside_link(format!("m{}", rng.below(machines as u64)));
+        inst.set_output("p", Value::from(1i64));
+        let mut edges = 0;
+        for j in 0..i {
+            if edges < 3 && rng.below(10) < 4 {
+                inst.add_peer_link(format!("s{j}"));
+                edges += 1;
+            }
+        }
+        spec.push(inst).unwrap();
+    }
+    spec
+}
+
+/// The per-instance action sequences of a timeline (times stripped:
+/// simulated clocks legitimately differ between engines, the *order of
+/// actions per driver* may not).
+fn sequences(dep: &Deployment) -> BTreeMap<InstanceId, Vec<String>> {
+    let mut out: BTreeMap<InstanceId, Vec<String>> = BTreeMap::new();
+    for t in dep.timeline() {
+        out.entry(t.instance.clone())
+            .or_default()
+            .push(t.action.clone());
+    }
+    out
+}
+
+/// Everything two engines must agree on.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    states: BTreeMap<InstanceId, Option<DriverState>>,
+    sequences: BTreeMap<InstanceId, Vec<String>>,
+    services: BTreeMap<InstanceId, bool>,
+}
+
+fn observe(spec: &InstallSpec, sim: &Sim, dep: &Deployment) -> Observation {
+    let mut services = BTreeMap::new();
+    for inst in spec.iter() {
+        if inst.inside_link().is_some() {
+            let running = dep
+                .host_of(inst.id())
+                .is_some_and(|h| sim.service_running(h, &service_name(inst.key())));
+            services.insert(inst.id().clone(), running);
+        }
+    }
+    Observation {
+        states: spec
+            .iter()
+            .map(|i| (i.id().clone(), dep.state(i.id()).cloned()))
+            .collect(),
+        sequences: sequences(dep),
+        services,
+    }
+}
+
+fn sweep_seeds() -> u64 {
+    std::env::var("ENGAGE_SCHED_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Runs one engine configuration over `spec` and observes the result.
+fn run(
+    universe: &Universe,
+    spec: &InstallSpec,
+    configure: &dyn Fn(&Sim),
+    retry: &RetryPolicy,
+    strategy: Option<(SchedulerStrategy, usize)>,
+) -> Observation {
+    let sim = Sim::new(DownloadSource::local_cache());
+    configure(&sim);
+    let mut engine = DeploymentEngine::new(sim, universe).with_retry_policy(retry.clone());
+    match strategy {
+        None => {
+            let dep = engine.deploy(spec).unwrap();
+            observe(spec, engine.sim(), &dep)
+        }
+        Some((strategy, workers)) => {
+            engine = engine.with_scheduler(strategy).with_workers(workers);
+            let outcome = engine.deploy_parallel(spec).unwrap();
+            observe(spec, engine.sim(), &outcome.deployment)
+        }
+    }
+}
+
+/// The sweep core: sequential oracle vs. legacy slaves vs. wavefront at
+/// every worker count, on one seeded topology and fault setup.
+fn assert_equivalent(seed: u64, configure: &dyn Fn(&Sim), retry: &RetryPolicy) {
+    let universe = universe();
+    let spec = random_spec(seed);
+    let oracle = run(&universe, &spec, configure, retry, None);
+    let legacy = run(
+        &universe,
+        &spec,
+        configure,
+        retry,
+        Some((SchedulerStrategy::Slaves, 1)),
+    );
+    assert_eq!(oracle, legacy, "seed {seed}: legacy slaves diverge");
+    for workers in WORKER_COUNTS {
+        let wavefront = run(
+            &universe,
+            &spec,
+            configure,
+            retry,
+            Some((SchedulerStrategy::Wavefront, workers)),
+        );
+        assert_eq!(
+            oracle, wavefront,
+            "seed {seed}: wavefront with {workers} workers diverges"
+        );
+    }
+}
+
+#[test]
+fn wavefront_matches_oracles_on_random_universes() {
+    for seed in 0..sweep_seeds() {
+        assert_equivalent(seed, &|_| {}, &RetryPolicy::none());
+    }
+}
+
+#[test]
+fn wavefront_matches_oracles_with_transient_fault_charges() {
+    for seed in 0..sweep_seeds() {
+        // Deterministic count-based transient faults on two services:
+        // install of s0 ("svc0-1" package) and start of s1 ("svc1").
+        let configure = |sim: &Sim| {
+            sim.inject_fault(FaultOp::Install, "svc0-1", 2, FaultKind::Transient);
+            sim.inject_fault(FaultOp::Start, "svc1", 1, FaultKind::Transient);
+        };
+        let retry = RetryPolicy::new(4).with_seed(seed);
+        assert_equivalent(seed, &configure, &retry);
+    }
+}
+
+#[test]
+fn wavefront_matches_oracles_under_chaos_plans() {
+    for seed in 0..sweep_seeds() {
+        // Probabilistic all-transient chaos with a deep retry budget:
+        // every engine converges (transient faults always retry through)
+        // and the converged observations must agree.
+        let configure = move |sim: &Sim| {
+            sim.set_fault_plan(
+                FaultPlan::new(seed)
+                    .with_install_faults(0.2, 1.0)
+                    .with_start_faults(0.2, 1.0),
+            );
+        };
+        let retry = RetryPolicy::new(10).with_seed(seed);
+        assert_equivalent(seed, &configure, &retry);
+    }
+}
