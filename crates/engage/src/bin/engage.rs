@@ -43,7 +43,7 @@ use std::time::Duration;
 use engage::{
     load_jsonl, DeployFailure, DeployJournal, Engage, ResumeMode, RetryPolicy, SchedulerStrategy,
 };
-use engage_config::{diagnose, generate, graph_gen, ConfigEngine, SolverMode};
+use engage_config::{diagnose, generate, graph_gen, ConfigEngine, ConfigError, SolverMode};
 use engage_model::{PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
 use engage_sim::FaultPlan;
@@ -374,7 +374,20 @@ fn run(args: &[String]) -> Result<String, String> {
                 .with_solver_mode(opts.solver)
                 .with_obs(obs.clone())
                 .configure(&partial)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| match e {
+                    // The bare verdict is not actionable: extract and
+                    // render a minimal unsatisfiable core, exactly as
+                    // `engage diagnose` would. The diagnosis does not
+                    // depend on the solver mode, so all modes report
+                    // the same conflict.
+                    ConfigError::Unsatisfiable { .. } => {
+                        match diagnose(&u, &partial, ExactlyOneEncoding::Pairwise) {
+                            Ok(Some((diag, g))) => format!("{e}\n{}", diag.render(&g)),
+                            _ => e.to_string(),
+                        }
+                    }
+                    other => other.to_string(),
+                })?;
             emit(&opts, engage_dsl::render_install_spec(&outcome.spec))
         }
         "graph" => {

@@ -1,0 +1,524 @@
+//! The whole-pipeline differential harness: run a [`Scenario`] through
+//! configure→plan→deploy→reconfigure across the full cross-product of
+//! solver modes × schedulers × fault settings and check every cell
+//! agrees with the construction-time oracle and with every other cell.
+//!
+//! Divergence is *reported*, not panicked, so the harness itself can be
+//! tested: [`check_scenario_perturbed`] plants a bug in one cell and a
+//! healthy harness must return the resulting [`Divergence`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use engage_config::{ConfigEngine, ConfigError, ConfigSession, SolverMode};
+use engage_deploy::{service_name, Deployment, DeploymentEngine, RetryPolicy, SchedulerStrategy};
+use engage_model::{DriverState, InstallSpec, InstanceId};
+use engage_sat::ExactlyOneEncoding;
+use engage_sim::{DownloadSource, FaultPlan, Sim};
+
+use crate::Scenario;
+
+/// The solver modes every scenario is configured under.
+pub fn solver_modes() -> [SolverMode; 3] {
+    [
+        SolverMode::Serial,
+        SolverMode::Portfolio { workers: 4 },
+        SolverMode::Incremental,
+    ]
+}
+
+/// The fault environments every deployment cell runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSetting {
+    /// A clean simulator: no injected faults, no retries needed.
+    None,
+    /// Probabilistic all-transient chaos on install and start, with a
+    /// deep retry budget. Transient faults always retry through, and
+    /// the deployment timeline records only committed transitions, so
+    /// every engine must converge to the clean-run observation.
+    TransientChaos,
+}
+
+impl FaultSetting {
+    /// Both settings, in a fixed order.
+    pub const ALL: [FaultSetting; 2] = [FaultSetting::None, FaultSetting::TransientChaos];
+
+    /// The setting's short name (used in cell labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSetting::None => "no-faults",
+            FaultSetting::TransientChaos => "chaos",
+        }
+    }
+
+    fn apply(self, sim: &Sim, seed: u64) {
+        if self == FaultSetting::TransientChaos {
+            sim.set_fault_plan(
+                FaultPlan::new(seed)
+                    .with_install_faults(0.2, 1.0)
+                    .with_start_faults(0.2, 1.0),
+            );
+        }
+    }
+
+    fn retry(self, seed: u64) -> RetryPolicy {
+        match self {
+            FaultSetting::None => RetryPolicy::none(),
+            FaultSetting::TransientChaos => RetryPolicy::new(10).with_seed(seed),
+        }
+    }
+}
+
+/// The deployment engines every full spec is driven through.
+#[derive(Debug, Clone, Copy)]
+enum Scheduler {
+    Sequential,
+    Wavefront(usize),
+    Slaves(usize),
+}
+
+const SCHEDULERS: [Scheduler; 4] = [
+    Scheduler::Sequential,
+    Scheduler::Wavefront(1),
+    Scheduler::Wavefront(4),
+    Scheduler::Slaves(2),
+];
+
+impl fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheduler::Sequential => write!(f, "sequential"),
+            Scheduler::Wavefront(w) => write!(f, "wavefront:{w}"),
+            Scheduler::Slaves(w) => write!(f, "slaves:{w}"),
+        }
+    }
+}
+
+/// Everything two deployment engines must agree on: final driver
+/// states, per-instance committed action sequences (times stripped —
+/// simulated clocks legitimately differ between engines, the order of
+/// actions per driver may not), and which services are left running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Final driver state per spec instance (`None` = never driven).
+    pub states: BTreeMap<InstanceId, Option<DriverState>>,
+    /// Committed action names per instance, in timeline order.
+    pub sequences: BTreeMap<InstanceId, Vec<String>>,
+    /// Whether the instance's service is running, per hosted instance.
+    pub services: BTreeMap<InstanceId, bool>,
+}
+
+/// Observes a deployment against `spec` (which may be larger than the
+/// spec the engine actually deployed — missing instances observe as
+/// `None`/absent, which is exactly how a planted bug is caught).
+pub fn observe(spec: &InstallSpec, sim: &Sim, dep: &Deployment) -> Observation {
+    let mut sequences: BTreeMap<InstanceId, Vec<String>> = BTreeMap::new();
+    for t in dep.timeline() {
+        sequences
+            .entry(t.instance.clone())
+            .or_default()
+            .push(t.action.clone());
+    }
+    let mut services = BTreeMap::new();
+    for inst in spec.iter() {
+        if inst.inside_link().is_some() {
+            let running = dep
+                .host_of(inst.id())
+                .is_some_and(|h| sim.service_running(h, &service_name(inst.key())));
+            services.insert(inst.id().clone(), running);
+        }
+    }
+    Observation {
+        states: spec
+            .iter()
+            .map(|i| (i.id().clone(), dep.state(i.id()).cloned()))
+            .collect(),
+        sequences,
+        services,
+    }
+}
+
+/// A planted bug for testing the harness itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// No bug: the honest differential run.
+    None,
+    /// Drop the last dependent-free instance from the spec one cell
+    /// (wavefront:4, no faults) deploys — its driver state and service
+    /// observation then diverge from every other cell's.
+    SkipLastInstance,
+}
+
+/// A differential failure: one cell disagreed with the oracle.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The scenario's reproducible name (`family/seedN[/unsat]`).
+    pub scenario: String,
+    /// The cell that diverged, e.g. `deploy/wavefront:4/chaos`.
+    pub cell: String,
+    /// What disagreed.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.scenario, self.cell, self.detail)
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// What a clean differential run measured, for sweep gauges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepStats {
+    /// Size of the configured full spec.
+    pub spec_len: usize,
+    /// Size of the reconfigured full spec.
+    pub reconfigure_len: usize,
+    /// Enumerated minimal configurations, when the oracle pinned them.
+    pub configurations: Option<usize>,
+    /// Deployment cells compared (schedulers × fault settings).
+    pub cells: usize,
+}
+
+/// Runs the full differential check on a scenario.
+///
+/// # Errors
+///
+/// The first [`Divergence`] between any cell and the oracle.
+pub fn check_scenario(scenario: &Scenario) -> Result<SweepStats, Divergence> {
+    check_scenario_perturbed(scenario, Perturbation::None)
+}
+
+/// [`check_scenario`] with an optional planted bug. With
+/// [`Perturbation::None`] this *is* the honest check; with any other
+/// perturbation a healthy harness must return `Err`.
+///
+/// # Errors
+///
+/// The first [`Divergence`] between any cell and the oracle.
+pub fn check_scenario_perturbed(
+    scenario: &Scenario,
+    perturbation: Perturbation,
+) -> Result<SweepStats, Divergence> {
+    if !scenario.expected.satisfiable {
+        return check_unsat(scenario);
+    }
+    let (spec, reconfigured) = check_solver_modes(scenario)?;
+    let configurations = check_configuration_count(scenario)?;
+    let cells = check_deploy_cells(scenario, &spec, perturbation)?;
+    // The reconfigured spec must deploy cleanly too (sequential engine,
+    // clean sim — its scheduler equivalence is implied by the main leg).
+    let sim = Sim::new(DownloadSource::local_cache());
+    let engine = DeploymentEngine::new(sim, &scenario.universe);
+    if let Err(e) = engine.deploy(&reconfigured) {
+        return Err(diverged(
+            scenario,
+            "deploy/reconfigure",
+            format!("reconfigured spec failed to deploy: {e}"),
+        ));
+    }
+    Ok(SweepStats {
+        spec_len: spec.len(),
+        reconfigure_len: reconfigured.len(),
+        configurations,
+        cells,
+    })
+}
+
+fn diverged(scenario: &Scenario, cell: &str, detail: String) -> Divergence {
+    Divergence {
+        scenario: scenario.name(),
+        cell: cell.to_owned(),
+        detail,
+    }
+}
+
+/// Configure + reconfigure under every solver mode; returns the serial
+/// (canonical) full specs for the deployment legs.
+fn check_solver_modes(scenario: &Scenario) -> Result<(InstallSpec, InstallSpec), Divergence> {
+    let mut canonical: Option<(String, InstallSpec)> = None;
+    let mut canonical_re: Option<(String, InstallSpec)> = None;
+    for mode in solver_modes() {
+        let engine = ConfigEngine::new(&scenario.universe).with_solver_mode(mode);
+        // `reconfigure` so the incremental session is warm for the
+        // second leg; other modes ignore the session entirely.
+        let mut session = ConfigSession::new();
+        let outcome = engine
+            .reconfigure(&mut session, &scenario.partial)
+            .map_err(|e| {
+                diverged(
+                    scenario,
+                    &format!("plan/{mode}"),
+                    format!("expected SAT, got: {e}"),
+                )
+            })?;
+        if let Some(n) = scenario.expected.spec_len {
+            if outcome.spec.len() != n {
+                return Err(diverged(
+                    scenario,
+                    &format!("plan/{mode}"),
+                    format!("spec length {} != oracle {n}", outcome.spec.len()),
+                ));
+            }
+        }
+        let re_outcome = engine
+            .reconfigure(&mut session, &scenario.reconfigure)
+            .map_err(|e| {
+                diverged(
+                    scenario,
+                    &format!("reconfigure/{mode}"),
+                    format!("expected SAT, got: {e}"),
+                )
+            })?;
+        if let Some(n) = scenario.expected.reconfigure_len {
+            if re_outcome.spec.len() != n {
+                return Err(diverged(
+                    scenario,
+                    &format!("reconfigure/{mode}"),
+                    format!("spec length {} != oracle {n}", re_outcome.spec.len()),
+                ));
+            }
+        }
+        let rendered = engage_dsl::render_install_spec(&outcome.spec);
+        let re_rendered = engage_dsl::render_install_spec(&re_outcome.spec);
+        match (&canonical, &canonical_re) {
+            (None, _) | (_, None) => {
+                canonical = Some((rendered, outcome.spec));
+                canonical_re = Some((re_rendered, re_outcome.spec));
+            }
+            (Some((c, _)), Some((cr, _))) if scenario.expected.unique_model => {
+                if rendered != *c {
+                    return Err(diverged(
+                        scenario,
+                        &format!("plan/{mode}"),
+                        "full spec differs from serial on a unique-model scenario".to_owned(),
+                    ));
+                }
+                if re_rendered != *cr {
+                    return Err(diverged(
+                        scenario,
+                        &format!("reconfigure/{mode}"),
+                        "reconfigured spec differs from serial on a unique-model scenario"
+                            .to_owned(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    let (_, spec) = canonical.expect("at least one solver mode ran");
+    let (_, reconfigured) = canonical_re.expect("at least one solver mode ran");
+    Ok((spec, reconfigured))
+}
+
+/// Enumerates minimal configurations against the oracle count.
+fn check_configuration_count(scenario: &Scenario) -> Result<Option<usize>, Divergence> {
+    let Some(expected) = scenario.expected.configurations else {
+        return Ok(None);
+    };
+    let engine = ConfigEngine::new(&scenario.universe);
+    let counted = engine
+        .count_configurations(&scenario.partial, 5000)
+        .map_err(|e| diverged(scenario, "plan/count", e.to_string()))?;
+    if counted as u64 != expected {
+        return Err(diverged(
+            scenario,
+            "plan/count",
+            format!("{counted} minimal configurations != oracle {expected}"),
+        ));
+    }
+    Ok(Some(counted))
+}
+
+/// Deploys the canonical spec through every scheduler × fault cell and
+/// compares each cell's observation to the clean sequential oracle.
+fn check_deploy_cells(
+    scenario: &Scenario,
+    spec: &InstallSpec,
+    perturbation: Perturbation,
+) -> Result<usize, Divergence> {
+    let perturbed_spec = match perturbation {
+        Perturbation::None => None,
+        Perturbation::SkipLastInstance => Some(drop_last_dependent_free(spec)),
+    };
+    let mut oracle: Option<Observation> = None;
+    let mut cells = 0usize;
+    for fault in FaultSetting::ALL {
+        for sched in SCHEDULERS {
+            let cell = format!("deploy/{sched}/{}", fault.name());
+            // The planted bug hits exactly one mid-product cell.
+            let plant = perturbed_spec.is_some()
+                && matches!(sched, Scheduler::Wavefront(4))
+                && fault == FaultSetting::None;
+            let deploy_spec = if plant {
+                perturbed_spec.as_ref().unwrap()
+            } else {
+                spec
+            };
+            let seen = run_cell(scenario, spec, deploy_spec, fault, sched)
+                .map_err(|e| diverged(scenario, &cell, e))?;
+            cells += 1;
+            match &oracle {
+                None => oracle = Some(seen),
+                Some(expected) => {
+                    if seen != *expected {
+                        return Err(diverged(
+                            scenario,
+                            &cell,
+                            diff_observations(expected, &seen),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Runs one deployment cell and observes it against the canonical spec.
+fn run_cell(
+    scenario: &Scenario,
+    observe_spec: &InstallSpec,
+    deploy_spec: &InstallSpec,
+    fault: FaultSetting,
+    sched: Scheduler,
+) -> Result<Observation, String> {
+    let sim = Sim::new(DownloadSource::local_cache());
+    fault.apply(&sim, scenario.seed);
+    let mut engine = DeploymentEngine::new(sim, &scenario.universe)
+        .with_retry_policy(fault.retry(scenario.seed));
+    let dep = match sched {
+        Scheduler::Sequential => engine.deploy(deploy_spec).map_err(|e| e.to_string())?,
+        Scheduler::Wavefront(workers) => {
+            engine = engine
+                .with_scheduler(SchedulerStrategy::Wavefront)
+                .with_workers(workers);
+            engine
+                .deploy_parallel(deploy_spec)
+                .map_err(|e| e.to_string())?
+                .deployment
+        }
+        Scheduler::Slaves(workers) => {
+            engine = engine
+                .with_scheduler(SchedulerStrategy::Slaves)
+                .with_workers(workers);
+            engine
+                .deploy_parallel(deploy_spec)
+                .map_err(|e| e.to_string())?
+                .deployment
+        }
+    };
+    Ok(observe(observe_spec, engine.sim(), &dep))
+}
+
+/// A one-line summary of where two observations disagree.
+fn diff_observations(expected: &Observation, seen: &Observation) -> String {
+    for (id, state) in &expected.states {
+        if seen.states.get(id) != Some(state) {
+            return format!(
+                "driver state of `{id}`: oracle {:?}, cell {:?}",
+                state,
+                seen.states.get(id)
+            );
+        }
+    }
+    for (id, seq) in &expected.sequences {
+        if seen.sequences.get(id) != Some(seq) {
+            return format!(
+                "action sequence of `{id}`: oracle {:?}, cell {:?}",
+                seq,
+                seen.sequences.get(id)
+            );
+        }
+    }
+    for (id, up) in &expected.services {
+        if seen.services.get(id) != Some(up) {
+            return format!(
+                "service `{id}` running: oracle {up}, cell {:?}",
+                seen.services.get(id)
+            );
+        }
+    }
+    "observations differ (extra instances in cell)".to_owned()
+}
+
+/// Rebuilds `spec` without its last instance that nothing links to
+/// (such a sink always exists: the spec's dependency graph is a DAG and
+/// machines always have dependents).
+fn drop_last_dependent_free(spec: &InstallSpec) -> InstallSpec {
+    let victim = spec
+        .iter()
+        .filter(|i| i.inside_link().is_some() && spec.dependents_of(i.id()).next().is_none())
+        .last()
+        .map(|i| i.id().clone())
+        .expect("every generated spec has a dependent-free hosted instance");
+    let mut out = InstallSpec::new();
+    for inst in spec.iter() {
+        if *inst.id() != victim {
+            out.push(inst.clone()).unwrap();
+        }
+    }
+    out
+}
+
+/// The UNSAT leg: every solver mode must reject both partials with the
+/// unsatisfiable verdict, MUS diagnosis must produce a core, and model
+/// enumeration must find nothing.
+fn check_unsat(scenario: &Scenario) -> Result<SweepStats, Divergence> {
+    for mode in solver_modes() {
+        let engine = ConfigEngine::new(&scenario.universe).with_solver_mode(mode);
+        let mut session = ConfigSession::new();
+        for (leg, partial) in [
+            ("plan", &scenario.partial),
+            ("reconfigure", &scenario.reconfigure),
+        ] {
+            match engine.reconfigure(&mut session, partial) {
+                Err(ConfigError::Unsatisfiable { .. }) => {}
+                Ok(_) => {
+                    return Err(diverged(
+                        scenario,
+                        &format!("{leg}/{mode}"),
+                        "expected UNSAT, configuration succeeded".to_owned(),
+                    ));
+                }
+                Err(e) => {
+                    return Err(diverged(
+                        scenario,
+                        &format!("{leg}/{mode}"),
+                        format!("expected the unsatisfiable verdict, got: {e}"),
+                    ));
+                }
+            }
+        }
+    }
+    match engage_config::diagnose(
+        &scenario.universe,
+        &scenario.partial,
+        ExactlyOneEncoding::Pairwise,
+    ) {
+        Ok(Some(_)) => {}
+        Ok(None) => {
+            return Err(diverged(
+                scenario,
+                "plan/diagnose",
+                "diagnosis found no conflict on an UNSAT scenario".to_owned(),
+            ));
+        }
+        Err(e) => return Err(diverged(scenario, "plan/diagnose", e.to_string())),
+    }
+    let counted = ConfigEngine::new(&scenario.universe)
+        .count_configurations(&scenario.partial, 5000)
+        .map_err(|e| diverged(scenario, "plan/count", e.to_string()))?;
+    if counted != 0 {
+        return Err(diverged(
+            scenario,
+            "plan/count",
+            format!("{counted} configurations enumerated on an UNSAT scenario"),
+        ));
+    }
+    Ok(SweepStats {
+        configurations: Some(0),
+        ..SweepStats::default()
+    })
+}

@@ -1,0 +1,458 @@
+//! The topology-family constructions: each builds a `.ers` universe
+//! source, a partial install spec, a reconfiguration partial, and the
+//! [`Expected`] oracle, all from the knobs (plus the seed RNG where the
+//! family has in-topology randomness).
+//!
+//! Construction invariants the oracles rely on (GraphGen semantics):
+//!
+//! * a dependency disjunct reuses the *first* existing instance of each
+//!   frontier type (machine-scoped for `inside`/`env`, global for
+//!   `peer`), else creates one fresh node per frontier type;
+//! * fresh nodes not chosen by the solver are pruned by the required
+//!   closure, so "one chosen instance per dependency" is exact;
+//! * pinned (from-spec) instances are always required — pinning two
+//!   instances of an exclusive one-of-N choice is therefore UNSAT.
+
+use std::fmt::Write as _;
+
+use engage_model::{PartialInstallSpec, PartialInstance, Value};
+use engage_util::rand::{Rng, StdRng};
+
+use crate::{Expected, Family, Knobs};
+
+/// What a family construction hands back to [`crate::scenario`].
+pub(crate) struct Built {
+    pub dsl: String,
+    pub partial: PartialInstallSpec,
+    pub reconfigure: PartialInstallSpec,
+    pub expected: Expected,
+}
+
+/// The machine preamble every family shares: an abstract `Server` with
+/// a hostname config port and a concrete OS.
+const PREAMBLE: &str = r#"
+abstract resource "Server" {
+  config port hostname: string = "gen-host";
+  output port host: { hostname: string } = { hostname: config.hostname };
+}
+resource "GenOS 1.0" extends "Server" {}
+"#;
+
+/// The planted conflict for UNSAT scenarios: an exclusive one-of-N
+/// choice with *two* pinned alternatives (the canonical unsolvable
+/// shape, cf. `engage_config::diagnose`).
+const CONFLICT: &str = r#"
+abstract resource "Xcl" {
+  output port pick: { v: int };
+}
+resource "Xcl-a 1.0" extends "Xcl" {
+  inside "Server";
+  output port pick: { v: int } = { v: 1 };
+}
+resource "Xcl-b 1.0" extends "Xcl" {
+  inside "Server";
+  output port pick: { v: int } = { v: 2 };
+}
+resource "XclUser 1.0" {
+  inside "Server";
+  peer "Xcl" { input pick <- pick; }
+  input port pick: { v: int };
+  output port ok: bool = true;
+}
+"#;
+
+pub(crate) fn build(family: Family, knobs: Knobs, rng: &mut StdRng) -> Built {
+    let mut built = match family {
+        Family::Mesh => mesh(knobs, rng),
+        Family::DbTiers => db_tiers(knobs),
+        Family::Chain => chain(knobs),
+        Family::TypeForest => type_forest(knobs),
+        Family::ThreeLevel => three_level(knobs),
+    };
+    if knobs.unsat {
+        plant_conflict(&mut built);
+    }
+    built
+}
+
+/// Pushes the machine instances `m0..mN` with distinct hostnames.
+fn machines(partial: &mut PartialInstallSpec, n: usize) {
+    for m in 0..n {
+        let inst = PartialInstance::new(format!("m{m}"), "GenOS 1.0")
+            .config("hostname", Value::from(format!("host{m}")));
+        partial.push(inst).unwrap();
+    }
+}
+
+/// Appends the exclusive-choice conflict to any family's scenario and
+/// retags it UNSAT.
+fn plant_conflict(built: &mut Built) {
+    built.dsl.push_str(CONFLICT);
+    for inst in [
+        PartialInstance::new("xcl-a", "Xcl-a 1.0").inside("m0"),
+        PartialInstance::new("xcl-b", "Xcl-b 1.0").inside("m0"),
+        PartialInstance::new("xcl-user", "XclUser 1.0").inside("m0"),
+    ] {
+        built.partial.push(inst.clone()).unwrap();
+        built.reconfigure.push(inst).unwrap();
+    }
+    built.expected = Expected {
+        satisfiable: false,
+        spec_len: None,
+        configurations: Some(0),
+        reconfigure_len: None,
+        unique_model: false,
+    };
+}
+
+/// Microservice mesh: `services` distinct service types spread over the
+/// machines by the seed, forward-only peer edges (a DAG with fan-in and
+/// fan-out), and a shared per-machine runtime library (`Rt`) every
+/// service env-depends on.
+fn mesh(knobs: Knobs, rng: &mut StdRng) -> Built {
+    let mut dsl = String::from(PREAMBLE);
+    dsl.push_str("resource \"Rt 1.0\" { inside \"Server\"; output port rt: int = 7; }\n");
+    let mut placement = Vec::with_capacity(knobs.services);
+    for i in 0..knobs.services {
+        placement.push(rng.gen_range(0..knobs.machines));
+        let _ = writeln!(dsl, "resource \"Svc{i} 1.0\" {{");
+        let _ = writeln!(dsl, "  inside \"Server\";");
+        let _ = writeln!(dsl, "  env \"Rt 1.0\" {{ input rt <- rt; }}");
+        let _ = writeln!(dsl, "  input port rt: int;");
+        let mut edges = 0;
+        for j in 0..i {
+            if edges < 3 && rng.gen_bool(0.4) {
+                let _ = writeln!(dsl, "  peer \"Svc{j} 1.0\" {{ input d{j} <- p; }}");
+                let _ = writeln!(dsl, "  input port d{j}: int;");
+                edges += 1;
+            }
+        }
+        let _ = writeln!(dsl, "  output port p: int = {i};");
+        let _ = writeln!(dsl, "  driver service;");
+        let _ = writeln!(dsl, "}}");
+    }
+
+    let mut partial = PartialInstallSpec::new();
+    machines(&mut partial, knobs.machines);
+    for (i, &m) in placement.iter().enumerate() {
+        partial
+            .push(
+                PartialInstance::new(format!("svc{i}"), format!("Svc{i} 1.0").as_str())
+                    .inside(format!("m{m}")),
+            )
+            .unwrap();
+    }
+
+    // One fresh `Rt` per machine that hosts at least one service.
+    let mut used: Vec<usize> = placement.clone();
+    used.sort_unstable();
+    used.dedup();
+    let spec_len = knobs.machines + knobs.services + used.len();
+
+    // Reconfigure: one more release of the *last* service type on m0.
+    // It must be the last type: nothing peer-depends on it, so a second
+    // instance never violates a dependency's exactly-one-target choice.
+    let last = knobs.services - 1;
+    let mut reconfigure = partial.clone();
+    reconfigure
+        .push(PartialInstance::new("svc-extra", format!("Svc{last} 1.0").as_str()).inside("m0"))
+        .unwrap();
+    let reconfigure_len = spec_len + 1 + usize::from(!used.contains(&0));
+
+    Built {
+        dsl,
+        partial,
+        reconfigure,
+        expected: Expected {
+            satisfiable: true,
+            spec_len: Some(spec_len),
+            configurations: Some(1),
+            reconfigure_len: Some(reconfigure_len),
+            unique_model: true,
+        },
+    }
+}
+
+/// Multi-region DB tiers: `depth` abstract tiers × `width` concrete
+/// alternatives, one app per region; the solver picks one alternative
+/// per tier per region independently.
+fn db_tiers(knobs: Knobs) -> Built {
+    let (tiers, width) = (knobs.depth, knobs.width);
+    let mut dsl = String::from(PREAMBLE);
+    for t in 0..tiers {
+        let _ = writeln!(
+            dsl,
+            "abstract resource \"T{t}\" {{ output port p{t}: int; }}"
+        );
+        for alt in 0..width {
+            let _ = writeln!(dsl, "resource \"T{t}-a{alt} 1.0\" extends \"T{t}\" {{");
+            let _ = writeln!(dsl, "  inside \"Server\";");
+            if t > 0 {
+                let prev = t - 1;
+                let _ = writeln!(dsl, "  env \"T{prev}\" {{ input prev <- p{prev}; }}");
+                let _ = writeln!(dsl, "  input port prev: int;");
+            }
+            let _ = writeln!(dsl, "  output port p{t}: int = {};", t * 10 + alt);
+            let _ = writeln!(dsl, "  driver service;");
+            let _ = writeln!(dsl, "}}");
+        }
+    }
+    let last = tiers - 1;
+    let _ = writeln!(dsl, "resource \"DbApp 1.0\" {{");
+    let _ = writeln!(dsl, "  inside \"Server\";");
+    let _ = writeln!(dsl, "  env \"T{last}\" {{ input top <- p{last}; }}");
+    let _ = writeln!(dsl, "  input port top: int;");
+    let _ = writeln!(dsl, "  output port ok: bool = true;");
+    let _ = writeln!(dsl, "  driver service;");
+    let _ = writeln!(dsl, "}}");
+
+    let mut partial = PartialInstallSpec::new();
+    machines(&mut partial, knobs.machines);
+    for m in 0..knobs.machines {
+        partial
+            .push(PartialInstance::new(format!("app{m}"), "DbApp 1.0").inside(format!("m{m}")))
+            .unwrap();
+    }
+
+    // Per region: server + app + one chosen alternative per tier.
+    let spec_len = knobs.machines * (2 + tiers);
+    // Choices are independent per region: (width^tiers)^machines.
+    let per_region = (width as u64).checked_pow(tiers as u32);
+    let configurations = per_region
+        .and_then(|p| p.checked_pow(knobs.machines as u32))
+        .filter(|&n| n <= 4096);
+    let unique_model = width == 1;
+
+    // Reconfigure: a second app in region 0. Both apps' tier edges
+    // share one candidate set and the choice is exactly-one-true, so
+    // they must agree on the same alternative: the length is pinned at
+    // +1 even with wide tiers (though which alternative is chosen is
+    // still the solver's).
+    let mut reconfigure = partial.clone();
+    reconfigure
+        .push(PartialInstance::new("app-extra", "DbApp 1.0").inside("m0"))
+        .unwrap();
+
+    Built {
+        dsl,
+        partial,
+        reconfigure,
+        expected: Expected {
+            satisfiable: true,
+            spec_len: Some(spec_len),
+            configurations,
+            reconfigure_len: Some(spec_len + 1),
+            unique_model,
+        },
+    }
+}
+
+/// Deep linear env-dep chain: one pinned top per machine grows a fresh
+/// `C{depth-1} → … → C0` chain on that machine.
+fn chain(knobs: Knobs) -> Built {
+    let depth = knobs.depth;
+    let mut dsl = String::from(PREAMBLE);
+    for i in 0..depth {
+        let _ = writeln!(dsl, "resource \"C{i} 1.0\" {{");
+        let _ = writeln!(dsl, "  inside \"Server\";");
+        if i > 0 {
+            let prev = i - 1;
+            let _ = writeln!(dsl, "  env \"C{prev} 1.0\" {{ input prev <- v; }}");
+            let _ = writeln!(dsl, "  input port prev: int;");
+        }
+        let _ = writeln!(dsl, "  output port v: int = {i};");
+        let _ = writeln!(dsl, "  driver service;");
+        let _ = writeln!(dsl, "}}");
+    }
+
+    let top = depth - 1;
+    let mut partial = PartialInstallSpec::new();
+    machines(&mut partial, knobs.machines);
+    for m in 0..knobs.machines {
+        partial
+            .push(
+                PartialInstance::new(format!("top{m}"), format!("C{top} 1.0").as_str())
+                    .inside(format!("m{m}")),
+            )
+            .unwrap();
+    }
+    let spec_len = knobs.machines * (1 + depth);
+
+    // Reconfigure: a second top on m0, reusing m0's existing chain.
+    let mut reconfigure = partial.clone();
+    reconfigure
+        .push(PartialInstance::new("top-extra", format!("C{top} 1.0").as_str()).inside("m0"))
+        .unwrap();
+
+    Built {
+        dsl,
+        partial,
+        reconfigure,
+        expected: Expected {
+            satisfiable: true,
+            spec_len: Some(spec_len),
+            configurations: Some(1),
+            reconfigure_len: Some(spec_len + 1),
+            unique_model: true,
+        },
+    }
+}
+
+/// Inheritance-heavy type forest: an abstract root `F`, `width`
+/// branches of `depth - 1` abstract intermediates each ending in one
+/// concrete leaf; one consumer per machine depends on the root.
+fn type_forest(knobs: Knobs) -> Built {
+    let (depth, width) = (knobs.depth, knobs.width);
+    let mut dsl = String::from(PREAMBLE);
+    dsl.push_str("abstract resource \"F\" { output port f: int; }\n");
+    for b in 0..width {
+        let mut parent = "F".to_owned();
+        for d in 0..depth.saturating_sub(1) {
+            let name = format!("F-b{b}-m{d}");
+            let _ = writeln!(
+                dsl,
+                "abstract resource \"{name}\" extends \"{parent}\" {{}}"
+            );
+            parent = name;
+        }
+        let _ = writeln!(dsl, "resource \"F-b{b} 1.0\" extends \"{parent}\" {{");
+        let _ = writeln!(dsl, "  inside \"Server\";");
+        let _ = writeln!(dsl, "  output port f: int = {b};");
+        let _ = writeln!(dsl, "}}");
+    }
+    let _ = writeln!(dsl, "resource \"FUser 1.0\" {{");
+    let _ = writeln!(dsl, "  inside \"Server\";");
+    let _ = writeln!(dsl, "  env \"F\" {{ input f <- f; }}");
+    let _ = writeln!(dsl, "  input port f: int;");
+    let _ = writeln!(dsl, "  output port ok: bool = true;");
+    let _ = writeln!(dsl, "  driver service;");
+    let _ = writeln!(dsl, "}}");
+
+    let mut partial = PartialInstallSpec::new();
+    machines(&mut partial, knobs.machines);
+    for m in 0..knobs.machines {
+        partial
+            .push(PartialInstance::new(format!("user{m}"), "FUser 1.0").inside(format!("m{m}")))
+            .unwrap();
+    }
+    // Per machine: server + user + one chosen leaf.
+    let spec_len = knobs.machines * 3;
+    let configurations = (width as u64)
+        .checked_pow(knobs.machines as u32)
+        .filter(|&n| n <= 4096);
+    let unique_model = width == 1;
+
+    // Reconfigure: a second consumer on m0. Its root edge shares m0's
+    // leaf candidate set with the first consumer, so exactly-one-true
+    // makes them agree on one leaf: the length is pinned at +1.
+    let mut reconfigure = partial.clone();
+    reconfigure
+        .push(PartialInstance::new("user-extra", "FUser 1.0").inside("m0"))
+        .unwrap();
+
+    Built {
+        dsl,
+        partial,
+        reconfigure,
+        expected: Expected {
+            satisfiable: true,
+            spec_len: Some(spec_len),
+            configurations,
+            reconfigure_len: Some(spec_len + 1),
+            unique_model,
+        },
+    }
+}
+
+/// Three-level provision→configure→release stack: machine → platform
+/// service → `services` app releases inside the platform, plus a
+/// per-platform config library each app env-depends on and a cross-host
+/// peer edge from every app onto one pinned hub service.
+fn three_level(knobs: Knobs) -> Built {
+    let apps = knobs.services;
+    let mut dsl = String::from(PREAMBLE);
+    dsl.push_str(
+        r#"resource "Plat 1.0" {
+  inside "Server";
+  config port port: int = 8000;
+  output port base: { port: int } = { port: config.port };
+  driver service;
+}
+resource "Cfg 1.0" {
+  inside "Plat 1.0";
+  output port cfg: int = 1;
+}
+resource "Hub 1.0" {
+  inside "Server";
+  output port hub: int = 1;
+  driver service;
+}
+"#,
+    );
+    for a in 0..apps {
+        let _ = writeln!(dsl, "resource \"App{a} 1.0\" {{");
+        let _ = writeln!(dsl, "  inside \"Plat 1.0\";");
+        let _ = writeln!(dsl, "  env \"Cfg 1.0\" {{ input cfg <- cfg; }}");
+        let _ = writeln!(dsl, "  input port cfg: int;");
+        let _ = writeln!(dsl, "  peer \"Hub 1.0\" {{ input hub <- hub; }}");
+        let _ = writeln!(dsl, "  input port hub: int;");
+        let _ = writeln!(dsl, "  output port ok: bool = true;");
+        let _ = writeln!(dsl, "  driver service;");
+        let _ = writeln!(dsl, "}}");
+    }
+
+    let mut partial = PartialInstallSpec::new();
+    for m in 0..knobs.machines {
+        partial
+            .push(
+                PartialInstance::new(format!("m{m}"), "GenOS 1.0")
+                    .config("hostname", Value::from(format!("host{m}"))),
+            )
+            .unwrap();
+        if m == 0 {
+            // The single cross-host hub every app release guards on.
+            partial
+                .push(PartialInstance::new("hub0", "Hub 1.0").inside("m0"))
+                .unwrap();
+        }
+        partial
+            .push(PartialInstance::new(format!("plat{m}"), "Plat 1.0").inside(format!("m{m}")))
+            .unwrap();
+        // The config library is pinned per platform: GraphGen parents
+        // fresh nodes on the dependent's *machine*, so a type whose
+        // `inside` is a non-machine must come from the spec.
+        partial
+            .push(PartialInstance::new(format!("cfg{m}"), "Cfg 1.0").inside(format!("plat{m}")))
+            .unwrap();
+        for a in 0..apps {
+            partial
+                .push(
+                    PartialInstance::new(format!("app{m}-{a}"), format!("App{a} 1.0").as_str())
+                        .inside(format!("plat{m}")),
+                )
+                .unwrap();
+        }
+    }
+    // Per machine: server + platform + config library + apps; plus the
+    // one pinned hub.
+    let spec_len = knobs.machines * (3 + apps) + 1;
+
+    // Reconfigure: one more App0 release on platform 0.
+    let mut reconfigure = partial.clone();
+    reconfigure
+        .push(PartialInstance::new("app-extra", "App0 1.0").inside("plat0"))
+        .unwrap();
+
+    Built {
+        dsl,
+        partial,
+        reconfigure,
+        expected: Expected {
+            satisfiable: true,
+            spec_len: Some(spec_len),
+            configurations: Some(1),
+            reconfigure_len: Some(spec_len + 1),
+            unique_model: true,
+        },
+    }
+}

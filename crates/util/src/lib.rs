@@ -29,6 +29,8 @@
 //!   spans, atomic counters/gauges, a structured event log, and
 //!   pluggable sinks (in-memory for tests, JSON Lines for tools) — that
 //!   every pipeline stage reports into.
+//! * [`env`] is also native: the one sweep-size environment-knob
+//!   parser (`ENGAGE_*_SWEEP_SEEDS`) every seeded test sweep shares.
 //! * [`bench`] replaces `criterion`: a wall-clock harness with warmup
 //!   and batched sampling that reports min/median/p95 per benchmark,
 //!   plus `criterion_group!` / `criterion_main!` and the
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod env;
 pub mod obs;
 pub mod prop;
 pub mod rand;

@@ -112,4 +112,18 @@ grep -q '"experiment":"megadeploy"' "$obs_tmp/BENCH_megadeploy.json"
 ENGAGE_SCHED_SWEEP_SEEDS=8 \
     cargo test -q --offline --release -p engage --test scheduler_equivalence
 
+# Whole-pipeline differential sweep at CI depth: every testgen family ×
+# 32 seeds through solver modes × schedulers × fault settings, plus the
+# UNSAT variants, the planted-bug self-test, and journal resume (see
+# docs/testing.md).
+ENGAGE_SCENARIO_SWEEP_SEEDS=32 \
+    cargo test -q --offline --release -p engage --test scenario_sweep
+
+# Scenario-ladder smoke test: the family knob ladder must pass the
+# differential check at every rung and report per-rung gauges.
+cargo run -q --release --offline -p engage-bench --bin exp_scenarios -- \
+    --smoke --metrics "$obs_tmp/BENCH_scenarios.json" > /dev/null
+grep -q '"experiment":"scenarios"' "$obs_tmp/BENCH_scenarios.json"
+grep -q '"scenarios.mesh.s.spec_len"' "$obs_tmp/BENCH_scenarios.json"
+
 echo "verify: OK (build + tests + fmt + clippy green, lockfile hermetic, obs + solver + faults smoke passed)"

@@ -461,3 +461,84 @@ fn output_file_writing() {
     let written = std::fs::read_to_string(&out_path).unwrap();
     assert!(engage_dsl::parse_install_spec(&written).is_ok());
 }
+
+/// A universe with an exclusive one-of-N choice and *two* pinned
+/// alternatives — the canonical unsolvable shape.
+const CONFLICT_ERS: &str = r#"
+abstract resource "Server" {
+  config port hostname: string = "host";
+  output port host: { hostname: string } = { hostname: config.hostname };
+}
+resource "OS 1.0" extends "Server" {}
+abstract resource "Xcl" {
+  output port pick: { v: int };
+}
+resource "Xcl-a 1.0" extends "Xcl" {
+  inside "Server";
+  output port pick: { v: int } = { v: 1 };
+}
+resource "Xcl-b 1.0" extends "Xcl" {
+  inside "Server";
+  output port pick: { v: int } = { v: 2 };
+}
+resource "XclUser 1.0" {
+  inside "Server";
+  peer "Xcl" { input pick <- pick; }
+  input port pick: { v: int };
+  output port ok: bool = true;
+}
+"#;
+
+const CONFLICT_SPEC: &str = r#"[
+  { "id": "m0", "key": "OS 1.0" },
+  { "id": "a", "key": "Xcl-a 1.0", "inside": { "id": "m0" } },
+  { "id": "b", "key": "Xcl-b 1.0", "inside": { "id": "m0" } },
+  { "id": "user", "key": "XclUser 1.0", "inside": { "id": "m0" } }
+]"#;
+
+#[test]
+fn plan_reports_a_diagnosable_conflict_identically_across_solver_modes() {
+    let ers = write_temp("conflict.ers", CONFLICT_ERS);
+    let spec = write_temp("conflict.json", CONFLICT_SPEC);
+    let serial = engage_cmd(&[
+        "plan",
+        "--library",
+        "none",
+        ers.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(!serial.status.success(), "conflict planned successfully");
+    let diagnosis = stderr(&serial);
+    // The verdict plus a rendered minimal unsatisfiable core.
+    assert!(
+        diagnosis.contains("constraints unsatisfiable"),
+        "{diagnosis}"
+    );
+    assert!(
+        diagnosis.contains("cannot be satisfied together"),
+        "{diagnosis}"
+    );
+    // Every solver mode reports the identical diagnosis.
+    for mode in ["portfolio:4", "incremental"] {
+        let out = engage_cmd(&[
+            "plan",
+            "--library",
+            "none",
+            ers.to_str().unwrap(),
+            "--spec",
+            spec.to_str().unwrap(),
+            "--solver",
+            mode,
+        ]);
+        assert!(
+            !out.status.success(),
+            "--solver {mode} planned the conflict"
+        );
+        assert_eq!(
+            stderr(&out),
+            diagnosis,
+            "--solver {mode} diagnosis diverged"
+        );
+    }
+}

@@ -1,135 +1,33 @@
-//! Property-based tests for the configuration engine on randomized
-//! layered universes: the Lemma 1 hypergraph invariants, satisfiability,
-//! spec validity, and model counts.
-
-use std::fmt::Write as _;
+//! Property-based tests for the configuration engine over
+//! `engage-testgen` scenarios: the Lemma 1 hypergraph invariants,
+//! satisfiability, spec validity, and model counts, across all topology
+//! families (failures shrink to minimal knob settings).
 
 use engage_config::{
     graph_gen, graph_gen_indexed, graph_gen_naive, ConfigEngine, ConfigSession, SolverMode,
 };
-use engage_model::{DepKind, PartialInstallSpec, PartialInstance, Universe, UniverseIndex};
+use engage_model::{DepKind, PartialInstallSpec, PartialInstance, UniverseIndex};
+use engage_testgen::{family_strategy, scenario_strategy, Family};
 use engage_util::prop::prelude::*;
-
-/// A randomized layered universe:
-/// * `widths[i]` concrete alternatives per abstract layer `i`;
-/// * each alternative env-depends on the previous layer;
-/// * `extra_deps` adds (kind, from-layer, to-layer) dependencies with
-///   `to < from` so the type graph stays acyclic;
-/// * an `App` depends on the last layer.
-#[derive(Debug, Clone)]
-struct LayeredCase {
-    widths: Vec<usize>,
-    extra_deps: Vec<(bool, usize, usize)>, // (is_peer, from_layer, to_layer)
-}
-
-fn build(case: &LayeredCase) -> (Universe, PartialInstallSpec) {
-    let mut src = String::from(
-        r#"
-abstract resource "Server" {
-  config port hostname: string = "prop-host";
-  output port host: { hostname: string } = { hostname: config.hostname };
-}
-resource "PropOS 1.0" extends "Server" {}
-"#,
-    );
-    for (layer, &width) in case.widths.iter().enumerate() {
-        let _ = writeln!(
-            src,
-            "abstract resource \"L{layer}\" {{ output port p{layer}: {{ v: int }}; }}"
-        );
-        for alt in 0..width {
-            let _ = writeln!(
-                src,
-                "resource \"L{layer}-a{alt} 1.0\" extends \"L{layer}\" {{"
-            );
-            let _ = writeln!(src, "  inside \"Server\";");
-            if layer > 0 {
-                let prev = layer - 1;
-                let _ = writeln!(src, "  env \"L{prev}\" {{ input prev <- p{prev}; }}");
-                let _ = writeln!(src, "  input port prev: {{ v: int }};");
-            }
-            // Extra deps attached to alternative 0 of the `from` layer.
-            if alt == 0 {
-                for (i, &(is_peer, from, to)) in case.extra_deps.iter().enumerate() {
-                    if from == layer && to < layer {
-                        let kw = if is_peer { "peer" } else { "env" };
-                        let _ = writeln!(src, "  {kw} \"L{to}\" {{ input x{i} <- p{to}; }}");
-                        let _ = writeln!(src, "  input port x{i}: {{ v: int }};");
-                    }
-                }
-            }
-            let _ = writeln!(
-                src,
-                "  output port p{layer}: {{ v: int }} = {{ v: {} }};",
-                layer * 10 + alt
-            );
-            let _ = writeln!(src, "}}");
-        }
-    }
-    let last = case.widths.len() - 1;
-    let _ = writeln!(
-        src,
-        "resource \"App 1.0\" {{\n  inside \"Server\";\n  env \"L{last}\" {{ input top <- p{last}; }}\n  input port top: {{ v: int }};\n  output port ok: bool = true;\n}}"
-    );
-    let universe = engage_dsl::parse_universe(&src)
-        .unwrap_or_else(|e| panic!("{}\n---\n{src}", e.render(&src)));
-    let partial: PartialInstallSpec = [
-        PartialInstance::new("server", "PropOS 1.0"),
-        PartialInstance::new("app", "App 1.0").inside("server"),
-    ]
-    .into_iter()
-    .collect();
-    (universe, partial)
-}
-
-fn case_strategy() -> impl Strategy<Value = LayeredCase> {
-    (
-        engage_util::prop::collection::vec(1usize..4, 1..4),
-        engage_util::prop::collection::vec((any::<bool>(), 0usize..4, 0usize..4), 0..3),
-    )
-        .prop_map(|(widths, mut extra)| {
-            let depth = widths.len();
-            extra.retain(|&(_, from, to)| from < depth && to < from);
-            LayeredCase {
-                widths,
-                extra_deps: extra,
-            }
-        })
-}
-
-/// A multi-machine variant of the layered partial spec: `machines`
-/// servers, one app on each (exercises the per-machine candidate pools
-/// of the indexed GraphGen).
-fn multi_partial(machines: usize) -> PartialInstallSpec {
-    (0..machines)
-        .flat_map(|m| {
-            [
-                PartialInstance::new(format!("server{m}"), "PropOS 1.0"),
-                PartialInstance::new(format!("app{m}"), "App 1.0").inside(format!("server{m}")),
-            ]
-        })
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn layered_universes_are_well_formed(case in case_strategy()) {
-        let (u, _) = build(&case);
-        prop_assert_eq!(u.check(), Ok(()));
-        engage_model::check_declared_subtyping(&u)
+    fn generated_universes_are_well_formed(s in scenario_strategy()) {
+        prop_assert_eq!(s.universe.check(), Ok(()));
+        engage_model::check_declared_subtyping(&s.universe)
             .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
     }
 
     #[test]
-    fn graph_gen_satisfies_lemma_1(case in case_strategy()) {
-        let (u, partial) = build(&case);
-        let g = graph_gen(&u, &partial).unwrap();
+    fn graph_gen_satisfies_lemma_1(s in scenario_strategy()) {
+        let u = &s.universe;
+        let g = graph_gen(u, &s.partial).unwrap();
 
         // (i) every spec instance is a node, and every node is from the
         // spec or reachable by dependency edges from spec nodes.
-        for inst in partial.iter() {
+        for inst in s.partial.iter() {
             prop_assert!(g.node(inst.id()).is_some());
         }
         let mut reach: std::collections::BTreeSet<&engage_model::InstanceId> = g
@@ -191,20 +89,15 @@ proptest! {
     }
 
     #[test]
-    fn indexed_graph_gen_matches_naive_oracle(
-        case in case_strategy(),
-        machines in 1usize..=3,
-    ) {
+    fn indexed_graph_gen_matches_naive_oracle(s in scenario_strategy()) {
         // The retained scan-based implementation is the oracle: the
         // index-backed GraphGen must produce a hypergraph with identical
         // nodes (ids, keys, inside links, overrides — in order) and
-        // identical hyperedges, across random universes and multi-machine
-        // specs.
-        let (u, _) = build(&case);
-        let partial = multi_partial(machines);
-        let index = UniverseIndex::new(&u);
-        let indexed = graph_gen_indexed(&index, &partial).unwrap();
-        let naive = graph_gen_naive(&u, &partial).unwrap();
+        // identical hyperedges, across every family's multi-machine specs.
+        let u = &s.universe;
+        let index = UniverseIndex::new(u);
+        let indexed = graph_gen_indexed(&index, &s.partial).unwrap();
+        let naive = graph_gen_naive(u, &s.partial).unwrap();
         prop_assert_eq!(&indexed, &naive);
         prop_assert_eq!(indexed.render(), naive.render());
         // Derived queries agree too: machine resolution on both paths.
@@ -212,13 +105,13 @@ proptest! {
             prop_assert_eq!(indexed.machine_of(n.id()), naive.machine_of(n.id()));
         }
         // The wrapper is the indexed path.
-        prop_assert_eq!(&graph_gen(&u, &partial).unwrap(), &indexed);
+        prop_assert_eq!(&graph_gen(u, &s.partial).unwrap(), &indexed);
     }
 
     #[test]
-    fn universe_index_answers_match_universe(case in case_strategy()) {
-        let (u, _) = build(&case);
-        let index = UniverseIndex::new(&u);
+    fn universe_index_answers_match_universe(s in scenario_strategy()) {
+        let u = &s.universe;
+        let index = UniverseIndex::new(u);
         prop_assert_eq!(index.len(), u.len());
         let keys: Vec<_> = u.keys().cloned().collect();
         for key in &keys {
@@ -262,51 +155,53 @@ proptest! {
     }
 
     #[test]
-    fn configure_produces_a_valid_spec(case in case_strategy()) {
-        let (u, partial) = build(&case);
-        let outcome = ConfigEngine::new(&u).configure(&partial).unwrap();
-        engage_model::check_install_spec(&u, &outcome.spec)
+    fn configure_produces_a_valid_spec(s in scenario_strategy()) {
+        let outcome = ConfigEngine::new(&s.universe).configure(&s.partial).unwrap();
+        engage_model::check_install_spec(&s.universe, &outcome.spec)
             .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
-        // One alternative per layer + server + app.
-        prop_assert_eq!(outcome.spec.len(), 2 + case.widths.len());
+        // The construction-time oracle pins the exact spec size.
+        if let Some(n) = s.expected.spec_len {
+            prop_assert_eq!(outcome.spec.len(), n, "{}", s.name());
+        }
     }
 
     #[test]
-    fn incremental_reconfigure_matches_fresh_configure_after_mutation(case in case_strategy()) {
-        // Configure, then mutate one user-chosen instance (re-pin the last
-        // layer to a different alternative) and reconfigure over the same
-        // incremental session. The outcome must match a fresh configure of
-        // the mutated spec: same spec size, valid, and the mutation honored.
-        let (u, _) = build(&case);
-        let last = case.widths.len() - 1;
+    fn incremental_reconfigure_matches_fresh_configure_after_mutation(
+        s in family_strategy(Family::DbTiers),
+    ) {
+        // Configure a DB-tier scenario with the top tier pinned to one
+        // alternative, then re-pin it to another and reconfigure over the
+        // same incremental session. The outcome must match a fresh
+        // configure of the mutated spec: same spec size, valid, and the
+        // mutation honored.
+        let u = &s.universe;
+        let last = s.knobs.depth - 1;
         let pinned = |alt: usize| -> PartialInstallSpec {
-            let key = format!("L{last}-a{alt} 1.0");
-            [
-                PartialInstance::new("server", "PropOS 1.0"),
-                PartialInstance::new("app", "App 1.0").inside("server"),
-                PartialInstance::new("pin", key.as_str()).inside("server"),
-            ]
-            .into_iter()
-            .collect()
+            let key = format!("T{last}-a{alt} 1.0");
+            let mut partial = s.partial.clone();
+            partial
+                .push(PartialInstance::new("pin", key.as_str()).inside("m0"))
+                .unwrap();
+            partial
         };
-        let mutated_alt = case.widths[last] - 1;
+        let mutated_alt = s.knobs.width - 1;
 
-        let engine = ConfigEngine::new(&u).with_solver_mode(SolverMode::Incremental);
+        let engine = ConfigEngine::new(u).with_solver_mode(SolverMode::Incremental);
         let mut session = ConfigSession::new();
         let first = engine.reconfigure(&mut session, &pinned(0)).unwrap();
-        // The pin doubles as the app's env target on its layer, so the
-        // deployed set is server + app + one alternative per layer.
-        prop_assert_eq!(first.spec.len(), 2 + case.widths.len());
+        // The pin doubles as machine 0's top-tier choice, so the deployed
+        // set keeps the oracle's size.
+        prop_assert_eq!(first.spec.len(), s.expected.spec_len.unwrap());
         let outcome = engine.reconfigure(&mut session, &pinned(mutated_alt)).unwrap();
 
-        let fresh = ConfigEngine::new(&u).configure(&pinned(mutated_alt)).unwrap();
+        let fresh = ConfigEngine::new(u).configure(&pinned(mutated_alt)).unwrap();
         prop_assert_eq!(outcome.spec.len(), fresh.spec.len());
-        engage_model::check_install_spec(&u, &outcome.spec)
+        engage_model::check_install_spec(u, &outcome.spec)
             .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
         let pin_id: engage_model::InstanceId = "pin".into();
         let pin = outcome.spec.iter().find(|i| i.id() == &pin_id)
             .expect("pinned instance deployed");
-        prop_assert_eq!(pin.key().to_string(), format!("L{last}-a{mutated_alt} 1.0"));
+        prop_assert_eq!(pin.key().to_string(), format!("T{last}-a{mutated_alt} 1.0"));
 
         // The unmutated spec re-solves over the same session too.
         let again = engine.reconfigure(&mut session, &pinned(0)).unwrap();
@@ -314,14 +209,14 @@ proptest! {
     }
 
     #[test]
-    fn minimal_model_count_is_the_product_of_widths(case in case_strategy()) {
-        let (u, partial) = build(&case);
-        let expected: usize = case.widths.iter().product();
-        // Cap the enumeration work.
-        prop_assume!(expected <= 64);
-        let n = ConfigEngine::new(&u)
-            .count_configurations(&partial, 4096)
+    fn minimal_model_count_matches_the_oracle(s in scenario_strategy()) {
+        // Families with a counted choice space (chains and meshes pin it
+        // at 1; tiers and forests at width^regions, capped at 4096).
+        prop_assume!(s.expected.configurations.is_some());
+        let expected = s.expected.configurations.unwrap() as usize;
+        let n = ConfigEngine::new(&s.universe)
+            .count_configurations(&s.partial, 4096)
             .unwrap();
-        prop_assert_eq!(n, expected);
+        prop_assert_eq!(n, expected, "{}", s.name());
     }
 }

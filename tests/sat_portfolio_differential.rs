@@ -35,10 +35,7 @@ fn seeded_cnf(rng: &mut StdRng, vars: u32, clauses: usize, clause_len: usize) ->
 /// Number of instances in the sweep: `ENGAGE_SAT_SWEEP_SEEDS` if set,
 /// else a quick default for local `cargo test`.
 fn sweep_seeds() -> u64 {
-    std::env::var("ENGAGE_SAT_SWEEP_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16)
+    engage_util::env::sweep_size("ENGAGE_SAT_SWEEP_SEEDS", 16)
 }
 
 #[test]

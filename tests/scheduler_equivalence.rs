@@ -1,145 +1,51 @@
 //! Seeded property sweep: the wavefront DAG scheduler must be
 //! observationally equivalent to the sequential engine and the legacy
 //! slave engine — identical final driver states, identical per-instance
-//! action sequences, identical running services — across random
-//! universes, worker counts {1, 2, 4, 8}, and fault plans.
+//! action sequences, identical running services — across
+//! `engage-testgen` scenarios (rotating through every topology family),
+//! worker counts {1, 2, 4, 8}, and fault plans.
 //!
 //! Seed depth is controlled by `ENGAGE_SCHED_SWEEP_SEEDS` (default 4).
 
-use std::collections::BTreeMap;
-
-use engage_deploy::{service_name, Deployment, DeploymentEngine, RetryPolicy, SchedulerStrategy};
-use engage_model::{DriverState, InstallSpec, InstanceId, ResourceInstance, Universe, Value};
+use engage_config::ConfigEngine;
+use engage_deploy::{package_name, service_name, DeploymentEngine, RetryPolicy, SchedulerStrategy};
+use engage_model::InstallSpec;
 use engage_sim::{DownloadSource, FaultKind, FaultOp, FaultPlan, Sim};
+use engage_testgen::{observe, scenario, Family, Observation, Scenario};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const MAX_SERVICES: usize = 8;
-
-/// Deterministic 64-bit LCG (std-only, no external RNG).
-struct Lcg(u64);
-
-impl Lcg {
-    fn new(seed: u64) -> Self {
-        Lcg(seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(0xDA94_2042_E4DD_58B5)
-            | 1)
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1_442_695_040_888_963_407);
-        self.0 >> 33
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-fn universe() -> Universe {
-    let mut dsl = String::from(
-        r#"
-        abstract resource "Server" {
-          config port hostname: string = "localhost";
-          output port host: { hostname: string } = { hostname: config.hostname };
-        }
-        resource "Ubuntu 10.10" extends "Server" {}
-        "#,
-    );
-    for i in 0..MAX_SERVICES {
-        dsl.push_str(&format!(
-            "resource \"Svc{i} 1\" {{ inside \"Server\"; output port p: int = 1; driver service; }}\n"
-        ));
-    }
-    engage_dsl::parse_universe(&dsl).unwrap()
-}
-
-/// A random deployment topology: 2–3 machines, 5–8 services spread over
-/// them, forward-only random peer edges (always a DAG).
-fn random_spec(seed: u64) -> InstallSpec {
-    let mut rng = Lcg::new(seed);
-    let machines = 2 + rng.below(2) as usize;
-    let services = 5 + rng.below((MAX_SERVICES - 4) as u64) as usize;
-    let mut spec = InstallSpec::new();
-    for m in 0..machines {
-        let mut inst = ResourceInstance::new(format!("m{m}"), "Ubuntu 10.10");
-        inst.set_config("hostname", Value::from(format!("host{m}")));
-        inst.set_output(
-            "host",
-            Value::structure([("hostname", Value::from(format!("host{m}")))]),
-        );
-        spec.push(inst).unwrap();
-    }
-    for i in 0..services {
-        let mut inst = ResourceInstance::new(format!("s{i}"), format!("Svc{i} 1").as_str());
-        inst.set_inside_link(format!("m{}", rng.below(machines as u64)));
-        inst.set_output("p", Value::from(1i64));
-        let mut edges = 0;
-        for j in 0..i {
-            if edges < 3 && rng.below(10) < 4 {
-                inst.add_peer_link(format!("s{j}"));
-                edges += 1;
-            }
-        }
-        spec.push(inst).unwrap();
-    }
-    spec
-}
-
-/// The per-instance action sequences of a timeline (times stripped:
-/// simulated clocks legitimately differ between engines, the *order of
-/// actions per driver* may not).
-fn sequences(dep: &Deployment) -> BTreeMap<InstanceId, Vec<String>> {
-    let mut out: BTreeMap<InstanceId, Vec<String>> = BTreeMap::new();
-    for t in dep.timeline() {
-        out.entry(t.instance.clone())
-            .or_default()
-            .push(t.action.clone());
-    }
-    out
-}
-
-/// Everything two engines must agree on.
-#[derive(Debug, PartialEq)]
-struct Observation {
-    states: BTreeMap<InstanceId, Option<DriverState>>,
-    sequences: BTreeMap<InstanceId, Vec<String>>,
-    services: BTreeMap<InstanceId, bool>,
-}
-
-fn observe(spec: &InstallSpec, sim: &Sim, dep: &Deployment) -> Observation {
-    let mut services = BTreeMap::new();
-    for inst in spec.iter() {
-        if inst.inside_link().is_some() {
-            let running = dep
-                .host_of(inst.id())
-                .is_some_and(|h| sim.service_running(h, &service_name(inst.key())));
-            services.insert(inst.id().clone(), running);
-        }
-    }
-    Observation {
-        states: spec
-            .iter()
-            .map(|i| (i.id().clone(), dep.state(i.id()).cloned()))
-            .collect(),
-        sequences: sequences(dep),
-        services,
-    }
-}
 
 fn sweep_seeds() -> u64 {
-    std::env::var("ENGAGE_SCHED_SWEEP_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
+    engage_util::env::sweep_size("ENGAGE_SCHED_SWEEP_SEEDS", 4)
+}
+
+/// A seeded deployment case: each seed draws from the next topology
+/// family, and the serial solver plans the full spec to deploy.
+fn case(seed: u64) -> (Scenario, InstallSpec) {
+    let family = Family::ALL[(seed as usize) % Family::ALL.len()];
+    let s = scenario(family, seed);
+    let spec = ConfigEngine::new(&s.universe)
+        .configure(&s.partial)
+        .unwrap_or_else(|e| panic!("{}: plan failed: {e}", s.name()))
+        .spec;
+    (s, spec)
+}
+
+/// The (package, service) fault targets: the first and last hosted
+/// instances of the spec. Count-based transient charges are consumed in
+/// operation-arrival order — which instance eats a charge may differ
+/// between engines, but with all-transient faults and retries the
+/// committed timelines must still agree.
+fn fault_targets(spec: &InstallSpec) -> (String, String) {
+    let hosted: Vec<_> = spec.iter().filter(|i| i.inside_link().is_some()).collect();
+    let first = hosted.first().expect("every scenario hosts instances");
+    let last = hosted.last().expect("every scenario hosts instances");
+    (package_name(first.key()), service_name(last.key()))
 }
 
 /// Runs one engine configuration over `spec` and observes the result.
 fn run(
-    universe: &Universe,
+    s: &Scenario,
     spec: &InstallSpec,
     configure: &dyn Fn(&Sim),
     retry: &RetryPolicy,
@@ -147,7 +53,7 @@ fn run(
 ) -> Observation {
     let sim = Sim::new(DownloadSource::local_cache());
     configure(&sim);
-    let mut engine = DeploymentEngine::new(sim, universe).with_retry_policy(retry.clone());
+    let mut engine = DeploymentEngine::new(sim, &s.universe).with_retry_policy(retry.clone());
     match strategy {
         None => {
             let dep = engine.deploy(spec).unwrap();
@@ -163,48 +69,52 @@ fn run(
 
 /// The sweep core: sequential oracle vs. legacy slaves vs. wavefront at
 /// every worker count, on one seeded topology and fault setup.
-fn assert_equivalent(seed: u64, configure: &dyn Fn(&Sim), retry: &RetryPolicy) {
-    let universe = universe();
-    let spec = random_spec(seed);
-    let oracle = run(&universe, &spec, configure, retry, None);
+fn assert_equivalent(seed: u64, configure: &dyn Fn(&Sim, &InstallSpec), retry: &RetryPolicy) {
+    let (s, spec) = case(seed);
+    let setup = |sim: &Sim| configure(sim, &spec);
+    let oracle = run(&s, &spec, &setup, retry, None);
     let legacy = run(
-        &universe,
+        &s,
         &spec,
-        configure,
+        &setup,
         retry,
         Some((SchedulerStrategy::Slaves, 1)),
     );
-    assert_eq!(oracle, legacy, "seed {seed}: legacy slaves diverge");
+    assert_eq!(oracle, legacy, "{}: legacy slaves diverge", s.name());
     for workers in WORKER_COUNTS {
         let wavefront = run(
-            &universe,
+            &s,
             &spec,
-            configure,
+            &setup,
             retry,
             Some((SchedulerStrategy::Wavefront, workers)),
         );
         assert_eq!(
-            oracle, wavefront,
-            "seed {seed}: wavefront with {workers} workers diverges"
+            oracle,
+            wavefront,
+            "{}: wavefront with {workers} workers diverges",
+            s.name()
         );
     }
 }
 
 #[test]
-fn wavefront_matches_oracles_on_random_universes() {
+fn wavefront_matches_oracles_on_generated_scenarios() {
     for seed in 0..sweep_seeds() {
-        assert_equivalent(seed, &|_| {}, &RetryPolicy::none());
+        assert_equivalent(seed, &|_, _| {}, &RetryPolicy::none());
     }
 }
 
 #[test]
 fn wavefront_matches_oracles_with_transient_fault_charges() {
     for seed in 0..sweep_seeds() {
-        // Deterministic count-based transient faults on two services:
-        // install of s0 ("svc0-1" package) and start of s1 ("svc1").
-        let configure = |sim: &Sim| {
-            sim.inject_fault(FaultOp::Install, "svc0-1", 2, FaultKind::Transient);
-            sim.inject_fault(FaultOp::Start, "svc1", 1, FaultKind::Transient);
+        // Deterministic count-based transient faults on two instances
+        // drawn from the generated spec: an install charge and a start
+        // charge.
+        let configure = |sim: &Sim, spec: &InstallSpec| {
+            let (package, service) = fault_targets(spec);
+            sim.inject_fault(FaultOp::Install, &package, 2, FaultKind::Transient);
+            sim.inject_fault(FaultOp::Start, &service, 1, FaultKind::Transient);
         };
         let retry = RetryPolicy::new(4).with_seed(seed);
         assert_equivalent(seed, &configure, &retry);
@@ -217,7 +127,7 @@ fn wavefront_matches_oracles_under_chaos_plans() {
         // Probabilistic all-transient chaos with a deep retry budget:
         // every engine converges (transient faults always retry through)
         // and the converged observations must agree.
-        let configure = move |sim: &Sim| {
+        let configure = move |sim: &Sim, _: &InstallSpec| {
             sim.set_fault_plan(
                 FaultPlan::new(seed)
                     .with_install_faults(0.2, 1.0)
