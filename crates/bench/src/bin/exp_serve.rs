@@ -1,0 +1,199 @@
+//! Experiment: `engage serve` daemon throughput and latency.
+//!
+//! Drives an in-process daemon (worker pool, bounded queue, per-tenant
+//! session pool) with concurrent closed-loop clients over the synthetic
+//! layered library, in two phases:
+//!
+//! * **cold** — every request arrives under a fresh tenant, so each one
+//!   misses the session pool and pays universe parse + index build +
+//!   a from-scratch solve;
+//! * **warm** — a fixed set of tenants issues repeated same-shape plans
+//!   that hit their live incremental sessions.
+//!
+//! Reports plans/sec for both phases, the warm/cold speedup (the value
+//! of session reuse; asserted ≥ 2x in full runs), and client-side
+//! p50/p95/p99 latency over 1000+ interleaved warm requests.
+//!
+//! Gauges land in `BENCH_serve.json` as `serve.bench.*`, alongside the
+//! daemon's own `serve.*` counters.
+//!
+//! Run with: `cargo run --release -p engage-bench --bin exp_serve
+//! [--smoke] [--metrics [FILE]] [--trace FILE]`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use engage::serve::{ServeConfig, Server};
+use engage_bench::Reporter;
+use engage_dsl::Json;
+use engage_util::sync::channel;
+
+/// One closed-loop client: sends its requests sequentially (each is
+/// submitted only after the previous response arrived) and returns the
+/// per-request latency plus how many responses reported a session hit.
+fn client(server: &Server, requests: &[String]) -> (Vec<Duration>, usize) {
+    let (tx, rx) = channel::unbounded();
+    let mut latencies = Vec::with_capacity(requests.len());
+    let mut hits = 0;
+    for line in requests {
+        let t0 = Instant::now();
+        server.handle_line(line, &tx);
+        let resp = rx.recv().expect("daemon answers");
+        latencies.push(t0.elapsed());
+        let json = engage_dsl::parse_json(&resp).expect("response is JSON");
+        assert_eq!(
+            json.get("ok"),
+            Some(&Json::Bool(true)),
+            "request failed: {resp}"
+        );
+        if json.get("session_hit") == Some(&Json::Bool(true)) {
+            hits += 1;
+        }
+    }
+    (latencies, hits)
+}
+
+fn request_line(id: usize, tenant: &str, universe: &str, spec: &Json) -> String {
+    Json::Object(vec![
+        ("id".to_owned(), Json::Int(id as i64)),
+        ("tenant".to_owned(), Json::Str(tenant.to_owned())),
+        ("op".to_owned(), Json::Str("plan".to_owned())),
+        ("universe".to_owned(), Json::Str(universe.to_owned())),
+        ("spec".to_owned(), spec.clone()),
+    ])
+    .compact()
+}
+
+/// Runs `threads` concurrent clients and merges their latencies.
+/// Returns (wall clock, latencies, session hits).
+fn run_phase(
+    server: &Arc<Server>,
+    per_thread: Vec<Vec<String>>,
+) -> (Duration, Vec<Duration>, usize) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = per_thread
+        .into_iter()
+        .map(|requests| {
+            let server = Arc::clone(server);
+            std::thread::spawn(move || client(&server, &requests))
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut hits = 0;
+    for h in handles {
+        let (l, n) = h.join().expect("client thread");
+        latencies.extend(l);
+        hits += n;
+    }
+    (t0.elapsed(), latencies, hits)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reporter = Reporter::from_args("serve");
+    let obs = reporter.obs();
+
+    // Tenants × repeats sized so the warm phase alone exceeds 1000
+    // interleaved requests in full mode.
+    let (tenants, warm_per_tenant, cold_total, clients) = if smoke {
+        (4, 10, 12, 4)
+    } else {
+        (8, 128, 192, 8)
+    };
+    let universe = engage_dsl::print_universe(&engage_bench::synthetic_universe(4, 3));
+    let spec = engage_dsl::partial_spec_to_json(&engage_bench::synthetic_partial());
+
+    let server = Arc::new(Server::new(
+        ServeConfig {
+            workers: 4,
+            queue_cap: 4096,
+            session_cap: tenants + 8,
+            ..ServeConfig::default()
+        },
+        obs.clone(),
+    ));
+    println!(
+        "== engage serve: {} mode, 4 workers, {} clients ==",
+        if smoke { "smoke" } else { "full" },
+        clients
+    );
+
+    // Cold: one request per fresh tenant; every request misses the pool
+    // and rebuilds universe, index, and solver state from scratch.
+    let cold_requests: Vec<Vec<String>> = (0..clients)
+        .map(|c| {
+            (0..cold_total / clients)
+                .map(|i| {
+                    let tenant = format!("cold-{c}-{i}");
+                    request_line(c * 1_000_000 + i, &tenant, &universe, &spec)
+                })
+                .collect()
+        })
+        .collect();
+    let cold_n: usize = cold_requests.iter().map(Vec::len).sum();
+    let (cold_wall, _, cold_hits) = run_phase(&server, cold_requests);
+    assert_eq!(cold_hits, 0, "fresh tenants must all miss the pool");
+    let cold_per_sec = cold_n as f64 / cold_wall.as_secs_f64();
+    println!(
+        "cold: {cold_n} requests in {:>7.1?} = {cold_per_sec:>8.1} plans/sec (all pool misses)",
+        cold_wall
+    );
+
+    // Warm: a fixed tenant set replanning the same shape; after one
+    // miss per tenant every request hits its live session.
+    let warm_requests: Vec<Vec<String>> = (0..tenants)
+        .map(|t| {
+            let tenant = format!("warm-{t}");
+            (0..warm_per_tenant)
+                .map(|i| request_line(t * 1_000_000 + i, &tenant, &universe, &spec))
+                .collect()
+        })
+        .collect();
+    let warm_n: usize = warm_requests.iter().map(Vec::len).sum();
+    let (warm_wall, mut latencies, warm_hits) = run_phase(&server, warm_requests);
+    assert_eq!(
+        warm_hits,
+        warm_n - tenants,
+        "every warm request past the first per tenant must hit its session"
+    );
+    let warm_per_sec = warm_n as f64 / warm_wall.as_secs_f64();
+    let speedup = warm_per_sec / cold_per_sec;
+    println!(
+        "warm: {warm_n} requests in {:>7.1?} = {warm_per_sec:>8.1} plans/sec ({warm_hits} session hits)",
+        warm_wall
+    );
+    println!("session reuse speedup: {speedup:.1}x");
+
+    latencies.sort();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    println!("warm latency: p50 {p50:?}  p95 {p95:?}  p99 {p99:?}");
+
+    if !smoke {
+        assert!(
+            speedup >= 2.0,
+            "session reuse must buy at least 2x throughput (got {speedup:.2}x)"
+        );
+    }
+
+    let gauge = |name: &str, v: i64| obs.gauge(&format!("serve.bench.{name}")).set(v);
+    gauge("cold_requests", cold_n as i64);
+    gauge("cold_ms", cold_wall.as_millis() as i64);
+    gauge("cold_per_sec", cold_per_sec as i64);
+    gauge("warm_requests", warm_n as i64);
+    gauge("warm_ms", warm_wall.as_millis() as i64);
+    gauge("warm_per_sec", warm_per_sec as i64);
+    gauge("speedup_x100", (speedup * 100.0) as i64);
+    gauge("p50_us", p50.as_micros() as i64);
+    gauge("p95_us", p95.as_micros() as i64);
+    gauge("p99_us", p99.as_micros() as i64);
+    reporter.finish();
+}

@@ -127,6 +127,13 @@ impl ConfigSession {
         self.structure = None;
     }
 
+    /// `true` once a solve has populated the structural cache — i.e. a
+    /// shape-matching reconfigure through this session can skip GraphGen
+    /// and constraint generation. Session pools report this as hit/miss.
+    pub fn is_warm(&self) -> bool {
+        self.structure.is_some()
+    }
+
     /// Returns the cached graph/constraints for `partial` if the shape
     /// (and the engine's universe/encoding) still match, with the
     /// graph's config overrides refreshed from the new partial spec.
@@ -249,6 +256,21 @@ impl<'a> ConfigEngine<'a> {
         ConfigEngine {
             universe,
             index: Arc::new(UniverseIndex::new(universe)),
+            encoding: ExactlyOneEncoding::Pairwise,
+            verify: true,
+            obs: Obs::disabled(),
+            solver_mode: SolverMode::Serial,
+        }
+    }
+
+    /// Creates an engine around an index built earlier for the same
+    /// universe. Session pools (the `engage serve` daemon) cache the
+    /// [`UniverseIndex`] per tenant and rebuild the cheap engine wrapper
+    /// per request; `index` must have been built from `universe`.
+    pub fn new_with_index(universe: &'a Universe, index: Arc<UniverseIndex>) -> Self {
+        ConfigEngine {
+            universe,
+            index,
             encoding: ExactlyOneEncoding::Pairwise,
             verify: true,
             obs: Obs::disabled(),

@@ -80,6 +80,47 @@ impl Json {
         out
     }
 
+    /// Prints on a single line with no whitespace — the wire form used
+    /// by the `engage serve` line-JSON protocol, where one message is
+    /// one newline-terminated line.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(x) => out.push_str(&format!("{x}")),
+            Json::Str(s) => write_json_string(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -449,6 +490,16 @@ mod tests {
         let zpos = printed.find("\"z\"").unwrap();
         let apos = printed.find("\"a\"").unwrap();
         assert!(zpos < apos, "order not preserved:\n{printed}");
+    }
+
+    #[test]
+    fn compact_is_single_line_and_roundtrips() {
+        let src = r#"{"z": 1, "a": [true, null, "x\ny"], "m": {}}"#;
+        let v = parse_json(src).unwrap();
+        let compact = v.compact();
+        assert_eq!(compact, r#"{"z":1,"a":[true,null,"x\ny"],"m":{}}"#);
+        assert!(!compact.contains('\n'));
+        assert_eq!(parse_json(&compact).unwrap(), v);
     }
 
     #[test]

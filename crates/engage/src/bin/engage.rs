@@ -10,6 +10,7 @@
 //! engage diagnose --spec SPEC.json [opts]               explain an unsolvable spec
 //! engage deploy   --spec SPEC.json [--parallel] [--cloud] [opts]
 //!                                                       simulate the deployment
+//! engage serve    [--listen ADDR | --unix PATH] [opts]  multi-tenant planning daemon
 //! ```
 //!
 //! Options: `--library base|django|full` selects the built-in resource
@@ -34,6 +35,15 @@
 //! `--kill-after N` kills the engine after `N` committed transitions
 //! (chaos testing); `--chaos P[:SEED]` injects transient install/start
 //! faults with probability `P` per operation.
+//!
+//! Daemon options for `serve` (see docs/serve.md): stdio by default,
+//! `--listen HOST:PORT` for TCP (port 0 picks an ephemeral port; the
+//! resolved address is announced on stdout), `--unix PATH` for a
+//! Unix-domain socket; `--workers N` sizes the worker pool, `--queue N`
+//! the bounded work queue (full → typed `busy` responses), `--sessions
+//! N` the per-tenant session pool (LRU), `--max-line-bytes N` the
+//! request-line bound; `--solver` defaults to `incremental` so repeated
+//! same-shape plans hit each tenant's warm session.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -72,7 +82,9 @@ struct Options {
     cloud: bool,
     trace: Option<String>,
     metrics: bool,
-    solver: SolverMode,
+    /// `None` = the command's default (serial, except `serve`:
+    /// incremental).
+    solver: Option<SolverMode>,
     retries: u32,
     retry_seed: Option<u64>,
     journal: Option<String>,
@@ -83,6 +95,11 @@ struct Options {
     chaos: Option<(f64, u64)>,
     scheduler: Option<SchedulerStrategy>,
     workers: Option<usize>,
+    listen: Option<String>,
+    unix: Option<String>,
+    queue: Option<usize>,
+    sessions: Option<usize>,
+    max_line_bytes: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -95,7 +112,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cloud: false,
         trace: None,
         metrics: false,
-        solver: SolverMode::Serial,
+        solver: None,
         retries: 1,
         retry_seed: None,
         journal: None,
@@ -106,6 +123,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         chaos: None,
         scheduler: None,
         workers: None,
+        listen: None,
+        unix: None,
+        queue: None,
+        sessions: None,
+        max_line_bytes: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -153,7 +175,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let value = args
                     .get(i + 1)
                     .ok_or("--solver needs a mode (serial|portfolio[:N]|incremental)")?;
-                opts.solver = value.parse()?;
+                opts.solver = Some(value.parse()?);
                 i += 2;
             }
             "--retries" => {
@@ -223,6 +245,55 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--workers must be at least 1".into());
                 }
                 opts.workers = Some(workers);
+                i += 2;
+            }
+            "--listen" => {
+                opts.listen = Some(
+                    args.get(i + 1)
+                        .ok_or("--listen needs an address like 127.0.0.1:7070")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--unix" => {
+                opts.unix = Some(args.get(i + 1).ok_or("--unix needs a socket path")?.clone());
+                i += 2;
+            }
+            "--queue" => {
+                let value = args.get(i + 1).ok_or("--queue needs a capacity")?;
+                opts.queue = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("--queue `{value}` is not a positive integer"))?,
+                );
+                i += 2;
+            }
+            "--sessions" => {
+                let value = args.get(i + 1).ok_or("--sessions needs a capacity")?;
+                opts.sessions = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("--sessions `{value}` is not a positive integer"))?,
+                );
+                i += 2;
+            }
+            "--max-line-bytes" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--max-line-bytes needs a byte count")?;
+                opts.max_line_bytes = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| {
+                            format!("--max-line-bytes `{value}` is not a positive integer")
+                        })?,
+                );
                 i += 2;
             }
             "--kill-after" => {
@@ -309,7 +380,7 @@ fn emit(opts: &Options, content: String) -> Result<String, String> {
 fn run(args: &[String]) -> Result<String, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(
-            "usage: engage <check|checkspec|print|plan|graph|dimacs|diagnose|deploy> [options]\n\
+            "usage: engage <check|checkspec|print|plan|graph|dimacs|diagnose|deploy|serve> [options]\n\
              run with a command for details"
                 .into(),
         );
@@ -371,7 +442,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let u = load_universe(&opts)?;
             let partial = load_spec(&opts)?;
             let outcome = ConfigEngine::new(&u)
-                .with_solver_mode(opts.solver)
+                .with_solver_mode(opts.solver.unwrap_or(SolverMode::Serial))
                 .with_obs(obs.clone())
                 .configure(&partial)
                 .map_err(|e| match e {
@@ -432,7 +503,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut system = Engage::new(u)
                 .with_packages(engage_library::package_universe())
                 .with_registry(engage_library::driver_registry())
-                .with_solver_mode(opts.solver)
+                .with_solver_mode(opts.solver.unwrap_or(SolverMode::Serial))
                 .with_obs(obs.clone());
             if opts.cloud {
                 system = system.with_cloud_provisioning();
@@ -524,8 +595,9 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             emit(&opts, out)
         }
+        "serve" => run_serve(&opts, &obs),
         other => Err(format!(
-            "unknown command `{other}` (check|checkspec|print|plan|graph|dimacs|diagnose|deploy)"
+            "unknown command `{other}` (check|checkspec|print|plan|graph|dimacs|diagnose|deploy|serve)"
         )),
     }?;
     // The trailing {"type":"metrics"} JSONL line, and the --metrics text.
@@ -541,6 +613,70 @@ fn run(args: &[String]) -> Result<String, String> {
         }
     }
     Ok(output)
+}
+
+/// The `engage serve` daemon: stdio by default, `--listen ADDR` for
+/// TCP, `--unix PATH` for a Unix-domain socket (see docs/serve.md).
+fn run_serve(opts: &Options, obs: &Obs) -> Result<String, String> {
+    // The daemon always collects metrics so the in-band `metrics` op
+    // has something to report; --trace/--metrics add sinks/output.
+    let obs = if obs.is_enabled() {
+        obs.clone()
+    } else {
+        Obs::new()
+    };
+    let mut cfg = engage::serve::ServeConfig {
+        solver: opts.solver.unwrap_or(engage::SolverMode::Incremental),
+        ..engage::serve::ServeConfig::default()
+    };
+    if let Some(workers) = opts.workers {
+        cfg.workers = workers;
+    }
+    if let Some(queue) = opts.queue {
+        cfg.queue_cap = queue;
+    }
+    if let Some(sessions) = opts.sessions {
+        cfg.session_cap = sessions;
+    }
+    if let Some(bytes) = opts.max_line_bytes {
+        cfg.max_line_bytes = bytes;
+    }
+    let server = Arc::new(engage::serve::Server::new(cfg, obs));
+    if let Some(addr) = &opts.listen {
+        let listener =
+            std::net::TcpListener::bind(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        // Announce the resolved address (port 0 binds an ephemeral
+        // port) so clients can connect.
+        println!("listening on {local}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        engage::serve::serve_tcp(&server, listener).map_err(|e| e.to_string())?;
+        return Ok(String::new());
+    }
+    if let Some(path) = &opts.unix {
+        #[cfg(unix)]
+        {
+            let listener = std::os::unix::net::UnixListener::bind(path.as_str())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("listening on {path}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            engage::serve::serve_unix(&server, listener).map_err(|e| e.to_string())?;
+            return Ok(String::new());
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(format!("--unix {path}: not supported on this platform"));
+        }
+    }
+    // Stdio mode: serve until the client closes stdin. Stdout is the
+    // protocol stream, so the human summary goes to stderr.
+    let stdin = std::io::stdin();
+    engage::serve::serve_connection(&server, stdin.lock(), std::io::stdout());
+    let served = server.obs().metrics().counter("serve.requests");
+    eprintln!("served {served} request(s)");
+    Ok(String::new())
 }
 
 /// Builds the run's observability handle: enabled when `--trace` or

@@ -42,6 +42,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod serve;
+
 use std::fmt;
 
 use engage_config::{ConfigEngine, ConfigError, ConfigOutcome, ConfigSession};

@@ -1,0 +1,34 @@
+//! `engage serve` — a long-running multi-tenant planning daemon.
+//!
+//! The paper's engine is a one-shot planner; this module turns it into
+//! a resident service answering plan/deploy requests for many
+//! independent tenants over a line-JSON protocol (stdio, TCP, or a
+//! Unix-domain socket — see `docs/serve.md` for the wire format).
+//!
+//! Three pieces do the work:
+//!
+//! * a [`SessionPool`] keyed by `(tenant, universe hash)` with LRU
+//!   eviction, so a tenant's repeated same-shape plans hit the warm
+//!   incremental [`ConfigSession`](engage_config::ConfigSession) path
+//!   (structure cache + learnt clauses) from PR 3, while tenants never
+//!   share solver state;
+//! * a bounded work queue on the vendored MPMC channel feeding a fixed
+//!   worker pool — when the queue is full the daemon answers a typed
+//!   `busy` error instead of buffering without bound;
+//! * `serve.*` metrics (requests, session hits/misses/evictions, queue
+//!   depth, latencies) reported through the standard `obs` layer and
+//!   queryable in-band with the `metrics` op.
+//!
+//! UNSAT plans answer with the same minimal-conflict diagnosis the CLI
+//! prints, byte for byte.
+
+mod daemon;
+pub mod pool;
+pub mod protocol;
+
+pub use daemon::{serve_connection, serve_tcp, ServeConfig, Server};
+pub use pool::{Checkout, SessionPool, TenantState};
+pub use protocol::{ErrorKind, Op, Request};
+
+#[cfg(unix)]
+pub use daemon::serve_unix;

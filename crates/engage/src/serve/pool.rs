@@ -1,0 +1,215 @@
+//! The per-tenant `ConfigSession` pool behind `engage serve`.
+//!
+//! Entries are keyed by `(tenant, fnv1a64(universe source))`: a tenant
+//! re-planning against the same universe hits its live incremental
+//! session (warm shape-keyed reconfigures skip GraphGen and reuse the
+//! solver's learnt clauses), while two tenants — even with identical
+//! universes — always get distinct entries, so solver state never
+//! crosses tenants. LRU eviction bounds the pool.
+
+use std::sync::Arc;
+
+use engage_config::ConfigSession;
+use engage_model::{Universe, UniverseIndex};
+use engage_util::sync::Mutex;
+
+/// One tenant's cached planning state: the parsed universe, its query
+/// index (shared with every engine built for this entry), and the live
+/// incremental session.
+#[derive(Debug)]
+pub struct TenantState {
+    /// The tenant's resource universe.
+    pub universe: Universe,
+    /// Query index built once per entry and shared by every request.
+    pub index: Arc<UniverseIndex>,
+    /// The live solver session; warm after the first solve.
+    pub session: ConfigSession,
+}
+
+struct Slot {
+    tenant: String,
+    universe_hash: u64,
+    /// LRU stamp from the pool's monotonic clock.
+    last_used: u64,
+    state: Arc<Mutex<TenantState>>,
+}
+
+struct Inner {
+    clock: u64,
+    slots: Vec<Slot>,
+}
+
+/// What a checkout observed, for the daemon's `serve.session_*`
+/// counters.
+#[derive(Debug)]
+pub struct Checkout {
+    /// The tenant's entry; lock it to plan. Holding the lock serializes
+    /// requests within one (tenant, universe) and nothing else.
+    pub state: Arc<Mutex<TenantState>>,
+    /// Whether an existing entry was found (`serve.session_hits`).
+    pub hit: bool,
+    /// How many LRU entries were evicted to make room.
+    pub evicted: usize,
+}
+
+/// A bounded LRU pool of [`TenantState`] entries.
+#[derive(Debug)]
+pub struct SessionPool {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Inner {{ {} slots }}", self.slots.len())
+    }
+}
+
+impl SessionPool {
+    /// Creates a pool holding at most `capacity` entries (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        SessionPool {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                clock: 0,
+                slots: Vec::new(),
+            }),
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finds or creates the entry for `(tenant, universe_hash)`. On a
+    /// miss, `build` parses/builds the universe *outside* the pool lock
+    /// (slow work must not block hits for other tenants); a racing
+    /// insert of the same key wins and the duplicate build is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` reports (e.g. a universe parse error).
+    pub fn checkout(
+        &self,
+        tenant: &str,
+        universe_hash: u64,
+        build: impl FnOnce() -> Result<Universe, String>,
+    ) -> Result<Checkout, String> {
+        if let Some(state) = self.lookup(tenant, universe_hash) {
+            return Ok(Checkout {
+                state,
+                hit: true,
+                evicted: 0,
+            });
+        }
+        let universe = build()?;
+        let index = Arc::new(UniverseIndex::new(&universe));
+        let fresh = Arc::new(Mutex::new(TenantState {
+            universe,
+            index,
+            session: ConfigSession::new(),
+        }));
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        // Double-checked insert: a concurrent request for the same key
+        // may have built the entry while we parsed.
+        if let Some(slot) = inner
+            .slots
+            .iter_mut()
+            .find(|s| s.universe_hash == universe_hash && s.tenant == tenant)
+        {
+            slot.last_used = clock;
+            return Ok(Checkout {
+                state: Arc::clone(&slot.state),
+                hit: true,
+                evicted: 0,
+            });
+        }
+        let mut evicted = 0;
+        while inner.slots.len() >= self.capacity {
+            let lru = inner
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            inner.slots.swap_remove(lru);
+            evicted += 1;
+        }
+        inner.slots.push(Slot {
+            tenant: tenant.to_owned(),
+            universe_hash,
+            last_used: clock,
+            state: Arc::clone(&fresh),
+        });
+        Ok(Checkout {
+            state: fresh,
+            hit: false,
+            evicted,
+        })
+    }
+
+    fn lookup(&self, tenant: &str, universe_hash: u64) -> Option<Arc<Mutex<TenantState>>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let slot = inner
+            .slots
+            .iter_mut()
+            .find(|s| s.universe_hash == universe_hash && s.tenant == tenant)?;
+        slot.last_used = clock;
+        Some(Arc::clone(&slot.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u() -> Result<Universe, String> {
+        Ok(Universe::new())
+    }
+
+    #[test]
+    fn hit_after_miss_and_tenants_are_distinct() {
+        let pool = SessionPool::new(4);
+        let a = pool.checkout("a", 1, u).unwrap();
+        assert!(!a.hit);
+        let a2 = pool.checkout("a", 1, u).unwrap();
+        assert!(a2.hit);
+        assert!(Arc::ptr_eq(&a.state, &a2.state));
+        let b = pool.checkout("b", 1, u).unwrap();
+        assert!(!b.hit, "same universe hash, different tenant: new entry");
+        assert!(!Arc::ptr_eq(&a.state, &b.state));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let pool = SessionPool::new(2);
+        pool.checkout("a", 1, u).unwrap();
+        pool.checkout("b", 1, u).unwrap();
+        pool.checkout("a", 1, u).unwrap(); // refresh a: b is now LRU
+        let c = pool.checkout("c", 1, u).unwrap();
+        assert_eq!(c.evicted, 1);
+        assert!(pool.checkout("a", 1, u).unwrap().hit, "a survived");
+        assert!(!pool.checkout("b", 1, u).unwrap().hit, "b was evicted");
+    }
+
+    #[test]
+    fn build_error_propagates_and_caches_nothing() {
+        let pool = SessionPool::new(2);
+        let err = pool.checkout("a", 1, || Err("boom".into())).unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(pool.is_empty());
+    }
+}

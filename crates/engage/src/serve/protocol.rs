@@ -1,0 +1,241 @@
+//! The `engage serve` wire protocol: one JSON object per line, both
+//! directions (see `docs/serve.md`).
+//!
+//! Requests carry an `id` the daemon echoes back verbatim; responses to
+//! different requests may interleave (a worker pool answers them), so
+//! clients correlate by `id`, not by order.
+
+use engage_dsl::Json;
+
+/// Upper bound a request line may not exceed by default (bytes,
+/// including the newline). Overridable with `--max-line-bytes`.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Liveness probe; echoes the id.
+    Ping,
+    /// Partial install spec → full install spec (the configuration
+    /// engine). Repeated same-shape plans for one tenant hit the warm
+    /// incremental session.
+    Plan,
+    /// Plan, then deploy the full spec into a fresh simulated data
+    /// center.
+    Deploy,
+    /// Snapshot of the daemon's `serve.*` counters and gauges.
+    Metrics,
+}
+
+impl Op {
+    /// The wire name, echoed in responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Plan => "plan",
+            Op::Deploy => "deploy",
+            Op::Metrics => "metrics",
+        }
+    }
+}
+
+/// Machine-readable error category carried in error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON, or not a JSON object.
+    Parse,
+    /// The object was missing/mistyping required fields, or named an
+    /// unknown op.
+    BadRequest,
+    /// The line exceeded the daemon's line-length bound.
+    Oversized,
+    /// The bounded work queue is full: typed backpressure. Retry later.
+    Busy,
+    /// The partial spec has no full installation specification; the
+    /// message carries the CLI's minimal-conflict diagnosis.
+    Unsat,
+    /// A model-level configuration error (unknown key, ill-formed
+    /// spec, ...).
+    Config,
+    /// The plan succeeded but the deployment failed.
+    Deploy,
+}
+
+impl ErrorKind {
+    /// The wire name carried in `error.kind`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::Busy => "busy",
+            ErrorKind::Unsat => "unsat",
+            ErrorKind::Config => "config",
+            ErrorKind::Deploy => "deploy",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Echoed back verbatim in the response (any JSON scalar).
+    pub id: Json,
+    /// The tenant whose session pool entry serves this request.
+    /// Sessions never cross tenants.
+    pub tenant: String,
+    /// What to do.
+    pub op: Op,
+    /// Optional `.ers` resource-universe source. Absent means the
+    /// built-in full resource library.
+    pub universe: Option<String>,
+    /// The partial install spec (JSON form), required for plan/deploy.
+    pub spec: Option<Json>,
+}
+
+/// A request-level failure, before any engine ran.
+#[derive(Debug, Clone)]
+pub struct RequestError {
+    /// Category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// The offending request's id, when one could be extracted.
+    pub id: Json,
+}
+
+fn bad(id: &Json, message: impl Into<String>) -> RequestError {
+    RequestError {
+        kind: ErrorKind::BadRequest,
+        message: message.into(),
+        id: id.clone(),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ErrorKind::Parse`] for malformed JSON, [`ErrorKind::BadRequest`]
+/// for a structurally valid object with bad fields. The returned
+/// error's `id` is recovered from the object when possible so the
+/// client can still correlate the failure.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let json = engage_dsl::parse_json(line).map_err(|d| RequestError {
+        kind: ErrorKind::Parse,
+        message: format!("invalid JSON: {}", d.message()),
+        id: Json::Null,
+    })?;
+    let id = json.get("id").cloned().unwrap_or(Json::Null);
+    if json.as_object().is_none() {
+        return Err(RequestError {
+            kind: ErrorKind::Parse,
+            message: "request must be a JSON object".into(),
+            id,
+        });
+    }
+    if matches!(id, Json::Array(_) | Json::Object(_)) {
+        return Err(bad(&Json::Null, "`id` must be a JSON scalar"));
+    }
+    let op = match json.get("op").and_then(Json::as_str) {
+        Some("ping") => Op::Ping,
+        Some("plan") => Op::Plan,
+        Some("deploy") => Op::Deploy,
+        Some("metrics") => Op::Metrics,
+        Some(other) => {
+            return Err(bad(
+                &id,
+                format!("unknown op `{other}` (ping|plan|deploy|metrics)"),
+            ))
+        }
+        None => return Err(bad(&id, "missing string field `op`")),
+    };
+    let tenant = match json.get("tenant").and_then(Json::as_str) {
+        Some(t) => t.to_owned(),
+        None if matches!(op, Op::Ping | Op::Metrics) => String::new(),
+        None => return Err(bad(&id, "missing string field `tenant`")),
+    };
+    let universe = match json.get("universe") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(src)) => Some(src.clone()),
+        Some(_) => return Err(bad(&id, "`universe` must be a string of `.ers` source")),
+    };
+    let spec = json.get("spec").cloned();
+    if matches!(op, Op::Plan | Op::Deploy) && spec.is_none() {
+        return Err(bad(&id, "missing field `spec` (partial install spec)"));
+    }
+    Ok(Request {
+        id,
+        tenant,
+        op,
+        universe,
+        spec,
+    })
+}
+
+/// Builds a success response line (compact JSON, no trailing newline).
+pub fn ok_line(id: &Json, op: Op, body: Vec<(String, Json)>) -> String {
+    let mut members = vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(true)),
+        ("op".to_owned(), Json::Str(op.name().to_owned())),
+    ];
+    members.extend(body);
+    Json::Object(members).compact()
+}
+
+/// Builds an error response line (compact JSON, no trailing newline).
+pub fn error_line(id: &Json, kind: ErrorKind, message: &str) -> String {
+    Json::Object(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(false)),
+        (
+            "error".to_owned(),
+            Json::Object(vec![
+                ("kind".to_owned(), Json::Str(kind.name().to_owned())),
+                ("message".to_owned(), Json::Str(message.to_owned())),
+            ]),
+        ),
+    ])
+    .compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plan_request() {
+        let r = parse_request(r#"{"id":7,"tenant":"acme","op":"plan","spec":[]}"#).unwrap();
+        assert_eq!(r.id, Json::Int(7));
+        assert_eq!(r.tenant, "acme");
+        assert_eq!(r.op, Op::Plan);
+        assert!(r.universe.is_none());
+    }
+
+    #[test]
+    fn ping_needs_no_tenant_or_spec() {
+        let r = parse_request(r#"{"id":"p1","op":"ping"}"#).unwrap();
+        assert_eq!(r.op, Op::Ping);
+    }
+
+    #[test]
+    fn rejects_bad_json_and_recovers_ids() {
+        let e = parse_request("{nope").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Parse);
+        let e = parse_request(r#"{"id":3,"op":"fly"}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert_eq!(e.id, Json::Int(3));
+        let e = parse_request(r#"{"id":3,"op":"plan","tenant":"t"}"#).unwrap_err();
+        assert!(e.message.contains("spec"), "{}", e.message);
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let ok = ok_line(&Json::Int(1), Op::Ping, vec![]);
+        assert_eq!(ok, r#"{"id":1,"ok":true,"op":"ping"}"#);
+        let err = error_line(&Json::Int(2), ErrorKind::Busy, "queue full");
+        assert!(err.contains(r#""kind":"busy""#), "{err}");
+        assert!(!err.contains('\n'));
+    }
+}

@@ -1,0 +1,36 @@
+//! Stable, dependency-free hashing.
+//!
+//! `std::collections::hash_map::DefaultHasher` is seeded per process, so
+//! its output cannot key anything that must be stable across runs or
+//! comparable between processes. This module provides FNV-1a, the usual
+//! tiny stable hash, for cache keys — e.g. the `engage serve` session
+//! pool keys tenants by `(tenant, fnv1a64(universe source))`.
+
+/// 64-bit FNV-1a over a byte slice. Deterministic across runs, builds,
+/// and platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinguishes_nearby_inputs() {
+        assert_ne!(fnv1a64(b"tenant-a"), fnv1a64(b"tenant-b"));
+    }
+}

@@ -14,10 +14,11 @@
 //! * [`sync`] replaces `parking_lot` and `crossbeam::channel`:
 //!   a poison-free [`sync::Mutex`] whose `lock()` returns the guard
 //!   directly, a [`sync::Condvar`] with `wait`/`wait_until` taking
-//!   `&mut MutexGuard`, and [`sync::channel`] — an unbounded MPMC
-//!   channel with `unbounded`, `Sender`/`Receiver` (both `Clone`),
-//!   `send`, `recv`, `try_recv`, `try_iter`, `iter`, and
-//!   disconnect-on-last-drop semantics.
+//!   `&mut MutexGuard`, and [`sync::channel`] — an MPMC channel
+//!   (`unbounded` and `bounded`) with cloneable `Sender`/`Receiver`,
+//!   `send`, `try_send`, `recv`, `try_recv`, `try_iter`, `iter`,
+//!   disconnect-on-last-drop semantics, and typed backpressure
+//!   (`TrySendError::Full`) on bounded queues.
 //! * [`prop`] replaces `proptest`: seeded case generation from a
 //!   recorded choice stream (Hypothesis-style), greedy stream-level
 //!   shrinking of failing cases, strategies for integer ranges, tuples,
@@ -31,6 +32,8 @@
 //!   every pipeline stage reports into.
 //! * [`env`] is also native: the one sweep-size environment-knob
 //!   parser (`ENGAGE_*_SWEEP_SEEDS`) every seeded test sweep shares.
+//! * [`hash`] is also native: stable FNV-1a hashing for cross-run cache
+//!   keys (std's `DefaultHasher` is seeded per process).
 //! * [`bench`] replaces `criterion`: a wall-clock harness with warmup
 //!   and batched sampling that reports min/median/p95 per benchmark,
 //!   plus `criterion_group!` / `criterion_main!` and the
@@ -46,6 +49,7 @@
 
 pub mod bench;
 pub mod env;
+pub mod hash;
 pub mod obs;
 pub mod prop;
 pub mod rand;

@@ -187,7 +187,8 @@ impl Condvar {
 }
 
 pub mod channel {
-    //! An unbounded multi-producer multi-consumer FIFO channel.
+    //! A multi-producer multi-consumer FIFO channel, unbounded or
+    //! bounded.
     //!
     //! The `crossbeam::channel` API subset the deploy engine needs, over
     //! a `Mutex<VecDeque>` + `Condvar`. Both [`Sender`] and [`Receiver`]
@@ -195,6 +196,11 @@ pub mod channel {
     //! either side drops: receivers then drain whatever was already
     //! queued before seeing `Disconnected`, and sends to a
     //! receiver-less channel fail, returning the value.
+    //!
+    //! A [`bounded`] channel additionally caps the queue: `send` blocks
+    //! while the queue is full, and [`Sender::try_send`] reports
+    //! [`TrySendError::Full`] instead of blocking — the typed
+    //! backpressure the `engage serve` work queue is built on.
 
     use std::collections::VecDeque;
     use std::fmt;
@@ -204,12 +210,23 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Queue capacity; `None` means unbounded.
+        cap: Option<usize>,
+    }
+
+    impl<T> State<T> {
+        fn is_full(&self) -> bool {
+            self.cap.is_some_and(|cap| self.queue.len() >= cap)
+        }
     }
 
     struct Shared<T> {
         state: Mutex<State<T>>,
         // Signalled when a message arrives or the side counts change.
         available: Condvar,
+        // Signalled when a bounded queue frees a slot (or loses its
+        // last receiver, so blocked senders can observe the disconnect).
+        space: Condvar,
     }
 
     impl<T> Shared<T> {
@@ -218,16 +235,16 @@ pub mod channel {
         }
     }
 
-    /// Creates an unbounded channel, returning the first sender/receiver
-    /// pair. Clone either handle for more producers or consumers.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                cap,
             }),
             available: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -235,6 +252,20 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Creates an unbounded channel, returning the first sender/receiver
+    /// pair. Clone either handle for more producers or consumers.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages
+    /// (`cap` is clamped to at least 1). `send` blocks while the queue
+    /// is full; [`Sender::try_send`] returns [`TrySendError::Full`]
+    /// instead, carrying the rejected value back to the caller.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
     }
 
     /// Error returned by [`Sender::send`] when every receiver is gone;
@@ -249,6 +280,41 @@ pub mod channel {
     }
 
     impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Sender::try_send`]; carries the rejected
+    /// value back to the caller either way.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity right now.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The value that was not sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// `true` for the [`TrySendError::Full`] case.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
 
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and every sender is gone.
@@ -289,11 +355,39 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`, failing only if no receiver remains.
+        /// Enqueues `value`, failing only if no receiver remains. On a
+        /// bounded channel this blocks while the queue is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.shared.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if !st.is_full() {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.shared.available.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .shared
+                    .space
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Enqueues `value` without blocking: a full bounded queue
+        /// returns [`TrySendError::Full`] immediately (typed
+        /// backpressure), a receiver-less channel
+        /// [`TrySendError::Disconnected`].
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.lock();
             if st.receivers == 0 {
-                return Err(SendError(value));
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.is_full() {
+                return Err(TrySendError::Full(value));
             }
             st.queue.push_back(value);
             drop(st);
@@ -340,6 +434,8 @@ pub mod channel {
             let mut st = self.shared.lock();
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -357,7 +453,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.shared.lock();
             match st.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(st);
+                    self.shared.space.notify_one();
+                    Ok(v)
+                }
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -395,7 +495,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.lock().receivers -= 1;
+            let mut st = self.shared.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake senders blocked on a full bounded queue so they
+                // observe the disconnect instead of waiting forever.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -470,5 +577,90 @@ mod tests {
         }
         assert_eq!(*g, 7);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_recovers() {
+        let (tx, rx) = channel::bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(rx.recv(), Ok(1));
+        // recv freed a slot, so the next try_send succeeds.
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_slot_frees() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        // The sender is parked on the full queue until we drain a slot.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_send_observes_receiver_drop() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        // The blocked sender must wake and report the disconnect.
+        assert_eq!(t.join().unwrap(), Err(channel::SendError(2)));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_disconnect_over_full() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        drop(rx);
+        let err = tx.try_send(2).unwrap_err();
+        assert!(!err.is_full());
+        assert_eq!(err.into_inner(), 2);
+    }
+
+    #[test]
+    fn bounded_cap_is_clamped_to_one() {
+        let (tx, _rx) = channel::bounded(0);
+        tx.try_send(1).unwrap();
+        assert!(tx.try_send(2).unwrap_err().is_full());
+    }
+
+    #[test]
+    fn bounded_exactly_once_across_threads() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let mut producers = Vec::new();
+        for p in 0..4u32 {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(p * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(std::thread::spawn(move || rx.iter().collect::<Vec<_>>()));
+        }
+        drop(rx);
+        let mut seen: Vec<u32> = Vec::new();
+        for p in producers {
+            p.join().unwrap();
+        }
+        for c in consumers {
+            seen.extend(c.join().unwrap());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..400).collect::<Vec<_>>());
     }
 }

@@ -126,4 +126,24 @@ cargo run -q --release --offline -p engage-bench --bin exp_scenarios -- \
 grep -q '"experiment":"scenarios"' "$obs_tmp/BENCH_scenarios.json"
 grep -q '"scenarios.mesh.s.spec_len"' "$obs_tmp/BENCH_scenarios.json"
 
+# Serve daemon smoke test: cold/warm phases through the in-process
+# daemon with every warm request past the first per tenant hitting its
+# session (the binary asserts hit counts; the >=2x speedup bar is only
+# enforced in full runs).
+cargo run -q --release --offline -p engage-bench --bin exp_serve -- \
+    --smoke --metrics "$obs_tmp/BENCH_serve.json" > /dev/null
+grep -q '"experiment":"serve"' "$obs_tmp/BENCH_serve.json"
+grep -q '"serve.bench.warm_per_sec"' "$obs_tmp/BENCH_serve.json"
+
+# Serve differential sweep at CI depth: every testgen family through
+# the daemon (worker pool, session pool, interleaved tenants) must be
+# byte-identical to the one-shot path — plans, warm reconfigures,
+# deploy end states, and UNSAT diagnoses — plus the tenant-isolation
+# property, the saturation stress test, and the transport/error-path
+# CLI tests (see docs/serve.md).
+ENGAGE_SERVE_SWEEP_SEEDS=8 \
+    cargo test -q --offline --release -p engage --test serve_differential
+cargo test -q --offline --release -p engage --test serve_concurrency
+cargo test -q --offline --release -p engage --test serve_cli
+
 echo "verify: OK (build + tests + fmt + clippy green, lockfile hermetic, obs + solver + faults smoke passed)"

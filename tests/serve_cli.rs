@@ -1,0 +1,255 @@
+//! Transport and error-path tests for `engage serve`, against the real
+//! spawned binary: stdio and TCP, malformed JSON, unknown request
+//! kinds, oversized lines, and mid-stream disconnects. The invariant
+//! throughout: every bad input yields a structured error line and the
+//! daemon keeps serving.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use engage_dsl::Json;
+
+const PLAN_REQUEST: &str = concat!(
+    r#"{"id":"p1","tenant":"t","op":"plan","spec":["#,
+    r#"{"id":"server","key":"Mac-OSX 10.6","#,
+    r#""config_port":{"hostname":"localhost","os_user_name":"root"}},"#,
+    r#"{"id":"tomcat","key":"Tomcat 6.0.18","inside":{"id":"server"}},"#,
+    r#"{"id":"openmrs","key":"OpenMRS 1.8","inside":{"id":"tomcat"}}]}"#
+);
+
+fn serve_stdio(extra_args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_engage"))
+        .arg("serve")
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("engage binary runs")
+}
+
+/// Sends each line over stdio, closes stdin, and returns the response
+/// lines (the trailing "served N request(s)" summary goes to stderr).
+fn stdio_session(extra_args: &[&str], lines: &[&str]) -> Vec<Json> {
+    let mut child = serve_stdio(extra_args);
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        for line in lines {
+            writeln!(stdin, "{line}").expect("write request");
+        }
+    }
+    let out = child.wait_with_output().expect("daemon exits at EOF");
+    assert!(
+        out.status.success(),
+        "daemon exited with failure: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| engage_dsl::parse_json(l).unwrap_or_else(|e| panic!("bad line {l:?}: {e:?}")))
+        .collect()
+}
+
+fn error_kind(resp: &Json) -> &str {
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(false)),
+        "expected an error: {}",
+        resp.compact()
+    );
+    resp.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error kind: {}", resp.compact()))
+}
+
+#[test]
+fn malformed_json_gets_a_parse_error_and_the_daemon_keeps_serving() {
+    let responses = stdio_session(&[], &["{this is not json", r#"{"id":"after","op":"ping"}"#]);
+    assert_eq!(responses.len(), 2, "{responses:?}");
+    assert_eq!(error_kind(&responses[0]), "parse");
+    assert_eq!(responses[1].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        responses[1].get("id").and_then(Json::as_str),
+        Some("after"),
+        "daemon answered the next request after a parse error"
+    );
+}
+
+#[test]
+fn unknown_and_incomplete_requests_get_structured_errors() {
+    let responses = stdio_session(
+        &[],
+        &[
+            r#"{"id":"1","tenant":"t","op":"frobnicate"}"#,
+            r#"{"id":"2","tenant":"t","op":"plan"}"#,
+            r#"{"id":"3","op":"plan","spec":[]}"#,
+            r#"["not","an","object"]"#,
+            r#"{"id":"still-up","op":"ping"}"#,
+        ],
+    );
+    assert_eq!(responses.len(), 5, "{responses:?}");
+    // Unknown op, missing spec, missing tenant, non-object request:
+    // all bad_request, all echoing the id when one was parseable.
+    for (resp, id) in responses[..3].iter().zip(["1", "2", "3"]) {
+        assert_eq!(error_kind(resp), "bad_request", "{}", resp.compact());
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some(id));
+    }
+    assert_eq!(error_kind(&responses[3]), "parse");
+    assert_eq!(responses[4].get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_killing_the_connection() {
+    let huge = format!(
+        r#"{{"id":"big","op":"ping","padding":"{}"}}"#,
+        "x".repeat(512)
+    );
+    let responses = stdio_session(
+        &["--max-line-bytes", "256"],
+        &[&huge, r#"{"id":"small","op":"ping"}"#],
+    );
+    assert_eq!(responses.len(), 2, "{responses:?}");
+    assert_eq!(error_kind(&responses[0]), "oversized");
+    assert_eq!(
+        responses[1].get("id").and_then(Json::as_str),
+        Some("small"),
+        "the line after an oversized one is served normally"
+    );
+}
+
+#[test]
+fn stdio_serves_plans_and_metrics() {
+    // Interactive session: await the plan response before asking for
+    // metrics, so the request counter has deterministically ticked.
+    let mut child = serve_stdio(&[]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut ask = |request: &str| -> Json {
+        writeln!(stdin, "{request}").expect("send request");
+        stdin.flush().expect("flush");
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read response");
+        engage_dsl::parse_json(line.trim()).unwrap_or_else(|e| panic!("bad line {line:?}: {e:?}"))
+    };
+    let plan = ask(PLAN_REQUEST);
+    assert_eq!(
+        plan.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        plan.compact()
+    );
+    assert_eq!(plan.get("spec_len"), Some(&Json::Int(5)));
+    let spec = engage_dsl::install_spec_from_json(plan.get("spec").unwrap()).unwrap();
+    assert_eq!(spec.len(), 5, "Figure 2 expands to five instances");
+    let metrics = ask(r#"{"id":"m","op":"metrics"}"#);
+    let counters = metrics
+        .get("counters")
+        .and_then(Json::as_object)
+        .expect("metrics counters");
+    let requests = counters
+        .iter()
+        .find(|(k, _)| k == "serve.requests")
+        .map(|(_, v)| v.clone());
+    assert_eq!(requests, Some(Json::Int(1)), "{}", metrics.compact());
+    drop(stdin);
+    let status = child.wait().expect("daemon exits at EOF");
+    assert!(status.success());
+}
+
+/// Spawns `serve --listen 127.0.0.1:0` and reads the bound address from
+/// the daemon's startup line.
+fn serve_tcp() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_engage"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("engage binary runs");
+    let stdout = child.stdout.as_mut().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_owned();
+    (child, addr)
+}
+
+fn roundtrip(stream: &mut TcpStream, request: &str) -> Json {
+    writeln!(stream, "{request}").expect("send request");
+    stream.flush().expect("flush");
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().expect("clone stream"))
+        .read_line(&mut line)
+        .expect("read response");
+    engage_dsl::parse_json(line.trim()).unwrap_or_else(|e| panic!("bad line {line:?}: {e:?}"))
+}
+
+#[test]
+fn tcp_survives_a_mid_stream_disconnect_and_keeps_serving() {
+    let (mut child, addr) = serve_tcp();
+    // Connection 1: send a plan, then slam the connection shut without
+    // reading the response — the in-flight work's reply is dropped.
+    {
+        let mut early = TcpStream::connect(&addr).expect("connect");
+        writeln!(early, "{PLAN_REQUEST}").expect("send");
+        early.flush().expect("flush");
+        // Also leave a half-written line behind.
+        write!(early, r#"{{"id":"torn","op":"#).expect("partial write");
+    } // dropped: RST/FIN mid-stream
+      // Connection 2: the daemon must still answer, including real plans.
+    let mut stream = TcpStream::connect(&addr).expect("daemon still accepts");
+    let pong = roundtrip(&mut stream, r#"{"id":"alive","op":"ping"}"#);
+    assert_eq!(
+        pong.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        pong.compact()
+    );
+    let plan = roundtrip(&mut stream, PLAN_REQUEST);
+    assert_eq!(
+        plan.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        plan.compact()
+    );
+    assert_eq!(plan.get("spec_len"), Some(&Json::Int(5)));
+    drop(stream);
+    child.kill().expect("stop daemon");
+    let _ = child.wait();
+}
+
+#[test]
+fn tcp_serves_interleaved_connections() {
+    let (mut child, addr) = serve_tcp();
+    let mut a = TcpStream::connect(&addr).expect("connect a");
+    let mut b = TcpStream::connect(&addr).expect("connect b");
+    // Interleave: write on both, then read on both.
+    writeln!(a, r#"{{"id":"a","op":"ping"}}"#).unwrap();
+    writeln!(b, "{PLAN_REQUEST}").unwrap();
+    a.flush().unwrap();
+    b.flush().unwrap();
+    let read_one = |s: &mut TcpStream| {
+        let mut line = String::new();
+        BufReader::new(s.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        engage_dsl::parse_json(line.trim()).unwrap()
+    };
+    let ra = read_one(&mut a);
+    let rb = read_one(&mut b);
+    assert_eq!(ra.get("id").and_then(Json::as_str), Some("a"));
+    assert_eq!(ra.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(rb.get("id").and_then(Json::as_str), Some("p1"));
+    assert_eq!(rb.get("spec_len"), Some(&Json::Int(5)));
+    drop(a);
+    drop(b);
+    child.kill().expect("stop daemon");
+    let _ = child.wait();
+}

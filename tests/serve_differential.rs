@@ -1,0 +1,284 @@
+//! Daemon-vs-one-shot differential sweep: every testgen scenario
+//! family is submitted through an in-process `engage serve` daemon
+//! (worker pool, bounded queue, session pool, interleaved tenants) and
+//! the answers must be byte-identical to the one-shot engine path —
+//! plans, reconfigure plans through the warm session, deploy end
+//! states, and UNSAT diagnoses.
+//!
+//! Seed depth is controlled by `ENGAGE_SERVE_SWEEP_SEEDS` (default 4;
+//! `scripts/verify.sh` runs deeper). Requests within one round are
+//! submitted for all tenants before any response is awaited, so
+//! scenarios genuinely interleave across the worker pool; rounds keep
+//! the per-tenant solve order identical to the oracle's.
+
+use std::collections::BTreeMap;
+
+use engage::serve::{ServeConfig, Server};
+use engage_config::{diagnose, ConfigEngine, ConfigError, ConfigSession, SolverMode};
+use engage_deploy::DeploymentEngine;
+use engage_dsl::Json;
+use engage_sat::ExactlyOneEncoding;
+use engage_sim::{DownloadSource, Sim};
+use engage_testgen::{scenario, unsat_scenario, Family, Scenario};
+use engage_util::obs::Obs;
+use engage_util::sync::channel::{self, Receiver, Sender};
+
+fn sweep_seeds() -> u64 {
+    engage_util::env::sweep_size("ENGAGE_SERVE_SWEEP_SEEDS", 4)
+}
+
+fn server(workers: usize) -> Server {
+    Server::new(
+        ServeConfig {
+            workers,
+            queue_cap: 4096,
+            session_cap: 4096,
+            ..ServeConfig::default()
+        },
+        Obs::new(),
+    )
+}
+
+fn request_line(id: &str, tenant: &str, op: &str, s: &Scenario, reconfigure: bool) -> String {
+    let partial = if reconfigure {
+        &s.reconfigure
+    } else {
+        &s.partial
+    };
+    Json::Object(vec![
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("tenant".to_owned(), Json::Str(tenant.to_owned())),
+        ("op".to_owned(), Json::Str(op.to_owned())),
+        (
+            "universe".to_owned(),
+            Json::Str(engage_dsl::print_universe(&s.universe)),
+        ),
+        ("spec".to_owned(), engage_dsl::partial_spec_to_json(partial)),
+    ])
+    .compact()
+}
+
+/// Submits one round of lines, then collects exactly one response per
+/// line, keyed by id. Submitting everything before awaiting anything
+/// keeps all tenants in flight across the worker pool at once.
+fn round(
+    srv: &Server,
+    tx: &Sender<String>,
+    rx: &Receiver<String>,
+    lines: &[String],
+) -> BTreeMap<String, Json> {
+    for line in lines {
+        srv.handle_line(line, tx);
+    }
+    let mut responses = BTreeMap::new();
+    for _ in lines {
+        let line = rx.recv().expect("daemon answers every accepted request");
+        let json = engage_dsl::parse_json(&line).expect("response is JSON");
+        let id = json
+            .get("id")
+            .and_then(Json::as_str)
+            .expect("response echoes the id")
+            .to_owned();
+        assert!(responses.insert(id, json).is_none(), "duplicate response");
+    }
+    responses
+}
+
+fn response_spec(resp: &Json) -> String {
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "expected success: {}",
+        resp.compact()
+    );
+    let spec = engage_dsl::install_spec_from_json(resp.get("spec").expect("spec in response"))
+        .expect("response spec parses");
+    engage_dsl::render_install_spec(&spec)
+}
+
+#[test]
+fn daemon_plans_match_the_one_shot_engine() {
+    let srv = server(4);
+    let (tx, rx) = channel::unbounded();
+    let mut scenarios = Vec::new();
+    for family in Family::ALL {
+        for seed in 0..sweep_seeds() {
+            scenarios.push(scenario(family, seed));
+        }
+    }
+    // Round 1: the base partial for every scenario, all interleaved.
+    let lines: Vec<String> = scenarios
+        .iter()
+        .map(|s| request_line(&format!("{}/plan", s.name()), &s.name(), "plan", s, false))
+        .collect();
+    let first = round(&srv, &tx, &rx, &lines);
+    // Round 2: the reconfigure partial through each tenant's now-warm
+    // session.
+    let lines: Vec<String> = scenarios
+        .iter()
+        .map(|s| request_line(&format!("{}/reconf", s.name()), &s.name(), "plan", s, true))
+        .collect();
+    let second = round(&srv, &tx, &rx, &lines);
+
+    for s in &scenarios {
+        // Oracle: a fresh one-shot engine performing the identical
+        // solve sequence (partial, then reconfigure) in the daemon's
+        // solver mode. Incremental solving is deterministic, so the
+        // daemon must reproduce it byte for byte.
+        let engine = ConfigEngine::new(&s.universe).with_solver_mode(SolverMode::Incremental);
+        let mut session = ConfigSession::new();
+        let oracle_first = engine.reconfigure(&mut session, &s.partial).unwrap();
+        let oracle_second = engine.reconfigure(&mut session, &s.reconfigure).unwrap();
+
+        let daemon_first = &first[&format!("{}/plan", s.name())];
+        assert_eq!(
+            response_spec(daemon_first),
+            engage_dsl::render_install_spec(&oracle_first.spec),
+            "{}: daemon plan diverges from the one-shot engine",
+            s.name()
+        );
+        let daemon_second = &second[&format!("{}/reconf", s.name())];
+        assert_eq!(
+            response_spec(daemon_second),
+            engage_dsl::render_install_spec(&oracle_second.spec),
+            "{}: warm reconfigure diverges from the one-shot engine",
+            s.name()
+        );
+        assert_eq!(
+            daemon_second.get("session_hit"),
+            Some(&Json::Bool(true)),
+            "{}: second request missed the session pool",
+            s.name()
+        );
+
+        // On unique-model scenarios every solver mode agrees, so the
+        // daemon must also match the plain serial one-shot plan.
+        if s.expected.unique_model {
+            let serial = ConfigEngine::new(&s.universe)
+                .configure(&s.partial)
+                .unwrap();
+            assert_eq!(
+                response_spec(daemon_first),
+                engage_dsl::render_install_spec(&serial.spec),
+                "{}: daemon plan diverges from the serial engine",
+                s.name()
+            );
+        }
+        if let Some(n) = s.expected.spec_len {
+            assert_eq!(
+                daemon_first.get("spec_len"),
+                Some(&Json::Int(n as i64)),
+                "{}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn daemon_deploys_match_the_one_shot_end_state() {
+    let srv = server(4);
+    let (tx, rx) = channel::unbounded();
+    let scenarios: Vec<Scenario> = Family::ALL
+        .iter()
+        .flat_map(|&family| (0..sweep_seeds().min(2)).map(move |seed| scenario(family, seed)))
+        .collect();
+    let lines: Vec<String> = scenarios
+        .iter()
+        .map(|s| request_line(&s.name(), &s.name(), "deploy", s, false))
+        .collect();
+    let responses = round(&srv, &tx, &rx, &lines);
+
+    for s in &scenarios {
+        let resp = &responses[&s.name()];
+        // One-shot oracle: same solver mode, fresh sim, sequential
+        // deployment of the same spec.
+        let engine = ConfigEngine::new(&s.universe).with_solver_mode(SolverMode::Incremental);
+        let mut session = ConfigSession::new();
+        let outcome = engine.reconfigure(&mut session, &s.partial).unwrap();
+        assert_eq!(
+            response_spec(resp),
+            engage_dsl::render_install_spec(&outcome.spec),
+            "{}: deployed spec diverges",
+            s.name()
+        );
+        let sim = Sim::new(DownloadSource::local_cache());
+        let dep_engine = DeploymentEngine::new(sim, &s.universe);
+        let dep = dep_engine.deploy(&outcome.spec).unwrap();
+        assert_eq!(
+            resp.get("deployed"),
+            Some(&Json::Bool(true)),
+            "{}",
+            s.name()
+        );
+        let states = resp
+            .get("states")
+            .and_then(Json::as_object)
+            .unwrap_or_else(|| panic!("{}: no states in deploy response", s.name()));
+        assert_eq!(states.len(), outcome.spec.len(), "{}", s.name());
+        for inst in outcome.spec.iter() {
+            let oracle_state = dep
+                .state(inst.id())
+                .map(|st| st.to_string())
+                .unwrap_or_else(|| "unknown".into());
+            let daemon_state = states
+                .iter()
+                .find(|(id, _)| *id == inst.id().to_string())
+                .and_then(|(_, v)| v.as_str())
+                .unwrap_or_else(|| panic!("{}: no state for {}", s.name(), inst.id()));
+            assert_eq!(
+                daemon_state,
+                oracle_state,
+                "{}: final state of `{}` diverges",
+                s.name(),
+                inst.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn daemon_unsat_diagnoses_match_the_cli() {
+    let srv = server(2);
+    let (tx, rx) = channel::unbounded();
+    let scenarios: Vec<Scenario> = Family::ALL
+        .iter()
+        .flat_map(|&family| {
+            (0..sweep_seeds().div_ceil(2)).map(move |seed| unsat_scenario(family, seed))
+        })
+        .collect();
+    let lines: Vec<String> = scenarios
+        .iter()
+        .map(|s| request_line(&s.name(), &s.name(), "plan", s, false))
+        .collect();
+    let responses = round(&srv, &tx, &rx, &lines);
+
+    for s in &scenarios {
+        let resp = &responses[&s.name()];
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", s.name());
+        let error = resp.get("error").expect("error object");
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("unsat"),
+            "{}: wrong error kind: {}",
+            s.name(),
+            resp.compact()
+        );
+        // The CLI's exact message: the unsatisfiable verdict plus the
+        // rendered minimal-conflict diagnosis.
+        let e = match ConfigEngine::new(&s.universe).configure(&s.partial) {
+            Err(e @ ConfigError::Unsatisfiable { .. }) => e,
+            other => panic!("{}: oracle expected UNSAT, got {other:?}", s.name()),
+        };
+        let expected = match diagnose(&s.universe, &s.partial, ExactlyOneEncoding::Pairwise) {
+            Ok(Some((diag, g))) => format!("{e}\n{}", diag.render(&g)),
+            _ => e.to_string(),
+        };
+        assert_eq!(
+            error.get("message").and_then(Json::as_str),
+            Some(expected.as_str()),
+            "{}: diagnosis differs from the CLI's",
+            s.name()
+        );
+    }
+}
