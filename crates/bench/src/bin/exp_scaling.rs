@@ -2,19 +2,176 @@
 //!
 //! The paper's evaluation is case-study based; this harness characterizes
 //! how the pipeline (GraphGen → constraints → CDCL SAT → propagation)
-//! scales as the dependency structure grows: layered libraries of depth
-//! `d` with `w` alternatives per layer yield `w^d` candidate deployments.
+//! scales as the dependency structure grows, in two parts:
+//!
+//! 1. layered libraries of depth `d` with `w` alternatives per layer
+//!    (`w^d` candidate deployments) stress the solver;
+//! 2. a flat-pipeline ladder (10k → 100k instances) differentially
+//!    benchmarks the handle-keyed constraint generator and the dense
+//!    topological propagator against their legacy oracles, asserting
+//!    byte-identical output at every rung.
 //!
 //! Run with:
-//! `cargo run -p engage-bench --release --bin exp_scaling [--metrics [FILE]] [--trace FILE]`
+//! `cargo run -p engage-bench --release --bin exp_scaling [--smoke] [--metrics [FILE]] [--trace FILE]`
+//!
+//! `--smoke` skips the timing ladders and runs only a small
+//! equality-checking rung (used by `scripts/verify.sh`).
 
+use std::collections::BTreeSet;
 use std::time::Instant;
 
-use engage_bench::{synthetic_partial, synthetic_universe, Reporter};
-use engage_config::ConfigEngine;
+use engage_bench::{
+    graphgen_partial, graphgen_universe, synthetic_partial, synthetic_universe, Reporter,
+};
+use engage_config::{
+    build_full_spec_indexed, build_full_spec_legacy, generate, generate_legacy, graph_gen,
+    ConfigEngine, Constraints,
+};
+use engage_model::{InstallSpec, InstanceId, Universe, UniverseIndex};
+use engage_sat::{ExactlyOneEncoding, Solver};
+
+/// Median wall-clock seconds of `runs` invocations of `f`.
+fn median_secs<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        last = Some(f());
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], last.unwrap())
+}
+
+/// Asserts the handle-keyed generator reproduces the legacy CNF byte for
+/// byte: same variable count, same clauses in the same order, same
+/// id→var mapping.
+fn assert_cnf_identical(new: &Constraints, old: &Constraints) {
+    assert_eq!(new.cnf().num_vars(), old.cnf().num_vars(), "var counts");
+    assert_eq!(new.cnf().clauses(), old.cnf().clauses(), "clause streams");
+    assert!(
+        new.vars().zip(old.vars()).all(|(a, b)| a == b),
+        "id→var maps diverge"
+    );
+}
+
+/// Asserts the dense propagator reproduces the legacy spec byte for byte
+/// (instance order, ports, links).
+fn assert_specs_identical(new: &InstallSpec, old: &InstallSpec) {
+    assert_eq!(new, old, "specs diverge");
+    let dbg = |s: &InstallSpec| format!("{:?}", s.iter().collect::<Vec<_>>());
+    assert_eq!(dbg(new), dbg(old), "spec debug renderings diverge");
+}
+
+/// Solves the rung's CNF once and returns the chosen instance set.
+fn solve_chosen(c: &Constraints) -> BTreeSet<InstanceId> {
+    let result = Solver::from_cnf(c.cnf()).solve();
+    let m = result.model().expect("rung is satisfiable");
+    c.vars()
+        .filter(|(_, v)| m.value(*v))
+        .map(|(id, _)| id.clone())
+        .collect()
+}
+
+/// One flat-pipeline rung: differential equality plus (in full runs)
+/// median timings and the end-to-end configure.
+#[allow(clippy::too_many_arguments)]
+fn flat_rung(reporter: &Reporter, u: &Universe, machines: usize, runs: usize, smoke: bool) {
+    let partial = graphgen_partial(machines);
+    let index = UniverseIndex::new(u);
+    let g = graph_gen(u, &partial).expect("graph gen");
+    let nodes = g.nodes().len();
+    let obs = reporter.obs();
+    let key = if smoke {
+        "smoke".to_owned()
+    } else {
+        format!("m{machines}")
+    };
+    obs.gauge(&format!("bench.scaling.{key}.nodes"))
+        .set(nodes as i64);
+
+    // Differential equality at every rung, both encodings.
+    for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+        assert_cnf_identical(&generate(&g, enc), &generate_legacy(&g, enc));
+    }
+    let constraints = generate(&g, ExactlyOneEncoding::Sequential);
+    let chosen = solve_chosen(&constraints);
+    let new_spec = build_full_spec_indexed(&index, &g, &chosen).expect("indexed propagate");
+    let old_spec = build_full_spec_legacy(u, &g, &chosen).expect("legacy propagate");
+    assert_specs_identical(&new_spec, &old_spec);
+
+    if smoke {
+        println!("smoke rung: {nodes} nodes — flat pipeline ≡ legacy oracle (both encodings)");
+        return;
+    }
+
+    // Median timings: constraint generation and propagation, old vs new.
+    let enc = ExactlyOneEncoding::Sequential;
+    let (gen_old, _) = median_secs(runs, || generate_legacy(&g, enc));
+    let (gen_new, _) = median_secs(runs, || generate(&g, enc));
+    let (prop_old, _) = median_secs(runs, || build_full_spec_legacy(u, &g, &chosen).unwrap());
+    let (prop_new, _) = median_secs(runs, || {
+        build_full_spec_indexed(&index, &g, &chosen).unwrap()
+    });
+    let legacy_total = gen_old + prop_old;
+    let flat_total = gen_new + prop_new;
+    let speedup = legacy_total / flat_total;
+
+    // End-to-end configure (GraphGen → constraints → SAT → propagate →
+    // static re-check) through the production engine.
+    let engine = ConfigEngine::new(u);
+    let t = Instant::now();
+    let outcome = engine.configure(&partial).expect("configures");
+    let configure = t.elapsed().as_secs_f64();
+    assert!(
+        !outcome.spec.is_empty() && outcome.spec.len() <= nodes,
+        "configure produced a plausible spec"
+    );
+
+    println!(
+        "{machines:>8} {nodes:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>8.1}x {:>11.2} s",
+        gen_old * 1e3,
+        gen_new * 1e3,
+        prop_old * 1e3,
+        prop_new * 1e3,
+        speedup,
+        configure,
+    );
+
+    let us = |s: f64| (s * 1e6) as i64;
+    obs.gauge(&format!("bench.scaling.{key}.gen_legacy_us"))
+        .set(us(gen_old));
+    obs.gauge(&format!("bench.scaling.{key}.gen_flat_us"))
+        .set(us(gen_new));
+    obs.gauge(&format!("bench.scaling.{key}.prop_legacy_us"))
+        .set(us(prop_old));
+    obs.gauge(&format!("bench.scaling.{key}.prop_flat_us"))
+        .set(us(prop_new));
+    obs.gauge(&format!("bench.scaling.{key}.speedup_pct"))
+        .set((speedup * 100.0) as i64);
+    obs.gauge(&format!("bench.scaling.{key}.configure_ms"))
+        .set((configure * 1e3) as i64);
+
+    if nodes >= 10_000 {
+        assert!(
+            speedup >= 5.0,
+            "flat pipeline must be ≥5x legacy at {nodes} nodes (got {speedup:.1}x)"
+        );
+    }
+}
 
 fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
     let reporter = Reporter::from_args("scaling");
+
+    if smoke {
+        // Equality-only rung, small enough for CI: ~`machines × 34` nodes.
+        let u = graphgen_universe(8, 4, 2);
+        flat_rung(&reporter, &u, 20, 1, true);
+        reporter.finish();
+        return;
+    }
+
     println!("== Configuration-engine scaling on synthetic layered libraries ==");
     println!(
         "{:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>12} {:>12}",
@@ -72,11 +229,28 @@ fn main() {
         );
     }
     println!();
+    println!("== Flat-pipeline ladder: handle-keyed gen + dense propagate vs legacy ==");
+    println!("(each rung asserts byte-identical CNF and spec; times are medians)");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>13}",
+        "machines", "nodes", "gen-old", "gen-new", "prop-old", "prop-new", "speedup", "configure"
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>13}",
+        "", "", "(ms)", "(ms)", "(ms)", "(ms)", "", ""
+    );
+    let u = graphgen_universe(8, 4, 2);
+    for machines in [300usize, 900, 3000] {
+        let runs = if machines >= 3000 { 3 } else { 5 };
+        flat_rung(&reporter, &u, machines, runs, false);
+    }
+    println!();
     println!(
         "Takeaway: the CNFs Engage generates stay trivially easy for CDCL even when\n\
          the deployment space is astronomically large (the constraints are nearly\n\
-         Horn — one exactly-one group per dependency), matching the paper's decision\n\
-         to simply call a stock SAT solver."
+         Horn — one exactly-one group per dependency), and with handle-keyed\n\
+         constraint generation plus the dense propagator the non-solver pipeline\n\
+         stages stay linear in practice up to 100k-instance specifications."
     );
     reporter.finish();
 }

@@ -6,19 +6,78 @@
 //! 1. a unit clause per instance in the partial install specification;
 //! 2. per hyperedge with source v and targets {v₁..vₙ}:
 //!    `rsrc(v) → ⊕{rsrc(v₁), ..., rsrc(vₙ)}`.
+//!
+//! The production generator is *handle-keyed*: node `h` of the
+//! [`HyperGraph`] is proposition `Var(h)`, so the node↔variable bijection
+//! is the graph's own node table (a `Vec`, shared via `Arc`) instead of a
+//! `BTreeMap<InstanceId, Var>`, and clause emission walks the dense
+//! handle-resolved edge tables without a single id lookup. Emission is
+//! chunked over contiguous runs of per-source edge lists and the chunks
+//! are merged back in edge order, so the CNF is byte-stable regardless of
+//! worker count — auxiliary encoding variables are pre-numbered with a
+//! prefix sum over per-edge counts. [`generate_legacy`] keeps the
+//! original map-keyed generator as a differential-testing oracle; the two
+//! produce byte-identical CNFs.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+use std::thread;
 
 use engage_model::InstanceId;
-use engage_sat::{Cnf, ExactlyOneEncoding, Lit, Var};
+use engage_sat::{Clause, Cnf, ExactlyOneEncoding, Lit, Var};
 
 use crate::graph::HyperGraph;
+
+/// Edge count below which constraint emission stays single-threaded:
+/// thread spawn/join overhead beats the win on small graphs, and every
+/// interactive workload (OpenMRS-sized universes) lands here.
+const PARALLEL_EDGE_MIN: usize = 8192;
+
+/// Vec-backed node↔variable bijection: `Var(h)` *is* node handle `h`, so
+/// the forward direction is an array index and only the id→handle
+/// direction needs a hash map. Shared via [`Arc`] so cloning
+/// [`Constraints`] (the incremental session clones per warm reconfigure)
+/// copies a pointer, not the table.
+#[derive(Debug)]
+struct VarMap {
+    /// Node ids in handle order (`ids[h]` ↔ `Var(h)`).
+    ids: Vec<InstanceId>,
+    /// Reverse lookup, built on first use: the hot configure path only
+    /// enumerates `ids`, so the hash table (and its 10k-instance key
+    /// clones) would be pure overhead there.
+    by_id: OnceLock<HashMap<InstanceId, u32>>,
+}
+
+impl VarMap {
+    fn from_graph(g: &HyperGraph) -> Self {
+        let ids: Vec<InstanceId> = g.nodes().iter().map(|n| n.id().clone()).collect();
+        VarMap {
+            ids,
+            by_id: OnceLock::new(),
+        }
+    }
+
+    fn lookup(&self, id: &InstanceId) -> Option<u32> {
+        self.by_id
+            .get_or_init(|| {
+                self.ids
+                    .iter()
+                    .enumerate()
+                    .map(|(h, id)| (id.clone(), h as u32))
+                    .collect()
+            })
+            .get(id)
+            .copied()
+    }
+}
 
 /// The generated constraints plus the node↔variable correspondence.
 #[derive(Debug, Clone)]
 pub struct Constraints {
     cnf: Cnf,
-    vars: BTreeMap<InstanceId, Var>,
+    vars: Arc<VarMap>,
+    parallel_chunks: u32,
 }
 
 impl Constraints {
@@ -29,17 +88,29 @@ impl Constraints {
 
     /// The proposition variable for a node.
     pub fn var(&self, id: &InstanceId) -> Option<Var> {
-        self.vars.get(id).copied()
+        self.vars.lookup(id).map(Var)
     }
 
-    /// All (node, variable) pairs in node order.
+    /// All (node, variable) pairs in node-handle order (`Var(h)` is node
+    /// handle `h`).
     pub fn vars(&self) -> impl Iterator<Item = (&InstanceId, Var)> {
-        self.vars.iter().map(|(id, v)| (id, *v))
+        self.vars
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(h, id)| (id, Var(h as u32)))
     }
 
     /// The node variables as a vector (for model projection/enumeration).
     pub fn node_vars(&self) -> Vec<Var> {
-        self.vars.values().copied().collect()
+        (0..self.vars.ids.len() as u32).map(Var).collect()
+    }
+
+    /// How many chunks the hyperedge constraints were emitted in (1 for
+    /// a serial run) — surfaced as the `config.constraint_gen.parallel_chunks`
+    /// gauge.
+    pub fn parallel_chunks(&self) -> u32 {
+        self.parallel_chunks
     }
 
     /// Renders the constraints in the paper's notation (§4), e.g.
@@ -53,14 +124,14 @@ impl Constraints {
             }
         }
         for e in g.edges() {
-            let targets: Vec<String> = e.targets().iter().map(|t| t.to_string()).collect();
-            let _ = writeln!(
-                out,
-                "{} -> X{{{}}}    ({} dep)",
-                e.source(),
-                targets.join(", "),
-                e.kind()
-            );
+            let _ = write!(out, "{} -> X{{", e.source());
+            for (i, t) in e.targets().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{t}");
+            }
+            let _ = writeln!(out, "}}    ({} dep)", e.kind());
         }
         out
     }
@@ -68,20 +139,7 @@ impl Constraints {
 
 /// Generates the Boolean constraints (`Generate(R, I)` of Theorem 1).
 pub fn generate(g: &HyperGraph, encoding: ExactlyOneEncoding) -> Constraints {
-    let mut cnf = Cnf::new();
-    let mut vars = BTreeMap::new();
-    // Allocate the node variables first so enumeration projections are
-    // stable regardless of auxiliary encoding variables.
-    for n in g.nodes() {
-        vars.insert(n.id().clone(), cnf.fresh_var());
-    }
-    for n in g.nodes() {
-        if n.from_spec() {
-            cnf.add_unit(vars[n.id()].positive());
-        }
-    }
-    add_edge_constraints(g, &mut cnf, &vars, encoding);
-    Constraints { cnf, vars }
+    build(g, encoding, true).0
 }
 
 /// Generates only the *structural* constraints — constraint family 2
@@ -99,31 +157,253 @@ pub fn generate_structural(
     g: &HyperGraph,
     encoding: ExactlyOneEncoding,
 ) -> (Constraints, Vec<Lit>) {
+    build(g, encoding, false)
+}
+
+/// Shared generator body: node vars are the handles, spec literals are
+/// added as units (`with_units`) or returned, and the hyperedge clauses
+/// come from the chunked emitter.
+fn build(
+    g: &HyperGraph,
+    encoding: ExactlyOneEncoding,
+    with_units: bool,
+) -> (Constraints, Vec<Lit>) {
+    let n = g.nodes().len() as u32;
+
+    // Pre-number the encoding's auxiliary variables so every chunk knows
+    // its edges' variable ranges up front: aux vars start after the node
+    // vars and are laid out in edge order, exactly as the sequential
+    // fresh_var() calls of the legacy generator produced them.
+    let edges = g.edges();
+    let mut aux_base: Vec<u32> = Vec::with_capacity(edges.len());
+    let mut next_aux = n;
+    let mut total_clauses = 0usize;
+    for e in edges {
+        aux_base.push(next_aux);
+        next_aux += aux_var_count(encoding, e.targets().len());
+        total_clauses += clause_count(encoding, e.targets().len());
+    }
+
+    // Units first (family 1), then the hyperedge clauses in edge order
+    // (family 2) — the legacy generator's exact clause stream.
+    let spec_count = if with_units {
+        g.nodes().iter().filter(|n| n.from_spec()).count()
+    } else {
+        0
+    };
+    let mut clauses: Vec<Clause> = Vec::with_capacity(spec_count + total_clauses);
+    let mut spec_lits = Vec::new();
+    for (h, node) in g.nodes().iter().enumerate() {
+        if node.from_spec() {
+            let lit = Var(h as u32).positive();
+            if with_units {
+                clauses.push(vec![lit]);
+            } else {
+                spec_lits.push(lit);
+            }
+        }
+    }
+
+    let ranges = chunk_ranges(g, emission_workers(edges.len()));
+    let parallel_chunks = ranges.len() as u32;
+    if ranges.len() <= 1 {
+        emit_range(g, encoding, &aux_base, 0..edges.len(), &mut clauses);
+    } else {
+        let chunks: Vec<Vec<Clause>> = thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|r| {
+                    let aux_base = &aux_base;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        emit_range(g, encoding, aux_base, r, &mut out);
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("constraint emitter panicked"))
+                .collect()
+        });
+        for chunk in chunks {
+            clauses.extend(chunk);
+        }
+    }
+
+    let constraints = Constraints {
+        cnf: Cnf::from_parts(next_aux, clauses),
+        vars: Arc::new(VarMap::from_graph(g)),
+        parallel_chunks,
+    };
+    (constraints, spec_lits)
+}
+
+/// Auxiliary variables one hyperedge needs under `encoding`: the
+/// sequential counter allocates one register per target beyond the
+/// second, everything else allocates none.
+fn aux_var_count(encoding: ExactlyOneEncoding, targets: usize) -> u32 {
+    match encoding {
+        ExactlyOneEncoding::Sequential if targets > 2 => (targets - 1) as u32,
+        _ => 0,
+    }
+}
+
+/// Clauses one hyperedge emits under `encoding` (capacity sizing for the
+/// emitters; mirrors [`emit_implied_exactly_one`] exactly).
+fn clause_count(encoding: ExactlyOneEncoding, targets: usize) -> usize {
+    match (encoding, targets) {
+        (_, 0) => 1,
+        (_, 1) => 1,
+        (_, 2) => 2,
+        (ExactlyOneEncoding::Pairwise, k) => 1 + k * (k - 1) / 2,
+        // 1 ALO + (1 + 3(k-2) + 1) register clauses.
+        (ExactlyOneEncoding::Sequential, k) => 3 * (k - 1),
+    }
+}
+
+/// Worker count for clause emission: one per core, but never more than
+/// one per `PARALLEL_EDGE_MIN` edges and never parallel below that
+/// threshold.
+fn emission_workers(edges: usize) -> usize {
+    if edges < PARALLEL_EDGE_MIN {
+        return 1;
+    }
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    cores.min(edges / PARALLEL_EDGE_MIN).max(1)
+}
+
+/// Splits the edge index space into up to `workers` contiguous ranges,
+/// cutting only at source boundaries so each per-source edge list stays
+/// within one chunk (a cache-friendly unit; correctness only needs
+/// contiguity, which keeps the merge a plain concatenation).
+fn chunk_ranges(g: &HyperGraph, workers: usize) -> Vec<Range<usize>> {
+    let total = g.edges().len();
+    if workers <= 1 || total == 0 {
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..total];
+    }
+    let target = total.div_ceil(workers);
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    while start < total {
+        let mut end = (start + target).min(total);
+        while end < total && g.edge_source_handle(end) == g.edge_source_handle(end - 1) {
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Emits the exactly-one clauses for the edges in `range`, in edge
+/// order, reading endpoints straight from the dense handle tables.
+fn emit_range(
+    g: &HyperGraph,
+    encoding: ExactlyOneEncoding,
+    aux_base: &[u32],
+    range: Range<usize>,
+    out: &mut Vec<Clause>,
+) {
+    let cap: usize = range
+        .clone()
+        .map(|e| clause_count(encoding, g.edge_target_handles(e).len()))
+        .sum();
+    out.reserve(cap);
+    for e in range {
+        let source = g.edge_source_handle(e);
+        debug_assert_ne!(source, crate::graph::HANDLE_NONE, "edge source is a node");
+        let guard = Var(source).negative();
+        let targets = g.edge_target_handles(e);
+        debug_assert!(
+            targets.iter().all(|&t| t != crate::graph::HANDLE_NONE),
+            "edge targets are nodes"
+        );
+        emit_implied_exactly_one(out, guard, targets, encoding, aux_base[e]);
+    }
+}
+
+/// `¬guard → ⊕ targets` over node handles, clause-for-clause identical
+/// to [`add_implied_exactly_one`] but with the sequential registers
+/// pre-numbered from `aux_base` instead of allocated from the formula.
+fn emit_implied_exactly_one(
+    out: &mut Vec<Clause>,
+    guard: Lit,
+    targets: &[u32],
+    encoding: ExactlyOneEncoding,
+    aux_base: u32,
+) {
+    let lit = |h: u32| Var(h).positive();
+    if targets.is_empty() {
+        // Source deployable only if its dependency has a satisfier; none
+        // exist, so the source must be off.
+        out.push(vec![guard]);
+        return;
+    }
+    // At least one.
+    let mut alo = Vec::with_capacity(targets.len() + 1);
+    alo.push(guard);
+    alo.extend(targets.iter().map(|&t| lit(t)));
+    out.push(alo);
+    // At most one.
+    match encoding {
+        ExactlyOneEncoding::Pairwise => {
+            for i in 0..targets.len() {
+                for j in i + 1..targets.len() {
+                    out.push(vec![guard, !lit(targets[i]), !lit(targets[j])]);
+                }
+            }
+        }
+        ExactlyOneEncoding::Sequential => {
+            if targets.len() <= 2 {
+                if targets.len() == 2 {
+                    out.push(vec![guard, !lit(targets[0]), !lit(targets[1])]);
+                }
+                return;
+            }
+            let n = targets.len();
+            let reg = |i: usize| Var(aux_base + i as u32).positive();
+            out.push(vec![guard, !lit(targets[0]), reg(0)]);
+            for (i, &t) in targets.iter().enumerate().take(n - 1).skip(1) {
+                out.push(vec![guard, !lit(t), reg(i)]);
+                out.push(vec![guard, !reg(i - 1), reg(i)]);
+                out.push(vec![guard, !lit(t), !reg(i - 1)]);
+            }
+            out.push(vec![guard, !lit(targets[n - 1]), !reg(n - 2)]);
+        }
+    }
+}
+
+/// The original `BTreeMap`-keyed generator, retained as a
+/// differential-testing oracle: variables are allocated with
+/// `fresh_var()` in node order and every endpoint goes through an id
+/// lookup, exactly as in the pre-handle implementation. Produces a CNF
+/// byte-identical to [`generate`]'s. Do not use outside tests and
+/// benchmarks.
+pub fn generate_legacy(g: &HyperGraph, encoding: ExactlyOneEncoding) -> Constraints {
     let mut cnf = Cnf::new();
     let mut vars = BTreeMap::new();
+    // Allocate the node variables first so enumeration projections are
+    // stable regardless of auxiliary encoding variables.
     for n in g.nodes() {
         vars.insert(n.id().clone(), cnf.fresh_var());
     }
-    let spec_lits: Vec<Lit> = g
-        .nodes()
-        .iter()
-        .filter(|n| n.from_spec())
-        .map(|n| vars[n.id()].positive())
-        .collect();
-    add_edge_constraints(g, &mut cnf, &vars, encoding);
-    (Constraints { cnf, vars }, spec_lits)
-}
-
-fn add_edge_constraints(
-    g: &HyperGraph,
-    cnf: &mut Cnf,
-    vars: &BTreeMap<InstanceId, Var>,
-    encoding: ExactlyOneEncoding,
-) {
+    for n in g.nodes() {
+        if n.from_spec() {
+            cnf.add_unit(vars[n.id()].positive());
+        }
+    }
     for e in g.edges() {
         let guard = vars[e.source()].negative();
         let targets: Vec<Lit> = e.targets().iter().map(|t| vars[t].positive()).collect();
-        add_implied_exactly_one(cnf, guard, &targets, encoding);
+        add_implied_exactly_one(&mut cnf, guard, &targets, encoding);
+    }
+    Constraints {
+        cnf,
+        vars: Arc::new(VarMap::from_graph(g)),
+        parallel_chunks: 1,
     }
 }
 
@@ -250,6 +530,70 @@ mod tests {
             }
             assert!(m.satisfies_all(structural.cnf().clauses()));
             assert!(Solver::from_cnf(full.cnf()).solve().is_sat());
+        }
+    }
+
+    #[test]
+    fn handle_generator_matches_legacy_byte_for_byte() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+            let flat = generate(&g, enc);
+            let legacy = generate_legacy(&g, enc);
+            assert_eq!(flat.cnf().num_vars(), legacy.cnf().num_vars(), "{enc}");
+            assert_eq!(flat.cnf().clauses(), legacy.cnf().clauses(), "{enc}");
+            assert!(flat
+                .vars()
+                .zip(legacy.vars())
+                .all(|((ida, va), (idb, vb))| ida == idb && va == vb));
+            assert_eq!(flat.node_vars(), legacy.node_vars(), "{enc}");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_are_byte_stable() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        for enc in [ExactlyOneEncoding::Pairwise, ExactlyOneEncoding::Sequential] {
+            let mut aux_base = Vec::new();
+            let mut next = g.nodes().len() as u32;
+            for e in g.edges() {
+                aux_base.push(next);
+                next += aux_var_count(enc, e.targets().len());
+            }
+            let mut serial = Vec::new();
+            emit_range(&g, enc, &aux_base, 0..g.edges().len(), &mut serial);
+            for workers in [2, 3, 5] {
+                let mut merged: Vec<Clause> = Vec::new();
+                for r in chunk_ranges(&g, workers) {
+                    emit_range(&g, enc, &aux_base, r, &mut merged);
+                }
+                assert_eq!(serial, merged, "{enc} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_and_respect_source_boundaries() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        for workers in [1, 2, 4, 16] {
+            let ranges = chunk_ranges(&g, workers);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous coverage");
+                assert!(r.end > r.start || g.edges().is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, g.edges().len());
+            // No source's edge list straddles a chunk boundary.
+            for w in ranges.windows(2) {
+                assert_ne!(
+                    g.edge_source_handle(w[1].start),
+                    g.edge_source_handle(w[1].start - 1),
+                    "chunk cut inside a per-source edge list"
+                );
+            }
         }
     }
 

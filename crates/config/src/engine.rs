@@ -428,6 +428,9 @@ impl<'a> ConfigEngine<'a> {
                         _ => (generate(&graph, self.encoding), None),
                     }
                 };
+                self.obs
+                    .gauge("config.constraint_gen.parallel_chunks")
+                    .set(constraints.parallel_chunks() as i64);
                 let rendered = constraints.render(&graph);
                 if incremental {
                     if let (Some(s), Some(lits)) = (session.as_deref_mut(), spec_lits.as_ref()) {
@@ -484,7 +487,7 @@ impl<'a> ConfigEngine<'a> {
             // constraint: spec units stay on, and a kept source's chosen
             // satisfier is kept with it.
             let chosen = required_closure(&graph, &chosen);
-            crate::propagate::build_full_spec(self.universe, &graph, &chosen)?
+            crate::propagate::build_full_spec_indexed(&self.index, &graph, &chosen)?
         };
         if self.verify {
             check_install_spec(self.universe, &spec)

@@ -137,7 +137,20 @@ pub struct HyperGraph {
     machine: Vec<MachineMemo>,
     /// Node handle → indexes into `edges` with that source.
     edges_by_source: Vec<Vec<u32>>,
+    /// Edge index → source node handle (`HANDLE_NONE` for a source that
+    /// is not a graph node — impossible via GraphGen, tolerated here).
+    edge_source_h: Vec<u32>,
+    /// Flattened target handles of every edge, CSR style: edge `e`'s
+    /// targets are `edge_targets_flat[edge_targets_off[e]..edge_targets_off[e + 1]]`.
+    edge_targets_flat: Vec<u32>,
+    /// CSR offsets into `edge_targets_flat`; `edges.len() + 1` entries
+    /// once at least one edge exists.
+    edge_targets_off: Vec<u32>,
 }
+
+/// Sentinel for "endpoint id is not a node of this graph" in the dense
+/// edge-endpoint tables.
+pub(crate) const HANDLE_NONE: u32 = u32::MAX;
 
 impl PartialEq for HyperGraph {
     fn eq(&self, other: &Self) -> bool {
@@ -205,13 +218,55 @@ impl HyperGraph {
         h
     }
 
-    /// Appends an edge, maintaining the per-source index.
+    /// Appends an edge, maintaining the per-source index and the dense
+    /// handle-resolved endpoint tables (both GraphGen paths only push an
+    /// edge after its endpoints exist as nodes, so the handles resolve).
     fn push_edge(&mut self, edge: HyperEdge) {
         let i = self.edges.len() as u32;
-        if let Some(&h) = self.id_index.get(&edge.source) {
-            self.edges_by_source[h as usize].push(i);
+        if self.edge_targets_off.is_empty() {
+            self.edge_targets_off.push(0);
         }
+        let sh = match self.id_index.get(&edge.source) {
+            Some(&h) => {
+                self.edges_by_source[h as usize].push(i);
+                h
+            }
+            None => HANDLE_NONE,
+        };
+        self.edge_source_h.push(sh);
+        for t in &edge.targets {
+            let th = self.id_index.get(t).copied().unwrap_or(HANDLE_NONE);
+            self.edge_targets_flat.push(th);
+        }
+        self.edge_targets_off
+            .push(self.edge_targets_flat.len() as u32);
         self.edges.push(edge);
+    }
+
+    /// Dense node handle of `id`, if it names a node.
+    pub(crate) fn handle_of(&self, id: &InstanceId) -> Option<u32> {
+        self.id_index.get(id).copied()
+    }
+
+    /// Source node handle of edge `e` (`HANDLE_NONE` if unresolved).
+    pub(crate) fn edge_source_handle(&self, e: usize) -> u32 {
+        self.edge_source_h[e]
+    }
+
+    /// Target node handles of edge `e`, in target order (entries are
+    /// `HANDLE_NONE` for unresolved ids).
+    pub(crate) fn edge_target_handles(&self, e: usize) -> &[u32] {
+        let lo = self.edge_targets_off[e] as usize;
+        let hi = self.edge_targets_off[e + 1] as usize;
+        &self.edge_targets_flat[lo..hi]
+    }
+
+    /// Indexes into [`HyperGraph::edges`] whose source is node handle
+    /// `h`, in edge-creation order — for each node that is the
+    /// `dependencies()` order of its effective type, since the worklist
+    /// pushes a node's edges consecutively.
+    pub(crate) fn edge_indices_from(&self, h: u32) -> &[u32] {
+        &self.edges_by_source[h as usize]
     }
 
     /// Memoized machine handle of node `h` (only meaningful after
@@ -270,14 +325,14 @@ impl HyperGraph {
             let _ = writeln!(out, "node {} : {}{}{}", n.id(), n.key(), inside, mark);
         }
         for e in &self.edges {
-            let targets: Vec<String> = e.targets().iter().map(|t| t.to_string()).collect();
-            let _ = writeln!(
-                out,
-                "edge {} --{}--> {{{}}}",
-                e.source(),
-                e.kind(),
-                targets.join(", ")
-            );
+            let _ = write!(out, "edge {} --{}--> {{", e.source(), e.kind());
+            for (i, t) in e.targets().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{t}");
+            }
+            let _ = writeln!(out, "}}");
         }
         out
     }

@@ -52,10 +52,10 @@ mod engine;
 mod graph;
 mod propagate;
 
-pub use constraints::{generate, generate_structural, Constraints};
+pub use constraints::{generate, generate_legacy, generate_structural, Constraints};
 pub use diagnose::{diagnose, ConstraintGroup, Diagnosis};
 pub use engine::{ConfigEngine, ConfigError, ConfigOutcome, ConfigSession, SolverMode};
 pub use graph::{
     edge_for, graph_gen, graph_gen_indexed, graph_gen_naive, HyperEdge, HyperGraph, Node,
 };
-pub use propagate::build_full_spec;
+pub use propagate::{build_full_spec, build_full_spec_indexed, build_full_spec_legacy};

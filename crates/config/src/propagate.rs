@@ -5,15 +5,27 @@
 //! of all resource instances by a linear pass in topological order of
 //! dependencies, filling in the input ports of each resource instance based
 //! on the already-computed values of output ports."
+//!
+//! The production path ([`build_full_spec_indexed`]) is *dense*: chosen
+//! nodes are addressed by their hypergraph handles, every dependency is
+//! resolved once from the per-source edge-handle lists (no `edge_for`
+//! scans), the topological order is a handle-based Kahn pass instead of
+//! an id-keyed one, instances are built directly in that order (no
+//! re-emit clone pass), and a per-type arena shares static-pass results
+//! and constant port-expression values across the many generated
+//! instances of the same resource type. [`build_full_spec_legacy`] keeps
+//! the original id-keyed implementation as a differential-testing
+//! oracle; the two produce byte-identical specs.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 use engage_model::{
-    topological_order, Binding, EvalEnv, InstallSpec, InstanceId, ModelError, PortKind,
-    ResourceInstance, Universe, Value,
+    topological_order, Binding, DepKind, EvalEnv, Expr, InstallSpec, InstanceId, ModelError,
+    PortKind, ResourceInstance, ResourceKey, ResourceType, Universe, UniverseIndex, Value,
 };
 
-use crate::graph::{edge_for, HyperGraph};
+use crate::graph::{edge_for, HyperGraph, HANDLE_NONE};
 
 /// Builds the full installation specification from the hypergraph and the
 /// set of deployed instances chosen by the SAT solver.
@@ -21,12 +33,474 @@ use crate::graph::{edge_for, HyperGraph};
 /// The returned spec is in topological (upstream-first) order — also the
 /// installation order the deployment engine uses.
 ///
+/// Convenience wrapper: builds a throwaway [`UniverseIndex`] and runs
+/// [`build_full_spec_indexed`]. Callers that already hold an index (the
+/// engine memoizes one) should pass it directly.
+///
 /// # Errors
 ///
 /// Internal inconsistencies (a dependency of a chosen node with no chosen
 /// satisfier — impossible for models of the generated constraints), or
 /// port-expression evaluation failures.
 pub fn build_full_spec(
+    universe: &Universe,
+    g: &HyperGraph,
+    chosen: &BTreeSet<InstanceId>,
+) -> Result<InstallSpec, ModelError> {
+    build_full_spec_indexed(&UniverseIndex::new(universe), g, chosen)
+}
+
+/// Shared static-pass result of one resource type: every chosen instance
+/// of the type with no config overrides gets these exact port values, so
+/// they are evaluated once and cloned per instance.
+struct StaticMemo {
+    configs: Vec<(String, Value)>,
+    outputs: Vec<(String, Value)>,
+}
+
+/// Memo of one default-expression slot in the main pass.
+enum ConstMemo {
+    /// The expression reads ports; it must be re-evaluated per instance.
+    NotConst,
+    /// The expression reads nothing, so its value is instance-independent.
+    Value(Value),
+}
+
+/// Per-type arena for the propagation passes: static-pass results and
+/// constant expression values are interned here, keyed by dense type
+/// slots, and cloned into instances instead of re-evaluated.
+struct TypeArena {
+    statics: Vec<Option<StaticMemo>>,
+    /// (type slot, is-config-port, position in `ports_of`) → memo.
+    consts: HashMap<(usize, bool, usize), ConstMemo>,
+}
+
+impl TypeArena {
+    fn new(slots: usize) -> Self {
+        TypeArena {
+            statics: (0..slots).map(|_| None).collect(),
+            consts: HashMap::new(),
+        }
+    }
+
+    /// Evaluates a default expression, serving constant expressions from
+    /// the arena after their first successful evaluation. (A constant
+    /// expression references no ports, so both its value and any
+    /// evaluation error are independent of `env` — caching cannot change
+    /// which instance surfaces an error first.)
+    #[allow(clippy::too_many_arguments)]
+    fn eval_default(
+        &mut self,
+        slot: usize,
+        is_config: bool,
+        pos: usize,
+        ty: &ResourceType,
+        port: &str,
+        e: &Expr,
+        env: &EvalEnv,
+    ) -> Result<Value, ModelError> {
+        let key = (slot, is_config, pos);
+        match self.consts.get(&key) {
+            Some(ConstMemo::Value(v)) => return Ok(v.clone()),
+            Some(ConstMemo::NotConst) => {
+                return e.eval(env).map_err(|err| bad_expr(ty, port, err));
+            }
+            None => {}
+        }
+        let v = e.eval(env).map_err(|err| bad_expr(ty, port, err))?;
+        let memo = if e.references().is_empty() {
+            ConstMemo::Value(v.clone())
+        } else {
+            ConstMemo::NotConst
+        };
+        self.consts.insert(key, memo);
+        Ok(v)
+    }
+}
+
+/// Runs the static pass of one type with no overrides (§3.4): static
+/// config ports, then static outputs as functions of them.
+fn static_pass_memo(ty: &ResourceType) -> Result<StaticMemo, ModelError> {
+    let mut memo = StaticMemo {
+        configs: Vec::new(),
+        outputs: Vec::new(),
+    };
+    let mut env = EvalEnv::new();
+    for p in ty.ports_of(PortKind::Config) {
+        if p.binding() != Binding::Static {
+            continue;
+        }
+        let Some(e) = p.default() else { continue };
+        let v = e.eval(&env).map_err(|err| bad_expr(ty, p.name(), err))?;
+        env.bind_config(p.name(), v.clone());
+        memo.configs.push((p.name().to_owned(), v));
+    }
+    for p in ty.ports_of(PortKind::Output) {
+        if p.binding() != Binding::Static {
+            continue;
+        }
+        if let Some(e) = p.default() {
+            let v = e.eval(&env).map_err(|err| bad_expr(ty, p.name(), err))?;
+            memo.outputs.push((p.name().to_owned(), v));
+        }
+    }
+    Ok(memo)
+}
+
+/// [`build_full_spec`] over a prebuilt [`UniverseIndex`] — the dense
+/// production path: handle-addressed instances, per-source edge lists,
+/// a handle-based topological pass, and the per-type memo arena.
+///
+/// # Errors
+///
+/// As [`build_full_spec`].
+pub fn build_full_spec_indexed(
+    index: &UniverseIndex,
+    g: &HyperGraph,
+    chosen: &BTreeSet<InstanceId>,
+) -> Result<InstallSpec, ModelError> {
+    let nodes = g.nodes();
+    let n = nodes.len();
+
+    // Chosen bitmap and dense rank numbering. Ranks follow handle order,
+    // which is the legacy spec's insertion order, so the topological
+    // tie-break below matches `topological_order` exactly.
+    let mut is_chosen = vec![false; n];
+    for id in chosen {
+        if let Some(h) = g.handle_of(id) {
+            is_chosen[h as usize] = true;
+        }
+    }
+    let chosen_handles: Vec<u32> = (0..n as u32).filter(|&h| is_chosen[h as usize]).collect();
+    let m = chosen_handles.len();
+    let mut rank = vec![u32::MAX; n];
+    for (r, &h) in chosen_handles.iter().enumerate() {
+        rank[h as usize] = r as u32;
+    }
+
+    // Effective types once per chosen node — memoized references, no
+    // per-call extends-chain merging.
+    let mut tys: Vec<&ResourceType> = Vec::with_capacity(m);
+    for &h in &chosen_handles {
+        tys.push(index.effective(nodes[h as usize].key())?);
+    }
+
+    // Dense type slots for the arena.
+    let mut slot_of: HashMap<&ResourceKey, usize> = HashMap::new();
+    let mut slots: Vec<usize> = Vec::with_capacity(m);
+    for ty in &tys {
+        let next = slot_of.len();
+        slots.push(*slot_of.entry(ty.key()).or_insert(next));
+    }
+
+    // 1. Resolve every dependency of every chosen node to its single
+    //    chosen target, straight off the per-source edge-handle lists
+    //    (the worklist pushes a node's edges in `dependencies()` order,
+    //    so the dep_index-th entry is almost always a direct hit).
+    let mut dep_targets: Vec<Vec<u32>> = Vec::with_capacity(m);
+    for (r, &h) in chosen_handles.iter().enumerate() {
+        let node = &nodes[h as usize];
+        let edge_idxs = g.edge_indices_from(h);
+        let mut targets = Vec::with_capacity(edge_idxs.len());
+        for (dep_index, dep) in tys[r].dependencies().enumerate() {
+            let e_idx = edge_idxs
+                .get(dep_index)
+                .copied()
+                .filter(|&e| g.edges()[e as usize].dep_index() == dep_index)
+                .or_else(|| {
+                    edge_idxs
+                        .iter()
+                        .copied()
+                        .find(|&e| g.edges()[e as usize].dep_index() == dep_index)
+                })
+                .ok_or_else(|| ModelError::SpecError {
+                    detail: format!(
+                        "internal: node `{}` dependency #{dep_index} has no hyperedge",
+                        node.id()
+                    ),
+                })?;
+            let mut only: Option<u32> = None;
+            let mut count = 0usize;
+            for &th in g.edge_target_handles(e_idx as usize) {
+                if th != HANDLE_NONE && is_chosen[th as usize] {
+                    count += 1;
+                    only.get_or_insert(th);
+                }
+            }
+            if count != 1 {
+                return Err(ModelError::SpecError {
+                    detail: format!(
+                        "internal: dependency `{dep}` of `{}` has {count} chosen satisfiers \
+                         (expected exactly 1)",
+                        node.id(),
+                    ),
+                });
+            }
+            targets.push(only.expect("count == 1"));
+        }
+        dep_targets.push(targets);
+    }
+
+    // Instances with links resolved, rank-indexed.
+    let mut insts: Vec<ResourceInstance> = Vec::with_capacity(m);
+    for (r, &h) in chosen_handles.iter().enumerate() {
+        let node = &nodes[h as usize];
+        let mut inst = ResourceInstance::new(node.id().clone(), node.key().clone());
+        for (dep, &th) in tys[r].dependencies().zip(&dep_targets[r]) {
+            let target = nodes[th as usize].id().clone();
+            match dep.kind() {
+                DepKind::Inside => {
+                    inst.set_inside_link(target);
+                }
+                DepKind::Environment => {
+                    inst.add_env_link(target);
+                }
+                DepKind::Peer => {
+                    inst.add_peer_link(target);
+                }
+            }
+        }
+        insts.push(inst);
+    }
+
+    // 2. Topological order (upstream first) over ranks: Kahn's algorithm
+    //    with a min-heap on rank — the same tie-break as
+    //    `topological_order` runs on the legacy spec.
+    let mut indegree = vec![0u32; m];
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (r, targets) in dep_targets.iter().enumerate() {
+        for &th in targets {
+            indegree[r] += 1;
+            dependents[rank[th as usize] as usize].push(r as u32);
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<u32>> = (0..m as u32)
+        .filter(|&r| indegree[r as usize] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order: Vec<u32> = Vec::with_capacity(m);
+    while let Some(Reverse(r)) = heap.pop() {
+        order.push(r);
+        for &d in &dependents[r as usize] {
+            indegree[d as usize] -= 1;
+            if indegree[d as usize] == 0 {
+                heap.push(Reverse(d));
+            }
+        }
+    }
+    if order.len() != m {
+        return Err(ModelError::SpecError {
+            detail: "instance dependency graph has a cycle".into(),
+        });
+    }
+
+    // 3. Static pass: static config ports (constants) and static output
+    //    ports (functions of static configs) are known at instantiation
+    //    time (§3.4). Override-free instances share the per-type memo.
+    let mut arena = TypeArena::new(slot_of.len());
+    for &r in &order {
+        let r = r as usize;
+        let node = &nodes[chosen_handles[r] as usize];
+        let ty = tys[r];
+        if node.config_overrides().is_empty() {
+            if arena.statics[slots[r]].is_none() {
+                arena.statics[slots[r]] = Some(static_pass_memo(ty)?);
+            }
+            let memo = arena.statics[slots[r]].as_ref().expect("just filled");
+            let inst = &mut insts[r];
+            for (k, v) in &memo.configs {
+                inst.set_config(k.clone(), v.clone());
+            }
+            for (k, v) in &memo.outputs {
+                inst.set_output(k.clone(), v.clone());
+            }
+        } else {
+            let inst = &mut insts[r];
+            let mut static_env = EvalEnv::new();
+            for p in ty.ports_of(PortKind::Config) {
+                if p.binding() != Binding::Static {
+                    continue;
+                }
+                let value = match node.config_overrides().get(p.name()) {
+                    Some(v) => v.clone(),
+                    None => match p.default() {
+                        Some(e) => e
+                            .eval(&static_env)
+                            .map_err(|err| bad_expr(ty, p.name(), err))?,
+                        None => continue,
+                    },
+                };
+                static_env.bind_config(p.name(), value.clone());
+                inst.set_config(p.name(), value);
+            }
+            for p in ty.ports_of(PortKind::Output) {
+                if p.binding() != Binding::Static {
+                    continue;
+                }
+                if let Some(e) = p.default() {
+                    let v = e
+                        .eval(&static_env)
+                        .map_err(|err| bad_expr(ty, p.name(), err))?;
+                    inst.set_output(p.name(), v);
+                }
+            }
+        }
+    }
+
+    // 4. Reverse feeds: a dependent's *static* outputs flow into its
+    //    dependees' inputs, against the dependency direction (§3.4).
+    let mut reverse_feeds: Vec<(u32, String, Value)> = Vec::new();
+    for &r in &order {
+        let r = r as usize;
+        let ty = tys[r];
+        for (dep_index, dep) in ty.dependencies().enumerate() {
+            let mut rev = dep.reverse_mappings().peekable();
+            if rev.peek().is_none() {
+                continue;
+            }
+            let tr = rank[dep_targets[r][dep_index] as usize];
+            let inst = &insts[r];
+            for mp in rev {
+                let v = inst.outputs().get(mp.from_output()).ok_or_else(|| {
+                    ModelError::StaticPortViolation {
+                        key: ty.key().clone(),
+                        detail: format!(
+                            "reverse mapping reads `{}`, which has no static value",
+                            mp.from_output()
+                        ),
+                    }
+                })?;
+                reverse_feeds.push((tr, mp.to_input().to_owned(), v.clone()));
+            }
+        }
+    }
+    for (tr, port, v) in reverse_feeds {
+        insts[tr as usize].set_input(port, v);
+    }
+
+    // 5. Main pass in topological order.
+    for &r in &order {
+        let r = r as usize;
+        let node = &nodes[chosen_handles[r] as usize];
+        let ty = tys[r];
+        let slot = slots[r];
+        let id = insts[r].id().clone();
+
+        // Inputs from upstream outputs via forward mappings.
+        let mut input_values: Vec<(String, Value)> = Vec::new();
+        for (dep_index, dep) in ty.dependencies().enumerate() {
+            let mut fwd = dep.forward_mappings().peekable();
+            if fwd.peek().is_none() {
+                continue;
+            }
+            let ur = rank[dep_targets[r][dep_index] as usize] as usize;
+            let upstream = &insts[ur];
+            for mp in fwd {
+                let v = upstream.outputs().get(mp.from_output()).ok_or_else(|| {
+                    ModelError::SpecError {
+                        detail: format!(
+                            "`{}` provides no output `{}` needed by `{}` (is the universe \
+                             well-formed?)",
+                            upstream.id(),
+                            mp.from_output(),
+                            id
+                        ),
+                    }
+                })?;
+                input_values.push((mp.to_input().to_owned(), v.clone()));
+            }
+        }
+        {
+            let inst = &mut insts[r];
+            for (k, v) in input_values {
+                inst.set_input(k, v);
+            }
+        }
+
+        // Config: explicit override > default expression (reads inputs).
+        let mut env = EvalEnv::new();
+        {
+            let inst = &insts[r];
+            for (k, v) in inst.inputs() {
+                env.bind_input(k.clone(), v.clone());
+            }
+            for (k, v) in inst.config() {
+                env.bind_config(k.clone(), v.clone()); // statics from pass 3
+            }
+        }
+        let mut config_values: Vec<(String, Value)> = Vec::new();
+        for (pos, p) in ty.ports_of(PortKind::Config).enumerate() {
+            if insts[r].config().contains_key(p.name()) {
+                continue; // static already set
+            }
+            let value = match node.config_overrides().get(p.name()) {
+                Some(v) => v.clone(),
+                None => match p.default() {
+                    Some(e) => arena.eval_default(slot, true, pos, ty, p.name(), e, &env)?,
+                    None => {
+                        return Err(ModelError::SpecError {
+                            detail: format!(
+                                "config port `{}` of `{id}` has no override and no default",
+                                p.name()
+                            ),
+                        })
+                    }
+                },
+            };
+            env.bind_config(p.name(), value.clone());
+            config_values.push((p.name().to_owned(), value));
+        }
+        {
+            let inst = &mut insts[r];
+            for (k, v) in config_values {
+                inst.set_config(k, v);
+            }
+        }
+
+        // Outputs (reads inputs and configs).
+        let mut output_values: Vec<(String, Value)> = Vec::new();
+        for (pos, p) in ty.ports_of(PortKind::Output).enumerate() {
+            if insts[r].outputs().contains_key(p.name()) {
+                continue; // static already set
+            }
+            let e = p.default().ok_or_else(|| ModelError::SpecError {
+                detail: format!("output port `{}` of `{id}` has no definition", p.name()),
+            })?;
+            let v = arena.eval_default(slot, false, pos, ty, p.name(), e, &env)?;
+            output_values.push((p.name().to_owned(), v));
+        }
+        {
+            let inst = &mut insts[r];
+            for (k, v) in output_values {
+                inst.set_output(k, v);
+            }
+        }
+    }
+
+    // 6. Emit in topological order — instances are moved, not cloned.
+    let mut spec = InstallSpec::new();
+    let mut taken: Vec<Option<ResourceInstance>> = insts.into_iter().map(Some).collect();
+    for &r in &order {
+        let inst = taken[r as usize].take().expect("each rank emitted once");
+        spec.push(inst).map_err(|i| ModelError::SpecError {
+            detail: format!("internal: duplicate instance `{}`", i.id()),
+        })?;
+    }
+    Ok(spec)
+}
+
+/// The original id-keyed propagation pass, retained as a
+/// differential-testing oracle: `edge_for` linear scans, per-call
+/// `Universe::effective` re-merging, an id-keyed topological sort, and a
+/// final re-emit clone pass, exactly as in the pre-handle
+/// implementation. Produces a spec byte-identical to
+/// [`build_full_spec_indexed`]'s. Do not use outside tests and
+/// benchmarks.
+///
+/// # Errors
+///
+/// As [`build_full_spec`].
+pub fn build_full_spec_legacy(
     universe: &Universe,
     g: &HyperGraph,
     chosen: &BTreeSet<InstanceId>,
@@ -65,13 +539,13 @@ pub fn build_full_spec(
                 }
             };
             match dep.kind() {
-                engage_model::DepKind::Inside => {
+                DepKind::Inside => {
                     inst.set_inside_link(target);
                 }
-                engage_model::DepKind::Environment => {
+                DepKind::Environment => {
                     inst.add_env_link(target);
                 }
-                engage_model::DepKind::Peer => {
+                DepKind::Peer => {
                     inst.add_peer_link(target);
                 }
             }
@@ -275,11 +749,7 @@ pub fn build_full_spec(
     Ok(ordered)
 }
 
-fn bad_expr(
-    ty: &engage_model::ResourceType,
-    port: &str,
-    err: engage_model::EvalError,
-) -> ModelError {
+fn bad_expr(ty: &ResourceType, port: &str, err: engage_model::EvalError) -> ModelError {
     ModelError::BadPortExpression {
         key: ty.key().clone(),
         port: port.to_owned(),
@@ -363,6 +833,28 @@ mod tests {
     }
 
     #[test]
+    fn indexed_matches_legacy_byte_for_byte() {
+        let u = openmrs_universe();
+        let g = graph_gen(&u, &figure_2()).unwrap();
+        let c = generate(&g, ExactlyOneEncoding::Pairwise);
+        let r = Solver::from_cnf(c.cnf()).solve();
+        let m = r.model().expect("satisfiable");
+        let chosen: BTreeSet<InstanceId> = c
+            .vars()
+            .filter(|(_, v)| m.value(*v))
+            .map(|(id, _)| id.clone())
+            .collect();
+        let index = UniverseIndex::new(&u);
+        let new = build_full_spec_indexed(&index, &g, &chosen).unwrap();
+        let old = build_full_spec_legacy(&u, &g, &chosen).unwrap();
+        assert_eq!(new, old);
+        // Compare the rendered instances (ordered); the spec's own Debug
+        // includes a HashMap index with unspecified iteration order.
+        let dbg = |s: &InstallSpec| format!("{:?}", s.iter().collect::<Vec<_>>());
+        assert_eq!(dbg(&new), dbg(&old));
+    }
+
+    #[test]
     fn static_ports_flow_against_the_dependency_direction() {
         // §3.4: "when installing OpenMRS, we need to pass a server
         // configuration file back to Tomcat. In our implementation, we use
@@ -425,6 +917,12 @@ mod tests {
         );
         // The whole spec re-checks statically.
         engage_model::check_install_spec(&u, &spec).unwrap();
+
+        // And the reverse-feed path agrees with the legacy oracle too.
+        let legacy = build_full_spec_legacy(&u, &g, &chosen).unwrap();
+        assert_eq!(spec, legacy);
+        let dbg = |s: &InstallSpec| format!("{:?}", s.iter().collect::<Vec<_>>());
+        assert_eq!(dbg(&spec), dbg(&legacy));
     }
 
     #[test]
@@ -493,5 +991,10 @@ mod tests {
             tomcat.outputs().get("tomcat").unwrap().field("hostname"),
             Some(&Value::from("prod.example.com"))
         );
+
+        // Overridden nodes take the per-instance static path; the result
+        // still matches the oracle exactly.
+        let legacy = build_full_spec_legacy(&u, &g, &chosen).unwrap();
+        assert_eq!(spec, legacy);
     }
 }

@@ -71,6 +71,29 @@ impl Cnf {
         self.num_vars = self.num_vars.max(n);
     }
 
+    /// Reserves space for at least `additional` more clauses (a bulk
+    /// generator sizing hint; purely an allocation optimization).
+    pub fn reserve_clauses(&mut self, additional: usize) {
+        self.clauses.reserve(additional);
+    }
+
+    /// Builds a formula directly from a pre-assembled clause store, the
+    /// bulk counterpart of repeated [`Cnf::add_clause`] calls: `clauses`
+    /// is adopted verbatim (no per-clause copying) and `num_vars` is
+    /// grown in one pass to cover every literal.
+    pub fn from_parts(num_vars: u32, clauses: Vec<Clause>) -> Self {
+        let mut nv = num_vars;
+        for c in &clauses {
+            for l in c {
+                nv = nv.max(l.var().0 + 1);
+            }
+        }
+        Cnf {
+            num_vars: nv,
+            clauses,
+        }
+    }
+
     /// Adds a clause. An empty clause makes the formula trivially
     /// unsatisfiable.
     pub fn add_clause(&mut self, clause: Clause) {

@@ -48,6 +48,13 @@ pub struct SolverConfig {
     /// Percentage (0–100) of decisions that pick a random unassigned
     /// variable instead of the top-activity one.
     pub random_decision_pct: u8,
+    /// Backjump distance above which a conflict backtracks
+    /// *chronologically* (one level) instead of jumping to the asserting
+    /// level, keeping the long trail suffix a far backjump would discard
+    /// (Nadel & Ryvchin, SAT'18). Small instances never reach the gap,
+    /// so their search is identical to pure backjumping. `u32::MAX`
+    /// disables chronological backtracking entirely.
+    pub chrono_backtrack_gap: u32,
 }
 
 impl Default for SolverConfig {
@@ -57,6 +64,7 @@ impl Default for SolverConfig {
             restart_base: 100,
             phase_init: PhaseInit::False,
             random_decision_pct: 0,
+            chrono_backtrack_gap: 100,
         }
     }
 }
@@ -84,6 +92,7 @@ impl SolverConfig {
                 2 => 2,
                 _ => 5,
             },
+            chrono_backtrack_gap: 100,
         }
     }
 }
@@ -116,6 +125,14 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Learnt clauses currently in the database.
     pub learnt_clauses: u64,
+    /// Conflicts resolved by a chronological (one-level) backtrack
+    /// instead of a full backjump.
+    pub chrono_backtracks: u64,
+    /// Learnt clauses dropped by clause-DB reductions (cumulative).
+    pub db_reduced: u64,
+    /// Learnt clauses surviving clause-DB reductions (cumulative over
+    /// reductions; 0 until the first reduction fires).
+    pub db_kept: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -138,6 +155,9 @@ struct LiveCounters {
     conflicts: Counter,
     restarts: Counter,
     learnt_clauses: Counter,
+    chrono_backtracks: Counter,
+    db_reduced: Counter,
+    db_kept: Counter,
 }
 
 /// The CDCL solver.
@@ -176,6 +196,10 @@ pub struct Solver {
     stats: SolverStats,
     live: LiveCounters,
     seen: Vec<bool>,
+    /// Number of learnt clauses currently in `clauses`, maintained
+    /// incrementally so the per-decision DB-size check is O(1) instead
+    /// of a scan over the whole clause database.
+    num_learnts: usize,
     config: SolverConfig,
     rng: StdRng,
 }
@@ -217,6 +241,7 @@ impl Solver {
             stats: SolverStats::default(),
             live: LiveCounters::default(),
             seen: Vec::new(),
+            num_learnts: 0,
             rng: StdRng::seed_from_u64(config.seed),
             config,
         }
@@ -224,8 +249,9 @@ impl Solver {
 
     /// Mirrors search statistics into `obs` as live counters
     /// (`sat.decisions`, `sat.propagations`, `sat.conflicts`,
-    /// `sat.restarts`, `sat.learnt_clauses`), updated at the same sites
-    /// that feed [`SolverStats`].
+    /// `sat.restarts`, `sat.learnt_clauses`, `sat.chrono_backtracks`,
+    /// `sat.db.reduced`, `sat.db.kept`), updated at the same sites that
+    /// feed [`SolverStats`].
     pub fn set_obs(&mut self, obs: &Obs) {
         self.live = LiveCounters {
             decisions: obs.counter("sat.decisions"),
@@ -233,6 +259,9 @@ impl Solver {
             conflicts: obs.counter("sat.conflicts"),
             restarts: obs.counter("sat.restarts"),
             learnt_clauses: obs.counter("sat.learnt_clauses"),
+            chrono_backtracks: obs.counter("sat.chrono_backtracks"),
+            db_reduced: obs.counter("sat.db.reduced"),
+            db_kept: obs.counter("sat.db.kept"),
         };
     }
 
@@ -439,7 +468,24 @@ impl Solver {
                         return Some(SatResult::Unsat);
                     }
                     let (learnt, back_level) = self.analyze(confl);
-                    self.backtrack_to(back_level);
+                    // Chronological backtracking (Nadel & Ryvchin, SAT'18):
+                    // when the non-chronological backjump would discard many
+                    // levels, undo just one level instead. The learnt clause
+                    // is still asserting at `cur - 1` (all but its first
+                    // literal are false at or below the conflict level), so
+                    // `learn` immediately propagates it there. Unit learnt
+                    // clauses must still go to level 0.
+                    let cur = self.decision_level();
+                    let target = if learnt.len() > 1
+                        && cur - back_level > self.config.chrono_backtrack_gap
+                    {
+                        self.stats.chrono_backtracks += 1;
+                        self.live.chrono_backtracks.incr();
+                        cur - 1
+                    } else {
+                        back_level
+                    };
+                    self.backtrack_to(target);
                     self.learn(learnt);
                     self.var_inc /= VAR_DECAY;
                     self.cla_inc /= CLA_DECAY;
@@ -500,7 +546,11 @@ impl Solver {
     }
 
     fn learnt_count(&self) -> usize {
-        self.clauses.iter().filter(|c| c.learnt).count()
+        debug_assert_eq!(
+            self.num_learnts,
+            self.clauses.iter().filter(|c| c.learnt).count()
+        );
+        self.num_learnts
     }
 
     fn value(&self, l: Lit) -> LBool {
@@ -690,6 +740,7 @@ impl Solver {
                     learnt: true,
                     activity: self.cla_inc,
                 });
+                self.num_learnts += 1;
                 self.stats.learnt_clauses += 1;
                 self.live.learnt_clauses.incr();
                 self.enqueue(asserting, Some(cref));
@@ -816,6 +867,12 @@ impl Solver {
         // level-0 trail; replaying propagation from the start restores the
         // two-watched-literal invariant.
         self.qhead = 0;
+        self.num_learnts -= remove.len();
+        self.stats.db_reduced += remove.len() as u64;
+        self.live.db_reduced.add(remove.len() as u64);
+        let kept_learnts = self.num_learnts as u64;
+        self.stats.db_kept += kept_learnts;
+        self.live.db_kept.add(kept_learnts);
     }
 }
 
@@ -1037,5 +1094,91 @@ mod tests {
         s.add_clause(lits(&[(1, true), (1, false)])); // tautology: dropped
         let r = s.solve();
         assert!(r.model().unwrap().value(Var(0)));
+    }
+
+    /// Seeded random 3-CNF near the SAT/UNSAT phase transition; exercises
+    /// real search (conflicts, backjumps, restarts).
+    fn random_3cnf(seed: u64, num_vars: u32, num_clauses: usize) -> Vec<Clause> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..num_clauses)
+            .map(|_| {
+                let mut vars = Vec::with_capacity(3);
+                while vars.len() < 3 {
+                    let v = rng.gen_range(0..num_vars);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                vars.iter()
+                    .map(|&v| Lit::new(Var(v), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chronological_backtracking_agrees_with_backjumping() {
+        // An aggressive gap of 0 chronologically backtracks on every
+        // eligible conflict; verdicts must match the default solver on a
+        // sweep of seeded random 3-CNFs near the phase transition, and any
+        // model produced must actually satisfy the formula.
+        let mut chrono_total = 0u64;
+        for seed in 0..20u64 {
+            let cs = random_3cnf(seed, 40, 170);
+            let mut reference = Solver::with_config(SolverConfig {
+                chrono_backtrack_gap: u32::MAX,
+                ..SolverConfig::default()
+            });
+            let mut chrono = Solver::with_config(SolverConfig {
+                chrono_backtrack_gap: 0,
+                ..SolverConfig::default()
+            });
+            for s in [&mut reference, &mut chrono] {
+                for _ in 0..40 {
+                    s.new_var();
+                }
+                for c in &cs {
+                    s.add_clause(c.clone());
+                }
+            }
+            let (rr, rc) = (reference.solve(), chrono.solve());
+            assert_eq!(rr.is_sat(), rc.is_sat(), "verdict mismatch on seed {seed}");
+            if let SatResult::Sat(m) = &rc {
+                assert!(m.satisfies_all(&cs), "chrono model invalid on seed {seed}");
+            }
+            assert_eq!(reference.stats().chrono_backtracks, 0);
+            chrono_total += chrono.stats().chrono_backtracks;
+        }
+        assert!(chrono_total > 0, "gap 0 never backtracked chronologically");
+    }
+
+    #[test]
+    fn reduce_db_records_metrics() {
+        // Learn enough clauses through real conflicts, then force a DB
+        // reduction and check the cumulative reduced/kept counters.
+        let cs = random_3cnf(3, 60, 255);
+        let mut s = solver_with(60, &cs);
+        let r = s.solve();
+        if let SatResult::Sat(m) = &r {
+            assert!(m.satisfies_all(&cs));
+        }
+        let learnt_before = s.learnt_clause_count();
+        s.reduce_db();
+        let stats = s.stats();
+        if stats.db_reduced > 0 {
+            assert_eq!(
+                stats.db_kept + stats.db_reduced,
+                learnt_before as u64,
+                "kept + reduced must cover every learnt clause"
+            );
+            assert!(s.learnt_clause_count() < learnt_before);
+        } else {
+            // Nothing removable (all learnt clauses binary or DB empty):
+            // the counters must stay untouched.
+            assert_eq!(stats.db_kept, 0);
+            assert_eq!(s.learnt_clause_count(), learnt_before);
+        }
+        // Solver must remain usable and consistent after reduction.
+        assert_eq!(s.solve().is_sat(), r.is_sat());
     }
 }

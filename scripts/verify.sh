@@ -65,6 +65,22 @@ cargo run -q --release --offline -p engage-bench --bin exp_graphgen -- \
 grep -q '"experiment":"graphgen"' "$obs_tmp/BENCH_graphgen.json"
 grep -q '"bench.graphgen.m2.indexed_median_us"' "$obs_tmp/BENCH_graphgen.json"
 
+# Flat-pipeline smoke test: the handle-keyed constraint generator and
+# the dense propagator must stay byte-identical to their legacy oracles
+# (the binary asserts CNF and spec equality on the smoke rung; the 5x
+# speedup bar and the 100k ladder run in full, non --smoke, runs only).
+cargo run -q --release --offline -p engage-bench --bin exp_scaling -- \
+    --smoke --metrics "$obs_tmp/BENCH_scaling.json" > /dev/null
+grep -q '"experiment":"scaling"' "$obs_tmp/BENCH_scaling.json"
+grep -q '"bench.scaling.smoke.nodes"' "$obs_tmp/BENCH_scaling.json"
+
+# Flat-pipeline differential property sweep: all five testgen families
+# (SAT + planted-UNSAT, both exactly-one encodings) — handle-keyed CNF
+# byte-identical and model-identical to the legacy generator, indexed
+# specs byte-identical to the legacy propagator.
+ENGAGE_SCENARIO_SWEEP_SEEDS=16 \
+    cargo test -q --offline --release -p engage --test flat_pipeline_differential
+
 # Oracle-equivalence sweep: the GraphGen property tests (indexed vs
 # naive hypergraph equality, UniverseIndex vs Universe answers) at CI
 # depth.
