@@ -1,0 +1,199 @@
+//! Experiment: self-healing reconciliation (MTTR vs full redeploy).
+//!
+//! Deploys a 100-service stack across four servers, then subjects it to
+//! sustained chaos — seeded crash storms at 10–30% per round, plus a
+//! whole-host loss — and reconciles after every storm. The headline
+//! number is the mean time to repair (MTTR, simulated clock from drift
+//! detection to reconvergence) against the cost the paper's
+//! full-redeploy strategy would pay for the same drift: the
+//! minimal-delta reconciler must be at least 3x faster at every storm
+//! rate (asserted even on the smoke rung).
+//!
+//! Run with: `cargo run -p engage-bench --bin exp_reconcile
+//! [--smoke] [--metrics [FILE]] [--trace FILE]`
+//!
+//! `--smoke` shrinks the stack and round count for CI; the seeds stay
+//! fixed, so both modes are fully deterministic.
+
+use engage::{Engage, RetryPolicy, SolverMode};
+use engage_bench::Reporter;
+use engage_model::{PartialInstallSpec, PartialInstance, Universe};
+use engage_sim::FaultPlan;
+use engage_util::obs::Obs;
+
+/// Crash-storm probabilities swept by the experiment.
+const RATES: &[f64] = &[0.1, 0.2, 0.3];
+
+fn universe_and_partial(servers: usize, services: usize) -> (Universe, PartialInstallSpec) {
+    let mut src = String::from(
+        r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Ubuntu 10.10" extends "Server" {}
+        "#,
+    );
+    for i in 0..services {
+        src.push_str(&format!(
+            r#"
+            resource "Svc{i:02} 1.0" {{
+              inside "Server";
+              config port port: int = {port};
+              output port svc: {{ port: int }} = {{ port: config.port }};
+              driver service;
+            }}
+            "#,
+            port = 9000 + i,
+        ));
+    }
+    let u = engage_dsl::parse_universe(&src).expect("generated universe parses");
+
+    let mut partial = PartialInstallSpec::new();
+    for j in 0..servers {
+        partial
+            .push(PartialInstance::new(format!("s{j}"), "Ubuntu 10.10"))
+            .expect("server instance");
+    }
+    for i in 0..services {
+        partial
+            .push(
+                PartialInstance::new(format!("svc{i:02}"), format!("Svc{i:02} 1.0").as_str())
+                    .inside(format!("s{}", i % servers)),
+            )
+            .expect("service instance");
+    }
+    (u, partial)
+}
+
+/// A fresh facade (incremental solver, small retry budget) over the
+/// experiment universe, reporting into `obs`.
+fn system(u: &Universe, obs: &Obs, seed: u64) -> Engage {
+    Engage::new(u.clone())
+        .with_obs(obs.clone())
+        .with_solver_mode(SolverMode::Incremental)
+        .with_retry_policy(RetryPolicy::new(2).with_seed(seed))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (servers, services, rounds) = if smoke { (2, 12, 3) } else { (4, 100, 6) };
+    let reporter = Reporter::from_args("reconcile");
+    let report_obs = reporter.obs();
+    let (u, partial) = universe_and_partial(servers, services);
+
+    // Baseline: the simulated cost of one full redeploy — what a
+    // reconciler-less operator pays to recover from *any* drift.
+    let base = system(&u, &Obs::disabled(), 0);
+    let (outcome, dep) = base.deploy(&partial).expect("baseline deploy");
+    assert!(dep.is_deployed());
+    let full_redeploy = base.sim().now();
+    println!("== Self-healing reconciler: MTTR vs full redeploy ==");
+    println!(
+        "{} services on {} servers ({} instances); a full redeploy costs {:.1} simulated s",
+        services,
+        servers,
+        outcome.spec.len(),
+        full_redeploy.as_secs_f64(),
+    );
+    report_obs
+        .gauge("bench.reconcile.spec_len")
+        .set(outcome.spec.len() as i64);
+    report_obs
+        .gauge("bench.reconcile.full_redeploy_ms")
+        .set(full_redeploy.as_millis() as i64);
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>9} {:>14} {:>10}",
+        "storm rate", "outages", "repairs", "actions", "mttr (sim s)", "speedup"
+    );
+    for (ri, &rate) in RATES.iter().enumerate() {
+        let cell_obs = Obs::new();
+        let sys = system(&u, &cell_obs, 0xA11 + ri as u64);
+        let (_, dep) = sys.deploy(&partial).expect("deploy");
+        sys.sim()
+            .set_fault_plan(FaultPlan::new(0xC4A05 + ri as u64));
+        let mut rl = sys.reconciler(&partial, dep);
+        for round in 0..rounds {
+            sys.sim().crash_storm(rate);
+            assert!(
+                rl.run_until_converged(10).expect("reconcile round"),
+                "rate {rate}: storm round {round} did not reconverge",
+            );
+        }
+        let stats = rl.stats().clone();
+        assert!(
+            stats.repairs > 0,
+            "rate {rate}: the seeded storms caused no outage"
+        );
+        let mttr = stats.mean_mttr().expect("repairs > 0");
+        let speedup = full_redeploy.as_secs_f64() / mttr.as_secs_f64().max(1e-9);
+        println!(
+            "{:<12} {:>8} {:>8} {:>9} {:>14.1} {:>9.1}x",
+            format!("{:.0}%", rate * 100.0),
+            stats.outages,
+            stats.repairs,
+            stats.actions,
+            mttr.as_secs_f64(),
+            speedup,
+        );
+        let tag = format!("bench.reconcile.r{:02}", (rate * 100.0) as u64);
+        report_obs
+            .gauge(&format!("{tag}.mttr_ms"))
+            .set(mttr.as_millis() as i64);
+        report_obs
+            .gauge(&format!("{tag}.repairs"))
+            .set(stats.repairs as i64);
+        report_obs
+            .gauge(&format!("{tag}.actions"))
+            .set(stats.actions as i64);
+        report_obs
+            .gauge(&format!("{tag}.speedup_x10"))
+            .set((speedup * 10.0) as i64);
+        assert!(
+            speedup >= 3.0,
+            "minimal-delta repair must beat a full redeploy by >=3x at a {:.0}% storm rate, got {speedup:.1}x",
+            rate * 100.0,
+        );
+    }
+    println!();
+
+    // Host loss: kill one server outright (taking its whole share of
+    // the stack with it) under a concurrent storm; the reconciler must
+    // provision a replacement and reconverge.
+    println!("== Host loss: replacement + reconvergence under a 20% storm ==");
+    let cell_obs = Obs::new();
+    let sys = system(&u, &cell_obs, 0xB0);
+    let (_, dep) = sys.deploy(&partial).expect("deploy");
+    sys.sim().set_fault_plan(FaultPlan::new(0xB0));
+    let mut rl = sys.reconciler(&partial, dep);
+    let victim = *rl
+        .deployment()
+        .machines()
+        .values()
+        .next()
+        .expect("at least one machine");
+    sys.sim().fail_host(victim).expect("host dies");
+    sys.sim().crash_storm(0.2);
+    assert!(
+        rl.run_until_converged(12)
+            .expect("reconcile after host loss"),
+        "stack did not reconverge after losing a host",
+    );
+    assert!(rl.deployment().is_deployed());
+    let replaced = cell_obs.metrics().counter("reconcile.replaced_hosts");
+    assert!(replaced >= 1, "the dead host was never replaced");
+    println!(
+        "host loss: replaced {replaced} host(s), reconverged after {} round(s), {} transitions",
+        rl.stats().rounds_to_converge_last,
+        rl.stats().actions,
+    );
+    report_obs
+        .gauge("bench.reconcile.hostloss_replaced")
+        .set(replaced as i64);
+    report_obs
+        .gauge("bench.reconcile.hostloss_actions")
+        .set(rl.stats().actions as i64);
+
+    reporter.finish();
+}

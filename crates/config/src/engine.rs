@@ -358,7 +358,7 @@ impl<'a> ConfigEngine<'a> {
     /// [`ConfigError::Model`] for ill-formed inputs,
     /// [`ConfigError::Unsatisfiable`] when no extension exists.
     pub fn configure(&self, partial: &PartialInstallSpec) -> Result<ConfigOutcome, ConfigError> {
-        self.configure_inner(partial, None)
+        self.configure_inner(partial, None, &[])
     }
 
     /// [`ConfigEngine::configure`] with solver state carried in
@@ -377,13 +377,38 @@ impl<'a> ConfigEngine<'a> {
         session: &mut ConfigSession,
         partial: &PartialInstallSpec,
     ) -> Result<ConfigOutcome, ConfigError> {
-        self.configure_inner(partial, Some(session))
+        self.configure_inner(partial, Some(session), &[])
+    }
+
+    /// [`ConfigEngine::reconfigure`] with *placement pins*: in
+    /// [`SolverMode::Incremental`] every pinned instance that exists in
+    /// the hypergraph is added as a positive assumption literal, so the
+    /// solver keeps still-healthy placements and produces a minimal-delta
+    /// model instead of a fresh placement. Pins naming instances absent
+    /// from the graph are ignored; if the pin set itself is
+    /// unsatisfiable (e.g. a pinned instance conflicts with a repair),
+    /// the solve is retried *without* pins rather than failing — a
+    /// wedged pin set must never block recovery (the
+    /// `config.pins.relaxed` counter records the fallback). Modes other
+    /// than incremental ignore pins entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConfigEngine::configure`].
+    pub fn reconfigure_pinned(
+        &self,
+        session: &mut ConfigSession,
+        partial: &PartialInstallSpec,
+        pins: &[InstanceId],
+    ) -> Result<ConfigOutcome, ConfigError> {
+        self.configure_inner(partial, Some(session), pins)
     }
 
     fn configure_inner(
         &self,
         partial: &PartialInstallSpec,
         mut session: Option<&mut ConfigSession>,
+        pins: &[InstanceId],
     ) -> Result<ConfigOutcome, ConfigError> {
         let _configure = self.obs.span("config.configure");
         let incremental = self.solver_mode == SolverMode::Incremental;
@@ -461,9 +486,38 @@ impl<'a> ConfigEngine<'a> {
         self.obs
             .gauge("config.cnf_clauses")
             .set(logical_clauses as i64);
+        // Placement pins (incremental mode only): assume each pinned
+        // instance that the graph knows about, so the model keeps those
+        // placements. Unknown pins are skipped, not errors — a pin is a
+        // preference about an instance that may have left the spec.
+        let pin_lits: Vec<engage_sat::Lit> = if incremental {
+            pins.iter()
+                .filter_map(|id| constraints.var(id))
+                .map(engage_sat::Var::positive)
+                .collect()
+        } else {
+            Vec::new()
+        };
         let solved = {
             let _s = self.obs.span("config.solve");
-            self.solve_by_mode(&constraints, spec_lits.as_deref(), session)
+            if pin_lits.is_empty() {
+                self.solve_by_mode(&constraints, spec_lits.as_deref(), session)
+            } else {
+                self.obs
+                    .counter("config.pins.assumed")
+                    .add(pin_lits.len() as u64);
+                let mut pinned = spec_lits.clone().unwrap_or_default();
+                pinned.extend(pin_lits.iter().copied());
+                let first = self.solve_by_mode(&constraints, Some(&pinned), session.as_deref_mut());
+                if matches!(first.0, SatResult::Unsat) {
+                    // The pins themselves are over-constraining; relax
+                    // them and re-place freely rather than report UNSAT.
+                    self.obs.counter("config.pins.relaxed").incr();
+                    self.solve_by_mode(&constraints, spec_lits.as_deref(), session)
+                } else {
+                    first
+                }
+            }
         };
         let (model, solver_stats, reused_solver) = match solved {
             (SatResult::Sat(m), stats, reused) => (m, stats, reused),
@@ -768,6 +822,71 @@ mod tests {
         .collect();
         let out = engine.reconfigure(&mut session, &reshaped).unwrap();
         assert!(!out.reused_structure, "shape changed: GraphGen reruns");
+    }
+
+    #[test]
+    fn pinned_reconfigure_steers_and_relaxes() {
+        let u = openmrs_universe();
+        let obs = Obs::new();
+        let engine = ConfigEngine::new(&u)
+            .with_solver_mode(SolverMode::Incremental)
+            .with_obs(obs.clone());
+        let mut session = ConfigSession::new();
+        let first = engine.reconfigure(&mut session, &figure_2()).unwrap();
+
+        // Pinning exactly the chosen instances must reproduce the same
+        // deployment (the minimal-delta guarantee: healthy placements
+        // stay put).
+        let chosen: Vec<InstanceId> = first.spec.iter().map(|i| i.id().clone()).collect();
+        let same = engine
+            .reconfigure_pinned(&mut session, &figure_2(), &chosen)
+            .unwrap();
+        assert!(same.reused_solver && same.reused_structure);
+        let ids = |s: &InstallSpec| -> BTreeSet<InstanceId> {
+            s.iter().map(|i| i.id().clone()).collect()
+        };
+        assert_eq!(ids(&same.spec), ids(&first.spec));
+
+        // Pinning an unchosen alternative steers the model to it (the
+        // OpenMRS universe has exactly two configurations).
+        let alternative = same
+            .graph
+            .nodes()
+            .iter()
+            .map(|n| n.id().clone())
+            .find(|id| !ids(&first.spec).contains(id))
+            .expect("an unchosen alternative exists");
+        let steered = engine
+            .reconfigure_pinned(
+                &mut session,
+                &figure_2(),
+                std::slice::from_ref(&alternative),
+            )
+            .unwrap();
+        assert!(ids(&steered.spec).contains(&alternative));
+
+        // An unsatisfiable pin set (every graph node at once trips the
+        // exactly-one groups) is relaxed, not fatal.
+        let everything: Vec<InstanceId> =
+            same.graph.nodes().iter().map(|n| n.id().clone()).collect();
+        let relaxed = engine
+            .reconfigure_pinned(&mut session, &figure_2(), &everything)
+            .unwrap();
+        assert_eq!(ids(&relaxed.spec).len(), first.spec.len());
+        assert!(obs.metrics().counter("config.pins.relaxed") >= 1);
+        assert!(obs.metrics().counter("config.pins.assumed") > 0);
+
+        // Pins naming unknown instances are ignored; serial mode ignores
+        // pins entirely.
+        let unknown = engine
+            .reconfigure_pinned(&mut session, &figure_2(), &["no-such".into()])
+            .unwrap();
+        assert_eq!(ids(&unknown.spec), ids(&first.spec));
+        let serial = ConfigEngine::new(&u);
+        let out = serial
+            .reconfigure_pinned(&mut session, &figure_2(), &chosen)
+            .unwrap();
+        assert_eq!(out.spec.len(), first.spec.len());
     }
 
     #[test]

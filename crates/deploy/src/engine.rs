@@ -566,6 +566,17 @@ impl<'a> DeploymentEngine<'a> {
                 .all(|s| s == &DriverState::Basic(BasicState::Uninstalled))
     }
 
+    /// Clones the engine with teardown semantics: no kill switch and
+    /// relaxed guards — the same quiet configuration `rollback_partial`
+    /// uses. The reconciler tears orphaned instances down through this.
+    pub(crate) fn teardown_clone(&self) -> DeploymentEngine<'a> {
+        DeploymentEngine {
+            kill: None,
+            relaxed_guards: true,
+            ..self.clone()
+        }
+    }
+
     /// Registers every running service with the monitor (the monit
     /// plugin's post-deploy configuration generation, §5.2). Shared by
     /// the sequential, parallel, and resume paths.
@@ -700,6 +711,18 @@ impl<'a> DeploymentEngine<'a> {
                         start: Duration::from_nanos(*start_ns),
                         end: Duration::from_nanos(*end_ns),
                     });
+                }
+                JournalRecord::Observed { instance, state } => {
+                    // A reconciler observation or a compaction snapshot:
+                    // the state is adopted directly, no action replayed —
+                    // later commits chain from it.
+                    if spec.get(instance).is_none() {
+                        return Err(resume_failed(format!(
+                            "journaled observation of `{instance}` which is not in the spec"
+                        )));
+                    }
+                    dep.states
+                        .insert(instance.clone(), parse_driver_state(state));
                 }
             }
         }
@@ -998,8 +1021,9 @@ impl<'a> DeploymentEngine<'a> {
         Ok(machines)
     }
 
-    /// Provisions one machine instance and journals the mapping.
-    fn provision_one(&self, inst: &engage_model::ResourceInstance) -> HostId {
+    /// Provisions one machine instance and journals the mapping (also
+    /// used by the reconciler to replace lost hosts).
+    pub(crate) fn provision_one(&self, inst: &engage_model::ResourceInstance) -> HostId {
         let os = os_for_key(inst.key()).unwrap_or(Os::Ubuntu1010);
         let hostname = inst
             .config()

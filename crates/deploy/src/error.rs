@@ -70,6 +70,13 @@ pub enum DeployError {
         /// Why.
         detail: String,
     },
+    /// The reconciler could not re-plan around observed drift: the
+    /// configuration engine found no full specification even after
+    /// relaxing the healthy-placement pins.
+    ReplanFailed {
+        /// Why.
+        detail: String,
+    },
 }
 
 impl DeployError {
@@ -121,6 +128,9 @@ impl fmt::Display for DeployError {
             }
             DeployError::ResumeFailed { detail } => {
                 write!(f, "cannot resume from journal: {detail}")
+            }
+            DeployError::ReplanFailed { detail } => {
+                write!(f, "reconciler could not re-plan: {detail}")
             }
         }
     }

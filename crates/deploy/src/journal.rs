@@ -65,6 +65,18 @@ pub enum JournalRecord {
         /// Simulated end time, nanoseconds.
         end_ns: u64,
     },
+    /// An instance's state was *observed* rather than driven: the
+    /// reconciler journaling drift it found in the live data center
+    /// (a crashed service, a lost host), and the snapshot records
+    /// [`DeployJournal::compact`] rewrites history into. On resume the
+    /// state is adopted directly — no action is replayed — so commits
+    /// after an observation chain from the observed state.
+    Observed {
+        /// The instance whose state was observed.
+        instance: InstanceId,
+        /// The observed state, rendered.
+        state: String,
+    },
 }
 
 impl JournalRecord {
@@ -107,6 +119,11 @@ impl JournalRecord {
                 json_string(to),
                 start_ns,
                 end_ns
+            ),
+            JournalRecord::Observed { instance, state } => format!(
+                "{{\"type\":\"observed\",\"instance\":{},\"state\":{}}}",
+                json_string(instance.as_str()),
+                json_string(state)
             ),
         }
     }
@@ -151,6 +168,10 @@ impl JournalRecord {
                 to: get_str("to")?,
                 start_ns: get_num("start_ns")?,
                 end_ns: get_num("end_ns")?,
+            }),
+            "observed" => Ok(JournalRecord::Observed {
+                instance: InstanceId::new(get_str("instance")?),
+                state: get_str("state")?,
             }),
             other => Err(JournalError::new(format!("unknown record type `{other}`"))),
         }
@@ -282,6 +303,109 @@ impl DeployJournal {
             JournalSink::Jsonl { path, .. } => Some(path),
         }
     }
+
+    /// Rewrites the journal down to a snapshot of its latest committed
+    /// state: the newest `Provisioned` record per machine instance plus
+    /// one [`JournalRecord::Observed`] per instance at its last reached
+    /// state. Resuming the compacted journal with `ResumeMode::Attach`
+    /// is equivalent to resuming the full history — the observations
+    /// restore exactly the states the dropped commits chained to. (A
+    /// `ResumeMode::Replay` into a *fresh* data center needs the full
+    /// action history and is not supported after compaction.)
+    ///
+    /// A trailing in-flight `Attempt` is dropped, the same write-ahead
+    /// argument [`load_jsonl`] uses for a torn final line: the action it
+    /// described was never confirmed complete.
+    ///
+    /// For JSONL sinks the rewrite is atomic — records stream to a
+    /// sibling temp file which is renamed over the journal — and the
+    /// sink keeps appending to the rotated file afterwards. Returns the
+    /// number of records the journal holds after compaction.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a malformed journal file (JSONL sinks only).
+    pub fn compact(&self) -> Result<usize, JournalError> {
+        match &*self.sink {
+            JournalSink::Memory(v) => {
+                let mut records = v.lock();
+                *records = compact_records(&records);
+                Ok(records.len())
+            }
+            JournalSink::Jsonl { path, writer } => {
+                // Hold the writer lock across the whole rotation so no
+                // append can slip between the snapshot and the rename.
+                let mut w = writer.lock();
+                let _ = w.flush();
+                let compacted = compact_records(&load_jsonl(path)?);
+                let io_err = |what: &str, e: std::io::Error| {
+                    JournalError::new(format!("{what} {}: {e}", path.display()))
+                };
+                let tmp = path.with_extension("compact-tmp");
+                {
+                    let file = std::fs::File::create(&tmp)
+                        .map_err(|e| io_err("creating temp file for", e))?;
+                    let mut out = std::io::BufWriter::new(file);
+                    for rec in &compacted {
+                        writeln!(out, "{}", rec.to_json())
+                            .map_err(|e| io_err("writing compacted", e))?;
+                    }
+                    out.flush().map_err(|e| io_err("flushing compacted", e))?;
+                }
+                std::fs::rename(&tmp, path).map_err(|e| io_err("rotating", e))?;
+                let reopened = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| io_err("reopening", e))?;
+                *w = std::io::BufWriter::new(reopened);
+                Ok(compacted.len())
+            }
+        }
+    }
+}
+
+/// Folds a record history into its snapshot form: latest provisioning
+/// per machine instance (in first-provisioned order), then the latest
+/// reached state per instance (in first-touched order) as `Observed`
+/// records. Attempts never survive compaction.
+fn compact_records(records: &[JournalRecord]) -> Vec<JournalRecord> {
+    use std::collections::BTreeMap;
+    let mut prov_order: Vec<InstanceId> = Vec::new();
+    let mut prov: BTreeMap<InstanceId, JournalRecord> = BTreeMap::new();
+    let mut state_order: Vec<InstanceId> = Vec::new();
+    let mut state: BTreeMap<InstanceId, String> = BTreeMap::new();
+    let mut touch_state = |order: &mut Vec<InstanceId>, instance: &InstanceId, s: &str| {
+        if !state.contains_key(instance) {
+            order.push(instance.clone());
+        }
+        state.insert(instance.clone(), s.to_owned());
+    };
+    for rec in records {
+        match rec {
+            JournalRecord::Provisioned { instance, .. } => {
+                if !prov.contains_key(instance) {
+                    prov_order.push(instance.clone());
+                }
+                prov.insert(instance.clone(), rec.clone());
+            }
+            JournalRecord::Commit { instance, to, .. } => {
+                touch_state(&mut state_order, instance, to);
+            }
+            JournalRecord::Observed { instance, state: s } => {
+                touch_state(&mut state_order, instance, s);
+            }
+            JournalRecord::Attempt { .. } => {}
+        }
+    }
+    let mut out: Vec<JournalRecord> = prov_order
+        .into_iter()
+        .map(|id| prov.remove(&id).expect("provisioned above"))
+        .collect();
+    out.extend(state_order.into_iter().map(|instance| {
+        let state = state.remove(&instance).expect("touched above");
+        JournalRecord::Observed { instance, state }
+    }));
+    out
 }
 
 /// Reads a JSONL journal file back into records.
@@ -426,6 +550,10 @@ mod tests {
                 start_ns: 0,
                 end_ns: 1_500_000_000,
             },
+            JournalRecord::Observed {
+                instance: InstanceId::new("db"),
+                state: "inactive".into(),
+            },
         ]
     }
 
@@ -458,7 +586,7 @@ mod tests {
         // Clones share the sink.
         let j2 = j.clone();
         j2.append(samples().remove(1));
-        assert_eq!(j.records().len(), 4);
+        assert_eq!(j.records().len(), samples().len() + 1);
     }
 
     #[test]
@@ -510,6 +638,103 @@ mod tests {
         torn_middle.replace_range(last_start - 2..last_start - 1, "");
         std::fs::write(&path, &torn_middle).unwrap();
         assert!(load_jsonl(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A history with re-provisioning, several commits per instance, and
+    /// a trailing in-flight attempt.
+    fn chatty_history() -> Vec<JournalRecord> {
+        let prov = |inst: &str, host: u32| JournalRecord::Provisioned {
+            instance: InstanceId::new(inst),
+            host: HostId(host),
+            hostname: inst.to_owned(),
+            os: "Ubuntu 10.10".into(),
+        };
+        let commit = |inst: &str, action: &str, from: &str, to: &str| JournalRecord::Commit {
+            instance: InstanceId::new(inst),
+            action: action.into(),
+            from: from.into(),
+            to: to.into(),
+            start_ns: 0,
+            end_ns: 1,
+        };
+        vec![
+            prov("server", 0),
+            commit("db", "install", "uninstalled", "inactive"),
+            commit("db", "start", "inactive", "active"),
+            commit("app", "install", "uninstalled", "inactive"),
+            // The reconciler observed drift and re-drove the db.
+            JournalRecord::Observed {
+                instance: InstanceId::new("db"),
+                state: "inactive".into(),
+            },
+            commit("db", "start", "inactive", "active"),
+            // A replacement host for the same machine instance.
+            prov("server", 7),
+            JournalRecord::Attempt {
+                instance: InstanceId::new("app"),
+                action: "start".into(),
+                attempt: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn compaction_folds_to_latest_snapshot() {
+        let j = DeployJournal::in_memory();
+        for rec in chatty_history() {
+            j.append(rec);
+        }
+        let n = j.compact().unwrap();
+        let records = j.records();
+        assert_eq!(records.len(), n);
+        assert_eq!(
+            records,
+            vec![
+                JournalRecord::Provisioned {
+                    instance: InstanceId::new("server"),
+                    host: HostId(7),
+                    hostname: "server".into(),
+                    os: "Ubuntu 10.10".into(),
+                },
+                JournalRecord::Observed {
+                    instance: InstanceId::new("db"),
+                    state: "active".into(),
+                },
+                JournalRecord::Observed {
+                    instance: InstanceId::new("app"),
+                    state: "inactive".into(),
+                },
+            ]
+        );
+        // Compaction is idempotent.
+        assert_eq!(j.compact().unwrap(), n);
+        assert_eq!(j.records().len(), n);
+    }
+
+    #[test]
+    fn jsonl_compaction_rotates_file_and_keeps_appending() {
+        let path = std::env::temp_dir().join(format!(
+            "engage-journal-compact-{}.jsonl",
+            std::process::id()
+        ));
+        let j = DeployJournal::jsonl_create(&path).unwrap();
+        for rec in chatty_history() {
+            j.append(rec);
+        }
+        let n = j.compact().unwrap();
+        assert_eq!(load_jsonl(&path).unwrap().len(), n);
+        // The sink keeps appending to the rotated file.
+        let tail = JournalRecord::Observed {
+            instance: InstanceId::new("app"),
+            state: "active".into(),
+        };
+        j.append(tail.clone());
+        let after = load_jsonl(&path).unwrap();
+        assert_eq!(after.len(), n + 1);
+        assert_eq!(after.last(), Some(&tail));
+        // No temp file left behind.
+        assert!(!path.with_extension("compact-tmp").exists());
         std::fs::remove_file(&path).ok();
     }
 

@@ -57,6 +57,7 @@ mod engine;
 mod error;
 mod journal;
 mod parallel;
+mod reconcile;
 mod retry;
 mod schedule;
 mod upgrade;
@@ -73,6 +74,9 @@ pub use journal::{
     load_jsonl, parse_driver_state, parse_os, DeployJournal, JournalError, JournalRecord,
 };
 pub use parallel::ParallelOutcome;
+pub use reconcile::{
+    InstanceHealth, ReconcileLoop, ReconcileOptions, ReconcileRound, ReconcileStats,
+};
 pub use retry::RetryPolicy;
 pub use schedule::SchedulerStrategy;
 pub use upgrade::{plan_upgrade, ReplanInfo, UpgradePlanEntry, UpgradeReport, UpgradeStrategy};

@@ -1,0 +1,856 @@
+//! The self-healing reconciler: continuous drift detection, minimal-delta
+//! re-planning, and convergence under sustained chaos.
+//!
+//! A deployed stack does not stay deployed: services crash faster than a
+//! monitor restart loop can absorb, and whole hosts disappear. The
+//! [`ReconcileLoop`] closes the loop between the *desired* state (the
+//! partial installation specification the operator wrote) and the
+//! *observed* state (the live simulated data center). Each
+//! [`ReconcileLoop::tick`] is one reconciliation round:
+//!
+//! 1. **Observe** — [`Monitor::scan`](engage_sim::Monitor::scan) reports
+//!    typed [`DriftEvent`]s (crashed services, lost hosts) without
+//!    repairing anything or advancing the simulated clock.
+//! 2. **Classify** — every managed instance becomes
+//!    [`Converged`](InstanceHealth::Converged),
+//!    [`Degraded`](InstanceHealth::Degraded) (its service is down but the
+//!    host lives), [`Lost`](InstanceHealth::Lost) (its host died), or
+//!    [`Orphaned`](InstanceHealth::Orphaned) (re-planning dropped it from
+//!    the desired spec). An empty drift set over a fully `active` stack is
+//!    a **zero-action round**: no re-plan, no SAT query, no transitions.
+//! 3. **Re-plan** — the desired partial spec is re-solved through the
+//!    cached incremental [`ConfigSession`], with every still-healthy
+//!    placement pinned as a solver assumption
+//!    ([`ConfigEngine::reconfigure_pinned`]): the solver may only move
+//!    what drift already broke, which keeps the new plan minimally distant
+//!    from the running one. Unsatisfiable pins are relaxed automatically.
+//! 4. **Repair** — lost hosts get replacement machines
+//!    (journaled like first-run provisioning), observed states are adopted
+//!    (and journaled as [`JournalRecord::Observed`] for crash-resume), and
+//!    only the *delta* transitions are compiled into the wavefront DAG
+//!    scheduler — converged instances contribute zero DAG nodes. Repairs
+//!    honor the engine's [`RetryPolicy`](crate::RetryPolicy) and journal.
+//!
+//! Rounds are budget-bounded (at most `budget` driver transitions per
+//! round) and anti-flap: an instance whose repair keeps failing is backed
+//! off exponentially (in rounds) instead of being re-driven every tick.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Duration;
+
+use engage_config::{ConfigEngine, ConfigSession};
+use engage_model::{
+    topological_order, BasicState, DriverState, InstanceId, PartialInstallSpec, ResourceInstance,
+};
+use engage_sim::{DriftEvent, HostId};
+
+use crate::action::service_name;
+use crate::engine::{find_path, Deployment, DeploymentEngine};
+use crate::error::DeployError;
+use crate::journal::JournalRecord;
+use crate::schedule::{build_dag, execute_wavefront};
+
+/// Where one instance stands relative to the desired specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceHealth {
+    /// Matches the desired state: driver `active`, service running.
+    Converged,
+    /// Its service is down but the host is alive (a crash): the driver is
+    /// re-driven from `inactive`.
+    Degraded,
+    /// Its host died: the instance restarts from `uninstalled` on a
+    /// replacement machine.
+    Lost,
+    /// Dropped by re-planning: no longer part of the desired spec, torn
+    /// down best-effort and unmanaged afterwards.
+    Orphaned,
+}
+
+impl fmt::Display for InstanceHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceHealth::Converged => write!(f, "converged"),
+            InstanceHealth::Degraded => write!(f, "degraded"),
+            InstanceHealth::Lost => write!(f, "lost"),
+            InstanceHealth::Orphaned => write!(f, "orphaned"),
+        }
+    }
+}
+
+/// Tuning knobs for the reconcile loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconcileOptions {
+    /// Maximum driver transitions to schedule per round (`0` = unbounded).
+    /// A round always repairs at least one instance even when its path is
+    /// longer than the budget, so progress is guaranteed.
+    pub budget: usize,
+    /// Consecutive failed repairs of one instance before anti-flap
+    /// backoff kicks in.
+    pub flap_threshold: u32,
+    /// Base backoff in *rounds* once the flap threshold is reached;
+    /// doubles with every further failure (capped at 64× base).
+    pub flap_backoff_rounds: u64,
+}
+
+impl Default for ReconcileOptions {
+    fn default() -> Self {
+        ReconcileOptions {
+            budget: 0,
+            flap_threshold: 3,
+            flap_backoff_rounds: 2,
+        }
+    }
+}
+
+/// What one reconciliation round observed and did.
+#[derive(Debug, Clone)]
+pub struct ReconcileRound {
+    /// 1-based round number.
+    pub round: u64,
+    /// Drift the monitor reported at the start of the round.
+    pub drift: Vec<DriftEvent>,
+    /// Per-instance classification (desired-spec instances, plus
+    /// orphans that were just dropped).
+    pub health: BTreeMap<InstanceId, InstanceHealth>,
+    /// Driver transitions compiled into this round's delta DAG.
+    pub actions: usize,
+    /// Instances repaired back to `active` this round.
+    pub repaired: Vec<InstanceId>,
+    /// Drifted instances deliberately *not* repaired this round
+    /// (anti-flap backoff or budget exhaustion).
+    pub deferred: Vec<InstanceId>,
+    /// Machine instances whose lost host was replaced:
+    /// `(machine, old host, new host)`.
+    pub replaced_hosts: Vec<(InstanceId, HostId, HostId)>,
+    /// Instances re-planning dropped from the desired spec.
+    pub orphaned: Vec<InstanceId>,
+    /// Whether the round re-planned through the configuration engine
+    /// (`false` for zero-action rounds).
+    pub replanned: bool,
+    /// Whether the stack is fully converged after this round.
+    pub converged: bool,
+    /// First repair failure of the round, if any (the loop keeps going —
+    /// failed repairs feed the anti-flap backoff instead of aborting).
+    pub error: Option<String>,
+}
+
+/// Running totals across rounds, plus the repair-time metrics the
+/// `exp_reconcile` experiment commits.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcileStats {
+    /// Rounds ticked.
+    pub rounds: u64,
+    /// Rounds that observed no drift and did nothing.
+    pub zero_action_rounds: u64,
+    /// Total driver transitions scheduled.
+    pub actions: u64,
+    /// Distinct outage episodes observed (drift after convergence).
+    pub outages: u64,
+    /// Outage episodes repaired back to full convergence.
+    pub repairs: u64,
+    /// Total simulated time from first drift detection to convergence,
+    /// summed over repaired episodes.
+    pub mttr_total: Duration,
+    /// Rounds the most recently repaired episode took to converge.
+    pub rounds_to_converge_last: u64,
+}
+
+impl ReconcileStats {
+    /// Mean time to repair over the repaired outage episodes.
+    pub fn mean_mttr(&self) -> Option<Duration> {
+        (self.repairs > 0).then(|| self.mttr_total / u32::try_from(self.repairs).unwrap_or(1))
+    }
+}
+
+/// Anti-flap state of one repeatedly failing instance.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlapEntry {
+    failures: u32,
+    skip_until: u64,
+}
+
+/// The tick-driven reconciliation engine. Owns the deployment it manages,
+/// the deployment engine it repairs through, and the configuration
+/// engine + cached session it re-plans through. The caller drives time
+/// (and chaos) between ticks.
+///
+/// Both engines must be built over the same universe the deployment was
+/// planned from.
+#[derive(Debug)]
+pub struct ReconcileLoop<'a> {
+    engine: DeploymentEngine<'a>,
+    config: ConfigEngine<'a>,
+    session: ConfigSession,
+    partial: PartialInstallSpec,
+    dep: Deployment,
+    options: ReconcileOptions,
+    round: u64,
+    flap: BTreeMap<InstanceId, FlapEntry>,
+    outage_since: Option<Duration>,
+    outage_rounds: u64,
+    stats: ReconcileStats,
+}
+
+impl<'a> ReconcileLoop<'a> {
+    /// Wraps a deployed stack in a reconcile loop. `partial` is the
+    /// desired specification `dep` was planned from; re-planning solves
+    /// it again with healthy placements pinned.
+    pub fn new(
+        engine: DeploymentEngine<'a>,
+        config: ConfigEngine<'a>,
+        partial: PartialInstallSpec,
+        dep: Deployment,
+    ) -> Self {
+        ReconcileLoop {
+            engine,
+            config,
+            session: ConfigSession::new(),
+            partial,
+            dep,
+            options: ReconcileOptions::default(),
+            round: 0,
+            flap: BTreeMap::new(),
+            outage_since: None,
+            outage_rounds: 0,
+            stats: ReconcileStats::default(),
+        }
+    }
+
+    /// Overrides the loop's tuning knobs (builder-style).
+    pub fn with_options(mut self, options: ReconcileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Re-plans through an existing (possibly warm) incremental session
+    /// instead of a fresh one (builder-style). Callers with their own
+    /// planning caches hand the reconciler a *separate* session so
+    /// reconcile-time pinned solves never disturb the cached plan state;
+    /// recover it afterwards with [`ReconcileLoop::into_parts`].
+    pub fn with_session(mut self, session: ConfigSession) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// The managed deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.dep
+    }
+
+    /// Mutable access to the managed deployment (e.g. to run plain
+    /// monitor ticks between reconcile rounds).
+    pub fn deployment_mut(&mut self) -> &mut Deployment {
+        &mut self.dep
+    }
+
+    /// Surrenders the managed deployment.
+    pub fn into_deployment(self) -> Deployment {
+        self.dep
+    }
+
+    /// Surrenders the managed deployment along with the re-planning
+    /// session (warm after the first drift round), so a pooled caller
+    /// can keep the session for the tenant's next reconcile.
+    pub fn into_parts(self) -> (Deployment, ConfigSession) {
+        (self.dep, self.session)
+    }
+
+    /// The deployment engine repairs run through.
+    pub fn engine(&self) -> &DeploymentEngine<'a> {
+        &self.engine
+    }
+
+    /// Running totals across rounds.
+    pub fn stats(&self) -> &ReconcileStats {
+        &self.stats
+    }
+
+    /// Rounds ticked so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Ticks until a round reports convergence, at most `max_rounds`
+    /// times. Returns whether convergence was reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReconcileLoop::tick`] failures.
+    pub fn run_until_converged(&mut self, max_rounds: u64) -> Result<bool, DeployError> {
+        for _ in 0..max_rounds {
+            if self.tick()?.converged {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// One reconciliation round: observe → classify → re-plan → repair.
+    /// Individual repair failures do *not* fail the round (they feed the
+    /// anti-flap backoff and surface in [`ReconcileRound::error`]); only
+    /// structural problems — an unsatisfiable re-plan even after pin
+    /// relaxation, a driver with no repair path — are hard errors.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::ReplanFailed`] when the configuration engine cannot
+    /// extend the desired spec at all, and DAG compilation errors
+    /// ([`DeployError::NoPath`], statically wedged guards).
+    pub fn tick(&mut self) -> Result<ReconcileRound, DeployError> {
+        self.round += 1;
+        let round = self.round;
+        let obs = self.engine.obs().clone();
+        let _span = obs.span_with("reconcile.tick", &[("round", &round.to_string())]);
+        obs.counter("reconcile.rounds").incr();
+        self.stats.rounds += 1;
+
+        // ---- observe ----
+        let drift = self.dep.monitor.scan(self.engine.sim());
+        obs.counter("reconcile.drift_events")
+            .add(drift.len() as u64);
+        let dead: Vec<(InstanceId, HostId)> = self
+            .dep
+            .machines
+            .iter()
+            .filter(|(_, h)| !self.engine.sim().host_alive(**h))
+            .map(|(m, h)| (m.clone(), *h))
+            .collect();
+
+        // ---- classify ----
+        let mut health: BTreeMap<InstanceId, InstanceHealth> = self
+            .dep
+            .spec
+            .iter()
+            .map(|i| (i.id().clone(), InstanceHealth::Converged))
+            .collect();
+        let dead_hosts: BTreeSet<HostId> = dead.iter().map(|(_, h)| *h).collect();
+        let lost: Vec<InstanceId> = self
+            .dep
+            .spec
+            .iter()
+            .filter(|i| {
+                self.dep
+                    .host_of(i.id())
+                    .is_some_and(|h| dead_hosts.contains(&h))
+            })
+            .map(|i| i.id().clone())
+            .collect();
+        for id in lost {
+            health.insert(id, InstanceHealth::Lost);
+        }
+        for ev in &drift {
+            let DriftEvent::ServiceDown { host, service } = ev else {
+                continue; // HostLost is covered by the machine-map walk.
+            };
+            let downed: Vec<InstanceId> = self
+                .dep
+                .spec
+                .iter()
+                .filter(|i| {
+                    self.dep.host_of(i.id()) == Some(*host)
+                        && service_name(i.key()) == *service
+                        && health.get(i.id()) == Some(&InstanceHealth::Converged)
+                })
+                .map(|i| i.id().clone())
+                .collect();
+            for id in downed {
+                health.insert(id, InstanceHealth::Degraded);
+            }
+        }
+
+        // ---- zero-action round ----
+        if drift.is_empty() && dead.is_empty() && self.dep.is_deployed() {
+            obs.counter("reconcile.zero_action_rounds").incr();
+            self.stats.zero_action_rounds += 1;
+            return Ok(ReconcileRound {
+                round,
+                drift,
+                health,
+                actions: 0,
+                repaired: Vec::new(),
+                deferred: Vec::new(),
+                replaced_hosts: Vec::new(),
+                orphaned: Vec::new(),
+                replanned: false,
+                converged: true,
+                error: None,
+            });
+        }
+        if self.outage_since.is_none() {
+            self.outage_since = Some(self.engine.sim().now());
+            self.outage_rounds = 0;
+            self.stats.outages += 1;
+        }
+        self.outage_rounds += 1;
+
+        // ---- re-plan, pinning still-healthy placements ----
+        let pins: Vec<InstanceId> = health
+            .iter()
+            .filter(|(_, h)| matches!(h, InstanceHealth::Converged))
+            .map(|(id, _)| id.clone())
+            .collect();
+        let outcome = self
+            .config
+            .reconfigure_pinned(&mut self.session, &self.partial, &pins)
+            .map_err(|e| DeployError::ReplanFailed {
+                detail: e.to_string(),
+            })?;
+        let new_spec = outcome.spec;
+
+        // ---- orphans: managed instances the new plan dropped ----
+        let orphaned: Vec<InstanceId> = self
+            .dep
+            .spec
+            .iter()
+            .filter(|i| new_spec.get(i.id()).is_none())
+            .map(|i| i.id().clone())
+            .collect();
+        if !orphaned.is_empty() {
+            obs.counter("reconcile.orphans_removed")
+                .add(orphaned.len() as u64);
+            for id in &orphaned {
+                health.insert(id.clone(), InstanceHealth::Orphaned);
+            }
+            self.teardown_orphans(&orphaned, &dead_hosts);
+        }
+
+        // ---- adopt the new plan ----
+        let states: BTreeMap<InstanceId, DriverState> = new_spec
+            .iter()
+            .map(|i| {
+                let s = self
+                    .dep
+                    .states
+                    .get(i.id())
+                    .cloned()
+                    .unwrap_or(DriverState::Basic(BasicState::Uninstalled));
+                (i.id().clone(), s)
+            })
+            .collect();
+        self.dep.spec = new_spec;
+        self.dep.states = states;
+
+        // ---- replace lost hosts ----
+        let mut replaced = Vec::new();
+        for (machine, old) in &dead {
+            let stale: Vec<String> = self
+                .dep
+                .monitor
+                .watches()
+                .iter()
+                .filter(|w| w.host == *old)
+                .map(|w| w.service.clone())
+                .collect();
+            for service in stale {
+                self.dep.monitor.unwatch(*old, &service);
+            }
+            let Some(inst) = self.dep.spec.get(machine) else {
+                // The machine itself was orphaned by the re-plan.
+                self.dep.machines.remove(machine);
+                continue;
+            };
+            let fresh = self.engine.provision_one(inst);
+            self.dep.machines.insert(machine.clone(), fresh);
+            obs.counter("reconcile.replaced_hosts").incr();
+            replaced.push((machine.clone(), *old, fresh));
+        }
+
+        // ---- adopt observed states (journaled for crash-resume) ----
+        let ids: Vec<InstanceId> = self.dep.spec.iter().map(|i| i.id().clone()).collect();
+        for id in &ids {
+            let observed = match health.get(id) {
+                // A lost instance restarts from scratch on its
+                // replacement host.
+                Some(InstanceHealth::Lost) => DriverState::Basic(BasicState::Uninstalled),
+                // A crashed service keeps its installed package.
+                Some(InstanceHealth::Degraded) => DriverState::Basic(BasicState::Inactive),
+                _ => continue,
+            };
+            if self.dep.states.get(id) != Some(&observed) {
+                if let Some(journal) = self.engine.journal() {
+                    journal.append(JournalRecord::Observed {
+                        instance: id.clone(),
+                        state: observed.to_string(),
+                    });
+                }
+                self.dep.states.insert(id.clone(), observed);
+            }
+        }
+
+        // ---- budget + anti-flap selection ----
+        let order = topological_order(&self.dep.spec).ok_or(DeployError::Model(
+            engage_model::ModelError::SpecError {
+                detail: "instance dependency graph has a cycle".into(),
+            },
+        ))?;
+        let mut selected: Vec<InstanceId> = Vec::new();
+        let mut deferred: Vec<InstanceId> = Vec::new();
+        let mut budget_spent = 0usize;
+        for id in &order {
+            if self.dep.states[id] == DriverState::Basic(BasicState::Active) {
+                continue;
+            }
+            if self.flap.get(id).is_some_and(|f| f.skip_until > round) {
+                obs.counter("reconcile.flap_deferrals").incr();
+                deferred.push(id.clone());
+                continue;
+            }
+            let inst = self.dep.spec.get(id).expect("order comes from spec");
+            let cost = self.transition_cost(inst, &self.dep.states[id]);
+            if self.options.budget > 0
+                && !selected.is_empty()
+                && budget_spent + cost > self.options.budget
+            {
+                deferred.push(id.clone());
+                continue;
+            }
+            budget_spent += cost;
+            selected.push(id.clone());
+        }
+
+        // ---- compile only the delta into the wavefront DAG ----
+        // Deferred instances are masked as already-active so they (and
+        // the guard edges pointing at them) contribute zero DAG nodes;
+        // their true states are restored after the run.
+        let mut repair_states = self.dep.states.clone();
+        for id in &deferred {
+            repair_states.insert(id.clone(), DriverState::Basic(BasicState::Active));
+        }
+        let dag = build_dag(
+            self.engine.universe(),
+            &self.dep.spec,
+            &repair_states,
+            BasicState::Active,
+        )?;
+        let actions = dag.len();
+        obs.gauge("reconcile.delta_size").set(actions as i64);
+        obs.counter("reconcile.actions").add(actions as u64);
+        self.stats.actions += actions as u64;
+        let error = if actions == 0 {
+            None
+        } else {
+            let workers = self
+                .engine
+                .workers()
+                .unwrap_or_else(|| self.dep.machines.len().clamp(1, 8));
+            let run = execute_wavefront(
+                &self.engine,
+                &self.dep.spec,
+                &self.dep.machines,
+                &repair_states,
+                &dag,
+                workers,
+            );
+            self.dep.timeline.extend(run.timeline);
+            let mut states = run.states;
+            for id in &deferred {
+                states.insert(id.clone(), self.dep.states[id].clone());
+            }
+            self.dep.states = states;
+            run.error.map(|e| e.to_string())
+        };
+
+        // ---- anti-flap bookkeeping ----
+        let mut repaired = Vec::new();
+        for id in &selected {
+            if self.dep.states[id] == DriverState::Basic(BasicState::Active) {
+                repaired.push(id.clone());
+                self.flap.remove(id);
+            } else {
+                let entry = self.flap.entry(id.clone()).or_default();
+                entry.failures += 1;
+                if entry.failures >= self.options.flap_threshold {
+                    let exp = (entry.failures - self.options.flap_threshold).min(6);
+                    entry.skip_until = round + (self.options.flap_backoff_rounds << exp);
+                }
+            }
+        }
+
+        // ---- refresh watches, convergence, MTTR ----
+        self.engine.register_services(&mut self.dep);
+        let converged =
+            self.dep.is_deployed() && self.dep.monitor.scan(self.engine.sim()).is_empty();
+        if converged {
+            if let Some(since) = self.outage_since.take() {
+                let mttr = self.engine.sim().now().saturating_sub(since);
+                self.stats.repairs += 1;
+                self.stats.mttr_total += mttr;
+                self.stats.rounds_to_converge_last = self.outage_rounds;
+                obs.gauge("reconcile.mttr_ns").set(mttr.as_nanos() as i64);
+                obs.gauge("reconcile.rounds_to_converge")
+                    .set(self.outage_rounds as i64);
+            }
+        }
+        if obs.is_enabled() {
+            if let Some(e) = &error {
+                obs.event("reconcile.round_error", &[("error", e)]);
+            }
+        }
+
+        Ok(ReconcileRound {
+            round,
+            drift,
+            health,
+            actions,
+            repaired,
+            deferred,
+            replaced_hosts: replaced,
+            orphaned,
+            replanned: true,
+            converged,
+            error,
+        })
+    }
+
+    /// Estimated driver transitions to bring one instance back to
+    /// `active` (budget accounting).
+    fn transition_cost(&self, inst: &ResourceInstance, current: &DriverState) -> usize {
+        let Ok(driver) = self.engine.universe().effective_driver(inst.key()) else {
+            return 1;
+        };
+        find_path(&driver, current, &DriverState::Basic(BasicState::Active))
+            .map_or(1, |path| path.len().max(1))
+    }
+
+    /// Best-effort teardown of instances the re-plan dropped: unwatch
+    /// their services and drive them to `uninstalled` (with teardown
+    /// guards relaxed, like rollback) where their host still lives.
+    fn teardown_orphans(&mut self, orphaned: &[InstanceId], dead_hosts: &BTreeSet<HostId>) {
+        let quiet = self.engine.teardown_clone();
+        let Some(order) = topological_order(&self.dep.spec) else {
+            return;
+        };
+        for id in order.iter().rev() {
+            if !orphaned.contains(id) {
+                continue;
+            }
+            let Some(host) = self.dep.host_of(id) else {
+                continue;
+            };
+            if let Some(inst) = self.dep.spec.get(id) {
+                self.dep.monitor.unwatch(host, &service_name(inst.key()));
+            }
+            if !dead_hosts.contains(&host) {
+                let _ = quiet.drive_to(&mut self.dep, id, BasicState::Uninstalled);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engage_model::{PartialInstance, Universe};
+    use engage_sim::{DownloadSource, FaultKind, FaultOp, Sim};
+    use engage_util::obs::Obs;
+
+    /// Server / MySQL / App universe with service drivers (same shape as
+    /// the engine fixture, reachable from a partial spec).
+    fn universe() -> Universe {
+        engage_dsl::parse_universe(
+            r#"
+        abstract resource "Server" {
+          config port hostname: string = "localhost";
+          output port host: { hostname: string } = { hostname: config.hostname };
+        }
+        resource "Ubuntu 10.10" extends "Server" {}
+        resource "MySQL 5.1" {
+          inside "Server";
+          config port port: int = 3306;
+          output port mysql: { port: int } = { port: config.port };
+          driver service;
+        }
+        resource "App 1.0" {
+          inside "Server";
+          peer "MySQL 5.1" { input mysql <- mysql; }
+          input port mysql: { port: int };
+          config port port: int = 8000;
+          output port url: string = "http://app";
+          driver service;
+        }"#,
+        )
+        .unwrap()
+    }
+
+    fn partial() -> PartialInstallSpec {
+        let mut p = PartialInstallSpec::new();
+        p.push(PartialInstance::new("server", "Ubuntu 10.10"))
+            .unwrap();
+        p.push(PartialInstance::new("db", "MySQL 5.1").inside("server"))
+            .unwrap();
+        p.push(PartialInstance::new("app", "App 1.0").inside("server"))
+            .unwrap();
+        p
+    }
+
+    /// Plans `partial()` and deploys it, returning the loop plus the sim.
+    fn reconciler(u: &Universe, obs: Obs) -> (ReconcileLoop<'_>, Sim) {
+        let config = ConfigEngine::new(u)
+            .with_solver_mode(engage_config::SolverMode::Incremental)
+            .with_obs(obs.clone());
+        let spec = config.configure(&partial()).unwrap().spec;
+        let sim = Sim::new(DownloadSource::local_cache());
+        let engine = DeploymentEngine::new(sim.clone(), u)
+            .with_obs(obs)
+            .with_retry_policy(crate::RetryPolicy::new(1));
+        let dep = engine.deploy(&spec).unwrap();
+        (ReconcileLoop::new(engine, config, partial(), dep), sim)
+    }
+
+    #[test]
+    fn zero_drift_is_a_zero_action_round() {
+        let u = universe();
+        let obs = Obs::new();
+        let (mut rl, _sim) = reconciler(&u, obs.clone());
+        let round = rl.tick().unwrap();
+        assert!(round.drift.is_empty());
+        assert_eq!(round.actions, 0);
+        assert!(!round.replanned, "no drift must mean no SAT query");
+        assert!(round.converged);
+        assert_eq!(obs.metrics().counter("reconcile.zero_action_rounds"), 1);
+        assert!(round
+            .health
+            .values()
+            .all(|h| *h == InstanceHealth::Converged));
+    }
+
+    #[test]
+    fn crashed_service_is_repaired_with_minimal_delta() {
+        let u = universe();
+        let obs = Obs::new();
+        let (mut rl, sim) = reconciler(&u, obs.clone());
+        let db = InstanceId::new("db");
+        let host = rl.deployment().host_of(&db).expect("db is placed");
+        let svc = service_name(rl.deployment().spec().get(&db).unwrap().key());
+        sim.crash_service(host, &svc).unwrap();
+
+        let round = rl.tick().unwrap();
+        assert_eq!(round.drift.len(), 1);
+        assert_eq!(round.health.get(&db), Some(&InstanceHealth::Degraded));
+        assert_eq!(round.repaired, vec![db.clone()]);
+        // Minimal delta: one `start` transition, nothing else touched.
+        assert_eq!(round.actions, 1);
+        assert!(round.converged);
+        assert!(sim.service_running(host, &svc));
+        assert_eq!(rl.stats().repairs, 1);
+        assert!(rl.stats().mean_mttr().is_some());
+    }
+
+    #[test]
+    fn lost_host_is_replaced_and_stack_reconverges() {
+        let u = universe();
+        let obs = Obs::new();
+        let (mut rl, sim) = reconciler(&u, obs.clone());
+        let machines: Vec<(InstanceId, HostId)> = rl
+            .deployment()
+            .machines()
+            .iter()
+            .map(|(m, h)| (m.clone(), *h))
+            .collect();
+        assert_eq!(machines.len(), 1);
+        let (machine, old_host) = machines[0].clone();
+        sim.fail_host(old_host).unwrap();
+
+        let round = rl.tick().unwrap();
+        assert_eq!(round.replaced_hosts.len(), 1);
+        let (m, old, fresh) = round.replaced_hosts[0].clone();
+        assert_eq!(m, machine);
+        assert_eq!(old, old_host);
+        assert_ne!(fresh, old_host);
+        assert!(
+            round.health.values().all(|h| *h == InstanceHealth::Lost),
+            "{:?}",
+            round.health
+        );
+        assert!(round.converged, "{round:?}");
+        assert!(rl.deployment().is_deployed());
+        assert_eq!(
+            rl.deployment().host_of(&InstanceId::new("app")),
+            Some(fresh)
+        );
+        // Everything runs on the replacement host; the monitor watches it.
+        let svc = service_name(
+            rl.deployment()
+                .spec()
+                .get(&InstanceId::new("app"))
+                .unwrap()
+                .key(),
+        );
+        assert!(sim.service_running(fresh, &svc));
+        assert!(rl
+            .deployment()
+            .monitor()
+            .watches()
+            .iter()
+            .all(|w| w.host == fresh));
+        assert_eq!(obs.metrics().counter("reconcile.replaced_hosts"), 1);
+    }
+
+    #[test]
+    fn budget_bounds_transitions_per_round() {
+        let u = universe();
+        let obs = Obs::new();
+        let (rl, sim) = reconciler(&u, obs.clone());
+        let mut rl = rl.with_options(ReconcileOptions {
+            budget: 1,
+            ..ReconcileOptions::default()
+        });
+        // Crash both services: two `start` transitions are owed.
+        for id in ["db", "app"] {
+            let id = InstanceId::new(id);
+            let host = rl.deployment().host_of(&id).unwrap();
+            let svc = service_name(rl.deployment().spec().get(&id).unwrap().key());
+            sim.crash_service(host, &svc).unwrap();
+        }
+        let first = rl.tick().unwrap();
+        assert_eq!(first.actions, 1, "budget=1 must cap the delta");
+        assert_eq!(first.repaired.len(), 1);
+        assert_eq!(first.deferred.len(), 1);
+        assert!(!first.converged);
+        let second = rl.tick().unwrap();
+        assert_eq!(second.repaired.len(), 1);
+        assert!(second.converged);
+    }
+
+    #[test]
+    fn anti_flap_backs_off_repeatedly_failing_instance() {
+        let u = universe();
+        let obs = Obs::new();
+        let (rl, sim) = reconciler(&u, obs.clone());
+        let mut rl = rl.with_options(ReconcileOptions {
+            flap_threshold: 1,
+            flap_backoff_rounds: 2,
+            ..ReconcileOptions::default()
+        });
+        let db = InstanceId::new("db");
+        let host = rl.deployment().host_of(&db).unwrap();
+        let svc = service_name(rl.deployment().spec().get(&db).unwrap().key());
+        sim.crash_service(host, &svc).unwrap();
+        // Every restart attempt fails permanently for a while.
+        sim.inject_fault(FaultOp::Start, &svc, 3, FaultKind::Permanent);
+
+        let r1 = rl.tick().unwrap();
+        assert!(r1.error.is_some(), "repair must fail");
+        assert!(r1.repaired.is_empty());
+        // Threshold reached: the next rounds defer instead of re-driving.
+        let r2 = rl.tick().unwrap();
+        assert_eq!(r2.deferred, vec![db.clone()], "{r2:?}");
+        assert_eq!(r2.actions, 0);
+        assert!(obs.metrics().counter("reconcile.flap_deferrals") >= 1);
+        // Backoff expires and the remaining fault charges drain; the
+        // service eventually comes back.
+        let mut converged = false;
+        for _ in 0..16 {
+            if rl.tick().unwrap().converged {
+                converged = true;
+                break;
+            }
+        }
+        assert!(
+            converged,
+            "flapping instance must converge once the fault clears"
+        );
+        assert!(sim.service_running(host, &svc));
+    }
+}

@@ -11,6 +11,9 @@
 //! engage deploy   --spec SPEC.json [--parallel] [--cloud] [opts]
 //!                                                       simulate the deployment
 //! engage serve    [--listen ADDR | --unix PATH] [opts]  multi-tenant planning daemon
+//! engage reconcile --spec SPEC.json [--ticks N] [--chaos P[:SEED]]
+//!                  [--budget N] [--journal FILE] [opts]
+//!                                                       deploy, then self-heal under chaos
 //! ```
 //!
 //! Options: `--library base|django|full` selects the built-in resource
@@ -35,6 +38,14 @@
 //! `--kill-after N` kills the engine after `N` committed transitions
 //! (chaos testing); `--chaos P[:SEED]` injects transient install/start
 //! faults with probability `P` per operation.
+//!
+//! Reconciler options for `reconcile` (see docs/robustness.md): the
+//! command deploys the spec, then runs `--ticks N` reconciliation
+//! rounds (default 10); between rounds `--chaos P[:SEED]` crashes each
+//! running service with probability `P` and occasionally loses a whole
+//! host; `--budget N` caps driver transitions per round; `--journal
+//! FILE.jsonl` write-ahead journals provisioning, observations, and
+//! repairs for crash-resume.
 //!
 //! Daemon options for `serve` (see docs/serve.md): stdio by default,
 //! `--listen HOST:PORT` for TCP (port 0 picks an ephemeral port; the
@@ -100,6 +111,8 @@ struct Options {
     queue: Option<usize>,
     sessions: Option<usize>,
     max_line_bytes: Option<usize>,
+    ticks: Option<u64>,
+    budget: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -128,6 +141,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         queue: None,
         sessions: None,
         max_line_bytes: None,
+        ticks: None,
+        budget: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -296,6 +311,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 );
                 i += 2;
             }
+            "--ticks" => {
+                let value = args.get(i + 1).ok_or("--ticks needs a round count")?;
+                opts.ticks = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("--ticks `{value}` is not a positive integer"))?,
+                );
+                i += 2;
+            }
+            "--budget" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--budget needs a transition count (0 = unbounded)")?;
+                opts.budget = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--budget `{value}` is not an integer"))?,
+                );
+                i += 2;
+            }
             "--kill-after" => {
                 let value = args
                     .get(i + 1)
@@ -380,7 +417,7 @@ fn emit(opts: &Options, content: String) -> Result<String, String> {
 fn run(args: &[String]) -> Result<String, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(
-            "usage: engage <check|checkspec|print|plan|graph|dimacs|diagnose|deploy|serve> [options]\n\
+            "usage: engage <check|checkspec|print|plan|graph|dimacs|diagnose|deploy|serve|reconcile> [options]\n\
              run with a command for details"
                 .into(),
         );
@@ -596,8 +633,9 @@ fn run(args: &[String]) -> Result<String, String> {
             emit(&opts, out)
         }
         "serve" => run_serve(&opts, &obs),
+        "reconcile" => run_reconcile(&opts, &obs),
         other => Err(format!(
-            "unknown command `{other}` (check|checkspec|print|plan|graph|dimacs|diagnose|deploy|serve)"
+            "unknown command `{other}` (check|checkspec|print|plan|graph|dimacs|diagnose|deploy|serve|reconcile)"
         )),
     }?;
     // The trailing {"type":"metrics"} JSONL line, and the --metrics text.
@@ -613,6 +651,124 @@ fn run(args: &[String]) -> Result<String, String> {
         }
     }
     Ok(output)
+}
+
+/// The `engage reconcile` command: deploy the spec, then run the
+/// self-healing reconcile loop for `--ticks` rounds while `--chaos`
+/// crashes services (and occasionally whole hosts) between rounds.
+fn run_reconcile(opts: &Options, obs: &Obs) -> Result<String, String> {
+    use engage::ReconcileOptions;
+    use engage_util::rand::{Rng, SeedableRng, StdRng};
+
+    let u = load_universe(opts)?;
+    let partial = load_spec(opts)?;
+    let mut system = Engage::new(u)
+        .with_packages(engage_library::package_universe())
+        .with_registry(engage_library::driver_registry())
+        .with_solver_mode(opts.solver.unwrap_or(SolverMode::Incremental))
+        .with_obs(obs.clone());
+    if opts.cloud {
+        system = system.with_cloud_provisioning();
+    }
+    if opts.retries > 1 {
+        let mut retry = RetryPolicy::new(opts.retries);
+        if let Some(seed) = opts.retry_seed {
+            retry = retry.with_seed(seed);
+        }
+        system = system.with_retry_policy(retry);
+    }
+    if let Some(path) = &opts.journal {
+        let journal = DeployJournal::jsonl_create(path).map_err(|e| format!("{path}: {e}"))?;
+        system = system.with_journal(journal);
+    }
+    let (rate, seed) = opts.chaos.unwrap_or((0.0, 0));
+    // Seed the sim's chaos RNG so crash_storm draws are reproducible.
+    system.sim().set_fault_plan(FaultPlan::new(seed));
+
+    let (outcome, deployment) = system.deploy(&partial).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "deployed {} instances on {} machine(s); reconciling",
+        outcome.spec.len(),
+        deployment.machines().len()
+    );
+    let mut rl = system
+        .reconciler(&partial, deployment)
+        .with_options(ReconcileOptions {
+            budget: opts.budget.unwrap_or(0),
+            ..ReconcileOptions::default()
+        });
+    let mut host_rng = StdRng::seed_from_u64(seed ^ 0x005e_c09c_11e5);
+    let ticks = opts.ticks.unwrap_or(10);
+    for _ in 0..ticks {
+        // Chaos between rounds: service crash storm, plus the odd
+        // whole-host loss at a tenth of the crash rate.
+        if rate > 0.0 {
+            let victims = system.sim().crash_storm(rate);
+            for (host, service) in victims {
+                let _ = writeln!(out, "chaos: crashed {service} on {host}");
+            }
+            let live: Vec<_> = rl
+                .deployment()
+                .machines()
+                .values()
+                .filter(|h| system.sim().host_alive(**h))
+                .copied()
+                .collect();
+            if !live.is_empty() && host_rng.gen_bool((rate / 10.0).min(1.0)) {
+                let victim = live[host_rng.gen_range(0..live.len())];
+                if system.sim().fail_host(victim).is_ok() {
+                    let _ = writeln!(out, "chaos: lost host {victim}");
+                }
+            }
+        }
+        let round = rl.tick().map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "round {:>3}: drift={} actions={} repaired={} deferred={} replaced={} orphaned={}{}{}",
+            round.round,
+            round.drift.len(),
+            round.actions,
+            round.repaired.len(),
+            round.deferred.len(),
+            round.replaced_hosts.len(),
+            round.orphaned.len(),
+            if round.converged { " converged" } else { "" },
+            match &round.error {
+                Some(e) => format!(" error={e}"),
+                None => String::new(),
+            }
+        );
+    }
+    let stats = rl.stats();
+    let _ = writeln!(
+        out,
+        "reconciled {} round(s): {} zero-action, {} transition(s), {} outage(s), {} repair(s)",
+        stats.rounds, stats.zero_action_rounds, stats.actions, stats.outages, stats.repairs
+    );
+    if let Some(mttr) = stats.mean_mttr() {
+        let _ = writeln!(
+            out,
+            "mean time to repair: {:.1} min simulated ({} round(s) for the last outage)",
+            mttr.as_secs_f64() / 60.0,
+            stats.rounds_to_converge_last
+        );
+    }
+    let dep = rl.into_deployment();
+    let _ = writeln!(
+        out,
+        "final state: {}",
+        if dep.is_deployed() {
+            "converged"
+        } else {
+            "NOT converged"
+        }
+    );
+    for (id, state) in system.status(&dep) {
+        let _ = writeln!(out, "status {id}: {state}");
+    }
+    emit(opts, out)
 }
 
 /// The `engage serve` daemon: stdio by default, `--listen ADDR` for

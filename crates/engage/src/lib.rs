@@ -59,8 +59,9 @@ use engage_util::sync::Mutex;
 pub use engage_config::ConfigEngine as RawConfigEngine;
 pub use engage_config::SolverMode;
 pub use engage_deploy::{
-    load_jsonl, DeployFailure, DeployJournal, JournalRecord, ResumeMode, RetryPolicy,
-    SchedulerStrategy, UpgradeReport, UpgradeStrategy,
+    load_jsonl, DeployFailure, DeployJournal, InstanceHealth, JournalRecord, ReconcileLoop,
+    ReconcileOptions, ReconcileRound, ReconcileStats, ResumeMode, RetryPolicy, SchedulerStrategy,
+    UpgradeReport, UpgradeStrategy,
 };
 
 /// Top-level error: configuration or deployment.
@@ -546,6 +547,24 @@ impl Engage {
         state: BasicState,
     ) -> Result<(), EngageError> {
         Ok(self.engine().drive_to(deployment, id, state)?)
+    }
+
+    /// Wraps a running deployment in a self-healing [`ReconcileLoop`]:
+    /// each tick scans for drift, re-plans the desired partial spec with
+    /// healthy placements pinned, and repairs only the delta (see
+    /// `engage_deploy::ReconcileLoop`). The loop gets its own incremental
+    /// configuration session, so it never disturbs this instance's
+    /// planning cache.
+    pub fn reconciler(
+        &self,
+        partial: &PartialInstallSpec,
+        deployment: Deployment,
+    ) -> ReconcileLoop<'_> {
+        let config = ConfigEngine::new(&self.universe)
+            .with_encoding(self.encoding)
+            .with_solver_mode(SolverMode::Incremental)
+            .with_obs(self.obs.clone());
+        ReconcileLoop::new(self.engine(), config, partial.clone(), deployment)
     }
 
     fn engine(&self) -> DeploymentEngine<'_> {

@@ -9,11 +9,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use engage_config::{diagnose, ConfigEngine, ConfigError, SolverMode};
-use engage_deploy::{DeploymentEngine, DriverRegistry};
+use engage_config::{diagnose, ConfigEngine, ConfigError, ConfigSession, SolverMode};
+use engage_deploy::{DeploymentEngine, DriverRegistry, ReconcileLoop, ReconcileOptions};
 use engage_dsl::Json;
+use engage_model::{PartialInstallSpec, Universe};
 use engage_sat::ExactlyOneEncoding;
-use engage_sim::{DownloadSource, Sim};
+use engage_sim::{DownloadSource, FaultPlan, Sim};
 use engage_util::hash::fnv1a64;
 use engage_util::obs::Obs;
 use engage_util::sync::channel::{self, Sender};
@@ -144,7 +145,7 @@ impl Server {
             Op::Metrics => {
                 let _ = reply.send(state.metrics_line(&request.id));
             }
-            Op::Plan | Op::Deploy => {
+            Op::Plan | Op::Deploy | Op::Reconcile => {
                 let job = Job {
                     request,
                     reply: reply.clone(),
@@ -218,15 +219,17 @@ impl ServerState {
         match req.op {
             Op::Plan => self.plan(req, false),
             Op::Deploy => self.plan(req, true),
+            Op::Reconcile => self.reconcile(req),
             Op::Ping => protocol::ok_line(&req.id, Op::Ping, vec![]),
             Op::Metrics => self.metrics_line(&req.id),
         }
     }
 
-    fn plan(&self, req: &Request, deploy: bool) -> String {
-        // Key the pool on the universe *source*: same tenant + same
-        // source hits the warm session. The built-in library gets a
-        // fixed key.
+    /// Finds or creates the tenant's session-pool entry, maintaining
+    /// the `serve.session_*` counters. Keyed on the universe *source*:
+    /// same tenant + same source hits the warm entry; the built-in
+    /// library gets a fixed key.
+    fn checkout_tenant(&self, req: &Request) -> Result<super::pool::Checkout, String> {
         let checkout = match &req.universe {
             Some(src) => self
                 .pool
@@ -235,17 +238,10 @@ impl ServerState {
                         .map_err(|d| format!("universe: {}", d.message()))?;
                     u.check().map_err(|errs| format!("universe: {}", errs[0]))?;
                     Ok(u)
-                }),
+                })?,
             None => self.pool.checkout(&req.tenant, fnv1a64(b"\0library"), || {
                 Ok(engage_library::full_universe())
-            }),
-        };
-        let checkout = match checkout {
-            Ok(c) => c,
-            Err(msg) => {
-                self.obs.counter("serve.errors").incr();
-                return protocol::error_line(&req.id, ErrorKind::Config, &msg);
-            }
+            })?,
         };
         if checkout.hit {
             self.obs.counter("serve.session_hits").incr();
@@ -257,6 +253,17 @@ impl ServerState {
                 .counter("serve.session_evictions")
                 .add(checkout.evicted as u64);
         }
+        Ok(checkout)
+    }
+
+    fn plan(&self, req: &Request, deploy: bool) -> String {
+        let checkout = match self.checkout_tenant(req) {
+            Ok(c) => c,
+            Err(msg) => {
+                self.obs.counter("serve.errors").incr();
+                return protocol::error_line(&req.id, ErrorKind::Config, &msg);
+            }
+        };
         let spec_json = req.spec.as_ref().expect("parser requires spec for plan");
         let partial = match engage_dsl::partial_spec_from_json(spec_json) {
             Ok(p) => p,
@@ -277,6 +284,7 @@ impl ServerState {
             universe,
             index,
             session,
+            ..
         } = &mut *entry;
         let engine = ConfigEngine::new_with_index(universe, Arc::clone(index))
             .with_solver_mode(self.cfg.solver);
@@ -360,6 +368,163 @@ impl ServerState {
             }
         }
         protocol::ok_line(&req.id, req.op, body)
+    }
+
+    /// The `reconcile` op: plan, deploy into a fresh simulated data
+    /// center, run the self-healing loop under seeded chaos, and report
+    /// convergence plus final per-instance states.
+    ///
+    /// The tenant's *reconcile* session is taken out of the pool entry
+    /// under the lock and restored afterwards — the entry lock is NOT
+    /// held while the loop runs, and the tenant's plan cache
+    /// (`TenantState::session`) is never touched, so concurrent `plan`
+    /// requests for the same tenant keep hitting their warm session.
+    fn reconcile(&self, req: &Request) -> String {
+        let checkout = match self.checkout_tenant(req) {
+            Ok(c) => c,
+            Err(msg) => {
+                self.obs.counter("serve.errors").incr();
+                return protocol::error_line(&req.id, ErrorKind::Config, &msg);
+            }
+        };
+        let spec_json = req
+            .spec
+            .as_ref()
+            .expect("parser requires spec for reconcile");
+        let partial = match engage_dsl::partial_spec_from_json(spec_json) {
+            Ok(p) => p,
+            Err(msg) => {
+                self.obs.counter("serve.errors").incr();
+                return protocol::error_line(
+                    &req.id,
+                    ErrorKind::BadRequest,
+                    &format!("spec: {msg}"),
+                );
+            }
+        };
+        let (universe, session) = {
+            let mut entry = checkout.state.lock();
+            (
+                entry.universe.clone(),
+                std::mem::replace(&mut entry.reconcile_session, ConfigSession::new()),
+            )
+        };
+        let (result, session) = self.run_reconcile(&universe, req, partial, session);
+        // Concurrent reconciles for one tenant both took a session; the
+        // last restore wins, which only costs the next round its warmth.
+        checkout.state.lock().reconcile_session = session;
+        match result {
+            Ok(body) => protocol::ok_line(&req.id, Op::Reconcile, body),
+            Err((kind, message)) => {
+                self.obs.counter("serve.errors").incr();
+                protocol::error_line(&req.id, kind, &message)
+            }
+        }
+    }
+
+    /// The lock-free part of [`ServerState::reconcile`]: always hands
+    /// the session back, even on failure.
+    #[allow(clippy::type_complexity)]
+    fn run_reconcile(
+        &self,
+        universe: &Universe,
+        req: &Request,
+        partial: PartialInstallSpec,
+        mut session: ConfigSession,
+    ) -> (
+        Result<Vec<(String, Json)>, (ErrorKind, String)>,
+        ConfigSession,
+    ) {
+        let config = ConfigEngine::new(universe).with_solver_mode(SolverMode::Incremental);
+        let outcome = match config.reconfigure(&mut session, &partial) {
+            Ok(o) => o,
+            Err(e @ ConfigError::Unsatisfiable { .. }) => {
+                return (Err((ErrorKind::Unsat, e.to_string())), session)
+            }
+            Err(e) => return (Err((ErrorKind::Config, e.to_string())), session),
+        };
+        let (sim, registry) = if req.universe.is_none() {
+            (
+                Sim::with_packages(
+                    engage_library::package_universe(),
+                    DownloadSource::local_cache(),
+                ),
+                engage_library::driver_registry(),
+            )
+        } else {
+            (
+                Sim::new(DownloadSource::local_cache()),
+                DriverRegistry::new(),
+            )
+        };
+        // Seed the chaos RNG so crash storms replay per (seed, ticks).
+        sim.set_fault_plan(FaultPlan::new(req.seed.unwrap_or(0)));
+        let engine = DeploymentEngine::new(sim.clone(), universe).with_registry(registry);
+        let dep = match engine.deploy(&outcome.spec) {
+            Ok(d) => d,
+            Err(e) => return (Err((ErrorKind::Deploy, e.to_string())), session),
+        };
+        let mut rl = ReconcileLoop::new(engine, config, partial, dep)
+            .with_session(session)
+            .with_options(ReconcileOptions {
+                budget: req.budget.unwrap_or(0) as usize,
+                ..ReconcileOptions::default()
+            });
+        let chaos = req.chaos.unwrap_or(0.0);
+        let mut converged = true;
+        let mut failure = None;
+        for _ in 0..req.ticks.unwrap_or(5) {
+            if chaos > 0.0 {
+                let _ = sim.crash_storm(chaos);
+            }
+            match rl.tick() {
+                Ok(round) => converged = round.converged,
+                Err(e) => {
+                    failure = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        let stats = rl.stats().clone();
+        let (dep, session) = rl.into_parts();
+        if let Some(message) = failure {
+            return (Err((ErrorKind::Deploy, message)), session);
+        }
+        let states = dep
+            .spec()
+            .iter()
+            .map(|inst| {
+                let state = dep
+                    .state(inst.id())
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "unknown".into());
+                (inst.id().to_string(), Json::Str(state))
+            })
+            .collect();
+        let body = vec![
+            ("spec_len".to_owned(), Json::Int(dep.spec().len() as i64)),
+            ("rounds".to_owned(), Json::Int(stats.rounds as i64)),
+            (
+                "zero_action_rounds".to_owned(),
+                Json::Int(stats.zero_action_rounds as i64),
+            ),
+            ("actions".to_owned(), Json::Int(stats.actions as i64)),
+            ("outages".to_owned(), Json::Int(stats.outages as i64)),
+            ("repairs".to_owned(), Json::Int(stats.repairs as i64)),
+            (
+                "mttr_ms".to_owned(),
+                match stats.mean_mttr() {
+                    Some(d) => Json::Int(d.as_millis() as i64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "converged".to_owned(),
+                Json::Bool(converged && dep.is_deployed()),
+            ),
+            ("states".to_owned(), Json::Object(states)),
+        ];
+        (Ok(body), session)
     }
 
     fn metrics_line(&self, id: &Json) -> String {

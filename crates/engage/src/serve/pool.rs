@@ -24,6 +24,11 @@ pub struct TenantState {
     pub index: Arc<UniverseIndex>,
     /// The live solver session; warm after the first solve.
     pub session: ConfigSession,
+    /// A *separate* session for `reconcile` requests. Reconciliation
+    /// re-plans under pinned assumptions, which mutates solver state —
+    /// giving it its own session keeps the tenant's plan cache
+    /// (`session`) warm and untouched while reconciles run.
+    pub reconcile_session: ConfigSession,
 }
 
 struct Slot {
@@ -115,6 +120,7 @@ impl SessionPool {
             universe,
             index,
             session: ConfigSession::new(),
+            reconcile_session: ConfigSession::new(),
         }));
         let mut inner = self.inner.lock();
         inner.clock += 1;

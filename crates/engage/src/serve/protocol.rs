@@ -23,6 +23,11 @@ pub enum Op {
     /// Plan, then deploy the full spec into a fresh simulated data
     /// center.
     Deploy,
+    /// Plan, deploy, then run the self-healing reconcile loop under
+    /// seeded chaos and report convergence (`ticks`, `chaos`, `seed`,
+    /// `budget` fields tune it). Uses the tenant's *reconcile* session,
+    /// never its plan cache.
+    Reconcile,
     /// Snapshot of the daemon's `serve.*` counters and gauges.
     Metrics,
 }
@@ -34,6 +39,7 @@ impl Op {
             Op::Ping => "ping",
             Op::Plan => "plan",
             Op::Deploy => "deploy",
+            Op::Reconcile => "reconcile",
             Op::Metrics => "metrics",
         }
     }
@@ -89,8 +95,17 @@ pub struct Request {
     /// Optional `.ers` resource-universe source. Absent means the
     /// built-in full resource library.
     pub universe: Option<String>,
-    /// The partial install spec (JSON form), required for plan/deploy.
+    /// The partial install spec (JSON form), required for
+    /// plan/deploy/reconcile.
     pub spec: Option<Json>,
+    /// Reconcile rounds to run (`reconcile` only; default 5).
+    pub ticks: Option<u64>,
+    /// Per-round service-crash probability (`reconcile` only).
+    pub chaos: Option<f64>,
+    /// Chaos RNG seed (`reconcile` only; default 0).
+    pub seed: Option<u64>,
+    /// Per-round transition budget, 0 = unbounded (`reconcile` only).
+    pub budget: Option<u64>,
 }
 
 /// A request-level failure, before any engine ran.
@@ -141,11 +156,12 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         Some("ping") => Op::Ping,
         Some("plan") => Op::Plan,
         Some("deploy") => Op::Deploy,
+        Some("reconcile") => Op::Reconcile,
         Some("metrics") => Op::Metrics,
         Some(other) => {
             return Err(bad(
                 &id,
-                format!("unknown op `{other}` (ping|plan|deploy|metrics)"),
+                format!("unknown op `{other}` (ping|plan|deploy|reconcile|metrics)"),
             ))
         }
         None => return Err(bad(&id, "missing string field `op`")),
@@ -161,15 +177,38 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         Some(_) => return Err(bad(&id, "`universe` must be a string of `.ers` source")),
     };
     let spec = json.get("spec").cloned();
-    if matches!(op, Op::Plan | Op::Deploy) && spec.is_none() {
+    if matches!(op, Op::Plan | Op::Deploy | Op::Reconcile) && spec.is_none() {
         return Err(bad(&id, "missing field `spec` (partial install spec)"));
     }
+    let uint = |field: &str| -> Result<Option<u64>, RequestError> {
+        match json.get(field) {
+            None | Some(Json::Null) => Ok(None),
+            Some(Json::Int(n)) if *n >= 0 => Ok(Some(*n as u64)),
+            Some(_) => Err(bad(
+                &id,
+                format!("`{field}` must be a non-negative integer"),
+            )),
+        }
+    };
+    let ticks = uint("ticks")?;
+    let seed = uint("seed")?;
+    let budget = uint("budget")?;
+    let chaos = match json.get("chaos") {
+        None | Some(Json::Null) => None,
+        Some(Json::Float(p)) if (0.0..=1.0).contains(p) => Some(*p),
+        Some(Json::Int(n)) if (0..=1).contains(n) => Some(*n as f64),
+        Some(_) => return Err(bad(&id, "`chaos` must be a probability in [0, 1]")),
+    };
     Ok(Request {
         id,
         tenant,
         op,
         universe,
         spec,
+        ticks,
+        chaos,
+        seed,
+        budget,
     })
 }
 

@@ -26,6 +26,9 @@ pub struct Host {
     packages: BTreeSet<String>,
     files: BTreeMap<String, String>,
     services: BTreeMap<String, Service>,
+    /// Set when the machine has been lost ([`crate::Sim::fail_host`]):
+    /// every mutating operation on a dead host fails permanently.
+    dead: bool,
 }
 
 impl Host {
@@ -43,7 +46,32 @@ impl Host {
             packages: BTreeSet::new(),
             files: BTreeMap::new(),
             services: BTreeMap::new(),
+            dead: false,
         }
+    }
+
+    /// Whether the machine has been lost (see [`crate::Sim::fail_host`]).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Marks the host lost: every running service dies with it. Returns
+    /// the services that were running, or an error if the host was
+    /// already down.
+    pub(crate) fn fail(&mut self) -> Result<Vec<String>, String> {
+        if self.dead {
+            return Err(format!("host `{}` is already down", self.info.hostname));
+        }
+        self.dead = true;
+        let mut lost = Vec::new();
+        for (name, s) in self.services.iter_mut() {
+            if s.running {
+                s.running = false;
+                s.crashes += 1;
+                lost.push(name.clone());
+            }
+        }
+        Ok(lost)
     }
 
     /// Host facts.

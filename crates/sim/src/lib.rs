@@ -42,7 +42,7 @@ mod sim;
 
 pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRate};
 pub use host::{Host, Service, Snapshot};
-pub use monitor::{Monitor, RestartRecord, WatchEntry};
+pub use monitor::{DriftEvent, Monitor, RestartRecord, WatchEntry};
 pub use os::{HostId, HostInfo, Os};
 pub use pkg::{DownloadSource, PackageMeta, PackageUniverse};
 pub use sim::{Event, Sim, SimError};

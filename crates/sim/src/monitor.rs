@@ -4,6 +4,7 @@
 //! If the process associated with a service fails, it will be automatically
 //! restarted by monit using a set of runtime services provided by Engage."
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::os::HostId;
@@ -19,6 +20,28 @@ pub struct WatchEntry {
     pub service: String,
     /// Port to rebind on restart, if the service listens.
     pub port: Option<u16>,
+}
+
+/// One observed divergence between the watch list (desired state) and
+/// the live data center, as reported by [`Monitor::scan`]. Detection
+/// only — `scan` never repairs anything and never advances the clock;
+/// a reconciler decides what to do with the drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriftEvent {
+    /// A watched service is down on a host that is still alive.
+    ServiceDown {
+        /// Host the service should run on.
+        host: HostId,
+        /// The down service.
+        service: String,
+    },
+    /// A watched host has been lost entirely ([`Sim::fail_host`]).
+    HostLost {
+        /// The dead host.
+        host: HostId,
+        /// Every watched service that went down with it.
+        services: Vec<String>,
+    },
 }
 
 /// A restart performed by the monitor.
@@ -49,11 +72,23 @@ impl Monitor {
     }
 
     /// Registers a service to watch (what the monit plugin does from the
-    /// resource type after deployment).
+    /// resource type after deployment). Re-watching an already-watched
+    /// `(host, service)` pair updates its port in place rather than
+    /// appending a duplicate entry, so repeated registration (e.g. a
+    /// redeploy over a live monitor) cannot double restarts.
     pub fn watch(&mut self, host: HostId, service: impl Into<String>, port: Option<u16>) {
+        let service = service.into();
+        if let Some(w) = self
+            .watches
+            .iter_mut()
+            .find(|w| w.host == host && w.service == service)
+        {
+            w.port = port;
+            return;
+        }
         self.watches.push(WatchEntry {
             host,
-            service: service.into(),
+            service,
             port,
         });
     }
@@ -69,8 +104,12 @@ impl Monitor {
         &self.watches
     }
 
-    /// One monitoring cycle: every watched service that is down is
-    /// restarted. Returns the restarts performed this cycle.
+    /// One monitoring cycle: every watched service that is down on a
+    /// live host is restarted (lost hosts are skipped — nothing monit
+    /// can do there; see [`Monitor::scan`]). Returns the restarts
+    /// performed this cycle, and emits one `sim.monitor.tick` obs event
+    /// summarizing it alongside the per-restart `sim.monitor_restart`
+    /// events.
     ///
     /// # Errors
     ///
@@ -78,8 +117,12 @@ impl Monitor {
     /// service was down).
     pub fn tick(&mut self, sim: &Sim) -> Result<Vec<RestartRecord>, SimError> {
         let obs = sim.obs();
+        obs.counter("sim.monitor_ticks").incr();
         let mut performed = Vec::new();
         for w in &self.watches {
+            if !sim.host_alive(w.host) {
+                continue;
+            }
             if !sim.service_running(w.host, &w.service) {
                 sim.start_service(w.host, &w.service, w.port)?;
                 let rec = RestartRecord {
@@ -96,8 +139,40 @@ impl Monitor {
                 self.restarts.push(rec);
             }
         }
+        let watched = self.watches.len().to_string();
+        let restarted = performed.len().to_string();
+        obs.event(
+            "sim.monitor.tick",
+            &[("watched", &watched), ("restarted", &restarted)],
+        );
         sim.advance(Duration::from_secs(30)); // monit polling interval
         Ok(performed)
+    }
+
+    /// Detection without repair: reports every watched service that is
+    /// not running, distinguishing services down on live hosts
+    /// ([`DriftEvent::ServiceDown`]) from services lost with their host
+    /// ([`DriftEvent::HostLost`], one event per dead host). Unlike
+    /// [`Monitor::tick`] this restarts nothing and does not advance the
+    /// simulated clock, so a reconciler can poll it freely.
+    pub fn scan(&self, sim: &Sim) -> Vec<DriftEvent> {
+        let mut drift = Vec::new();
+        let mut lost: BTreeMap<HostId, Vec<String>> = BTreeMap::new();
+        for w in &self.watches {
+            if !sim.host_alive(w.host) {
+                lost.entry(w.host).or_default().push(w.service.clone());
+            } else if !sim.service_running(w.host, &w.service) {
+                drift.push(DriftEvent::ServiceDown {
+                    host: w.host,
+                    service: w.service.clone(),
+                });
+            }
+        }
+        drift.extend(
+            lost.into_iter()
+                .map(|(host, services)| DriftEvent::HostLost { host, services }),
+        );
+        drift
     }
 
     /// All restarts ever performed.
@@ -145,6 +220,85 @@ mod tests {
         let st = sim.service_state(h, "gunicorn").unwrap();
         assert_eq!(st.crashes, 1);
         assert_eq!(st.starts, 2);
+    }
+
+    #[test]
+    fn rewatch_updates_in_place() {
+        let mut mon = Monitor::new();
+        mon.watch(HostId(0), "web", Some(80));
+        mon.watch(HostId(0), "web", Some(8080));
+        mon.watch(HostId(1), "web", Some(80));
+        assert_eq!(mon.watches().len(), 2);
+        assert_eq!(mon.watches()[0].port, Some(8080));
+    }
+
+    #[test]
+    fn tick_emits_obs_events() {
+        use engage_util::obs::{MemorySink, Obs};
+        use std::sync::Arc;
+        let sim = Sim::new(DownloadSource::local_cache());
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new().with_sink(sink.clone());
+        sim.set_obs(obs.clone());
+        let h = sim.provision_local("web", Os::Ubuntu1010);
+        sim.start_service(h, "gunicorn", Some(8000)).unwrap();
+        let mut mon = Monitor::new();
+        mon.watch(h, "gunicorn", Some(8000));
+        mon.tick(&sim).unwrap();
+        sim.crash_service(h, "gunicorn").unwrap();
+        mon.tick(&sim).unwrap();
+        assert_eq!(obs.metrics().counter("sim.monitor_ticks"), 2);
+        assert_eq!(obs.metrics().counter("sim.monitor_restarts"), 1);
+        let ticks = sink.events_named("sim.monitor.tick");
+        assert_eq!(ticks.len(), 2);
+        let restarted = |r: &engage_util::obs::Record| match r {
+            engage_util::obs::Record::Event { fields, .. } => fields
+                .iter()
+                .find(|(k, _)| k == "restarted")
+                .map(|(_, v)| v.clone()),
+            _ => None,
+        };
+        assert_eq!(restarted(&ticks[0]).as_deref(), Some("0"));
+        assert_eq!(restarted(&ticks[1]).as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn scan_reports_drift_without_repairing() {
+        let sim = Sim::new(DownloadSource::local_cache());
+        let a = sim.provision_local("a", Os::Ubuntu1010);
+        let b = sim.provision_local("b", Os::Ubuntu1010);
+        sim.start_service(a, "s1", None).unwrap();
+        sim.start_service(b, "s2", None).unwrap();
+        sim.start_service(b, "s3", None).unwrap();
+        let mut mon = Monitor::new();
+        mon.watch(a, "s1", None);
+        mon.watch(b, "s2", None);
+        mon.watch(b, "s3", None);
+        assert!(mon.scan(&sim).is_empty());
+
+        sim.crash_service(a, "s1").unwrap();
+        sim.fail_host(b).unwrap();
+        let before = sim.now();
+        let drift = mon.scan(&sim);
+        assert_eq!(sim.now(), before, "scan must not advance the clock");
+        assert!(!sim.service_running(a, "s1"), "scan must not repair");
+        assert_eq!(
+            drift,
+            vec![
+                DriftEvent::ServiceDown {
+                    host: a,
+                    service: "s1".into()
+                },
+                DriftEvent::HostLost {
+                    host: b,
+                    services: vec!["s2".into(), "s3".into()]
+                },
+            ]
+        );
+        // tick skips the dead host instead of erroring, repairs the live one.
+        let restarted = mon.tick(&sim).unwrap();
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted[0].service, "s1");
     }
 
     #[test]

@@ -107,6 +107,12 @@ pub enum Event {
         /// Which service.
         service: String,
     },
+    /// A host was lost entirely (machine failure injection); every
+    /// running service on it died with it.
+    HostFailed {
+        /// Which host.
+        host: HostId,
+    },
     /// A snapshot was taken (upgrade backup).
     SnapshotTaken {
         /// Of which host.
@@ -282,6 +288,17 @@ impl Sim {
         SimError::new(format!("unknown host {host}"))
     }
 
+    /// Fails (permanently) when `host` is unknown or has been lost:
+    /// dead machines answer nothing, so mutating operations on them
+    /// cannot succeed no matter how often they are retried.
+    fn ensure_alive(&self, host: HostId) -> Result<(), SimError> {
+        match self.with_host(host, Host::is_dead) {
+            None => Err(Self::unknown_host(host)),
+            Some(true) => Err(SimError::new(format!("{host} is down"))),
+            Some(false) => Ok(()),
+        }
+    }
+
     /// Runs `f` with shared access to a host's slot.
     fn with_host<R>(&self, host: HostId, f: impl FnOnce(&Host) -> R) -> Option<R> {
         let arena = self.shared.hosts.read();
@@ -376,6 +393,7 @@ impl Sim {
     /// ([`Sim::inject_install_failure`], [`Sim::inject_fault`], or an
     /// armed [`FaultPlan`]).
     pub fn install_package(&self, host: HostId, package: &str) -> Result<Duration, SimError> {
+        self.ensure_alive(host)?;
         self.fault_check(FaultOp::Install, package, "installing")?;
         let arena = self.shared.hosts.read();
         let slot = arena
@@ -405,6 +423,7 @@ impl Sim {
     ///
     /// Unknown host or package not installed.
     pub fn remove_package(&self, host: HostId, package: &str) -> Result<(), SimError> {
+        self.ensure_alive(host)?;
         let removed = self
             .with_host_mut(host, |h| h.remove_package(package))
             .ok_or_else(|| Self::unknown_host(host))?;
@@ -493,6 +512,30 @@ impl Sim {
         victims
     }
 
+    /// Loses a machine entirely (power cut, hypervisor death): every
+    /// running service on it dies, and from now on every mutating
+    /// operation on the host fails permanently. The slot stays in the
+    /// arena — `HostId`s are dense indexes and are never reused — so a
+    /// reconciler must place the lost instances on a *replacement* host.
+    /// Returns the names of the services that were running.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host, or the host is already down.
+    pub fn fail_host(&self, host: HostId) -> Result<Vec<String>, SimError> {
+        let lost = self
+            .with_host_mut(host, Host::fail)
+            .ok_or_else(|| Self::unknown_host(host))?
+            .map_err(SimError::new)?;
+        self.push_event(Event::HostFailed { host });
+        Ok(lost)
+    }
+
+    /// Whether a host exists and has not been lost.
+    pub fn host_alive(&self, host: HostId) -> bool {
+        self.with_host(host, |h| !h.is_dead()).unwrap_or(false)
+    }
+
     // ----- files -----
 
     /// Writes a configuration file.
@@ -501,6 +544,7 @@ impl Sim {
     ///
     /// Unknown host.
     pub fn write_file(&self, host: HostId, path: &str, content: &str) -> Result<(), SimError> {
+        self.ensure_alive(host)?;
         self.with_host_mut(host, |h| h.write_file(path, content))
             .ok_or_else(|| Self::unknown_host(host))
     }
@@ -525,6 +569,7 @@ impl Sim {
         service: &str,
         port: Option<u16>,
     ) -> Result<(), SimError> {
+        self.ensure_alive(host)?;
         self.fault_check(FaultOp::Start, service, "starting")?;
         let pid = self.shared.next_pid.fetch_add(1, Ordering::AcqRel) + 1;
         self.with_host_mut(host, |h| h.start_service(service, port, pid))
@@ -545,6 +590,7 @@ impl Sim {
     /// Unknown host, service not running, or an injected failure
     /// ([`Sim::inject_fault`] / [`FaultPlan`]).
     pub fn stop_service(&self, host: HostId, service: &str) -> Result<(), SimError> {
+        self.ensure_alive(host)?;
         self.fault_check(FaultOp::Stop, service, "stopping")?;
         self.with_host_mut(host, |h| h.stop_service(service))
             .ok_or_else(|| Self::unknown_host(host))?
@@ -575,6 +621,7 @@ impl Sim {
     ///
     /// Unknown host or service not running.
     pub fn crash_service(&self, host: HostId, service: &str) -> Result<(), SimError> {
+        self.ensure_alive(host)?;
         self.with_host_mut(host, |h| h.crash_service(service))
             .ok_or_else(|| Self::unknown_host(host))?
             .map_err(SimError::new)?;
@@ -605,6 +652,7 @@ impl Sim {
     ///
     /// Unknown host.
     pub fn snapshot(&self, host: HostId) -> Result<Snapshot, SimError> {
+        self.ensure_alive(host)?;
         let h = self
             .with_host(host, Host::clone)
             .ok_or_else(|| Self::unknown_host(host))?;
@@ -620,6 +668,7 @@ impl Sim {
     /// The snapshot's host no longer exists.
     pub fn restore(&self, snap: &Snapshot) -> Result<(), SimError> {
         let id = snap.host.info().id;
+        self.ensure_alive(id)?;
         self.with_host_mut(id, |h| *h = snap.host.clone())
             .ok_or_else(|| Self::unknown_host(id))?;
         self.advance(Duration::from_secs(15));
@@ -794,6 +843,31 @@ mod tests {
             1
         );
         assert_eq!(s.service_state(h, "redis").unwrap().crashes, 1);
+    }
+
+    #[test]
+    fn failed_hosts_reject_everything() {
+        let s = sim();
+        let h = s.provision_local("h", Os::Ubuntu1010);
+        s.install_package(h, "pkg").unwrap();
+        s.start_service(h, "web", Some(80)).unwrap();
+        let lost = s.fail_host(h).unwrap();
+        assert_eq!(lost, vec!["web".to_owned()]);
+        assert!(!s.host_alive(h));
+        assert!(!s.service_running(h, "web"));
+        assert_eq!(s.service_state(h, "web").unwrap().crashes, 1);
+        let err = s.install_package(h, "other").unwrap_err();
+        assert!(!err.is_transient(), "dead-host errors must be permanent");
+        assert!(s.start_service(h, "web", Some(80)).is_err());
+        assert!(s.stop_service(h, "web").is_err());
+        assert!(s.snapshot(h).is_err());
+        // Double failure is an error; the event fired exactly once.
+        assert!(s.fail_host(h).is_err());
+        assert_eq!(s.count_events(|e| matches!(e, Event::HostFailed { .. })), 1);
+        // Other hosts are unaffected.
+        let k = s.provision_local("k", Os::Ubuntu1010);
+        assert!(s.host_alive(k));
+        s.install_package(k, "pkg").unwrap();
     }
 
     #[test]

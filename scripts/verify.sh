@@ -111,9 +111,26 @@ grep -q '"bench.faults.r20.success_pct_retries":100' "$obs_tmp/BENCH_faults.json
 grep -q 'permanent-fault deployments ended with clean hosts' "$obs_tmp/faults.txt"
 
 # Crash-recovery property sweep: resume-after-kill must equal the
-# uninterrupted run at every seeded kill point, plus the journal,
+# uninterrupted run at every seeded kill point, resume after journal
+# compaction must equal resume from the full history, plus the journal,
 # chaos-convergence, and rollback integration tests.
 cargo test -q --offline --release -p engage --test robustness
+
+# Self-healing reconciler sweep at CI depth: drift detection must match
+# injected fault sets exactly, drift-free stacks must cost zero-action
+# rounds, and reconciled end states must equal a fresh deploy, for
+# every testgen family (see docs/robustness.md).
+ENGAGE_RECONCILE_SWEEP_SEEDS=8 \
+    cargo test -q --offline --release -p engage --test reconcile_sweep
+
+# Reconciler MTTR smoke test: the binary asserts minimal-delta repair
+# beats a full redeploy by >=3x at every storm rate, and that a lost
+# host is replaced and the stack reconverges.
+cargo run -q --release --offline -p engage-bench --bin exp_reconcile -- \
+    --smoke --metrics "$obs_tmp/BENCH_reconcile.json" > "$obs_tmp/reconcile.txt"
+grep -q '"experiment":"reconcile"' "$obs_tmp/BENCH_reconcile.json"
+grep -q '"bench.reconcile.r30.mttr_ms"' "$obs_tmp/BENCH_reconcile.json"
+grep -q 'host loss: replaced' "$obs_tmp/reconcile.txt"
 
 # Wavefront scheduler smoke test: the megadeploy estate (smoke size)
 # must deploy identically under the sequential oracle and the wavefront

@@ -1,0 +1,224 @@
+//! Self-healing reconciler sweep over generated scenarios: per seed and
+//! topology family, drift *detection* must report exactly the faults the
+//! test injected (no more, no less), a drift-free stack must cost a
+//! zero-action round (no SAT query, no transitions), and a stack
+//! reconciled back to health under sustained chaos must end in exactly
+//! the state a fresh, fault-free deployment reaches.
+//!
+//! Seed depth is controlled by `ENGAGE_RECONCILE_SWEEP_SEEDS` (default
+//! 4; `scripts/verify.sh` runs 8). A failing case reproduces from the
+//! scenario name in the panic message: `engage_testgen::scenario(family,
+//! seed)`. See `docs/robustness.md`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use engage::{Engage, RetryPolicy, SolverMode};
+use engage_deploy::Deployment;
+use engage_model::InstallSpec;
+use engage_sim::{DriftEvent, FaultPlan, HostId, Sim};
+use engage_testgen::{scenario, Family};
+use engage_util::rand::{Rng, SeedableRng, StdRng};
+
+fn sweep_seeds() -> u64 {
+    engage_util::env::sweep_size("ENGAGE_RECONCILE_SWEEP_SEEDS", 4)
+}
+
+/// Driver state plus service liveness per instance, host-agnostic: a
+/// reconciled stack may legitimately run on replacement hosts, so end
+/// states compare what runs where *relative to the deployment*, not raw
+/// host ids.
+fn end_state(spec: &InstallSpec, sim: &Sim, dep: &Deployment) -> Vec<(String, String, bool)> {
+    spec.iter()
+        .map(|inst| {
+            let running = dep
+                .host_of(inst.id())
+                .is_some_and(|h| sim.service_running(h, &engage_deploy::service_name(inst.key())));
+            (
+                inst.id().to_string(),
+                dep.state(inst.id())
+                    .map(|s| s.to_string())
+                    .unwrap_or_default(),
+                running,
+            )
+        })
+        .collect()
+}
+
+/// Property: the monitor's drift report is *exactly* the injected fault
+/// set. Crashed services on live hosts surface as `ServiceDown`, every
+/// watched service on a killed host folds into that host's `HostLost`
+/// event, and nothing else appears.
+#[test]
+fn drift_report_matches_injected_faults_exactly() {
+    for family in Family::ALL {
+        for seed in 0..sweep_seeds() {
+            let s = scenario(family, seed);
+            let sys = Engage::new(s.universe.clone());
+            let (_, dep) = sys
+                .deploy(&s.partial)
+                .unwrap_or_else(|e| panic!("{}: deploy failed: {e}", s.name()));
+            assert!(
+                dep.monitor().scan(sys.sim()).is_empty(),
+                "{}: drift reported on a healthy stack",
+                s.name()
+            );
+            let watches: Vec<_> = dep.monitor().watches().to_vec();
+            assert!(!watches.is_empty(), "{}: nothing watched", s.name());
+
+            // Inject a seeded fault set: crash ~40% of watched services,
+            // then (half the time) kill one watched host outright.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD81F_7A11);
+            let mut crashed: BTreeSet<(HostId, String)> = BTreeSet::new();
+            for w in &watches {
+                if rng.gen_bool(0.4) {
+                    sys.sim().crash_service(w.host, &w.service).unwrap();
+                    crashed.insert((w.host, w.service.clone()));
+                }
+            }
+            let hosts: Vec<HostId> = {
+                let mut seen = BTreeSet::new();
+                watches
+                    .iter()
+                    .map(|w| w.host)
+                    .filter(|h| seen.insert(*h))
+                    .collect()
+            };
+            let dead: Option<HostId> = rng.gen_bool(0.5).then(|| {
+                let host = hosts[rng.gen_range(0..hosts.len())];
+                sys.sim().fail_host(host).unwrap();
+                host
+            });
+
+            // Expected report, derived independently from the watch list.
+            let expected_down: BTreeSet<(HostId, String)> = crashed
+                .iter()
+                .filter(|(h, _)| Some(*h) != dead)
+                .cloned()
+                .collect();
+            let expected_lost: BTreeMap<HostId, Vec<String>> = dead
+                .map(|d| {
+                    let services: Vec<String> = watches
+                        .iter()
+                        .filter(|w| w.host == d)
+                        .map(|w| w.service.clone())
+                        .collect();
+                    [(d, services)].into_iter().collect()
+                })
+                .unwrap_or_default();
+
+            let mut down = BTreeSet::new();
+            let mut lost = BTreeMap::new();
+            for ev in dep.monitor().scan(sys.sim()) {
+                match ev {
+                    DriftEvent::ServiceDown { host, service } => {
+                        assert!(
+                            down.insert((host, service)),
+                            "{}: duplicate ServiceDown event",
+                            s.name()
+                        );
+                    }
+                    DriftEvent::HostLost { host, services } => {
+                        assert!(
+                            lost.insert(host, services).is_none(),
+                            "{}: duplicate HostLost event",
+                            s.name()
+                        );
+                    }
+                }
+            }
+            assert_eq!(
+                down,
+                expected_down,
+                "{}: ServiceDown set diverges",
+                s.name()
+            );
+            assert_eq!(lost, expected_lost, "{}: HostLost set diverges", s.name());
+        }
+    }
+}
+
+/// An undrifted stack must cost nothing to reconcile: no re-plan (no SAT
+/// query), no driver transitions, converged on the spot.
+#[test]
+fn empty_drift_is_a_zero_action_round_for_every_family() {
+    for family in Family::ALL {
+        let s = scenario(family, 0);
+        let sys = Engage::new(s.universe.clone()).with_solver_mode(SolverMode::Incremental);
+        let (_, dep) = sys
+            .deploy(&s.partial)
+            .unwrap_or_else(|e| panic!("{}: deploy failed: {e}", s.name()));
+        let mut rl = sys.reconciler(&s.partial, dep);
+        let round = rl
+            .tick()
+            .unwrap_or_else(|e| panic!("{}: tick failed: {e}", s.name()));
+        assert!(
+            !round.replanned,
+            "{}: zero drift must mean no SAT query",
+            s.name()
+        );
+        assert_eq!(round.actions, 0, "{}", s.name());
+        assert!(round.converged, "{}", s.name());
+        assert_eq!(rl.stats().zero_action_rounds, 1, "{}", s.name());
+    }
+}
+
+/// Acceptance differential: after rounds of seeded crash storms (and the
+/// occasional lost host), the reconciled deployment must reach exactly
+/// the end state of a fresh, fault-free deployment of the same partial
+/// spec — same instances, same driver states, same services running.
+#[test]
+fn reconciled_end_state_matches_a_fresh_deploy() {
+    for family in Family::ALL {
+        for seed in 0..sweep_seeds().min(3) {
+            let s = scenario(family, seed);
+
+            // Reference: one clean deploy, never perturbed.
+            let ref_sys = Engage::new(s.universe.clone());
+            let (ref_out, ref_dep) = ref_sys
+                .deploy(&s.partial)
+                .unwrap_or_else(|e| panic!("{}: reference deploy failed: {e}", s.name()));
+
+            // Chaos run: same plan, then storms between reconcile rounds.
+            let sys = Engage::new(s.universe.clone())
+                .with_solver_mode(SolverMode::Incremental)
+                .with_retry_policy(RetryPolicy::new(2).with_seed(seed));
+            let (out, dep) = sys
+                .deploy(&s.partial)
+                .unwrap_or_else(|e| panic!("{}: chaos deploy failed: {e}", s.name()));
+            assert_eq!(
+                engage_dsl::render_install_spec(&out.spec),
+                engage_dsl::render_install_spec(&ref_out.spec),
+                "{}: planning diverged before any chaos",
+                s.name()
+            );
+            sys.sim().set_fault_plan(FaultPlan::new(seed));
+            let mut rl = sys.reconciler(&s.partial, dep);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+            for round in 0..3 {
+                sys.sim().crash_storm(0.3);
+                if rng.gen_bool(0.3) {
+                    let hosts: Vec<HostId> = rl.deployment().machines().values().copied().collect();
+                    if let Some(h) = hosts.get(rng.gen_range(0..hosts.len().max(1))) {
+                        let _ = sys.sim().fail_host(*h);
+                    }
+                }
+                assert!(
+                    rl.run_until_converged(12).unwrap_or_else(|e| panic!(
+                        "{}: reconcile round {round} failed: {e}",
+                        s.name()
+                    )),
+                    "{}: round {round} did not reconverge",
+                    s.name()
+                );
+            }
+            let dep = rl.into_deployment();
+            assert!(dep.is_deployed(), "{}", s.name());
+            assert_eq!(
+                end_state(&ref_out.spec, sys.sim(), &dep),
+                end_state(&ref_out.spec, ref_sys.sim(), &ref_dep),
+                "{}: reconciled end state diverges from a fresh deploy",
+                s.name()
+            );
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! recovery by resuming from the journal, and automatic rollback on
 //! permanent failures (see docs/robustness.md).
 
-use engage::{DeployJournal, Engage, ResumeMode, RetryPolicy};
+use engage::{DeployJournal, Engage, JournalRecord, ResumeMode, RetryPolicy};
 use engage_model::{BasicState, DriverState, InstallSpec};
 use engage_sim::{FaultKind, FaultOp, FaultPlan};
 use engage_util::obs::Obs;
@@ -193,6 +193,57 @@ fn jsonl_journal_survives_a_crash_and_replays_on_a_fresh_sim() {
     let reference = engage_sys().deploy_spec(&spec).unwrap();
     assert_eq!(states_of(&spec, &resumed), states_of(&spec, &reference));
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_after_compaction_equals_resume_from_full_history() {
+    let spec = openmrs_spec();
+    let reference = engage_sys().deploy_spec(&spec).unwrap();
+    let dir = std::env::temp_dir().join("engage-robustness-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Two identical crashed runs (deployment is deterministic without a
+    // fault plan): one resumes from the full journal history, the other
+    // compacts its JSONL file first. Both must finish the deployment
+    // identically.
+    let resumed = |name: &str, compact: bool| {
+        let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+        let journal = DeployJournal::jsonl_create(&path).unwrap();
+        let sys = engage_sys()
+            .with_journal(journal.clone())
+            .with_kill_point(5);
+        let failure = sys.deploy_spec_with_recovery(&spec).unwrap_err();
+        assert!(failure.error.to_string().contains("engine killed"));
+        if compact {
+            let full_len = journal.records().len();
+            let n = journal.compact().unwrap();
+            assert!(n < full_len, "compaction must shrink the journal");
+            assert!(
+                journal
+                    .records()
+                    .iter()
+                    .any(|r| matches!(r, JournalRecord::Observed { .. })),
+                "compaction folds commits into observations"
+            );
+        }
+        let resumed = engage_sys()
+            .with_sim(sys.sim().clone())
+            .resume_spec(&spec, &journal.records(), ResumeMode::Attach)
+            .unwrap_or_else(|e| panic!("resume ({name}) failed: {e}"));
+        std::fs::remove_file(&path).ok();
+        resumed
+    };
+
+    let full = resumed("resume-full", false);
+    let compacted = resumed("resume-compacted", true);
+    assert!(full.is_deployed());
+    assert!(compacted.is_deployed());
+    assert_eq!(states_of(&spec, &compacted), states_of(&spec, &full));
+    assert_eq!(states_of(&spec, &compacted), states_of(&spec, &reference));
+    assert_eq!(
+        compacted.monitor().watches().len(),
+        full.monitor().watches().len()
+    );
 }
 
 #[test]

@@ -237,6 +237,102 @@ fn daemon_deploys_match_the_one_shot_end_state() {
     }
 }
 
+fn reconcile_line(id: &str, tenant: &str, s: &Scenario, ticks: i64, chaos: f64) -> String {
+    Json::Object(vec![
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("tenant".to_owned(), Json::Str(tenant.to_owned())),
+        ("op".to_owned(), Json::Str("reconcile".to_owned())),
+        (
+            "universe".to_owned(),
+            Json::Str(engage_dsl::print_universe(&s.universe)),
+        ),
+        (
+            "spec".to_owned(),
+            engage_dsl::partial_spec_to_json(&s.partial),
+        ),
+        ("ticks".to_owned(), Json::Int(ticks)),
+        ("chaos".to_owned(), Json::Float(chaos)),
+        ("seed".to_owned(), Json::Int(7)),
+    ])
+    .compact()
+}
+
+/// A tenant's `reconcile` traffic must never disturb its *plan* session:
+/// reconciliation re-plans under pinned assumptions through a dedicated
+/// pooled session, so a reconfigure racing a reconcile for the same
+/// tenant still hits the warm plan session and still byte-matches the
+/// one-shot incremental oracle.
+#[test]
+fn reconcile_requests_leave_the_plan_session_warm() {
+    let srv = server(2);
+    let (tx, rx) = channel::unbounded();
+    let a = scenario(Family::Mesh, 0);
+    let b = scenario(Family::Chain, 0);
+
+    // Round 1: tenant A warms its plan session while tenant B runs a
+    // chaos reconcile, interleaved across the worker pool.
+    let r1 = round(
+        &srv,
+        &tx,
+        &rx,
+        &[
+            request_line("a/plan", "a", "plan", &a, false),
+            reconcile_line("b/reconcile", "b", &b, 3, 0.4),
+        ],
+    );
+    let b_rec = &r1["b/reconcile"];
+    assert_eq!(
+        b_rec.get("ok"),
+        Some(&Json::Bool(true)),
+        "reconcile failed: {}",
+        b_rec.compact()
+    );
+    assert_eq!(b_rec.get("converged"), Some(&Json::Bool(true)));
+    let states = b_rec
+        .get("states")
+        .and_then(Json::as_object)
+        .expect("states in reconcile response");
+    assert!(!states.is_empty());
+    assert!(
+        states.iter().all(|(_, v)| v.as_str() == Some("active")),
+        "reconciled stack not fully active: {}",
+        b_rec.compact()
+    );
+
+    // Round 2: tenant A's own reconcile races its reconfigure plan. The
+    // reconfigure must hit the warm session and byte-match the oracle.
+    let r2 = round(
+        &srv,
+        &tx,
+        &rx,
+        &[
+            reconcile_line("a/reconcile", "a", &a, 2, 0.3),
+            request_line("a/reconf", "a", "plan", &a, true),
+        ],
+    );
+    assert_eq!(
+        r2["a/reconcile"].get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        r2["a/reconcile"].compact()
+    );
+    let reconf = &r2["a/reconf"];
+    assert_eq!(
+        reconf.get("session_hit"),
+        Some(&Json::Bool(true)),
+        "reconcile evicted or missed the tenant's pool entry"
+    );
+    let engine = ConfigEngine::new(&a.universe).with_solver_mode(SolverMode::Incremental);
+    let mut session = ConfigSession::new();
+    engine.reconfigure(&mut session, &a.partial).unwrap();
+    let oracle = engine.reconfigure(&mut session, &a.reconfigure).unwrap();
+    assert_eq!(
+        response_spec(reconf),
+        engage_dsl::render_install_spec(&oracle.spec),
+        "reconcile traffic perturbed the tenant's plan session"
+    );
+}
+
 #[test]
 fn daemon_unsat_diagnoses_match_the_cli() {
     let srv = server(2);
